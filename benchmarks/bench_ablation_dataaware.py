@@ -1,0 +1,60 @@
+"""Ablation: the paper's hold-processor-while-fetching FIFO vs a
+data-aware backfilling local scheduler.
+
+The paper's FIFO simplification (§4) lets a job occupy a processor while
+its input is still crossing the WAN.  ``FIFO-DataAware`` instead runs the
+first *data-ready* queued job and leaves processors free when nothing is
+ready.  Measured at paper scale: the simplification costs little in the
+default configuration (transfers overlap queueing anyway) and a handful
+of percent under cache pressure — evidence the paper's conclusions don't
+hinge on it.
+"""
+
+from repro import SimulationConfig, run_single
+
+from common import publish
+
+REGIMES = (
+    ("default (50 GB)", 50_000.0),
+    ("cache-pressure (20 GB)", 20_000.0),
+)
+
+
+def test_ablation_dataaware(benchmark):
+    config = SimulationConfig.paper()
+
+    def sweep():
+        out = {}
+        for label, storage in REGIMES:
+            for ls in ("FIFO", "FIFO-DataAware"):
+                cfg = config.with_(local_scheduler=ls,
+                                   storage_capacity_mb=storage)
+                out[(label, ls)] = run_single(
+                    cfg, "JobRandom", "DataDoNothing", seed=0)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["Ablation: FIFO vs data-aware backfilling "
+             "(JobRandom + DataDoNothing)",
+             "=" * 66,
+             f"{'regime':<24}{'LS':<17}{'resp(s)':>9}{'idle%':>7}"]
+    for (label, ls), m in results.items():
+        lines.append(f"{label:<24}{ls:<17}"
+                     f"{m.avg_response_time_s:>9.1f}"
+                     f"{m.idle_percent:>7.1f}")
+    gain = (results[("cache-pressure (20 GB)", "FIFO")].avg_response_time_s
+            / results[("cache-pressure (20 GB)",
+                       "FIFO-DataAware")].avg_response_time_s)
+    lines.append(f"\nbackfilling gain under cache pressure: {gain:.2f}x "
+                 "(paper's FIFO simplification is benign)")
+    publish("ablation_dataaware", "\n".join(lines))
+
+    for label, _ in REGIMES:
+        fifo = results[(label, "FIFO")]
+        aware = results[(label, "FIFO-DataAware")]
+        # Backfilling never meaningfully hurts...
+        assert aware.avg_response_time_s <= fifo.avg_response_time_s * 1.05
+        assert aware.idle_fraction <= fifo.idle_fraction + 0.02
+    # ...and helps a little when fetch stalls are common.
+    assert gain > 1.02

@@ -1,0 +1,66 @@
+"""Ablation: popularity distribution (the workload's skew).
+
+Swaps the paper's geometric popularity for Zipf (heavier head) and
+uniform (no skew).  The result is instructive and initially
+counter-intuitive: the decoupled win *grows* as popularity flattens.
+
+Mechanism: JobDataPresent barely touches the network regardless of skew,
+while the coupled baseline (JobLocal + on-demand fetch) depends on LRU
+*cache reuse* — which only exists when requests concentrate on few files.
+Under uniform popularity every job misses, the full input crosses the
+WAN, and the coupled baseline collapses.  Skew giveth (cache hits for
+the coupled side) even as it taketh away (hotspot queues for
+JobDataPresent *without* replication — the Figure 3a/4 effect, which the
+replication policy then removes).
+"""
+
+from repro import SimulationConfig, run_single
+
+from common import publish
+
+MODELS = ("geometric", "zipf", "uniform")
+
+
+def test_ablation_popularity(benchmark):
+    config = SimulationConfig.paper()
+
+    def sweep():
+        out = {}
+        for model in MODELS:
+            cfg = config.with_(popularity_model=model)
+            out[(model, "coupled")] = run_single(
+                cfg, "JobLocal", "DataDoNothing", seed=0)
+            out[(model, "decoupled")] = run_single(
+                cfg, "JobDataPresent", "DataRandom", seed=0)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["Ablation: popularity distribution",
+             "=" * 66,
+             f"{'model':<12}{'coupled(s)':>11}{'decoupled(s)':>13}"
+             f"{'gain':>6}{'coupled MB/job':>15}"]
+    gains = {}
+    for model in MODELS:
+        coupled = results[(model, "coupled")]
+        decoupled = results[(model, "decoupled")]
+        gain = coupled.avg_response_time_s / decoupled.avg_response_time_s
+        gains[model] = gain
+        lines.append(
+            f"{model:<12}{coupled.avg_response_time_s:>11.1f}"
+            f"{decoupled.avg_response_time_s:>13.1f}{gain:>6.2f}"
+            f"{coupled.avg_data_transferred_mb:>15.1f}")
+    lines.append(
+        "\ngain = coupled/decoupled response ratio.  Flatter popularity "
+        "-> no cache reuse\nfor the coupled baseline -> larger decoupling "
+        "win (transfer avoidance dominates).")
+    publish("ablation_popularity", "\n".join(lines))
+
+    # Decoupling wins under every distribution...
+    for model in MODELS:
+        assert gains[model] > 1.2
+    # ...and the win grows as cache reuse disappears.
+    assert gains["uniform"] > gains["zipf"] > gains["geometric"]
+    # The coupled baseline's traffic grows as popularity flattens.
+    assert (results[("uniform", "coupled")].avg_data_transferred_mb >
+            results[("geometric", "coupled")].avg_data_transferred_mb)

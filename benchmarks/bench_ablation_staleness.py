@@ -1,0 +1,38 @@
+"""Ablation: information-service staleness.
+
+The paper's schedulers consult MDS/NWS-style services; our default models
+300 s of cache lag.  This bench sweeps the refresh interval to show how
+load-based scheduling degrades as information ages (the herding effect).
+"""
+
+from repro import SimulationConfig, run_single
+
+from common import publish
+
+
+def test_ablation_staleness(benchmark):
+    config = SimulationConfig.paper()
+    intervals = (0.0, 120.0, 300.0, 900.0)
+
+    def sweep():
+        return {
+            interval: run_single(
+                config.with_(info_refresh_interval_s=interval),
+                "JobLeastLoaded", "DataDoNothing", seed=0)
+            for interval in intervals
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["Ablation: information staleness (JobLeastLoaded, no repl.)",
+             "=" * 58,
+             f"{'refresh (s)':>12}{'resp (s)':>10}{'imbalance':>11}"]
+    for interval, m in results.items():
+        label = "live" if interval == 0 else f"{interval:g}"
+        lines.append(f"{label:>12}{m.avg_response_time_s:>10.1f}"
+                     f"{m.load_imbalance:>11.2f}")
+    publish("ablation_staleness", "\n".join(lines))
+
+    # Live information is at least as good as badly stale information.
+    assert results[0.0].avg_response_time_s <= \
+        results[900.0].avg_response_time_s * 1.10

@@ -1,0 +1,63 @@
+"""Extension bench: the paper's §6 adaptive-scheduler sketch.
+
+"Slow links and large datasets might imply scheduling the jobs at the data
+source ...; if the data is small and network links are not congested,
+moving the data to the job source ... might be viable."  JobAdaptive
+switches per job; it should track the better of JobLocal / JobDataPresent
+across both bandwidth scenarios.
+"""
+
+import random
+
+from repro import SimulationConfig, make_workload, run_single
+from repro.experiments.runner import build_grid
+from repro.metrics import RunMetrics
+from repro.network import BandwidthHistory, NWSForecaster
+from repro.scheduling import AdaptiveExternalScheduler
+
+from common import publish
+
+
+def run_nws_informed(config, seed=0):
+    """JobAdaptive fed by measured NWS-style bandwidth forecasts."""
+    workload = make_workload(config, seed)
+    sim, grid = build_grid(config, "JobAdaptive", "DataLeastLoaded",
+                           workload, seed)
+    history = BandwidthHistory()
+    history.attach(grid.transfers)
+    grid.external_scheduler = AdaptiveExternalScheduler(
+        random.Random(seed), forecaster=NWSForecaster(history))
+    makespan = grid.run()
+    return RunMetrics.from_grid(grid, makespan)
+
+
+def test_adaptive_scheduler(benchmark):
+    def sweep():
+        out = {}
+        for bw in (10.0, 100.0):
+            config = SimulationConfig.paper(bandwidth_mbps=bw)
+            for es in ("JobLocal", "JobDataPresent", "JobAdaptive"):
+                out[(bw, es)] = run_single(config, es, "DataLeastLoaded",
+                                           seed=0)
+            out[(bw, "JobAdaptive+NWS")] = run_nws_informed(config)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["Extension: adaptive external scheduler (DS=DataLeastLoaded)",
+             "=" * 60,
+             f"{'bandwidth':>10}  {'scheduler':<18}{'resp(s)':>9}"
+             f"{'MB/job':>9}"]
+    for (bw, es), m in sorted(results.items()):
+        lines.append(f"{bw:>8.0f}  {es:<18}{m.avg_response_time_s:>9.1f}"
+                     f"{m.avg_data_transferred_mb:>9.1f}")
+    publish("adaptive", "\n".join(lines))
+
+    for bw in (10.0, 100.0):
+        best_fixed = min(results[(bw, "JobLocal")].avg_response_time_s,
+                         results[(bw, "JobDataPresent")].avg_response_time_s)
+        # Both adaptive variants must be competitive with the better
+        # fixed policy in each regime.
+        for variant in ("JobAdaptive", "JobAdaptive+NWS"):
+            assert (results[(bw, variant)].avg_response_time_s
+                    <= best_fixed * 1.30)

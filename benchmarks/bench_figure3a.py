@@ -1,0 +1,25 @@
+"""Figure 3a: average response time per job for the 4×3 algorithm matrix.
+
+Paper shape (10 MB/s, Table 1): without replication JobLocal is best and
+JobDataPresent worst; with replication JobDataPresent wins outright.
+"""
+
+from repro.metrics.report import format_matrix
+from repro.scheduling.registry import ALL_DS, ALL_ES
+
+from common import paper_matrix, publish
+
+
+def test_figure3a(benchmark):
+    result = benchmark.pedantic(paper_matrix, rounds=1, iterations=1)
+
+    values = result.metric_matrix("avg_response_time_s")
+    publish("figure3a", format_matrix(
+        "Figure 3a: average response time per job (seconds)",
+        values, ALL_ES, ALL_DS, unit="seconds"))
+
+    no_repl = {es: values[(es, "DataDoNothing")] for es in ALL_ES}
+    assert max(no_repl, key=no_repl.get) == "JobDataPresent"
+    best_decoupled = min(values[("JobDataPresent", ds)]
+                         for ds in ("DataRandom", "DataLeastLoaded"))
+    assert best_decoupled < min(no_repl.values())

@@ -1,0 +1,26 @@
+"""Figure 3b: average data transferred per job (MB) for the 4×3 matrix.
+
+Paper shape: JobDataPresent moves dramatically less data than every other
+algorithm ("the difference ... is very large (> 400 MB/job)"); with
+DataDoNothing it moves none at all (jobs go to the single replica).
+"""
+
+from repro.metrics.report import format_matrix
+from repro.scheduling.registry import ALL_DS, ALL_ES
+
+from common import paper_matrix, publish
+
+
+def test_figure3b(benchmark):
+    result = benchmark.pedantic(paper_matrix, rounds=1, iterations=1)
+
+    values = result.metric_matrix("avg_data_transferred_mb")
+    publish("figure3b", format_matrix(
+        "Figure 3b: average data transferred per job (MB)",
+        values, ALL_ES, ALL_DS, unit="MB"))
+
+    assert values[("JobDataPresent", "DataDoNothing")] == 0.0
+    for ds in ALL_DS:
+        jdp = values[("JobDataPresent", ds)]
+        for es in ("JobRandom", "JobLeastLoaded", "JobLocal"):
+            assert values[(es, ds)] - jdp > 300.0

@@ -1,0 +1,29 @@
+"""Figure 4: percentage of time processors are idle (not in use or
+waiting for data) for the 4×3 matrix.
+
+Paper shape: JobDataPresent + replication keeps processors busiest; the
+same algorithm without replication idles the most (hotspot starvation).
+"""
+
+from repro.metrics.report import format_matrix
+from repro.scheduling.registry import ALL_DS, ALL_ES
+
+from common import paper_matrix, publish
+
+
+def test_figure4(benchmark):
+    result = benchmark.pedantic(paper_matrix, rounds=1, iterations=1)
+
+    values = result.metric_matrix("idle_percent")
+    publish("figure4", format_matrix(
+        "Figure 4: average idle time of processors (%)",
+        values, ALL_ES, ALL_DS, unit="percent"))
+
+    for v in values.values():
+        assert 0.0 <= v <= 100.0
+    no_repl = {es: values[(es, "DataDoNothing")] for es in ALL_ES}
+    assert max(no_repl, key=no_repl.get) == "JobDataPresent"
+    with_repl = min(values[("JobDataPresent", ds)]
+                    for ds in ("DataRandom", "DataLeastLoaded"))
+    assert all(with_repl < v for (es, ds), v in values.items()
+               if es != "JobDataPresent")

@@ -1,0 +1,38 @@
+"""Figure 5: response times for the 10 vs 100 MB/s bandwidth scenarios
+(replication algorithm DataLeastLoaded, as the paper's caption states).
+
+Paper shape: the transfer-heavy algorithms improve dramatically at 10×
+bandwidth, JobDataPresent stays roughly constant, and JobLocal pulls even
+with JobDataPresent — "there is no clear winner".
+"""
+
+from repro import SimulationConfig
+from repro.experiments.paper import reproduce_figure5
+from repro.scheduling.registry import ALL_ES
+
+from common import PAPER_SEEDS, publish
+
+
+def test_figure5(benchmark):
+    config = SimulationConfig.paper()
+
+    out = benchmark.pedantic(
+        lambda: reproduce_figure5(config, seeds=PAPER_SEEDS),
+        rounds=1, iterations=1)
+
+    lines = ["Figure 5: response times for different bandwidth scenarios",
+             "(replication algorithm DataLeastLoaded)",
+             "=" * 58,
+             f"{'':<16}{'10MB/sec':>12}{'100MB/sec':>12}"]
+    for es in ALL_ES:
+        lines.append(f"{es:<16}{out['10MB/sec'][es]:>12.1f}"
+                     f"{out['100MB/sec'][es]:>12.1f}")
+    publish("figure5", "\n".join(lines))
+
+    slow, fast = out["10MB/sec"], out["100MB/sec"]
+    for es in ("JobRandom", "JobLeastLoaded", "JobLocal"):
+        assert fast[es] < slow[es] * 0.8  # dramatic improvement
+    jdp_drift = abs(slow["JobDataPresent"] - fast["JobDataPresent"])
+    assert jdp_drift / slow["JobDataPresent"] < 0.25  # consistent
+    ratio = fast["JobLocal"] / fast["JobDataPresent"]
+    assert 0.6 <= ratio <= 1.4  # no clear winner

@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the discrete-event kernel.
+
+These are true repeated-round benchmarks (unlike the one-shot paper
+reproductions): event throughput, process churn, and resource contention
+are the hot paths of every simulation above them.
+"""
+
+from repro.sim import Resource, Simulator
+
+
+def test_event_throughput(benchmark):
+    """Schedule-and-process throughput for bare timeouts."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.timeout(i % 97)
+        sim.run()
+        return sim.now
+
+    result = benchmark(run)
+    assert result == 96
+
+
+def test_process_churn(benchmark):
+    """Spawn/finish cost for short-lived processes."""
+
+    def run():
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1)
+            yield sim.timeout(1)
+
+        for _ in range(2_000):
+            sim.process(proc())
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) == 2
+
+
+def test_resource_contention(benchmark):
+    """Many workers hammering a small resource pool."""
+
+    def run():
+        sim = Simulator()
+        res = Resource(sim, capacity=4)
+        done = []
+
+        def worker(i):
+            with res.request() as req:
+                yield req
+                yield sim.timeout(1)
+            done.append(i)
+
+        for i in range(1_000):
+            sim.process(worker(i))
+        sim.run()
+        return len(done)
+
+    assert benchmark(run) == 1_000
+
+
+def test_condition_fanin(benchmark):
+    """AllOf over many events (the job data-ready path)."""
+
+    def run():
+        sim = Simulator()
+        events = [sim.timeout(i % 11) for i in range(3_000)]
+        cond = sim.all_of(events)
+        sim.run()
+        return len(cond.value)
+
+    assert benchmark(run) == 3_000

@@ -1,0 +1,36 @@
+"""Table 1: the simulation parameters used in the study.
+
+Regenerates the parameter table and times the workload-generation path
+that realizes those parameters (datasets, placements, 6000 jobs).
+"""
+
+from repro import SimulationConfig
+from repro.experiments.paper import table1_parameters
+from repro.experiments.runner import make_workload
+
+from common import publish
+
+
+def test_table1(benchmark):
+    config = SimulationConfig.paper()
+
+    workload = benchmark.pedantic(
+        lambda: make_workload(config, seed=0), rounds=3, iterations=1)
+
+    rows = table1_parameters(config)
+    width = max(len(k) for k in rows) + 2
+    lines = ["Table 1: Simulation parameters used in study",
+             "=" * 44]
+    lines += [f"{k:<{width}}{v}" for k, v in rows.items()]
+    lines.append("")
+    lines.append(f"materialized workload: {workload.n_jobs} jobs, "
+                 f"{len(workload.datasets)} datasets, "
+                 f"{len(workload.user_sites)} users")
+    publish("table1", "\n".join(lines))
+
+    assert rows["Total number of users"] == "120"
+    assert rows["Number of Sites"] == "30"
+    assert rows["Compute Elements/Site"] == "2-5"
+    assert rows["Total number of Datasets"] == "200"
+    assert rows["Size of Workload"] == "6000 jobs"
+    assert workload.n_jobs == 6000

@@ -1,0 +1,46 @@
+"""Micro-benchmarks of the network transfer engine under contention."""
+
+from repro.network import MaxMinFairAllocator, Topology, TransferManager
+from repro.sim import Simulator
+
+
+def _churn(allocator=None, n=300):
+    sim = Simulator()
+    topo = Topology.hierarchical(30, 10.0)
+    tm = TransferManager(sim, topo, allocator=allocator)
+    sites = topo.sites
+
+    def starter(i):
+        yield sim.timeout(i * 0.5)
+        tm.start(sites[i % 30], sites[(i * 7 + 1) % 30], 50 + i % 200)
+
+    for i in range(n):
+        sim.process(starter(i))
+    sim.run()
+    return len(tm.completed)
+
+
+def test_transfer_churn_equal_share(benchmark):
+    """300 staggered transfers over the paper topology (equal share)."""
+    assert benchmark(_churn) == 300
+
+
+def test_transfer_churn_maxmin(benchmark):
+    """Same churn under progressive-filling max-min fairness."""
+    assert benchmark(_churn, MaxMinFairAllocator()) == 300
+
+
+def test_rebalance_storm(benchmark):
+    """Worst case: many transfers sharing one bottleneck link, so every
+    completion rebalances every other transfer."""
+
+    def run():
+        sim = Simulator()
+        topo = Topology.star(3, 10.0)
+        tm = TransferManager(sim, topo)
+        for i in range(200):
+            tm.start("site00", "site01", 10 + i)  # all distinct finishes
+        sim.run()
+        return len(tm.completed)
+
+    assert benchmark(run) == 200

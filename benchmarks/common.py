@@ -1,0 +1,37 @@
+"""Shared infrastructure for the benchmark harness.
+
+Figures 3a, 3b, and 4 are three views of one 36-run sweep (12 algorithm
+pairs × 3 seeds), so the sweep result is computed once per pytest session
+and shared.  Every benchmark writes its paper-shaped table both to stdout
+and to ``benchmarks/results/<name>.txt`` so results survive output
+capturing.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+from repro import SimulationConfig, run_matrix
+from repro.experiments.runner import MatrixResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Seeds used for the headline reproduction (the paper uses three).
+PAPER_SEEDS = (0, 1, 2)
+
+
+@functools.lru_cache(maxsize=None)
+def paper_matrix(bandwidth_mbps: float = 10.0,
+                 seeds: tuple = PAPER_SEEDS) -> MatrixResult:
+    """The full 4×3 sweep at Table-1 scale (cached per session)."""
+    config = SimulationConfig.paper(bandwidth_mbps=bandwidth_mbps)
+    return run_matrix(config, seeds=seeds)
+
+
+def publish(name: str, text: str) -> None:
+    """Write a result table to stdout and benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Writing your own scheduler against the framework's interfaces.
+
+The paper's framework is deliberately extensible: an External Scheduler is
+any object with ``select_site(job, grid)``; a Dataset Scheduler is any
+object with ``attach(site, grid)``.  This example adds both:
+
+* ``JobCheapestFetch`` — an ES that estimates, for every site, queue wait
+  plus (uncontended) input-fetch time and picks the minimum: a smarter
+  cost model than any of the paper's four.
+* ``DataPushToOrigins`` — a DS that replicates a popular dataset toward
+  the site whose *users* request it most (demand-driven placement rather
+  than the paper's random/least-loaded push).
+
+Run:  python examples/custom_scheduler.py
+"""
+
+from collections import Counter, defaultdict
+
+from repro import SimulationConfig, make_workload, run_single
+from repro.experiments.runner import build_grid
+from repro.metrics import RunMetrics
+from repro.scheduling.base import DatasetScheduler, ExternalScheduler
+
+
+class JobCheapestFetch(ExternalScheduler):
+    """Send each job where (queue estimate + fetch estimate) is minimal."""
+
+    name = "JobCheapestFetch"
+
+    #: Rough seconds of queue delay implied per waiting job (a tuning
+    #: constant; a real system would learn it).
+    SECONDS_PER_QUEUED_JOB = 150.0
+
+    def select_site(self, job, grid):
+        best_site, best_cost = None, float("inf")
+        for site in grid.info.site_names:
+            queue_cost = (grid.info.load(site)
+                          * self.SECONDS_PER_QUEUED_JOB)
+            fetch_cost = 0.0
+            for fname in job.input_files:
+                if grid.catalog.has_replica(fname, site):
+                    continue
+                locations = grid.catalog.locations(fname)
+                if not locations:
+                    fetch_cost = float("inf")
+                    break
+                size = grid.datasets.get(fname).size_mb
+                fetch_cost += min(
+                    grid.transfers.estimated_transfer_time(src, site, size)
+                    for src in locations)
+            cost = queue_cost + fetch_cost
+            if cost < best_cost:
+                best_site, best_cost = site, cost
+        return best_site
+
+
+class DataPushToOrigins(DatasetScheduler):
+    """Replicate popular datasets toward the sites that ask for them.
+
+    Each site tracks which origin sites requested its datasets (via a
+    completion listener) and pushes a hot dataset to its top requester.
+    """
+
+    name = "DataPushToOrigins"
+
+    def __init__(self, popularity_threshold=5, check_interval_s=300.0):
+        self.popularity_threshold = popularity_threshold
+        self.check_interval_s = check_interval_s
+        # (site, dataset) -> Counter of requesting origin sites
+        self.demand = defaultdict(Counter)
+
+    def attach(self, site, grid):
+        site.completion_listeners.append(
+            lambda job, _site=site: self._observe(_site, job))
+        site.sim.process(self._loop(site, grid),
+                         name=f"push-ds:{site.name}")
+
+    def _observe(self, site, job):
+        for fname in job.input_files:
+            self.demand[(site.name, fname)][job.origin_site] += 1
+
+    def _loop(self, site, grid):
+        while True:
+            yield site.sim.timeout(self.check_interval_s)
+            for fname, count in sorted(site.storage.access_counts.items()):
+                if count < self.popularity_threshold:
+                    continue
+                if fname not in site.storage:
+                    continue
+                site.storage.reset_popularity(fname)
+                wanters = self.demand.get((site.name, fname))
+                if not wanters:
+                    continue
+                target = max(sorted(wanters), key=wanters.__getitem__)
+                if (target != site.name
+                        and not grid.catalog.has_replica(fname, target)):
+                    grid.datamover.replicate(fname, site.name, target)
+
+
+def main() -> None:
+    config = SimulationConfig.paper().scaled(0.25)
+    workload = make_workload(config, seed=0)
+
+    # Baseline: the paper's best combination.
+    paper_best = run_single(config, "JobDataPresent", "DataLeastLoaded",
+                            workload=workload, seed=0)
+
+    # Custom pair, wired through the same machinery.
+    sim, grid = build_grid(config, "JobLocal", "DataDoNothing",
+                           workload.fresh(), seed=0)
+    grid.external_scheduler = JobCheapestFetch()
+    custom_ds = DataPushToOrigins(popularity_threshold=4,
+                                  check_interval_s=200.0)
+    for site in grid.sites.values():
+        custom_ds.attach(site, grid)
+    makespan = grid.run()
+    custom = RunMetrics.from_grid(grid, makespan)
+
+    print(f"{'configuration':<42}{'resp(s)':>9}{'MB/job':>9}{'idle%':>7}")
+    for label, m in [
+        ("paper best (JobDataPresent+DataLeastLoaded)", paper_best),
+        ("custom (JobCheapestFetch+DataPushToOrigins)", custom),
+    ]:
+        print(f"{label:<42}{m.avg_response_time_s:>9.1f}"
+              f"{m.avg_data_transferred_mb:>9.1f}{m.idle_percent:>7.1f}")
+
+    print("\nThe custom cost-model scheduler trades some extra data "
+          "movement for queue balance; whether it wins depends on the "
+          "bandwidth regime — exactly the paper's decoupling point: you "
+          "can iterate on either policy without touching the other.")
+
+
+if __name__ == "__main__":
+    main()

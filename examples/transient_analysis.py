@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Watching a run unfold: transient analysis with GridMonitor.
+
+The paper's figures are end-of-run averages; this example samples the
+grid every 250 simulated seconds to show *why* the decoupled combination
+wins — the no-replication hotspot builds a queue that never drains, while
+under DataRandom the replication process dissolves it within a few
+periods.
+
+Run:  python examples/transient_analysis.py
+"""
+
+from repro import SimulationConfig, build_grid, make_workload
+from repro.metrics.timeseries import GridMonitor
+
+
+def monitored_run(config, es, ds, seed=0):
+    workload = make_workload(config, seed=seed)
+    sim, grid = build_grid(config, es, ds, workload, seed=seed)
+    monitor = GridMonitor(grid, period_s=250.0, track_site_queues=True)
+    grid.run()
+    return grid, monitor
+
+
+def main() -> None:
+    config = SimulationConfig.paper().scaled(0.5)
+    print(f"grid: {config.n_sites} sites, {config.n_jobs} jobs\n")
+
+    for es, ds in [("JobDataPresent", "DataDoNothing"),
+                   ("JobDataPresent", "DataRandom")]:
+        grid, monitor = monitored_run(config, es, ds)
+        label = f"{es} + {ds}"
+        print(f"=== {label} ===")
+        print(monitor.render("queued_jobs", width=64, height=10))
+
+        t50 = monitor.time_of_completion_fraction(0.5)
+        t95 = monitor.time_of_completion_fraction(0.95)
+        peak_t, peak_q = monitor.peak("queued_jobs")
+        print(f"peak queue {peak_q:.0f} jobs at t={peak_t:.0f} s; "
+              f"50% done at {t50:.0f} s, 95% at {t95:.0f} s")
+
+        hottest = max(grid.sites, key=lambda s: max(
+            monitor.site_queue_series(s)))
+        print(f"hottest site: {hottest} "
+              f"(queue peaked at "
+              f"{max(monitor.site_queue_series(hottest))})")
+        replicas = monitor.series("total_replicas")
+        print(f"replicas: {replicas[0]:.0f} -> {replicas[-1]:.0f}\n")
+
+    print("Without replication the hottest site's queue only drains as "
+          "jobs grind through it; with DataRandom the Dataset Scheduler "
+          "notices the popularity within a period or two, copies the hot "
+          "files away, and JobDataPresent immediately spreads the load.")
+
+
+if __name__ == "__main__":
+    main()

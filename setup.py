@@ -1,0 +1,13 @@
+"""Thin setup shim.
+
+The environment's setuptools lacks the ``wheel`` package, so PEP-517
+editable installs fail; this file enables the legacy path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — reproduction of Ranganathan & Foster (HPDC 2002).
+
+"Decoupling Computation and Data Scheduling in Distributed Data-Intensive
+Applications": a Data Grid scheduling framework in which each site runs an
+External Scheduler (where do jobs go?), a Local Scheduler (what order do
+they run in?), and a Dataset Scheduler (what gets replicated where?), plus
+the ChicSim-style discrete-event simulation stack needed to evaluate the
+4×3 algorithm family the paper studies.
+
+Quick start::
+
+    from repro import SimulationConfig, run_single
+
+    config = SimulationConfig.paper().scaled(0.1)
+    metrics = run_single(config, "JobDataPresent", "DataRandom")
+    print(metrics.avg_response_time_s)
+
+Package map — see DESIGN.md for the full inventory:
+
+* :mod:`repro.sim` — discrete-event kernel (the Parsec substitute).
+* :mod:`repro.network` — topology, contended links, transfers.
+* :mod:`repro.grid` — sites, storage, compute, jobs, users, data mover.
+* :mod:`repro.scheduling` — the paper's ES/LS/DS algorithm family.
+* :mod:`repro.workload` — synthetic CMS-like workload generation.
+* :mod:`repro.metrics` — the paper's metrics and reporting.
+* :mod:`repro.experiments` — per-figure/table reproduction harness.
+"""
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import (
+    build_grid,
+    make_workload,
+    run_matrix,
+    run_replicated,
+    run_single,
+)
+from repro.grid.grid import DataGrid
+from repro.metrics.collector import RunMetrics
+from repro.scheduling.registry import ALL_DS, ALL_ES, ALL_LS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_DS",
+    "ALL_ES",
+    "ALL_LS",
+    "DataGrid",
+    "RunMetrics",
+    "SimulationConfig",
+    "build_grid",
+    "make_workload",
+    "run_matrix",
+    "run_replicated",
+    "run_single",
+    "__version__",
+]

@@ -1,0 +1,267 @@
+"""Command-line interface.
+
+Everything the library can do, driveable from a shell::
+
+    python -m repro table1
+    python -m repro run --es JobDataPresent --ds DataRandom --scale 0.25
+    python -m repro matrix --seeds 0 1 2
+    python -m repro figure 3a
+    python -m repro workload --out trace.json --scale 0.1
+
+All commands accept the configuration overrides listed under
+``python -m repro run --help``; defaults are the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.paper import (
+    reproduce_figure2,
+    reproduce_figure3_and_4,
+    reproduce_figure5,
+    table1_parameters,
+)
+from repro.experiments.runner import make_workload, run_matrix, run_single
+from repro.metrics.report import format_matrix, format_run
+from repro.scheduling.registry import ALL_DS, ALL_ES, ALL_LS
+from repro.workload.traces import save_workload
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "configuration overrides (defaults = paper Table 1)")
+    group.add_argument("--scale", type=float, default=1.0,
+                       help="scale users/sites/datasets/jobs together "
+                            "(default 1.0 = paper scale)")
+    group.add_argument("--bandwidth", type=float, default=None,
+                       metavar="MBPS", help="link bandwidth in MB/s")
+    group.add_argument("--jobs", type=int, default=None,
+                       help="total number of jobs")
+    group.add_argument("--sites", type=int, default=None,
+                       help="number of sites")
+    group.add_argument("--users", type=int, default=None,
+                       help="number of users")
+    group.add_argument("--datasets", type=int, default=None,
+                       help="number of datasets")
+    group.add_argument("--storage-gb", type=float, default=None,
+                       help="per-site storage in GB")
+    group.add_argument("--topology", default=None,
+                       choices=["hierarchical", "star", "ring", "random"])
+    group.add_argument("--geometric-p", type=float, default=None,
+                       help="geometric popularity skew")
+    group.add_argument("--popularity", default=None,
+                       choices=["geometric", "zipf", "uniform"])
+    group.add_argument("--inputs-per-job", type=int, default=None)
+    group.add_argument("--output-fraction", type=float, default=None,
+                       help="output size as a fraction of input size")
+    group.add_argument("--info-refresh", type=float, default=None,
+                       metavar="SECONDS",
+                       help="information-service staleness (0 = live)")
+    group.add_argument("--allocator", default=None,
+                       choices=["equal-share", "max-min"])
+    group.add_argument("--seed", type=int, default=0)
+
+
+def _build_config(args: argparse.Namespace) -> SimulationConfig:
+    config = SimulationConfig.paper(seed=args.seed)
+    if args.scale != 1.0:
+        config = config.scaled(args.scale)
+    overrides = {}
+    mapping = {
+        "bandwidth": "bandwidth_mbps",
+        "jobs": "n_jobs",
+        "sites": "n_sites",
+        "users": "n_users",
+        "datasets": "n_datasets",
+        "topology": "topology",
+        "geometric_p": "geometric_p",
+        "popularity": "popularity_model",
+        "inputs_per_job": "inputs_per_job",
+        "output_fraction": "output_fraction",
+        "info_refresh": "info_refresh_interval_s",
+        "allocator": "allocator",
+    }
+    for arg_name, field in mapping.items():
+        value = getattr(args, arg_name)
+        if value is not None:
+            overrides[field] = value
+    if args.storage_gb is not None:
+        overrides["storage_capacity_mb"] = args.storage_gb * 1000.0
+    if overrides:
+        config = config.with_(**overrides)
+    return config
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = table1_parameters(_build_config(args))
+    width = max(len(k) for k in rows) + 2
+    print("Table 1: Simulation parameters used in study")
+    for key, value in rows.items():
+        print(f"{key:<{width}}{value}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    metrics = run_single(config, args.es, args.ds, seed=args.seed)
+    print(format_run(metrics, label=f"{args.es} + {args.ds} "
+                     f"(seed {args.seed})"))
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    result = run_matrix(config, seeds=tuple(args.seeds))
+    print(format_matrix(
+        "Figure 3a: average response time per job (seconds)",
+        result.metric_matrix("avg_response_time_s"), ALL_ES, ALL_DS))
+    print()
+    print(format_matrix(
+        "Figure 3b: average data transferred per job (MB)",
+        result.metric_matrix("avg_data_transferred_mb"), ALL_ES, ALL_DS))
+    print()
+    print(format_matrix(
+        "Figure 4: average idle time of processors (%)",
+        result.metric_matrix("idle_percent"), ALL_ES, ALL_DS))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    seeds = tuple(args.seeds)
+    if args.which == "2":
+        for name, count in reproduce_figure2(config, seed=args.seed,
+                                             top_n=args.top):
+            print(f"{name:<16}{count:>8}")
+        return 0
+    if args.which == "5":
+        out = reproduce_figure5(config, seeds=seeds)
+        print(f"{'':<16}{'10MB/sec':>12}{'100MB/sec':>12}")
+        for es in ALL_ES:
+            print(f"{es:<16}{out['10MB/sec'][es]:>12.1f}"
+                  f"{out['100MB/sec'][es]:>12.1f}")
+        return 0
+    result = reproduce_figure3_and_4(config, seeds=seeds)
+    views = {
+        "3a": ("Figure 3a: average response time per job (seconds)",
+               result.figure3a()),
+        "3b": ("Figure 3b: average data transferred per job (MB)",
+               result.figure3b()),
+        "4": ("Figure 4: average idle time of processors (%)",
+              result.figure4()),
+    }
+    title, values = views[args.which]
+    print(format_matrix(title, values, ALL_ES, ALL_DS))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import sweep
+
+    config = _build_config(args)
+    values = [_parse_value(v) for v in args.values]
+    result = sweep(config, args.parameter, values,
+                   es_name=args.es, ds_name=args.ds,
+                   seeds=tuple(args.seeds))
+    print(result.table())
+    best = result.best_value()
+    print(f"\nbest {args.parameter} for response time: {best}")
+    return 0
+
+
+def _parse_value(text: str):
+    """Interpret a sweep value as int, float, or string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    workload = make_workload(config, seed=args.seed)
+    save_workload(workload, args.out)
+    print(f"wrote {workload.n_jobs} jobs / {len(workload.datasets)} "
+          f"datasets / {len(workload.user_sites)} users to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Ranganathan & Foster (HPDC 2002): "
+                    "decoupled Data Grid scheduling.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table1", help="print Table 1")
+    _add_config_arguments(p_table)
+    p_table.set_defaults(func=_cmd_table1)
+
+    p_run = sub.add_parser("run", help="run one algorithm combination")
+    p_run.add_argument("--es", default="JobDataPresent",
+                       choices=ALL_ES + ["JobAdaptive"],
+                       help="external scheduler")
+    p_run.add_argument("--ds", default="DataRandom",
+                       choices=ALL_DS + ["DataBestClient"],
+                       help="dataset scheduler")
+    _add_config_arguments(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_matrix = sub.add_parser(
+        "matrix", help="run the full 4x3 sweep (Figures 3a/3b/4)")
+    p_matrix.add_argument("--seeds", type=int, nargs="+", default=[0])
+    _add_config_arguments(p_matrix)
+    p_matrix.set_defaults(func=_cmd_matrix)
+
+    p_figure = sub.add_parser("figure", help="reproduce one paper figure")
+    p_figure.add_argument("which", choices=["2", "3a", "3b", "4", "5"])
+    p_figure.add_argument("--seeds", type=int, nargs="+", default=[0])
+    p_figure.add_argument("--top", type=int, default=60,
+                          help="datasets to list for figure 2")
+    _add_config_arguments(p_figure)
+    p_figure.set_defaults(func=_cmd_figure)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep one config field across values")
+    p_sweep.add_argument("parameter",
+                         help="SimulationConfig field to vary")
+    p_sweep.add_argument("values", nargs="+",
+                         help="values to sweep (parsed as int/float/str)")
+    p_sweep.add_argument("--es", default="JobDataPresent",
+                         choices=ALL_ES + ["JobAdaptive"])
+    p_sweep.add_argument("--ds", default="DataRandom",
+                         choices=ALL_DS + ["DataBestClient"])
+    p_sweep.add_argument("--seeds", type=int, nargs="+", default=[0])
+    _add_config_arguments(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_workload = sub.add_parser(
+        "workload", help="generate a workload trace (JSON)")
+    p_workload.add_argument("--out", required=True,
+                            help="output trace path")
+    _add_config_arguments(p_workload)
+    p_workload.set_defaults(func=_cmd_workload)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Simulation configuration.
+
+:meth:`SimulationConfig.paper` encodes Table 1 of the paper verbatim:
+
+====================================  =========================
+Total number of users                 120
+Number of sites                       30
+Compute elements/site                 2–5
+Total number of datasets              200
+Connectivity bandwidth                10 MB/s (scenario 1),
+                                      100 MB/s (scenario 2)
+Size of workload                      6000 jobs
+====================================  =========================
+
+plus the §5.1 workload constants (dataset sizes uniform 500 MB–2 GB,
+runtime 300 s/GB, single input file, geometric popularity).  Parameters the
+paper leaves unstated (storage capacity, replication threshold/period,
+geometric ``p``, topology branching) are explicit fields with documented
+defaults, so every assumption is visible and sweepable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict
+
+#: Table 1 bandwidth scenarios, MB/s.
+SCENARIO_1_BANDWIDTH = 10.0
+SCENARIO_2_BANDWIDTH = 100.0
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """All knobs for one simulated Data Grid execution."""
+
+    # ---- Table 1 ----------------------------------------------------------
+    n_users: int = 120
+    n_sites: int = 30
+    min_processors_per_site: int = 2
+    max_processors_per_site: int = 5
+    n_datasets: int = 200
+    bandwidth_mbps: float = SCENARIO_1_BANDWIDTH
+    n_jobs: int = 6000
+
+    # ---- §5.1 workload constants ------------------------------------------
+    min_dataset_mb: float = 500.0
+    max_dataset_mb: float = 2000.0
+    compute_seconds_per_gb: float = 300.0
+    inputs_per_job: int = 1
+    #: Output size as a fraction of input size (paper: 0 — "we ignore
+    #: output costs"; positive values enable the output-storage extension).
+    output_fraction: float = 0.0
+    popularity_model: str = "geometric"
+    #: Geometric skew.  Unpublished in the paper; 0.05 (hottest dataset gets
+    #: ~5% of all requests) reproduces the published orderings, notably the
+    #: hotspot overload that makes JobDataPresent worst without replication.
+    geometric_p: float = 0.05
+    zipf_alpha: float = 1.0
+
+    # ---- Unstated-in-paper modelling knobs ---------------------------------
+    #: Per-site storage (MB).  50 GB holds ~40 average datasets — finite, so
+    #: LRU matters, but large enough that replication is useful.
+    storage_capacity_mb: float = 50_000.0
+    #: Topology family: "hierarchical" (paper), "star", "ring", "random".
+    topology: str = "hierarchical"
+    #: Leaf sites per regional center in the hierarchical topology.
+    branching: int = 6
+    #: Dataset Scheduler popularity threshold (accesses since last check).
+    popularity_threshold: int = 5
+    #: Dataset Scheduler loop period (s).
+    ds_check_interval_s: float = 300.0
+    #: If > 0, the DS also deletes unpinned replicas idle at least this
+    #: long (the §3 "delete local files" responsibility; 0 = off, LRU
+    #: eviction alone manages space — the paper's setup).
+    ds_delete_idle_after_s: float = 0.0
+    #: "Neighbors" radius for DataLeastLoaded (hops).  4 reaches every site
+    #: in the paper's hierarchical topology, making DataLeastLoaded a
+    #: load-aware variant of DataRandom — which is what reproduces the
+    #: paper's "no significant difference between the two" finding.
+    neighbor_hops: int = 4
+    #: Local scheduler name (paper: FIFO).
+    local_scheduler: str = "FIFO"
+    #: Information-service staleness.  The paper's schedulers consult
+    #: MDS/NWS-style services, which serve *cached* values; 300 s of lag
+    #: (typical MDS cache TTL of the era) reproduces the mild herding that
+    #: keeps JobLeastLoaded from beating JobLocal without replication.
+    #: Set to 0 for a perfectly live oracle.
+    info_refresh_interval_s: float = 300.0
+    #: Transfer rate allocator: "equal-share" (paper) or "max-min".
+    allocator: str = "equal-share"
+
+    # ---- Replication seed ----------------------------------------------------
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1 or self.n_sites < 1 or self.n_datasets < 1:
+            raise ValueError("users, sites and datasets must all be >= 1")
+        if self.n_jobs < self.n_users:
+            raise ValueError(
+                f"{self.n_jobs} jobs over {self.n_users} users leaves some "
+                "users without a job")
+        if not (1 <= self.min_processors_per_site
+                <= self.max_processors_per_site):
+            raise ValueError("bad processor range")
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.storage_capacity_mb <= self.max_dataset_mb:
+            raise ValueError(
+                "storage must exceed the largest dataset, otherwise no "
+                "site can ever cache a remote file")
+
+    # -- factories -------------------------------------------------------------
+
+    @classmethod
+    def paper(cls, bandwidth_mbps: float = SCENARIO_1_BANDWIDTH,
+              seed: int = 0) -> "SimulationConfig":
+        """The exact Table-1 configuration (scenario chosen by bandwidth)."""
+        return cls(bandwidth_mbps=bandwidth_mbps, seed=seed)
+
+    def scaled(self, factor: float) -> "SimulationConfig":
+        """A proportionally smaller (or larger) configuration.
+
+        Used by tests and quick benchmarks: user/site/dataset/job counts
+        scale together so queueing and popularity effects keep roughly the
+        same character.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        n_sites = max(2, round(self.n_sites * factor))
+        n_users = max(n_sites, round(self.n_users * factor))
+        return dataclasses.replace(
+            self,
+            n_users=n_users,
+            n_sites=n_sites,
+            n_datasets=max(10, round(self.n_datasets * factor)),
+            n_jobs=max(n_users, round(self.n_jobs * factor)),
+        )
+
+    def with_(self, **changes) -> "SimulationConfig":
+        """A copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def table1(self) -> Dict[str, str]:
+        """The Table-1 rows, formatted as the paper prints them."""
+        return {
+            "Total number of users": str(self.n_users),
+            "Number of Sites": str(self.n_sites),
+            "Compute Elements/Site": (
+                f"{self.min_processors_per_site}-"
+                f"{self.max_processors_per_site}"),
+            "Total number of Datasets": str(self.n_datasets),
+            "Connectivity Bandwidth": f"{self.bandwidth_mbps:g} MB/sec",
+            "Size of Workload": f"{self.n_jobs} jobs",
+        }

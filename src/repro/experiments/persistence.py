@@ -1,0 +1,74 @@
+"""Persisting experiment results.
+
+A full 72-run study takes a minute; archiving its results lets analyses
+(figure regeneration, statistical comparison) run without re-simulating.
+:class:`~repro.experiments.runner.MatrixResult` and individual
+:class:`~repro.metrics.collector.RunMetrics` serialize to versioned JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import MatrixResult
+from repro.metrics.collector import RunMetrics
+
+FORMAT_VERSION = 1
+
+
+def run_metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
+    """RunMetrics → plain dict (dataclass fields only)."""
+    return dataclasses.asdict(metrics)
+
+
+def run_metrics_from_dict(data: Dict[str, Any]) -> RunMetrics:
+    """Inverse of :func:`run_metrics_to_dict`."""
+    field_names = {f.name for f in dataclasses.fields(RunMetrics)}
+    unknown = set(data) - field_names
+    if unknown:
+        raise ValueError(f"unknown RunMetrics fields {sorted(unknown)}")
+    return RunMetrics(**data)
+
+
+def matrix_to_dict(result: MatrixResult) -> Dict[str, Any]:
+    """MatrixResult → versioned, JSON-serializable dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "config": dataclasses.asdict(result.config),
+        "seeds": list(result.seeds),
+        "runs": {
+            f"{es}|{ds}": [run_metrics_to_dict(m) for m in runs]
+            for (es, ds), runs in result.runs.items()
+        },
+    }
+
+
+def matrix_from_dict(data: Dict[str, Any]) -> MatrixResult:
+    """Inverse of :func:`matrix_to_dict`."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported results version {version!r} "
+            f"(expected {FORMAT_VERSION})")
+    config = SimulationConfig(**data["config"])
+    result = MatrixResult(config=config, seeds=tuple(data["seeds"]))
+    for key, runs in data["runs"].items():
+        es, _, ds = key.partition("|")
+        if not ds:
+            raise ValueError(f"malformed run key {key!r}")
+        result.runs[(es, ds)] = [run_metrics_from_dict(m) for m in runs]
+    return result
+
+
+def save_matrix(result: MatrixResult, path: Union[str, Path]) -> None:
+    """Archive a sweep's results as JSON."""
+    Path(path).write_text(json.dumps(matrix_to_dict(result), indent=1))
+
+
+def load_matrix(path: Union[str, Path]) -> MatrixResult:
+    """Load a sweep archived by :func:`save_matrix`."""
+    return matrix_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,213 @@
+"""Build-and-run helpers for simulation experiments.
+
+The paper's methodology (§5.2): for each of the 4×3 algorithm pairs, three
+replications with different random seeds, at two bandwidth scenarios — 72
+experiments.  :func:`run_matrix` executes one scenario's 36 runs with
+*paired* workloads: for a given seed, every algorithm pair sees the exact
+same users, datasets, placements, and job sequences.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import SimulationConfig
+from repro.grid.grid import DataGrid
+from repro.grid.user import User
+from repro.metrics.collector import RunMetrics
+from repro.metrics.summary import MetricSummary, summarize
+from repro.network.topology import Topology
+from repro.network.transfer import EqualShareAllocator, MaxMinFairAllocator
+from repro.scheduling.registry import (
+    ALL_DS,
+    ALL_ES,
+    make_dataset_scheduler,
+    make_external_scheduler,
+    make_local_scheduler,
+)
+from repro.sim.core import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.generator import Workload, WorkloadGenerator
+from repro.workload.popularity import make_popularity_model
+
+
+def _build_topology(config: SimulationConfig,
+                    rng: random.Random) -> Topology:
+    if config.topology == "hierarchical":
+        return Topology.hierarchical(
+            config.n_sites, config.bandwidth_mbps,
+            branching=config.branching)
+    if config.topology == "star":
+        return Topology.star(config.n_sites, config.bandwidth_mbps)
+    if config.topology == "ring":
+        return Topology.ring(config.n_sites, config.bandwidth_mbps)
+    if config.topology == "random":
+        return Topology.random_geometric(
+            config.n_sites, config.bandwidth_mbps, rng=rng)
+    raise ValueError(f"unknown topology {config.topology!r}")
+
+
+def _make_allocator(config: SimulationConfig):
+    if config.allocator == "equal-share":
+        return EqualShareAllocator()
+    if config.allocator == "max-min":
+        return MaxMinFairAllocator()
+    raise ValueError(f"unknown allocator {config.allocator!r}")
+
+
+def make_workload(config: SimulationConfig,
+                  seed: Optional[int] = None) -> Workload:
+    """Generate the workload for a config/seed, independent of algorithms."""
+    streams = RandomStreams(config.seed if seed is None else seed)
+    sites = [f"site{s:02d}" for s in range(config.n_sites)]
+    popularity_kwargs = {}
+    if config.popularity_model == "geometric":
+        popularity_kwargs["p"] = config.geometric_p
+    elif config.popularity_model == "zipf":
+        popularity_kwargs["alpha"] = config.zipf_alpha
+    popularity = make_popularity_model(
+        config.popularity_model, config.n_datasets, **popularity_kwargs)
+    generator = WorkloadGenerator(
+        n_users=config.n_users,
+        n_datasets=config.n_datasets,
+        n_jobs=config.n_jobs,
+        sites=sites,
+        rng=streams.stream("workload"),
+        popularity=popularity,
+        compute_seconds_per_gb=config.compute_seconds_per_gb,
+        min_size_mb=config.min_dataset_mb,
+        max_size_mb=config.max_dataset_mb,
+        inputs_per_job=config.inputs_per_job,
+        output_fraction=config.output_fraction,
+    )
+    return generator.generate()
+
+
+def build_grid(
+    config: SimulationConfig,
+    es_name: str,
+    ds_name: str,
+    workload: Workload,
+    seed: Optional[int] = None,
+) -> Tuple[Simulator, DataGrid]:
+    """Wire a ready-to-run grid for one algorithm combination.
+
+    The workload must be fresh (jobs in CREATED state); pass
+    ``workload.fresh()`` when reusing one across runs.
+    """
+    streams = RandomStreams(config.seed if seed is None else seed)
+    sim = Simulator()
+    topology = _build_topology(config, streams.stream("topology"))
+
+    proc_rng = streams.stream("site-processors")
+    site_processors = {
+        name: proc_rng.randint(config.min_processors_per_site,
+                               config.max_processors_per_site)
+        for name in sorted(topology.sites)
+    }
+
+    external = make_external_scheduler(es_name, streams.stream("es"))
+    local = make_local_scheduler(config.local_scheduler)
+    dataset_sched = make_dataset_scheduler(
+        ds_name, streams.stream("ds"),
+        popularity_threshold=config.popularity_threshold,
+        check_interval_s=config.ds_check_interval_s,
+        neighbor_hops=config.neighbor_hops,
+        delete_idle_after_s=config.ds_delete_idle_after_s,
+    )
+
+    grid = DataGrid.create(
+        sim=sim,
+        topology=topology,
+        datasets=workload.datasets,
+        external_scheduler=external,
+        local_scheduler=local,
+        dataset_scheduler=dataset_sched,
+        site_processors=site_processors,
+        storage_capacity_mb=config.storage_capacity_mb,
+        datamover_rng=streams.stream("datamover"),
+        info_refresh_interval_s=config.info_refresh_interval_s,
+        allocator=_make_allocator(config),
+    )
+    grid.place_initial_replicas(workload.initial_placement)
+    for user, site in workload.user_sites.items():
+        grid.add_user(User(sim, user, site, workload.user_jobs[user], grid))
+    return sim, grid
+
+
+def run_single(
+    config: SimulationConfig,
+    es_name: str,
+    ds_name: str,
+    workload: Optional[Workload] = None,
+    seed: Optional[int] = None,
+) -> RunMetrics:
+    """Run one (ES, DS) combination to completion and return its metrics."""
+    if workload is None:
+        workload = make_workload(config, seed)
+    else:
+        workload = workload.fresh()
+    sim, grid = build_grid(config, es_name, ds_name, workload, seed)
+    makespan = grid.run()
+    return RunMetrics.from_grid(grid, makespan)
+
+
+def run_replicated(
+    config: SimulationConfig,
+    es_name: str,
+    ds_name: str,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> List[RunMetrics]:
+    """The paper's three-seed replication for one algorithm pair."""
+    return [
+        run_single(config, es_name, ds_name, seed=seed) for seed in seeds
+    ]
+
+
+@dataclass
+class MatrixResult:
+    """Results of a full ES × DS sweep (one bandwidth scenario)."""
+
+    config: SimulationConfig
+    seeds: Tuple[int, ...]
+    #: (es, ds) → per-seed metrics.
+    runs: Dict[Tuple[str, str], List[RunMetrics]] = field(default_factory=dict)
+
+    def summary(self, es_name: str,
+                ds_name: str) -> Dict[str, MetricSummary]:
+        """Cross-seed summary for one combination."""
+        return summarize(self.runs[(es_name, ds_name)])
+
+    def metric_matrix(self, metric: str) -> Dict[Tuple[str, str], float]:
+        """Mean value of one RunMetrics field for every combination.
+
+        ``metric`` may be any field named in
+        :data:`repro.metrics.summary.SUMMARY_FIELDS` or ``idle_percent``.
+        """
+        out: Dict[Tuple[str, str], float] = {}
+        for key, runs in self.runs.items():
+            values = [float(getattr(run, metric)) for run in runs]
+            out[key] = sum(values) / len(values)
+        return out
+
+
+def run_matrix(
+    config: SimulationConfig,
+    es_names: Sequence[str] = tuple(ALL_ES),
+    ds_names: Sequence[str] = tuple(ALL_DS),
+    seeds: Sequence[int] = (0, 1, 2),
+) -> MatrixResult:
+    """Run every (ES, DS) pair under every seed with paired workloads."""
+    result = MatrixResult(config=config, seeds=tuple(seeds))
+    workloads = {seed: make_workload(config, seed) for seed in seeds}
+    for es_name in es_names:
+        for ds_name in ds_names:
+            runs = [
+                run_single(config, es_name, ds_name,
+                           workload=workloads[seed], seed=seed)
+                for seed in seeds
+            ]
+            result.runs[(es_name, ds_name)] = runs
+    return result

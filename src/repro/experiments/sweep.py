@@ -1,0 +1,107 @@
+"""Generic parameter sweeps.
+
+The paper's Figure 5 is a two-point bandwidth sweep; the ablation benches
+sweep storage, staleness, thresholds...  :func:`sweep` generalizes the
+pattern: vary one ``SimulationConfig`` field across values for a fixed
+algorithm pair, with seed replication and paired workloads, and return a
+result object that yields metric series ready for tabulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import run_single
+from repro.metrics.collector import RunMetrics
+from repro.metrics.summary import MetricSummary
+
+
+@dataclass
+class SweepResult:
+    """Results of varying one config field."""
+
+    parameter: str
+    values: Tuple[Any, ...]
+    es_name: str
+    ds_name: str
+    seeds: Tuple[int, ...]
+    #: value → per-seed metrics.
+    runs: Dict[Any, List[RunMetrics]] = field(default_factory=dict)
+
+    def series(self, metric: str) -> List[float]:
+        """Mean of ``metric`` at each swept value, in sweep order."""
+        out = []
+        for value in self.values:
+            runs = self.runs[value]
+            out.append(
+                sum(float(getattr(m, metric)) for m in runs) / len(runs))
+        return out
+
+    def summary(self, value: Any, metric: str) -> MetricSummary:
+        """Cross-seed summary of one metric at one swept value."""
+        return MetricSummary.of(
+            [float(getattr(m, metric)) for m in self.runs[value]])
+
+    def best_value(self, metric: str = "avg_response_time_s",
+                   minimize: bool = True) -> Any:
+        """The swept value optimizing a metric."""
+        series = self.series(metric)
+        pick = min if minimize else max
+        index = series.index(pick(series))
+        return self.values[index]
+
+    def table(self, metrics: Sequence[str] = (
+            "avg_response_time_s", "avg_data_transferred_mb",
+            "idle_fraction")) -> str:
+        """ASCII table: one row per swept value."""
+        header = f"{self.parameter:>20}" + "".join(
+            f"{m:>26}" for m in metrics)
+        lines = [f"sweep of {self.parameter} "
+                 f"({self.es_name} + {self.ds_name}, "
+                 f"{len(self.seeds)} seed(s))",
+                 header]
+        for value in self.values:
+            row = f"{value!s:>20}"
+            for metric in metrics:
+                row += f"{self.summary(value, metric).mean:>26.2f}"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def sweep(
+    config: SimulationConfig,
+    parameter: str,
+    values: Sequence[Any],
+    es_name: str = "JobDataPresent",
+    ds_name: str = "DataRandom",
+    seeds: Sequence[int] = (0,),
+) -> SweepResult:
+    """Run ``es_name``/``ds_name`` at every value of one config field.
+
+    ``parameter`` must be a ``SimulationConfig`` field name; each run uses
+    ``config.with_(parameter=value)``.  Workload-shaping parameters (jobs,
+    datasets, popularity, ...) naturally regenerate the workload; for
+    purely environmental parameters (bandwidth, storage, staleness) the
+    workload stays identical across values, giving paired comparisons.
+    """
+    if not values:
+        raise ValueError("no sweep values given")
+    if parameter not in SimulationConfig.__dataclass_fields__:
+        raise ValueError(
+            f"{parameter!r} is not a SimulationConfig field")
+    result = SweepResult(
+        parameter=parameter,
+        values=tuple(values),
+        es_name=es_name,
+        ds_name=ds_name,
+        seeds=tuple(seeds),
+    )
+    for value in values:
+        variant = config.with_(**{parameter: value})
+        result.runs[value] = [
+            run_single(variant, es_name, ds_name, seed=seed)
+            for seed in seeds
+        ]
+    return result

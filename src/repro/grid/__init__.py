@@ -1,0 +1,36 @@
+"""The Data Grid model: sites, storage, compute, jobs, users, data movement.
+
+This package is the ChicSim equivalent — it instantiates the system model of
+the paper's §3: a set of sites (processors + limited storage), users bound
+to sites submitting jobs sequentially, datasets initially mapped to sites,
+a replica catalog, an information service, and a data mover.  The
+*scheduling logic* itself lives in :mod:`repro.scheduling`; everything here
+is mechanism, not policy.
+"""
+
+from repro.grid.catalog import ReplicaCatalog
+from repro.grid.compute import ComputeElement
+from repro.grid.datamover import DataMover
+from repro.grid.files import Dataset, DatasetCollection
+from repro.grid.grid import DataGrid
+from repro.grid.info import InformationService
+from repro.grid.job import Job, JobState
+from repro.grid.site import Site
+from repro.grid.storage import StorageElement, StorageFullError
+from repro.grid.user import User
+
+__all__ = [
+    "ComputeElement",
+    "DataGrid",
+    "DataMover",
+    "Dataset",
+    "DatasetCollection",
+    "InformationService",
+    "Job",
+    "JobState",
+    "ReplicaCatalog",
+    "Site",
+    "StorageElement",
+    "StorageFullError",
+    "User",
+]

@@ -1,0 +1,87 @@
+"""Open-loop job arrivals (extension).
+
+The paper's users are closed-loop: strictly sequential submission, each
+job only after the previous completed (§5.1).  An
+:class:`OpenArrivalProcess` instead submits jobs at stochastic intervals
+regardless of completions — useful for stress testing, for studying the
+grid under offered load it cannot absorb, and for validating the queueing
+substrate against M/M/c theory (see
+``tests/integration/test_queueing_theory.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.grid.job import Job
+from repro.sim.core import Simulator
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.grid import DataGrid
+
+#: Builds the i-th job of the stream.
+JobFactory = Callable[[int], Job]
+
+
+class OpenArrivalProcess:
+    """Submits jobs with exponential (Poisson) interarrival times.
+
+    Parameters
+    ----------
+    sim, grid:
+        Where to submit.
+    rate_per_s:
+        Mean arrival rate λ (jobs per simulated second).
+    job_factory:
+        Called with the arrival index to create each job.
+    n_jobs:
+        Total jobs to submit (the process then ends).
+    rng:
+        Interarrival randomness (dedicated stream).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        grid: "DataGrid",
+        rate_per_s: float,
+        job_factory: JobFactory,
+        n_jobs: int,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate_per_s}")
+        if n_jobs < 1:
+            raise ValueError(f"need at least one job, got {n_jobs}")
+        self.sim = sim
+        self.grid = grid
+        self.rate_per_s = rate_per_s
+        self.job_factory = job_factory
+        self.n_jobs = n_jobs
+        self.rng = rng or random.Random(0)
+        self.submitted: List[Job] = []
+        self.executions: List[Process] = []
+        self.process: Optional[Process] = None
+
+    def start(self) -> Process:
+        """Begin the arrival stream; returns its driver process.
+
+        The driver completes once the *last job finishes* (not merely
+        arrives), so ``sim.run(until=arrivals.start())`` runs the whole
+        episode.
+        """
+        self.process = self.sim.process(self._run(), name="open-arrivals")
+        return self.process
+
+    def _run(self):
+        for i in range(self.n_jobs):
+            yield self.sim.timeout(
+                self.rng.expovariate(self.rate_per_s))
+            job = self.job_factory(i)
+            self.submitted.append(job)
+            self.executions.append(self.grid.submit(job))
+        # Wait for stragglers so metrics cover every submitted job.
+        yield self.sim.all_of(list(self.executions))
+        return len(self.submitted)

@@ -1,0 +1,76 @@
+"""The replica catalog: which sites hold which datasets.
+
+Stand-in for the Globus replica-catalog / MDS location queries the paper's
+schedulers would issue on a real grid.  The catalog is authoritative and
+instantaneous by default; staleness can be injected at the
+:class:`~repro.grid.info.InformationService` layer instead, keeping this
+class a simple consistent index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+import random
+
+from repro.grid.files import Dataset, DatasetCollection
+
+
+class ReplicaCatalog:
+    """Maps dataset names to the set of sites holding a replica."""
+
+    def __init__(self) -> None:
+        self._locations: Dict[str, Set[str]] = {}
+        #: Cumulative counters for metrics.
+        self.registrations = 0
+        self.deregistrations = 0
+
+    def register(self, dataset_name: str, site: str) -> None:
+        """Record that ``site`` now holds ``dataset_name``."""
+        self._locations.setdefault(dataset_name, set()).add(site)
+        self.registrations += 1
+
+    def deregister(self, dataset_name: str, site: str) -> None:
+        """Remove a replica record (idempotent)."""
+        sites = self._locations.get(dataset_name)
+        if sites is not None and site in sites:
+            sites.discard(site)
+            self.deregistrations += 1
+
+    def locations(self, dataset_name: str) -> List[str]:
+        """Sites currently holding the dataset (sorted for determinism)."""
+        return sorted(self._locations.get(dataset_name, ()))
+
+    def has_replica(self, dataset_name: str, site: str) -> bool:
+        """Whether ``site`` holds ``dataset_name``."""
+        return site in self._locations.get(dataset_name, ())
+
+    def replica_count(self, dataset_name: str) -> int:
+        """Number of replicas of the dataset."""
+        return len(self._locations.get(dataset_name, ()))
+
+    def datasets_at(self, site: str) -> List[str]:
+        """All datasets with a replica at ``site``."""
+        return sorted(
+            name for name, sites in self._locations.items() if site in sites)
+
+    def total_replicas(self) -> int:
+        """Total replica records in the grid."""
+        return sum(len(sites) for sites in self._locations.values())
+
+    @staticmethod
+    def initial_uniform_distribution(
+        datasets: DatasetCollection,
+        sites: List[str],
+        rng: random.Random,
+    ) -> Dict[str, str]:
+        """The paper's initial mapping: one replica per dataset, placed
+        uniformly at random across sites ("data is uniformly distributed
+        across the grid", initially "only one replica per dataset").
+
+        Returns ``{dataset_name: site}``; the caller performs the actual
+        placement so storage accounting stays in one place.
+        """
+        if not sites:
+            raise ValueError("no sites to distribute datasets over")
+        return {ds.name: rng.choice(sites) for ds in datasets}

@@ -1,0 +1,218 @@
+"""The data mover: fetch-before-execute and asynchronous replication.
+
+Stand-in for GASS-style grid data movement (paper ref [12]).  All movement
+funnels through :meth:`DataMover.ensure_local`:
+
+* **Job fetches** ("any data required to run a job is fetched locally
+  before the task is run if it is not already present", §4) pin the file
+  for the duration of the job so LRU eviction cannot pull it out from
+  under a running computation.
+* **Replications** (the Dataset Scheduler's asynchronous pushes) are
+  unpinned cached replicas.
+
+Concurrent requests for the same (site, dataset) pair share one wire
+transfer — without this, a popular dataset would be fetched once per queued
+job and the traffic numbers would be meaningless.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.grid.catalog import ReplicaCatalog
+from repro.grid.files import DatasetCollection
+from repro.grid.storage import StorageElement, StorageFullError
+from repro.network.transfer import TransferManager
+from repro.sim.core import Simulator
+from repro.sim.events import Event
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.site import Site
+
+
+class DataUnavailableError(Exception):
+    """No replica of a required dataset exists anywhere in the grid."""
+
+
+class DataMover:
+    """Moves datasets between sites over the contended network.
+
+    Parameters
+    ----------
+    sim, transfers, catalog, datasets:
+        Shared grid infrastructure.
+    storages:
+        Site name → :class:`StorageElement`.
+    rng:
+        Stream used for tie-breaking among equally-close source replicas.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transfers: TransferManager,
+        catalog: ReplicaCatalog,
+        datasets: DatasetCollection,
+        storages: Dict[str, StorageElement],
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.sim = sim
+        self.transfers = transfers
+        self.catalog = catalog
+        self.datasets = datasets
+        self.storages = storages
+        self.rng = rng or random.Random(0)
+        self._inflight: Dict[Tuple[str, str], Event] = {}
+        #: Metrics: replications completed / skipped.
+        self.replications_done = 0
+        self.replications_skipped = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def ensure_local(self, site: str, dataset_name: str, pin: bool = False,
+                     purpose: str = "job-fetch",
+                     best_effort: bool = False) -> Process:
+        """Make ``dataset_name`` present at ``site``.
+
+        Returns a process whose value is the MB of *new* network traffic
+        this call initiated (0 if the file was present or the call joined
+        an in-flight transfer).
+
+        If the site's storage is full of pinned files, a normal call waits
+        (retrying periodically) until space frees — pins are bounded by the
+        processor count, so space always frees eventually in a sane
+        configuration.  A ``best_effort`` call (prefetching, replication)
+        gives up instead, returning 0.
+        """
+        return self.sim.process(
+            self._ensure(site, dataset_name, pin, purpose,
+                         preferred_source=None, best_effort=best_effort),
+            name=f"fetch:{dataset_name}@{site}")
+
+    def replicate(self, dataset_name: str, from_site: str,
+                  to_site: str) -> Process:
+        """Asynchronously copy a dataset (Dataset Scheduler push).
+
+        Returns a process whose value is the MB moved (0 if the target
+        already held or could not accept the file).  Unlike job fetches the
+        copy is best-effort: a target without space simply skips.
+        """
+        return self.sim.process(
+            self._replicate(dataset_name, from_site, to_site),
+            name=f"replicate:{dataset_name}->{to_site}")
+
+    def is_inflight(self, site: str, dataset_name: str) -> bool:
+        """Whether a transfer of the dataset toward the site is running."""
+        return (site, dataset_name) in self._inflight
+
+    # -- internals -----------------------------------------------------------
+
+    def _replicate(self, dataset_name: str, from_site: str, to_site: str):
+        dataset = self.datasets.get(dataset_name)
+        storage = self.storages[to_site]
+        if dataset_name in storage or self.is_inflight(to_site, dataset_name):
+            self.replications_skipped += 1
+            return 0.0
+        if not storage.can_fit(dataset.size_mb):
+            self.replications_skipped += 1
+            return 0.0
+        moved = yield self.sim.process(
+            self._ensure(to_site, dataset_name, pin=False,
+                         purpose="replication", preferred_source=from_site,
+                         best_effort=True))
+        if moved > 0:
+            self.replications_done += 1
+        else:
+            self.replications_skipped += 1
+        return moved
+
+    #: How long a blocked (storage-full) fetch waits before re-checking.
+    RETRY_INTERVAL_S = 30.0
+    #: Retries before declaring the configuration broken (storage smaller
+    #: than what the site's own pinned working set needs, which no amount
+    #: of waiting can fix).  3000 × 30 s = a simulated day of waiting.
+    MAX_RETRIES = 3_000
+
+    def _ensure(self, site: str, dataset_name: str, pin: bool, purpose: str,
+                preferred_source: Optional[str], best_effort: bool = False):
+        dataset = self.datasets.get(dataset_name)
+        storage = self.storages[site]
+        retries = 0
+        while True:
+            if dataset_name in storage:
+                storage.touch(dataset_name, self.sim.now)
+                if pin:
+                    storage.pin(dataset_name)
+                return 0.0
+            key = (site, dataset_name)
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                # Join the existing transfer, then re-check (the file could
+                # in principle be evicted in the same instant by another
+                # arrival; the loop handles that by re-fetching).
+                yield inflight
+                continue
+            if not storage.can_fit(dataset.size_mb):
+                # Pinned files block eviction.  Pins are bounded (one input
+                # set per processor + the primary copies), so waiting works
+                # unless the configuration is fundamentally too small.
+                if best_effort:
+                    return 0.0
+                retries += 1
+                if retries > self.MAX_RETRIES:
+                    raise StorageFullError(
+                        f"fetch of {dataset_name!r} to {site!r} starved: "
+                        f"storage permanently too pinned "
+                        f"(capacity {storage.capacity_mb} MB)")
+                yield self.sim.timeout(self.RETRY_INTERVAL_S)
+                continue
+            arrival = Event(self.sim)
+            self._inflight[key] = arrival
+            try:
+                source = self._pick_source(site, dataset_name,
+                                           preferred_source)
+                transfer = self.transfers.start(
+                    source, site, dataset.size_mb, purpose=purpose,
+                    metadata={"dataset": dataset_name})
+                yield transfer.done
+                # Space may have been pinned away while the bytes were in
+                # flight; retry the landing rather than dropping the data.
+                while True:
+                    try:
+                        storage.add(dataset, self.sim.now, pin=False)
+                        break
+                    except StorageFullError:
+                        if best_effort:
+                            return dataset.size_mb  # traffic was spent
+                        retries += 1
+                        if retries > self.MAX_RETRIES:
+                            raise
+                        yield self.sim.timeout(self.RETRY_INTERVAL_S)
+                self.catalog.register(dataset_name, site)
+            finally:
+                self._inflight.pop(key, None)
+                if not arrival.triggered:
+                    arrival.succeed()
+            if pin:
+                storage.pin(dataset_name)
+            return dataset.size_mb
+
+    def _pick_source(self, dest: str, dataset_name: str,
+                     preferred: Optional[str]) -> str:
+        locations = self.catalog.locations(dataset_name)
+        locations = [s for s in locations if s != dest]
+        if preferred is not None and preferred in locations:
+            return preferred
+        if not locations:
+            raise DataUnavailableError(
+                f"no replica of {dataset_name!r} available for {dest!r}")
+        # Closest replica by hop count; ties broken randomly so one popular
+        # source does not absorb all traffic.
+        router = self.transfers.router
+        best_hops = min(router.hops(src, dest) for src in locations)
+        closest = [s for s in locations if router.hops(s, dest) == best_hops]
+        if len(closest) == 1:
+            return closest[0]
+        return self.rng.choice(closest)

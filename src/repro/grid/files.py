@@ -1,0 +1,94 @@
+"""Datasets (files) and collections of them.
+
+The paper uses "file" and "dataset" interchangeably; so do we.  A dataset is
+immutable: a name and a size.  Sizes are uniform in [500 MB, 2 GB] in the
+paper's workload (Table 1 / §5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+import random
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable file in the grid."""
+
+    name: str
+    size_mb: float
+
+    def __post_init__(self) -> None:
+        if self.size_mb <= 0:
+            raise ValueError(
+                f"dataset {self.name!r} must have positive size, "
+                f"got {self.size_mb!r}")
+
+    @property
+    def size_gb(self) -> float:
+        """Size in GB (the unit the paper's runtime formula uses)."""
+        return self.size_mb / 1000.0
+
+
+class DatasetCollection:
+    """All datasets known to the grid, addressable by name."""
+
+    def __init__(self, datasets: Iterable[Dataset] = ()) -> None:
+        self._by_name: Dict[str, Dataset] = {}
+        for ds in datasets:
+            self.add(ds)
+
+    def add(self, dataset: Dataset) -> None:
+        """Register a dataset; duplicate names are an error."""
+        if dataset.name in self._by_name:
+            raise ValueError(f"duplicate dataset {dataset.name!r}")
+        self._by_name[dataset.name] = dataset
+
+    def get(self, name: str) -> Dataset:
+        """Look up a dataset by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown dataset {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self) -> Iterator[Dataset]:
+        return iter(self._by_name.values())
+
+    @property
+    def names(self) -> List[str]:
+        """Dataset names in insertion order."""
+        return list(self._by_name)
+
+    @property
+    def total_size_mb(self) -> float:
+        """Sum of all dataset sizes."""
+        return sum(ds.size_mb for ds in self._by_name.values())
+
+    @classmethod
+    def uniform_random(
+        cls,
+        n: int,
+        rng: random.Random,
+        min_size_mb: float = 500.0,
+        max_size_mb: float = 2000.0,
+        prefix: str = "dataset",
+    ) -> "DatasetCollection":
+        """The paper's dataset population: ``n`` files with sizes drawn
+        uniformly from [500 MB, 2 GB]."""
+        if n < 1:
+            raise ValueError(f"need at least one dataset, got {n}")
+        if not 0 < min_size_mb <= max_size_mb:
+            raise ValueError(
+                f"bad size range [{min_size_mb}, {max_size_mb}]")
+        return cls(
+            Dataset(f"{prefix}{i:04d}", rng.uniform(min_size_mb, max_size_mb))
+            for i in range(n)
+        )

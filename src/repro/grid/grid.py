@@ -1,0 +1,217 @@
+"""The DataGrid aggregate: wiring and the submission entry point.
+
+A :class:`DataGrid` owns every mechanism component (network, catalog,
+storage, sites, data mover, information service) plus the chosen policies
+(one External Scheduler, one Local Scheduler per site — all identical in
+the paper — and one Dataset Scheduler attached per site).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.grid.catalog import ReplicaCatalog
+from repro.grid.compute import ComputeElement
+from repro.grid.datamover import DataMover
+from repro.grid.files import DatasetCollection
+from repro.grid.info import InformationService
+from repro.grid.job import Job, JobState
+from repro.grid.site import Site
+from repro.grid.storage import StorageElement
+from repro.grid.user import User
+from repro.network.topology import Topology
+from repro.network.transfer import TransferManager
+from repro.sim.core import Simulator
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scheduling.base import (
+        DatasetScheduler,
+        ExternalScheduler,
+        LocalScheduler,
+    )
+
+
+class DataGrid:
+    """A fully wired Data Grid ready to accept jobs.
+
+    Use :meth:`create` unless you need to substitute custom components.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        transfers: TransferManager,
+        catalog: ReplicaCatalog,
+        datasets: DatasetCollection,
+        storages: Dict[str, StorageElement],
+        sites: Dict[str, Site],
+        info: InformationService,
+        datamover: DataMover,
+        external_scheduler: "ExternalScheduler",
+        dataset_scheduler: "DatasetScheduler",
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.transfers = transfers
+        self.catalog = catalog
+        self.datasets = datasets
+        self.storages = storages
+        self.sites = sites
+        self.info = info
+        self.datamover = datamover
+        self.external_scheduler = external_scheduler
+        self.dataset_scheduler = dataset_scheduler
+        self.users: List[User] = []
+        #: Every job ever submitted, in submission order.
+        self.submitted_jobs: List[Job] = []
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        sim: Simulator,
+        topology: Topology,
+        datasets: DatasetCollection,
+        external_scheduler: "ExternalScheduler",
+        local_scheduler: "LocalScheduler",
+        dataset_scheduler: "DatasetScheduler",
+        site_processors: Dict[str, int],
+        storage_capacity_mb: float = float("inf"),
+        datamover_rng: Optional[random.Random] = None,
+        info_refresh_interval_s: float = 0.0,
+        allocator=None,
+    ) -> "DataGrid":
+        """Build and wire a grid over ``topology``.
+
+        ``site_processors`` maps each site name to its processor count
+        (paper: 2–5 per site).  Every site gets ``storage_capacity_mb`` of
+        LRU-managed storage.
+        """
+        topology.validate()
+        missing = set(topology.sites) - set(site_processors)
+        if missing:
+            raise ValueError(f"no processor counts for sites {sorted(missing)}")
+
+        transfers = TransferManager(sim, topology, allocator=allocator)
+        catalog = ReplicaCatalog()
+        storages: Dict[str, StorageElement] = {}
+        for name in topology.sites:
+            storages[name] = StorageElement(
+                name, storage_capacity_mb,
+                on_evict=(lambda ds, _site=name:
+                          catalog.deregister(ds.name, _site)))
+        datamover = DataMover(sim, transfers, catalog, datasets, storages,
+                              rng=datamover_rng)
+        sites: Dict[str, Site] = {}
+        for name in topology.sites:
+            compute = ComputeElement(
+                sim, name, site_processors[name],
+                priority_queue=local_scheduler.uses_priorities)
+            sites[name] = Site(sim, name, compute, storages[name],
+                               datamover, local_scheduler)
+        info = InformationService(sim, sites, catalog,
+                                  refresh_interval_s=info_refresh_interval_s)
+        grid = cls(sim, topology, transfers, catalog, datasets, storages,
+                   sites, info, datamover, external_scheduler,
+                   dataset_scheduler)
+        for site in sites.values():
+            dataset_scheduler.attach(site, grid)
+        return grid
+
+    # -- data placement ----------------------------------------------------------
+
+    def place_initial_replica(self, dataset_name: str, site: str) -> None:
+        """Install the primary copy of a dataset at a site.
+
+        Primary copies are permanently pinned: the paper's model always has
+        at least one replica of every dataset, so LRU caching must never
+        evict the last copy.
+        """
+        dataset = self.datasets.get(dataset_name)
+        self.storages[site].add(dataset, self.sim.now, pin=True)
+        self.catalog.register(dataset_name, site)
+
+    def place_initial_replicas(self, mapping: Dict[str, str],
+                               headroom_mb: Optional[float] = None) -> None:
+        """Install primary copies for many datasets (name → site).
+
+        Placement is capacity-aware: primaries are pinned forever, so every
+        site must keep ``headroom_mb`` of space free for working files
+        (default: the largest dataset in the grid — enough to cache at
+        least one input).  A mapped site without room deterministically
+        overflows to the site with the most free space; datasets are placed
+        largest-first so overflow is rare and reproducible.
+        """
+        if headroom_mb is None:
+            headroom_mb = max(
+                (self.datasets.get(n).size_mb for n in mapping), default=0.0)
+        by_size = sorted(
+            mapping.items(),
+            key=lambda kv: (-self.datasets.get(kv[0]).size_mb, kv[0]))
+        for name, site in by_size:
+            size = self.datasets.get(name).size_mb
+            if self.storages[site].free_mb - size < headroom_mb:
+                site = max(
+                    sorted(self.storages),
+                    key=lambda s: self.storages[s].free_mb)
+                if self.storages[site].free_mb - size < headroom_mb:
+                    raise ValueError(
+                        f"grid storage too small: no site can hold the "
+                        f"primary copy of {name!r} ({size:.0f} MB) while "
+                        f"keeping {headroom_mb:.0f} MB of working space")
+            self.place_initial_replica(name, site)
+
+    # -- operation ----------------------------------------------------------------
+
+    def submit(self, job: Job) -> Process:
+        """Submit a job: ES picks the site, the site executes it.
+
+        Returns the execution process (triggers with the job when done).
+        """
+        job.advance(JobState.SUBMITTED, self.sim.now)
+        self.submitted_jobs.append(job)
+        site_name = self.external_scheduler.select_site(job, self)
+        if site_name not in self.sites:
+            raise ValueError(
+                f"{self.external_scheduler!r} chose unknown site "
+                f"{site_name!r}")
+        job.execution_site = site_name
+        job.advance(JobState.DISPATCHED, self.sim.now)
+        return self.sites[site_name].enqueue(job)
+
+    def add_user(self, user: User) -> None:
+        """Register a user (started by :meth:`run`)."""
+        self.users.append(user)
+
+    def run(self) -> float:
+        """Start all users and run until every user finishes.
+
+        Returns the makespan (time of the last job completion).  The
+        simulation itself is then drained of the remaining bookkeeping
+        events, but periodic Dataset Scheduler loops are not awaited (they
+        are infinite); time stops advancing once the last *triggering*
+        activity completes because we stop at the all-users event.
+        """
+        if not self.users:
+            raise ValueError("no users added to the grid")
+        processes = [user.start() for user in self.users]
+        done = self.sim.all_of(processes)
+        self.sim.run(until=done)
+        return self.sim.now
+
+    # -- convenience metrics -------------------------------------------------------
+
+    @property
+    def completed_jobs(self) -> List[Job]:
+        """All jobs that reached COMPLETED."""
+        return [j for j in self.submitted_jobs
+                if j.state is JobState.COMPLETED]
+
+    @property
+    def total_processors(self) -> int:
+        """Sum of processor counts across sites."""
+        return sum(s.compute.n_processors for s in self.sites.values())

@@ -1,0 +1,130 @@
+"""The grid information service.
+
+Stand-in for the Globus MDS / Network Weather Service the paper cites as
+the source of "external information like load at a remote site or the
+location of a dataset".  Schedulers query this object rather than peeking
+at sites directly, which lets us optionally serve *stale* snapshots (a
+configurable refresh interval) to study sensitivity to information lag —
+an extension; the paper's results use live information.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+import random
+
+from repro.grid.catalog import ReplicaCatalog
+from repro.sim.core import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.site import Site
+
+
+class InformationService:
+    """Queryable view of site loads and replica locations.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    sites:
+        Name → :class:`~repro.grid.site.Site` mapping (shared, live).
+    catalog:
+        The replica catalog.
+    refresh_interval_s:
+        0 (default) serves live values; > 0 serves snapshots refreshed
+        periodically, modelling MDS/NWS staleness.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sites: Dict[str, "Site"],
+        catalog: ReplicaCatalog,
+        refresh_interval_s: float = 0.0,
+    ) -> None:
+        if refresh_interval_s < 0:
+            raise ValueError(
+                f"refresh interval must be >= 0, got {refresh_interval_s!r}")
+        self.sim = sim
+        self.sites = sites
+        self.catalog = catalog
+        self.refresh_interval_s = refresh_interval_s
+        self._snapshot: Optional[Dict[str, int]] = None
+        if refresh_interval_s > 0:
+            self._snapshot = self._take_snapshot()
+            sim.process(self._refresher(), name="info-refresher")
+
+    # -- staleness machinery ---------------------------------------------------
+
+    def _take_snapshot(self) -> Dict[str, int]:
+        return {name: site.load for name, site in self.sites.items()}
+
+    def _refresher(self):
+        while True:
+            yield self.sim.timeout(self.refresh_interval_s)
+            self._snapshot = self._take_snapshot()
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def site_names(self) -> List[str]:
+        """All site names, sorted (deterministic iteration order)."""
+        return sorted(self.sites)
+
+    def load(self, site: str) -> int:
+        """The paper's load metric: jobs waiting to run at ``site``."""
+        if self._snapshot is not None:
+            try:
+                return self._snapshot[site]
+            except KeyError:
+                raise KeyError(f"unknown site {site!r}") from None
+        try:
+            return self.sites[site].load
+        except KeyError:
+            raise KeyError(f"unknown site {site!r}") from None
+
+    def loads(self) -> Dict[str, int]:
+        """Load of every site."""
+        if self._snapshot is not None:
+            return dict(self._snapshot)
+        return self._take_snapshot()
+
+    def least_loaded(self, candidates: Optional[Iterable[str]] = None,
+                     rng: Optional[random.Random] = None) -> str:
+        """The least-loaded site among ``candidates`` (default: all).
+
+        Ties are broken uniformly at random when ``rng`` is given, else by
+        site name — random tie-breaking avoids herd behaviour when many
+        sites are idle, which matters early in a run.
+        """
+        names = sorted(candidates) if candidates is not None else self.site_names
+        if not names:
+            raise ValueError("no candidate sites")
+        best_load: Optional[int] = None
+        best: List[str] = []
+        for name in names:
+            site_load = self.load(name)
+            if best_load is None or site_load < best_load:
+                best_load = site_load
+                best = [name]
+            elif site_load == best_load:
+                best.append(name)
+        if rng is not None and len(best) > 1:
+            return rng.choice(best)
+        return best[0]
+
+    def dataset_locations(self, dataset_name: str) -> List[str]:
+        """Sites holding a replica of the dataset."""
+        return self.catalog.locations(dataset_name)
+
+    def sites_with_all(self, dataset_names: Iterable[str]) -> List[str]:
+        """Sites holding *all* of the given datasets (multi-input jobs)."""
+        names = list(dataset_names)
+        if not names:
+            return self.site_names
+        result = set(self.catalog.locations(names[0]))
+        for name in names[1:]:
+            result &= set(self.catalog.locations(name))
+        return sorted(result)

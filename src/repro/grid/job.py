@@ -1,0 +1,136 @@
+"""Jobs and their lifecycle.
+
+Paper model (§3, §5.1): a job requires a specified set of input files (one,
+in the paper's workload), executes for a specified time on a single
+processor, and (negligible) output is ignored.  We record every lifecycle
+timestamp so the metrics layer can decompose response time into queue,
+transfer, and compute components exactly as §5.2 defines:
+
+    completion time = max(queue time, data transfer time) + compute time
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class JobState(enum.Enum):
+    """Lifecycle states, in order."""
+
+    CREATED = "created"            #: generated, not yet submitted
+    SUBMITTED = "submitted"        #: handed to the External Scheduler
+    DISPATCHED = "dispatched"      #: ES picked an execution site
+    QUEUED = "queued"              #: waiting at the site (data fetch started)
+    RUNNING = "running"            #: compute phase in progress
+    COMPLETED = "completed"        #: done
+    FAILED = "failed"              #: could not run (e.g. unsatisfiable data)
+
+
+_ORDER = list(JobState)
+
+
+@dataclass
+class Job:
+    """One grid job.
+
+    Attributes beyond the obvious:
+
+    * ``runtime_s`` — compute-phase duration (paper: 300 s × input GB).
+    * ``origin_site`` — where the submitting user lives; ``JobLocal`` runs
+      the job here.
+    * ``execution_site`` — where the ES sent it.
+    * ``fetched_mb`` — MB of input that had to cross the network for this
+      specific job (0 if the input was already present).
+    """
+
+    job_id: int
+    user: str
+    origin_site: str
+    input_files: List[str]
+    runtime_s: float
+    state: JobState = JobState.CREATED
+    execution_site: Optional[str] = None
+    fetched_mb: float = 0.0
+    #: Size of the file the job writes on completion (0 = no output —
+    #: the paper's evaluation: "As job output is of negligible size as
+    #: compared to input, we ignore output costs").  Outputs are written
+    #: to the execution site's storage, never transferred.
+    output_size_mb: float = 0.0
+
+    # Lifecycle timestamps (simulated seconds; None until reached).
+    submitted_at: Optional[float] = None
+    dispatched_at: Optional[float] = None
+    queued_at: Optional[float] = None
+    data_ready_at: Optional[float] = None
+    processor_at: Optional[float] = None
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    failure_reason: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.runtime_s < 0:
+            raise ValueError(f"job {self.job_id}: negative runtime")
+        if not self.input_files:
+            raise ValueError(f"job {self.job_id}: needs at least one input")
+        if self.output_size_mb < 0:
+            raise ValueError(f"job {self.job_id}: negative output size")
+
+    def advance(self, state: JobState, now: float) -> None:
+        """Move to ``state`` (monotonically forward) and timestamp it."""
+        if _ORDER.index(state) < _ORDER.index(self.state):
+            raise ValueError(
+                f"job {self.job_id}: cannot go {self.state.value} -> "
+                f"{state.value}")
+        self.state = state
+        attr = {
+            JobState.SUBMITTED: "submitted_at",
+            JobState.DISPATCHED: "dispatched_at",
+            JobState.QUEUED: "queued_at",
+            JobState.RUNNING: "started_at",
+            JobState.COMPLETED: "completed_at",
+        }.get(state)
+        if attr is not None:
+            setattr(self, attr, now)
+
+    # -- derived metrics -------------------------------------------------------
+
+    @property
+    def response_time(self) -> float:
+        """Submission-to-completion time (the paper's headline metric)."""
+        if self.submitted_at is None or self.completed_at is None:
+            raise ValueError(f"job {self.job_id} has not completed")
+        return self.completed_at - self.submitted_at
+
+    @property
+    def queue_time(self) -> float:
+        """Arrival-at-site to processor-grant time."""
+        if self.queued_at is None or self.processor_at is None:
+            raise ValueError(f"job {self.job_id} never acquired a processor")
+        return self.processor_at - self.queued_at
+
+    @property
+    def transfer_time(self) -> float:
+        """Extra time spent waiting for input data *after* getting a
+        processor.  Transfers overlap queueing (fetches start on arrival at
+        the site), so this is the part of the data movement that actually
+        delayed the job — zero when the data arrived (or was already local)
+        before the processor freed up, which is exactly the
+        ``max(queue time, transfer time)`` behaviour of §5.2.
+        """
+        if self.processor_at is None or self.data_ready_at is None:
+            raise ValueError(f"job {self.job_id} never became data-ready")
+        return self.data_ready_at - self.processor_at
+
+    @property
+    def compute_time(self) -> float:
+        """Actual compute-phase duration."""
+        if self.started_at is None or self.completed_at is None:
+            raise ValueError(f"job {self.job_id} never computed")
+        return self.completed_at - self.started_at
+
+    @property
+    def ran_at_origin(self) -> bool:
+        """Whether the job executed at the submitting user's site."""
+        return self.execution_site == self.origin_site

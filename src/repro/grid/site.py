@@ -1,0 +1,232 @@
+"""A grid site: processors + storage + the job execution engine.
+
+A site executes the jobs the External Scheduler assigns to it.  The flow
+for one job (paper §3/§5.2):
+
+1. On arrival the input-data fetch starts immediately ("the data transfer
+   needed for a job starts while the job is still in the processor queue").
+2. The job waits for a processor in the order the Local Scheduler decides
+   (FIFO in the paper).
+3. Once it holds a processor it waits (processor *idle*) until its input
+   data is local — so completion time = max(queue, transfer) + compute,
+   and Figure 4's idle metric includes the waiting-for-data component.
+4. It computes for ``runtime_s`` seconds, releases the processor, and
+   unpins its input.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.grid.compute import ComputeElement
+from repro.grid.datamover import DataMover
+from repro.grid.job import Job, JobState
+from repro.grid.storage import StorageElement
+from repro.sim.core import Simulator
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scheduling.base import LocalScheduler
+
+
+class Site:
+    """One site: name, compute element, storage element, local scheduler."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        compute: ComputeElement,
+        storage: StorageElement,
+        datamover: DataMover,
+        local_scheduler: "LocalScheduler",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.compute = compute
+        self.storage = storage
+        self.datamover = datamover
+        self.local_scheduler = local_scheduler
+        #: Jobs completed at this site (metrics).
+        self.jobs_completed: int = 0
+        #: Jobs currently assigned here and not finished.
+        self.jobs_in_system: int = 0
+        #: Observers called with each completed job.
+        self.completion_listeners: List[Callable[[Job], None]] = []
+        #: Job outputs that could not be stored locally (storage full of
+        #: pinned files) and were discarded — a model-pressure indicator.
+        self.outputs_dropped: int = 0
+        #: Output datasets written here (name → Dataset).
+        self.outputs: Dict[str, "Dataset"] = {}
+        # Dispatcher state (only used when the LS runs in dispatch mode).
+        self._pending: List = []
+        self._free_processors = compute.n_processors
+
+    def __repr__(self) -> str:
+        return (f"<Site {self.name} load={self.load} "
+                f"busy={self.compute.busy}/{self.compute.n_processors}>")
+
+    @property
+    def load(self) -> int:
+        """The paper's load definition: number of jobs waiting to run."""
+        if self.local_scheduler.dispatches:
+            return len(self._pending)
+        return self.compute.waiting
+
+    def enqueue(self, job: Job) -> Process:
+        """Accept a dispatched job; returns the execution process.
+
+        The returned process triggers when the job completes (its value is
+        the job), so users can wait for their sequential submissions.
+        """
+        job.advance(JobState.QUEUED, self.sim.now)
+        self.jobs_in_system += 1
+        # Start prefetching every input right away (unpinned, best-effort):
+        # "the data transfer needed for a job starts while the job is still
+        # in the processor queue".  The authoritative, pinned fetch happens
+        # once the job holds a processor, so pinned space is bounded by the
+        # processor count and storage can never deadlock on queued jobs.
+        prefetches = [
+            self.datamover.ensure_local(self.name, fname, pin=False,
+                                        best_effort=True)
+            for fname in job.input_files
+        ]
+        if self.local_scheduler.dispatches:
+            return self._enqueue_dispatched(job, prefetches)
+        # Issue the processor request synchronously so the site's load (the
+        # paper's "jobs waiting to run") reflects this job immediately —
+        # schedulers polling the information service in the same instant
+        # must see it.
+        priority = self.local_scheduler.priority(job)
+        if priority is None:
+            request = self.compute.acquire()
+        else:
+            request = self.compute.acquire(priority=priority)
+        return self.sim.process(
+            self._execute(job, request, prefetches),
+            name=f"job{job.job_id}@{self.name}")
+
+    # -- dispatch-mode path (data-aware local schedulers) ----------------------
+
+    def _enqueue_dispatched(self, job: Job, prefetches) -> Process:
+        from repro.scheduling.base import QueuedJob
+        from repro.sim.events import Event
+
+        ready = self.sim.all_of(prefetches)
+        grant = Event(self.sim)
+        entry = QueuedJob(job, self.sim.now, ready)
+        self._pending.append((entry, grant))
+        # A data arrival can unblock a better dispatch choice.
+        ready.callbacks.append(lambda _ev: self._try_dispatch())
+        process = self.sim.process(
+            self._execute_dispatched(job, grant, ready),
+            name=f"job{job.job_id}@{self.name}")
+        self._try_dispatch()
+        return process
+
+    def _try_dispatch(self) -> None:
+        while self._free_processors > 0 and self._pending:
+            entries = [entry for entry, _ in self._pending]
+            index = self.local_scheduler.pick(entries, self.sim.now)
+            if index is None:
+                return  # nothing worth running yet; re-asked on events
+            if not 0 <= index < len(self._pending):
+                raise ValueError(
+                    f"{self.local_scheduler!r} picked invalid index "
+                    f"{index} of {len(self._pending)} pending jobs")
+            _, grant = self._pending.pop(index)
+            self._free_processors -= 1
+            grant.succeed()
+
+    def _execute_dispatched(self, job: Job, grant, ready):
+        yield grant
+        job.processor_at = self.sim.now
+
+        prefetched = yield ready
+        fetched_mb = sum(prefetched.values())
+        for fname in job.input_files:
+            fetched_mb += yield self.datamover.ensure_local(
+                self.name, fname, pin=True)
+        job.data_ready_at = self.sim.now
+        job.fetched_mb = fetched_mb
+
+        job.advance(JobState.RUNNING, self.sim.now)
+        for fname in job.input_files:
+            self.storage.record_access(fname, self.sim.now)
+        self.compute.compute_started()
+        yield self.sim.timeout(job.runtime_s)
+        self.compute.compute_finished()
+
+        if job.output_size_mb > 0:
+            self._store_output(job)
+
+        self._free_processors += 1
+        self._try_dispatch()
+        for fname in job.input_files:
+            self.storage.unpin(fname)
+        job.advance(JobState.COMPLETED, self.sim.now)
+        self.jobs_in_system -= 1
+        self.jobs_completed += 1
+        for listener in self.completion_listeners:
+            listener(job)
+        return job
+
+    def _execute(self, job: Job, request, prefetches):
+        # 1. Wait for a processor, in LS-decided order.
+        yield request
+        job.processor_at = self.sim.now
+
+        # 2. Hold the processor until the input data is local and pinned.
+        #    Usually the prefetch already landed (or is joined in flight)
+        #    and this is instantaneous.
+        prefetched = yield self.sim.all_of(prefetches)
+        fetched_mb = sum(prefetched.values())
+        for fname in job.input_files:
+            fetched_mb += yield self.datamover.ensure_local(
+                self.name, fname, pin=True)
+        job.data_ready_at = self.sim.now
+        job.fetched_mb = fetched_mb
+
+        # 3. Compute.
+        job.advance(JobState.RUNNING, self.sim.now)
+        for fname in job.input_files:
+            self.storage.record_access(fname, self.sim.now)
+        self.compute.compute_started()
+        yield self.sim.timeout(job.runtime_s)
+        self.compute.compute_finished()
+
+        # 4. Write the output (stored locally, never transferred — §5.1
+        #    ignores output transfer costs; the bytes still occupy the
+        #    site's LRU-managed storage when output modelling is on).
+        if job.output_size_mb > 0:
+            self._store_output(job)
+
+        # 5. Clean up.
+        self.compute.release(request)
+        for fname in job.input_files:
+            self.storage.unpin(fname)
+        job.advance(JobState.COMPLETED, self.sim.now)
+        self.jobs_in_system -= 1
+        self.jobs_completed += 1
+        for listener in self.completion_listeners:
+            listener(job)
+        return job
+
+    def _store_output(self, job: Job) -> None:
+        """Write the job's output file into local storage (best effort)."""
+        from repro.grid.files import Dataset
+        from repro.grid.storage import StorageFullError
+
+        output = Dataset(f"output-job{job.job_id}", job.output_size_mb)
+        try:
+            self.storage.add(output, self.sim.now, pin=False)
+        except StorageFullError:
+            # A site whose storage is entirely pinned simply loses the
+            # output; real grids stage such outputs to tape/elsewhere.
+            self.outputs_dropped += 1
+            return
+        # Outputs are registered as replicas but kept out of the shared
+        # (workload-owned, reusable) DatasetCollection; no job ever reads
+        # another job's output in this model.
+        self.outputs[output.name] = output
+        self.datamover.catalog.register(output.name, self.name)

@@ -1,0 +1,218 @@
+"""Per-site storage with LRU replacement.
+
+The paper: "Data may be fetched from a remote site for a particular job, in
+which case it is cached and managed using LRU. A cached dataset is then
+available to the grid as a replica."  Files that a running (or queued) job
+needs are *pinned* and never evicted; eviction notifies a callback so the
+replica catalog stays consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.grid.files import Dataset
+
+
+class StorageFullError(Exception):
+    """Raised when a file cannot fit even after evicting everything legal."""
+
+
+class _Entry:
+    __slots__ = ("dataset", "last_access", "pins", "arrived_at")
+
+    def __init__(self, dataset: Dataset, now: float) -> None:
+        self.dataset = dataset
+        self.last_access = now
+        self.pins = 0
+        self.arrived_at = now
+
+
+class StorageElement:
+    """LRU-managed storage at one site.
+
+    Parameters
+    ----------
+    site:
+        Owning site name (for error messages and catalog callbacks).
+    capacity_mb:
+        Total space.  ``float('inf')`` disables eviction.
+    on_evict:
+        Called with the evicted :class:`Dataset` (the grid uses this to
+        deregister the replica from the catalog).
+    """
+
+    def __init__(
+        self,
+        site: str,
+        capacity_mb: float = float("inf"),
+        on_evict: Optional[Callable[[Dataset], None]] = None,
+    ) -> None:
+        if capacity_mb <= 0:
+            raise ValueError(
+                f"storage capacity must be positive, got {capacity_mb!r}")
+        self.site = site
+        self.capacity_mb = capacity_mb
+        self.on_evict = on_evict
+        self._entries: Dict[str, _Entry] = {}
+        self._used_mb = 0.0
+        #: Cumulative number of evictions (metrics).
+        self.evictions = 0
+        #: Per-dataset local access counts (the Dataset Scheduler's
+        #: popularity signal; reset by the DS after replication).
+        self.access_counts: Dict[str, int] = {}
+
+    def __repr__(self) -> str:
+        return (f"<StorageElement {self.site} {self._used_mb:.0f}"
+                f"/{self.capacity_mb} MB, {len(self._entries)} files>")
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def used_mb(self) -> float:
+        """MB currently stored."""
+        return self._used_mb
+
+    @property
+    def free_mb(self) -> float:
+        """MB available without eviction."""
+        return self.capacity_mb - self._used_mb
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def files(self) -> List[str]:
+        """Names of stored files."""
+        return list(self._entries)
+
+    def datasets(self) -> List[Dataset]:
+        """Stored datasets."""
+        return [e.dataset for e in self._entries.values()]
+
+    def is_pinned(self, name: str) -> bool:
+        """Whether the file is protected from eviction."""
+        entry = self._entries.get(name)
+        return entry is not None and entry.pins > 0
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, dataset: Dataset, now: float, pin: bool = False) -> None:
+        """Store a dataset, LRU-evicting unpinned files to make room.
+
+        Raises
+        ------
+        StorageFullError
+            If the file is larger than what eviction can free.
+        """
+        if dataset.name in self._entries:
+            self.touch(dataset.name, now)
+            if pin:
+                self.pin(dataset.name)
+            return
+        if dataset.size_mb > self.capacity_mb:
+            raise StorageFullError(
+                f"{dataset.name!r} ({dataset.size_mb} MB) exceeds total "
+                f"capacity of {self.site!r} ({self.capacity_mb} MB)")
+        self._make_room(dataset.size_mb)
+        entry = _Entry(dataset, now)
+        if pin:
+            entry.pins = 1
+        self._entries[dataset.name] = entry
+        self._used_mb += dataset.size_mb
+
+    def touch(self, name: str, now: float) -> None:
+        """Record an access (refreshes LRU position)."""
+        entry = self._entries.get(name)
+        if entry is None:
+            raise KeyError(f"{name!r} not stored at {self.site!r}")
+        entry.last_access = now
+
+    def record_access(self, name: str, now: float) -> int:
+        """Count a job access for popularity tracking; returns new count."""
+        self.touch(name, now)
+        count = self.access_counts.get(name, 0) + 1
+        self.access_counts[name] = count
+        return count
+
+    def reset_popularity(self, name: str) -> None:
+        """Reset the popularity counter (after the DS replicates a file)."""
+        self.access_counts[name] = 0
+
+    def pin(self, name: str) -> None:
+        """Protect a file from eviction (counted; pair with unpin)."""
+        entry = self._entries.get(name)
+        if entry is None:
+            raise KeyError(f"{name!r} not stored at {self.site!r}")
+        entry.pins += 1
+
+    def unpin(self, name: str) -> None:
+        """Release one pin."""
+        entry = self._entries.get(name)
+        if entry is None:
+            # The file may legitimately have been force-removed; ignore.
+            return
+        if entry.pins <= 0:
+            raise ValueError(f"{name!r} at {self.site!r} is not pinned")
+        entry.pins -= 1
+
+    def remove(self, name: str) -> None:
+        """Explicitly delete a file (DS-driven deletion; pins ignored)."""
+        entry = self._entries.pop(name, None)
+        if entry is None:
+            raise KeyError(f"{name!r} not stored at {self.site!r}")
+        self._used_mb -= entry.dataset.size_mb
+        self.access_counts.pop(name, None)
+
+    def idle_files(self, now: float, older_than_s: float) -> List[str]:
+        """Unpinned files not accessed for at least ``older_than_s``.
+
+        Used by Dataset Schedulers that implement the paper's "delete
+        local files" responsibility (§3).
+        """
+        if older_than_s < 0:
+            raise ValueError(f"older_than_s must be >= 0, got {older_than_s}")
+        return sorted(
+            e.dataset.name for e in self._entries.values()
+            if e.pins == 0 and now - e.last_access >= older_than_s
+        )
+
+    def can_fit(self, size_mb: float) -> bool:
+        """Whether ``size_mb`` could be stored after legal evictions."""
+        if size_mb <= self.free_mb:
+            return True
+        evictable = sum(
+            e.dataset.size_mb for e in self._entries.values() if e.pins == 0)
+        return size_mb <= self.free_mb + evictable
+
+    def _make_room(self, size_mb: float) -> None:
+        if size_mb <= self.free_mb:
+            return
+        # Check feasibility *before* evicting anything: a failed add must
+        # be atomic — evicting victims and then raising would silently
+        # shrink the cache on every doomed attempt.
+        victims = sorted(
+            (e for e in self._entries.values() if e.pins == 0),
+            key=lambda e: e.last_access,
+        )
+        evictable_mb = sum(e.dataset.size_mb for e in victims)
+        if size_mb > self.free_mb + evictable_mb:
+            pinned_mb = sum(
+                e.dataset.size_mb for e in self._entries.values()
+                if e.pins > 0)
+            raise StorageFullError(
+                f"cannot free {size_mb} MB at {self.site!r}: "
+                f"{pinned_mb:.0f} MB pinned of {self.capacity_mb} MB capacity")
+        # Evict unpinned files, least-recently-used first.
+        for entry in victims:
+            if size_mb <= self.free_mb:
+                break
+            del self._entries[entry.dataset.name]
+            self.access_counts.pop(entry.dataset.name, None)
+            self._used_mb -= entry.dataset.size_mb
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(entry.dataset)

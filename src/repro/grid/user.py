@@ -1,0 +1,72 @@
+"""Users: strictly sequential job submitters.
+
+Paper §5.1: "[Users] are mapped evenly across sites and submit a number of
+jobs in strict sequence, with each job being submitted only after the
+previous job submitted by that user has completed."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.grid.job import Job
+from repro.sim.core import Simulator
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.grid import DataGrid
+
+
+class User:
+    """One user bound to a home site, submitting a fixed job sequence.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    name:
+        User id (e.g. ``"user017"``).
+    site:
+        Home site name; submissions go to that site's External Scheduler.
+    jobs:
+        The user's job list, submitted in order.
+    grid:
+        The :class:`~repro.grid.grid.DataGrid` to submit into.
+    think_time_s:
+        Optional pause between a completion and the next submission
+        (paper: 0 — back-to-back submission).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        site: str,
+        jobs: List[Job],
+        grid: "DataGrid",
+        think_time_s: float = 0.0,
+    ) -> None:
+        if think_time_s < 0:
+            raise ValueError(f"negative think time {think_time_s!r}")
+        self.sim = sim
+        self.name = name
+        self.site = site
+        self.jobs = jobs
+        self.grid = grid
+        self.think_time_s = think_time_s
+        self.completed: List[Job] = []
+        self.process: Optional[Process] = None
+
+    def start(self) -> Process:
+        """Launch the submission loop; returns its process."""
+        self.process = self.sim.process(self._run(), name=f"user:{self.name}")
+        return self.process
+
+    def _run(self):
+        for job in self.jobs:
+            execution = self.grid.submit(job)
+            yield execution
+            self.completed.append(job)
+            if self.think_time_s > 0:
+                yield self.sim.timeout(self.think_time_s)
+        return len(self.completed)

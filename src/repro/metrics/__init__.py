@@ -1,0 +1,45 @@
+"""Measurement: per-run metrics, cross-seed aggregation, ASCII reports.
+
+The paper's three reported metrics (§5.2):
+
+* average amount of data transferred (bandwidth consumed) per job,
+* average job completion time = max(queue time, transfer time) + compute,
+* average idle time of processors.
+
+:class:`~repro.metrics.collector.RunMetrics` computes these (plus a richer
+decomposition) from a finished :class:`~repro.grid.grid.DataGrid`;
+:mod:`~repro.metrics.summary` averages across seed replications the way
+§5.2 describes ("the average over the three experiments performed for each
+algorithm pair"); :mod:`~repro.metrics.report` renders the figure-shaped
+tables.
+"""
+
+from repro.metrics.collector import RunMetrics
+from repro.metrics.export import (
+    matrix_to_csv,
+    sweep_to_csv,
+    timeseries_to_csv,
+)
+from repro.metrics.report import format_matrix, format_run
+from repro.metrics.stats import (
+    chi_square_popularity,
+    confidence_interval,
+    welch_t_test,
+)
+from repro.metrics.summary import MetricSummary, summarize
+from repro.metrics.timeseries import GridMonitor
+
+__all__ = [
+    "GridMonitor",
+    "MetricSummary",
+    "RunMetrics",
+    "chi_square_popularity",
+    "confidence_interval",
+    "format_matrix",
+    "format_run",
+    "matrix_to_csv",
+    "sweep_to_csv",
+    "timeseries_to_csv",
+    "summarize",
+    "welch_t_test",
+]

@@ -1,0 +1,148 @@
+"""Per-run metric extraction from a finished grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.grid.grid import DataGrid
+from repro.grid.job import Job, JobState
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass
+class RunMetrics:
+    """Every number we extract from one simulation run.
+
+    The three paper metrics are :attr:`avg_response_time_s`,
+    :attr:`avg_data_transferred_mb` and :attr:`idle_fraction`; the rest
+    support the analysis and extension studies.
+    """
+
+    # Scale / bookkeeping
+    n_jobs: int
+    makespan_s: float
+    total_processors: int
+
+    # Paper metric 1: average job completion (response) time.
+    avg_response_time_s: float
+    # Paper metric 2: average data transferred per job (all traffic).
+    avg_data_transferred_mb: float
+    # Paper metric 3: average processor idle fraction in [0, 1].
+    idle_fraction: float
+
+    # Response-time decomposition (averages over jobs).
+    avg_queue_time_s: float
+    avg_transfer_wait_s: float
+    avg_compute_time_s: float
+
+    # Traffic decomposition (totals, MB).
+    fetch_traffic_mb: float
+    replication_traffic_mb: float
+
+    # Replication / cache behaviour.
+    replications_done: int
+    replications_skipped: int
+    total_replicas: int
+    evictions: int
+    #: Job outputs discarded because storage was full (output extension).
+    outputs_dropped: int
+
+    # Locality.
+    fraction_jobs_at_origin: float
+    fraction_jobs_local_data: float
+
+    # Per-site detail (site name → value), for load-balance analysis.
+    jobs_per_site: Dict[str, int] = field(default_factory=dict)
+    idle_per_site: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def idle_percent(self) -> float:
+        """Idle fraction as a percentage (Figure 4's axis)."""
+        return 100.0 * self.idle_fraction
+
+    @property
+    def total_traffic_mb(self) -> float:
+        """All bytes that crossed the network."""
+        return self.fetch_traffic_mb + self.replication_traffic_mb
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean ratio of per-site job counts (1.0 = perfectly even).
+
+        Quantifies the hotspot effect the paper describes for
+        JobDataPresent without replication.
+        """
+        counts = list(self.jobs_per_site.values())
+        mean = _mean([float(c) for c in counts])
+        if mean == 0:
+            return 1.0
+        return max(counts) / mean
+
+    @classmethod
+    def from_grid(cls, grid: DataGrid,
+                  makespan_s: Optional[float] = None) -> "RunMetrics":
+        """Extract metrics after :meth:`DataGrid.run` returned.
+
+        ``makespan_s`` defaults to the grid's current simulated time (the
+        moment the last job finished); idle time is integrated over
+        ``[0, makespan]``.
+        """
+        horizon = grid.sim.now if makespan_s is None else makespan_s
+        jobs = grid.completed_jobs
+        if not jobs:
+            raise ValueError("no completed jobs; did the grid run?")
+        incomplete = len(grid.submitted_jobs) - len(jobs)
+        if incomplete:
+            raise ValueError(
+                f"{incomplete} submitted jobs never completed; "
+                "metrics would be biased")
+
+        by_purpose = grid.transfers.mb_moved_by_purpose()
+        fetch_mb = by_purpose.get("job-fetch", 0.0)
+        replication_mb = by_purpose.get("replication", 0.0)
+        total_mb = sum(by_purpose.values())
+
+        n_proc = grid.total_processors
+        busy = sum(
+            site.compute.busy_processor_seconds(horizon)
+            for site in grid.sites.values()
+        )
+        idle_fraction = (
+            1.0 - busy / (n_proc * horizon) if horizon > 0 else 0.0)
+
+        jobs_per_site = {name: 0 for name in grid.sites}
+        for job in jobs:
+            jobs_per_site[job.execution_site] += 1
+
+        return cls(
+            n_jobs=len(jobs),
+            makespan_s=horizon,
+            total_processors=n_proc,
+            avg_response_time_s=_mean([j.response_time for j in jobs]),
+            avg_data_transferred_mb=total_mb / len(jobs),
+            idle_fraction=idle_fraction,
+            avg_queue_time_s=_mean([j.queue_time for j in jobs]),
+            avg_transfer_wait_s=_mean([j.transfer_time for j in jobs]),
+            avg_compute_time_s=_mean([j.compute_time for j in jobs]),
+            fetch_traffic_mb=fetch_mb,
+            replication_traffic_mb=replication_mb,
+            replications_done=grid.datamover.replications_done,
+            replications_skipped=grid.datamover.replications_skipped,
+            total_replicas=grid.catalog.total_replicas(),
+            evictions=sum(s.evictions for s in grid.storages.values()),
+            outputs_dropped=sum(
+                s.outputs_dropped for s in grid.sites.values()),
+            fraction_jobs_at_origin=_mean(
+                [1.0 if j.ran_at_origin else 0.0 for j in jobs]),
+            fraction_jobs_local_data=_mean(
+                [1.0 if j.transfer_time <= 1e-9 else 0.0 for j in jobs]),
+            jobs_per_site=jobs_per_site,
+            idle_per_site={
+                name: site.compute.idle_fraction(horizon)
+                for name, site in grid.sites.items()
+            },
+        )

@@ -1,0 +1,83 @@
+"""ASCII rendering of results in the shapes the paper's figures use.
+
+Figures 3a/3b/4 are grouped bar charts: one group per External Scheduler,
+one bar per Dataset Scheduler.  :func:`format_matrix` prints the same data
+as an ES-rows × DS-columns table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+from repro.metrics.collector import RunMetrics
+
+#: (es_name, ds_name) → value, the shape run_matrix produces.
+MatrixValues = Mapping[Tuple[str, str], float]
+
+
+def format_matrix(
+    title: str,
+    values: MatrixValues,
+    es_order: Sequence[str],
+    ds_order: Sequence[str],
+    unit: str = "",
+    precision: int = 1,
+) -> str:
+    """Render an ES × DS value table (one paper figure)."""
+    col_width = max(14, *(len(ds) + 2 for ds in ds_order))
+    row_label_width = max(len(es) for es in es_order) + 2
+    lines = [title, "=" * len(title)]
+    header = " " * row_label_width + "".join(
+        f"{ds:>{col_width}}" for ds in ds_order)
+    lines.append(header)
+    for es in es_order:
+        cells = []
+        for ds in ds_order:
+            try:
+                val = values[(es, ds)]
+            except KeyError:
+                cells.append(f"{'--':>{col_width}}")
+                continue
+            cells.append(f"{val:>{col_width}.{precision}f}")
+        lines.append(f"{es:<{row_label_width}}" + "".join(cells))
+    if unit:
+        lines.append(f"(values in {unit})")
+    return "\n".join(lines)
+
+
+def format_run(metrics: RunMetrics, label: str = "run") -> str:
+    """Human-readable one-run report."""
+    lines = [
+        f"--- {label} ---",
+        f"jobs completed:            {metrics.n_jobs}",
+        f"makespan:                  {metrics.makespan_s:,.0f} s",
+        f"avg response time:         {metrics.avg_response_time_s:,.1f} s",
+        f"  avg queue time:          {metrics.avg_queue_time_s:,.1f} s",
+        f"  avg transfer wait:       {metrics.avg_transfer_wait_s:,.1f} s",
+        f"  avg compute time:        {metrics.avg_compute_time_s:,.1f} s",
+        f"avg data transferred/job:  {metrics.avg_data_transferred_mb:,.1f} MB",
+        f"  job-fetch traffic:       {metrics.fetch_traffic_mb:,.0f} MB",
+        f"  replication traffic:     {metrics.replication_traffic_mb:,.0f} MB",
+        f"processor idle time:       {metrics.idle_percent:.1f} %",
+        f"replications done/skipped: {metrics.replications_done}"
+        f"/{metrics.replications_skipped}",
+        f"replicas in catalog:       {metrics.total_replicas}",
+        f"cache evictions:           {metrics.evictions}",
+        f"jobs run at origin site:   {100 * metrics.fraction_jobs_at_origin:.1f} %",
+        f"jobs with local data:      {100 * metrics.fraction_jobs_local_data:.1f} %",
+        f"load imbalance (max/mean): {metrics.load_imbalance:.2f}",
+    ]
+    return "\n".join(lines)
+
+
+def format_comparison(
+    rows: Mapping[str, RunMetrics],
+    metric: Callable[[RunMetrics], float] = lambda m: m.avg_response_time_s,
+    metric_name: str = "avg response time (s)",
+) -> str:
+    """Tabulate one metric across labelled runs (e.g. Figure 5's bars)."""
+    label_width = max(len(label) for label in rows) + 2
+    lines = [f"{'configuration':<{label_width}}{metric_name:>24}"]
+    for label, metrics in rows.items():
+        lines.append(f"{label:<{label_width}}{metric(metrics):>24,.1f}")
+    return "\n".join(lines)

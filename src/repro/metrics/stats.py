@@ -1,0 +1,136 @@
+"""Statistical validation helpers.
+
+The paper's statistics are informal ("we found no significance
+variation"; "no significant performance differences between the two
+replication algorithms").  These helpers make those statements testable:
+
+* :func:`chi_square_popularity` — goodness-of-fit of an observed request
+  histogram against a popularity model (validates Figure 2's generator).
+* :func:`confidence_interval` — Student-t interval over seed replications.
+* :func:`welch_t_test` — two-sample comparison of an algorithm pair's
+  metric across seeds (formalizes the paper's C5-style equivalences).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from scipy import stats as scipy_stats
+
+from repro.workload.popularity import PopularityModel
+
+
+@dataclass(frozen=True)
+class GoodnessOfFit:
+    """Result of a chi-square goodness-of-fit test."""
+
+    statistic: float
+    p_value: float
+    dof: int
+    bins: int
+
+    @property
+    def rejected_at_5pct(self) -> bool:
+        """Whether the null (samples follow the model) is rejected."""
+        return self.p_value < 0.05
+
+
+def chi_square_popularity(
+    observed: Sequence[int],
+    model: PopularityModel,
+    min_expected: float = 5.0,
+) -> GoodnessOfFit:
+    """Chi-square test of observed per-rank request counts vs. a model.
+
+    ``observed[k]`` is the number of requests for rank ``k`` (the model's
+    ordering, not the empirical one).  Tail ranks whose expected counts
+    fall below ``min_expected`` are pooled into one bin, the standard
+    validity fix for sparse chi-square cells.
+    """
+    if len(observed) != model.n_items:
+        raise ValueError(
+            f"observed has {len(observed)} ranks, model has "
+            f"{model.n_items}")
+    total = sum(observed)
+    if total == 0:
+        raise ValueError("no observations")
+    expected = model.expected_counts(total)
+
+    obs_bins: List[float] = []
+    exp_bins: List[float] = []
+    pooled_obs = 0.0
+    pooled_exp = 0.0
+    for obs, exp in zip(observed, expected):
+        if exp >= min_expected:
+            obs_bins.append(float(obs))
+            exp_bins.append(exp)
+        else:
+            pooled_obs += obs
+            pooled_exp += exp
+    if pooled_exp > 0:
+        obs_bins.append(pooled_obs)
+        exp_bins.append(pooled_exp)
+    if len(obs_bins) < 2:
+        raise ValueError(
+            "model too flat/small for a chi-square test after pooling")
+
+    # Normalize float drift: chisquare requires equal totals.
+    scale = sum(obs_bins) / sum(exp_bins)
+    exp_bins = [e * scale for e in exp_bins]
+    statistic, p_value = scipy_stats.chisquare(obs_bins, exp_bins)
+    return GoodnessOfFit(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        dof=len(obs_bins) - 1,
+        bins=len(obs_bins),
+    )
+
+
+def confidence_interval(
+    values: Sequence[float],
+    level: float = 0.95,
+) -> Tuple[float, float]:
+    """Student-t confidence interval for the mean of seed replications."""
+    if not 0 < level < 1:
+        raise ValueError(f"level must be in (0, 1), got {level!r}")
+    n = len(values)
+    if n < 2:
+        raise ValueError("need at least two replications for an interval")
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = scipy_stats.t.ppf((1 + level) / 2, n - 1) * math.sqrt(var / n)
+    return (mean - half, mean + half)
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    """Result of a Welch two-sample t-test."""
+
+    statistic: float
+    p_value: float
+
+    @property
+    def significant_at_5pct(self) -> bool:
+        """Whether the two samples' means differ significantly."""
+        return self.p_value < 0.05
+
+
+def welch_t_test(a: Sequence[float], b: Sequence[float]) -> TTestResult:
+    """Welch's t-test (unequal variances) between two metric samples.
+
+    Used to formalize the paper's equivalence statements, e.g. comparing
+    JobDataPresent+DataRandom vs. +DataLeastLoaded response times across
+    seeds.  With identical samples (zero variance both sides) the
+    difference is exactly zero and we report p = 1.
+    """
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError("need at least two observations per sample")
+    if max(a) == min(a) and max(b) == min(b):
+        same = math.isclose(a[0], b[0], rel_tol=1e-12, abs_tol=1e-12)
+        return TTestResult(statistic=0.0 if same else math.inf,
+                           p_value=1.0 if same else 0.0)
+    statistic, p_value = scipy_stats.ttest_ind(
+        list(a), list(b), equal_var=False)
+    return TTestResult(statistic=float(statistic), p_value=float(p_value))

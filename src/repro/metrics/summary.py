@@ -1,0 +1,76 @@
+"""Cross-seed aggregation.
+
+The paper replicates each algorithm pair under three random seeds and
+reports the average ("we ran with different random seeds in order to
+evaluate variance; in practice, we found no significance variation").
+:func:`summarize` reproduces that averaging and additionally reports the
+spread, so our EXPERIMENTS.md can substantiate the low-variance claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.metrics.collector import RunMetrics
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean and dispersion of one scalar metric across replications."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @property
+    def relative_spread(self) -> float:
+        """(max - min) / mean — the paper's informal variance check."""
+        if self.mean == 0:
+            return 0.0
+        return (self.maximum - self.minimum) / abs(self.mean)
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "MetricSummary":
+        """Summarize a non-empty sequence."""
+        if not values:
+            raise ValueError("cannot summarize zero replications")
+        n = len(values)
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / n if n > 1 else 0.0
+        return cls(mean=mean, std=math.sqrt(var),
+                   minimum=min(values), maximum=max(values), n=n)
+
+
+#: The scalar RunMetrics fields worth aggregating.
+SUMMARY_FIELDS = (
+    "avg_response_time_s",
+    "avg_data_transferred_mb",
+    "idle_fraction",
+    "avg_queue_time_s",
+    "avg_transfer_wait_s",
+    "avg_compute_time_s",
+    "fetch_traffic_mb",
+    "replication_traffic_mb",
+    "makespan_s",
+    "fraction_jobs_at_origin",
+    "fraction_jobs_local_data",
+)
+
+
+def summarize(runs: Sequence[RunMetrics]) -> Dict[str, MetricSummary]:
+    """Aggregate replicated runs field-by-field."""
+    if not runs:
+        raise ValueError("no runs to summarize")
+    out: Dict[str, MetricSummary] = {}
+    for field_name in SUMMARY_FIELDS:
+        out[field_name] = MetricSummary.of(
+            [float(getattr(run, field_name)) for run in runs])
+    # Integer-ish counters, averaged too.
+    for field_name in ("replications_done", "evictions", "total_replicas"):
+        out[field_name] = MetricSummary.of(
+            [float(getattr(run, field_name)) for run in runs])
+    return out

@@ -1,0 +1,156 @@
+"""Time-series sampling of grid state.
+
+The scalar metrics in :mod:`~repro.metrics.collector` summarize a whole
+run; a :class:`GridMonitor` additionally samples the grid at a fixed
+period so transients are visible — how long the hotspot queue takes to
+drain once replication kicks in, how storage fills, how network load
+evolves.  Attach one before ``grid.run()``::
+
+    monitor = GridMonitor(grid, period_s=500.0)
+    grid.run()
+    series = monitor.series("queued_jobs")
+
+Sampling is O(sites) per tick and adds one kernel event per period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.grid import DataGrid
+
+#: Quantities a GridMonitor samples each tick.
+SAMPLED_FIELDS = (
+    "queued_jobs",        # jobs waiting for processors, grid-wide
+    "running_jobs",       # compute phases in progress
+    "jobs_in_system",     # dispatched but not completed
+    "active_transfers",   # wire transfers in flight
+    "storage_used_mb",    # total bytes stored
+    "total_replicas",     # replica-catalog entries
+    "completed_jobs",     # cumulative completions
+)
+
+
+@dataclass
+class Sample:
+    """One sampling instant."""
+
+    time: float
+    values: Dict[str, float] = field(default_factory=dict)
+    #: Per-site queue lengths at this instant (optional detail).
+    site_queues: Dict[str, int] = field(default_factory=dict)
+
+
+class GridMonitor:
+    """Periodically samples a grid; attach before running.
+
+    Parameters
+    ----------
+    grid:
+        The grid to watch.
+    period_s:
+        Sampling period in simulated seconds.
+    track_site_queues:
+        Also record per-site queue lengths each tick (costs memory on
+        long runs; off by default).
+    """
+
+    def __init__(self, grid: "DataGrid", period_s: float = 500.0,
+                 track_site_queues: bool = False) -> None:
+        if period_s <= 0:
+            raise ValueError(f"period must be positive, got {period_s!r}")
+        self.grid = grid
+        self.period_s = period_s
+        self.track_site_queues = track_site_queues
+        self.samples: List[Sample] = [self._sample()]  # t = 0 baseline
+        grid.sim.process(self._loop(), name="grid-monitor")
+
+    def _loop(self):
+        while True:
+            yield self.grid.sim.timeout(self.period_s)
+            self.samples.append(self._sample())
+
+    def _sample(self) -> Sample:
+        grid = self.grid
+        sites = grid.sites.values()
+        values = {
+            "queued_jobs": float(sum(s.load for s in sites)),
+            "running_jobs": float(sum(s.compute.busy for s in sites)),
+            "jobs_in_system": float(sum(s.jobs_in_system for s in sites)),
+            "active_transfers": float(len(grid.transfers.active)),
+            "storage_used_mb": sum(
+                st.used_mb for st in grid.storages.values()),
+            "total_replicas": float(grid.catalog.total_replicas()),
+            "completed_jobs": float(len(grid.completed_jobs)),
+        }
+        sample = Sample(time=grid.sim.now, values=values)
+        if self.track_site_queues:
+            sample.site_queues = {s.name: s.load for s in sites}
+        return sample
+
+    # -- access ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def times(self) -> List[float]:
+        """Sampling instants."""
+        return [s.time for s in self.samples]
+
+    def series(self, name: str) -> List[float]:
+        """The sampled values of one quantity, in time order."""
+        if name not in SAMPLED_FIELDS:
+            raise KeyError(
+                f"unknown series {name!r}; available: {SAMPLED_FIELDS}")
+        return [s.values[name] for s in self.samples]
+
+    def peak(self, name: str) -> Tuple[float, float]:
+        """(time, value) of the maximum of a series."""
+        series = self.series(name)
+        index = max(range(len(series)), key=series.__getitem__)
+        return (self.samples[index].time, series[index])
+
+    def time_of_completion_fraction(self, fraction: float) -> Optional[float]:
+        """First sample time when ≥ ``fraction`` of all submitted jobs had
+        completed (None if never reached during sampling)."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
+        total = len(self.grid.submitted_jobs)
+        if total == 0:
+            return None
+        for sample in self.samples:
+            if sample.values["completed_jobs"] >= fraction * total:
+                return sample.time
+        return None
+
+    def site_queue_series(self, site: str) -> List[int]:
+        """Per-site queue lengths (requires ``track_site_queues``)."""
+        if not self.track_site_queues:
+            raise ValueError("monitor was built with track_site_queues=False")
+        return [s.site_queues[site] for s in self.samples]
+
+    def render(self, name: str, width: int = 60, height: int = 12) -> str:
+        """A crude ASCII sparkline plot of one series."""
+        series = self.series(name)
+        if not series:
+            return "(no samples)"
+        peak = max(series) or 1.0
+        # Downsample to `width` columns.
+        columns = []
+        n = len(series)
+        for c in range(min(width, n)):
+            lo = c * n // min(width, n)
+            hi = max(lo + 1, (c + 1) * n // min(width, n))
+            columns.append(max(series[lo:hi]))
+        lines = []
+        for row in range(height, 0, -1):
+            threshold = peak * row / height
+            lines.append("".join(
+                "#" if v >= threshold else " " for v in columns))
+        lines.append("-" * len(columns))
+        lines.append(f"{name}: peak {peak:g} over "
+                     f"[0, {self.samples[-1].time:g}] s")
+        return "\n".join(lines)

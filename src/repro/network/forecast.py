@@ -1,0 +1,162 @@
+"""Bandwidth observation and forecasting (Network Weather Service style).
+
+The paper's information sources include "the Network Weather Service"
+(ref [28]), which records achieved end-to-end bandwidth and forecasts
+near-future performance with a family of simple predictors, dynamically
+choosing whichever has been most accurate lately.  This module provides
+that substrate:
+
+* :class:`BandwidthHistory` — per site-pair observations (achieved MB/s
+  of completed transfers), fed automatically from a
+  :class:`~repro.network.transfer.TransferManager`.
+* Predictors — :class:`LastValuePredictor`, :class:`MeanPredictor`,
+  :class:`MedianPredictor`.
+* :class:`NWSForecaster` — the NWS trick: track each predictor's recent
+  absolute error per pair and forecast with the current best.
+
+The :class:`~repro.scheduling.adaptive.AdaptiveExternalScheduler` accepts
+a forecaster to replace its static congestion factor with measured
+bandwidth.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from statistics import median
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.network.transfer import Transfer, TransferManager
+
+PairKey = Tuple[str, str]
+
+
+class Predictor(abc.ABC):
+    """Forecasts the next value of a series from its history."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def predict(self, values: "Deque[float]") -> float:
+        """Forecast from a non-empty history (newest value last)."""
+
+
+class LastValuePredictor(Predictor):
+    """Tomorrow looks like today."""
+
+    name = "last"
+
+    def predict(self, values: "Deque[float]") -> float:
+        return values[-1]
+
+
+class MeanPredictor(Predictor):
+    """Sliding-window arithmetic mean."""
+
+    name = "mean"
+
+    def predict(self, values: "Deque[float]") -> float:
+        return sum(values) / len(values)
+
+
+class MedianPredictor(Predictor):
+    """Sliding-window median (robust to transient congestion spikes)."""
+
+    name = "median"
+
+    def predict(self, values: "Deque[float]") -> float:
+        return median(values)
+
+
+class BandwidthHistory:
+    """Per-(src, dst) achieved-bandwidth observations.
+
+    Attach to a transfer manager and every completed wire transfer adds
+    an observation of ``size / duration`` for its endpoint pair.
+    """
+
+    def __init__(self, window: int = 32) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._series: Dict[PairKey, Deque[float]] = {}
+        self.observations = 0
+
+    def attach(self, transfers: TransferManager) -> None:
+        """Subscribe to a transfer manager's completions."""
+        transfers.observers.append(self.observe)
+
+    def observe(self, transfer: Transfer) -> None:
+        """Record one completed transfer (no-ops on local transfers)."""
+        if not transfer.route or transfer.finished_at is None:
+            return
+        duration = transfer.duration
+        if duration <= 0:
+            return
+        key = (transfer.src, transfer.dst)
+        series = self._series.get(key)
+        if series is None:
+            series = deque(maxlen=self.window)
+            self._series[key] = series
+        series.append(transfer.size_mb / duration)
+        self.observations += 1
+
+    def series(self, src: str, dst: str) -> List[float]:
+        """Observations for a pair, oldest first (empty if none)."""
+        return list(self._series.get((src, dst), ()))
+
+    def pairs(self) -> List[PairKey]:
+        """All observed pairs."""
+        return sorted(self._series)
+
+
+class NWSForecaster:
+    """Forecast achieved bandwidth with the recently-best predictor.
+
+    For each pair, every stored observation is first *predicted* from the
+    history before it, and each predictor's absolute error is accumulated
+    (exponentially decayed); :meth:`forecast` then answers with the
+    lowest-error predictor's output.
+    """
+
+    def __init__(self, history: BandwidthHistory,
+                 decay: float = 0.9) -> None:
+        if not 0 < decay <= 1:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.history = history
+        self.decay = decay
+        self.predictors: List[Predictor] = [
+            LastValuePredictor(), MeanPredictor(), MedianPredictor()]
+
+    def _errors(self, values: List[float]) -> List[float]:
+        errors = [0.0] * len(self.predictors)
+        running: Deque[float] = deque(maxlen=self.history.window)
+        for value in values:
+            if running:
+                for i, predictor in enumerate(self.predictors):
+                    err = abs(predictor.predict(running) - value)
+                    errors[i] = errors[i] * self.decay + err
+            running.append(value)
+        return errors
+
+    def best_predictor(self, src: str, dst: str) -> Optional[Predictor]:
+        """The lowest-recent-error predictor for a pair (None if <2 obs)."""
+        values = self.history.series(src, dst)
+        if len(values) < 2:
+            return None
+        errors = self._errors(values)
+        index = min(range(len(errors)), key=errors.__getitem__)
+        return self.predictors[index]
+
+    def forecast(self, src: str, dst: str) -> Optional[float]:
+        """Predicted achieved MB/s for the pair (None if insufficient
+        history — callers fall back to nominal link capacity)."""
+        values = self.history.series(src, dst)
+        if not values:
+            return None
+        if len(values) == 1:
+            return values[0]
+        running = deque(values, maxlen=self.history.window)
+        predictor = self.best_predictor(src, dst)
+        assert predictor is not None
+        return max(predictor.predict(running), 1e-9)

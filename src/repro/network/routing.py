@@ -1,0 +1,57 @@
+"""Shortest-path routing with a route cache.
+
+Routes are static (the topology does not change during a run), so we
+precompute/cache hop-count shortest paths.  A route is the list of
+:class:`~repro.network.link.Link` objects a transfer crosses, in order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.network.link import Link
+from repro.network.topology import Topology
+
+
+class Router:
+    """Computes and caches shortest routes over a :class:`Topology`."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._cache: Dict[Tuple[str, str], List[Link]] = {}
+
+    def route(self, src: str, dst: str) -> List[Link]:
+        """The links crossed going ``src`` → ``dst`` (empty if src == dst)."""
+        if src == dst:
+            return []
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            nodes = nx.shortest_path(self.topology.graph, src, dst)
+        except nx.NetworkXNoPath:
+            raise ValueError(f"no route from {src!r} to {dst!r}") from None
+        except nx.NodeNotFound as exc:
+            raise ValueError(str(exc)) from None
+        links = [
+            self.topology.link_between(a, b)
+            for a, b in zip(nodes[:-1], nodes[1:])
+        ]
+        self._cache[key] = links
+        # Undirected symmetric routes: cache the reverse too.
+        self._cache[(dst, src)] = list(reversed(links))
+        return links
+
+    def hops(self, src: str, dst: str) -> int:
+        """Number of links on the route."""
+        return len(self.route(src, dst))
+
+    def warm(self) -> None:
+        """Precompute routes between all site pairs (optional)."""
+        sites = self.topology.sites
+        for i, a in enumerate(sites):
+            for b in sites[i + 1:]:
+                self.route(a, b)

@@ -1,0 +1,298 @@
+"""Wide-area data transfers under link contention.
+
+The :class:`TransferManager` executes every data movement in the grid (job
+input fetches *and* asynchronous replications — both compete for the same
+links, which is essential to the paper's comparison).  Whenever a transfer
+starts or finishes, rates are recomputed for all transfers sharing links
+with it.
+
+Two rate allocators are provided:
+
+* :class:`EqualShareAllocator` — the paper's model: each link divides its
+  capacity equally among the transfers crossing it, and a transfer moves at
+  the *minimum* share over its route (the bottleneck link).
+* :class:`MaxMinFairAllocator` — classic progressive-filling max–min
+  fairness, an extension used in ablation studies; it never allocates more
+  total rate through a link than its capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.network.link import Link
+from repro.network.routing import Router
+from repro.network.topology import Topology
+from repro.sim.core import Simulator
+from repro.sim.events import Event
+
+#: Remaining-MB tolerance below which a transfer counts as complete.
+_EPSILON_MB = 1e-9
+#: Guard against zero-length reschedule loops from float rounding.
+_MIN_DT = 1e-9
+
+
+class Transfer:
+    """One in-flight (or finished) data movement.
+
+    Attributes
+    ----------
+    done:
+        Kernel event that succeeds (with the transfer itself as value) when
+        the last byte arrives.
+    purpose:
+        Free-form tag — the grid uses ``"job-fetch"`` and ``"replication"``
+        so the metrics layer can attribute traffic.
+    """
+
+    __slots__ = (
+        "src", "dst", "size_mb", "remaining_mb", "rate", "route",
+        "done", "started_at", "finished_at", "purpose", "metadata",
+        "weight", "_last_update",
+    )
+
+    def __init__(self, sim: Simulator, src: str, dst: str, size_mb: float,
+                 route: List[Link], purpose: str,
+                 metadata: Optional[Dict[str, Any]] = None,
+                 weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError(f"transfer weight must be positive, "
+                             f"got {weight!r}")
+        self.src = src
+        self.dst = dst
+        self.size_mb = float(size_mb)
+        self.remaining_mb = float(size_mb)
+        self.rate = 0.0
+        self.route = route
+        self.done = Event(sim)
+        self.started_at = sim.now
+        self.finished_at: Optional[float] = None
+        self.purpose = purpose
+        self.metadata = metadata or {}
+        #: Share weight: a transfer opened with N parallel streams
+        #: (GridFTP-style) competes for link capacity as N unit flows.
+        self.weight = float(weight)
+        self._last_update = sim.now
+
+    def __repr__(self) -> str:
+        state = "done" if self.finished_at is not None else (
+            f"{self.remaining_mb:.1f}MB left @ {self.rate:.2f}MB/s")
+        return f"<Transfer {self.src}->{self.dst} {self.size_mb:.0f}MB {state}>"
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock (simulated) duration; raises if unfinished."""
+        if self.finished_at is None:
+            raise ValueError("transfer has not finished")
+        return self.finished_at - self.started_at
+
+
+class EqualShareAllocator:
+    """The paper's contention model.
+
+    Each link gives each of its ``n`` transfers ``capacity / n``; a transfer
+    runs at the minimum share along its route.  (The bottleneck share may be
+    left unused on other links — this slight pessimism matches the paper's
+    simple description.)
+
+    Weighted transfers (GridFTP-style parallel streams) count as
+    ``weight`` unit flows: a link carrying weights {1, 3} gives them 25%
+    and 75% of its capacity.
+    """
+
+    name = "equal-share"
+
+    def allocate(self, transfers: Sequence[Transfer]) -> Dict[Transfer, float]:
+        rates: Dict[Transfer, float] = {}
+        total_weight: Dict[Link, float] = {}
+        for t in transfers:
+            for link in t.route:
+                total_weight[link] = total_weight.get(link, 0.0) + t.weight
+        for t in transfers:
+            rates[t] = min(
+                link.capacity_mbps * t.weight / total_weight[link]
+                for link in t.route)
+        return rates
+
+
+class MaxMinFairAllocator:
+    """Progressive-filling max–min fairness (extension / ablation).
+
+    Repeatedly raise all unfrozen transfer rates together until some link
+    saturates; freeze the transfers on saturated links; continue with the
+    residual capacity.
+    """
+
+    name = "max-min"
+
+    def allocate(self, transfers: Sequence[Transfer]) -> Dict[Transfer, float]:
+        rates: Dict[Transfer, float] = {t: 0.0 for t in transfers}
+        if not transfers:
+            return rates
+        remaining_cap: Dict[Link, float] = {}
+        active_on: Dict[Link, set] = {}
+        for t in transfers:
+            for link in t.route:
+                remaining_cap.setdefault(link, link.capacity_mbps)
+                active_on.setdefault(link, set()).add(t)
+        unfrozen = set(transfers)
+        while unfrozen:
+            # Smallest per-unit-weight increment that saturates some link
+            # (weights model parallel streams, as in EqualShareAllocator).
+            increment = min(
+                remaining_cap[link]
+                / sum(t.weight for t in active_on[link] & unfrozen)
+                for link in remaining_cap
+                if active_on[link] & unfrozen
+            )
+            for t in unfrozen:
+                rates[t] += increment * t.weight
+            newly_frozen = set()
+            for link in list(remaining_cap):
+                users = active_on[link] & unfrozen
+                if not users:
+                    continue
+                remaining_cap[link] -= increment * sum(
+                    t.weight for t in users)
+                if remaining_cap[link] <= 1e-12:
+                    newly_frozen |= users
+            if not newly_frozen:  # pragma: no cover - float safety valve
+                break
+            unfrozen -= newly_frozen
+        return rates
+
+
+class TransferManager:
+    """Runs all transfers in the grid under a shared contention model.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    topology:
+        The network; routes are shortest paths over it.
+    allocator:
+        Rate allocator (defaults to the paper's equal-share model).
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 allocator: Optional[Any] = None) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.router = Router(topology)
+        self.allocator = allocator or EqualShareAllocator()
+        self.active: List[Transfer] = []
+        self.completed: List[Transfer] = []
+        self._timer_token = 0
+        #: Called with each transfer the moment it completes (used by the
+        #: NWS-style bandwidth forecaster, tracing, ...).
+        self.observers: List[Any] = []
+
+    # -- public API ----------------------------------------------------------
+
+    def start(self, src: str, dst: str, size_mb: float,
+              purpose: str = "data",
+              metadata: Optional[Dict[str, Any]] = None,
+              weight: float = 1.0) -> Transfer:
+        """Begin moving ``size_mb`` MB from ``src`` to ``dst``.
+
+        Returns the :class:`Transfer`; wait on ``transfer.done`` for
+        completion.  Local moves (``src == dst``) and empty transfers
+        complete instantly at zero network cost.  ``weight`` models
+        parallel streams: a weight-``k`` transfer competes as ``k`` unit
+        flows when links are shared.
+        """
+        if size_mb < 0:
+            raise ValueError(f"negative transfer size {size_mb!r}")
+        route = self.router.route(src, dst)
+        transfer = Transfer(self.sim, src, dst, size_mb, route,
+                            purpose, metadata, weight=weight)
+        if not route or size_mb == 0:
+            transfer.remaining_mb = 0.0
+            transfer.finished_at = self.sim.now
+            self.completed.append(transfer)
+            for observer in self.observers:
+                observer(transfer)
+            transfer.done.succeed(transfer)
+            return transfer
+        for link in route:
+            link.attach(transfer, self.sim.now)
+        self.active.append(transfer)
+        self._rebalance()
+        return transfer
+
+    def estimated_transfer_time(self, src: str, dst: str,
+                                size_mb: float) -> float:
+        """Uncontended lower bound on the transfer time (used by heuristic
+        schedulers that need a cost estimate, not by the paper's four ES
+        algorithms)."""
+        route = self.router.route(src, dst)
+        if not route or size_mb == 0:
+            return 0.0
+        bottleneck = min(link.capacity_mbps for link in route)
+        return size_mb / bottleneck
+
+    # -- internals -----------------------------------------------------------
+
+    def _advance_progress(self) -> None:
+        """Fold elapsed time into each active transfer's remaining bytes."""
+        now = self.sim.now
+        for t in self.active:
+            dt = now - t._last_update
+            if dt > 0:
+                t.remaining_mb = max(0.0, t.remaining_mb - t.rate * dt)
+            t._last_update = now
+
+    def _rebalance(self) -> None:
+        """Recompute all rates and re-arm the next-completion timer."""
+        self._advance_progress()
+        self._complete_finished()
+        if not self.active:
+            return
+        rates = self.allocator.allocate(self.active)
+        for t in self.active:
+            t.rate = rates[t]
+            if t.rate <= 0:  # pragma: no cover - allocators always give > 0
+                raise RuntimeError(f"allocator assigned zero rate to {t!r}")
+        next_dt = min(t.remaining_mb / t.rate for t in self.active)
+        next_dt = max(next_dt, _MIN_DT)
+        self._timer_token += 1
+        token = self._timer_token
+        timer = self.sim.timeout(next_dt)
+        timer.callbacks.append(lambda _ev: self._on_timer(token))
+
+    def _on_timer(self, token: int) -> None:
+        if token != self._timer_token:
+            return  # superseded by a later rebalance
+        self._rebalance()
+
+    def _complete_finished(self) -> None:
+        now = self.sim.now
+        still_active: List[Transfer] = []
+        for t in self.active:
+            if t.remaining_mb <= _EPSILON_MB:
+                t.remaining_mb = 0.0
+                t.finished_at = now
+                for link in t.route:
+                    link.detach(t, now, t.size_mb)
+                self.completed.append(t)
+                for observer in self.observers:
+                    observer(t)
+                t.done.succeed(t)
+            else:
+                still_active.append(t)
+        self.active = still_active
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def total_mb_moved(self) -> float:
+        """MB moved by all *completed* transfers."""
+        return sum(t.size_mb for t in self.completed)
+
+    def mb_moved_by_purpose(self) -> Dict[str, float]:
+        """Completed traffic broken down by purpose tag."""
+        out: Dict[str, float] = {}
+        for t in self.completed:
+            out[t.purpose] = out.get(t.purpose, 0.0) + t.size_mb
+        return out

@@ -1,0 +1,79 @@
+"""The paper's scheduling framework: External, Local, and Dataset schedulers.
+
+Section 3 of the paper encapsulates all scheduling logic in three modules
+per site; this package defines the three interfaces and the concrete
+algorithm family evaluated in §4–5:
+
+* External Schedulers — :class:`JobRandom`, :class:`JobLeastLoaded`,
+  :class:`JobDataPresent`, :class:`JobLocal`.
+* Local Schedulers — :class:`FIFOLocalScheduler` (the paper's choice), plus
+  shortest-job-first and longest-job-first extensions.
+* Dataset Schedulers — :class:`DataDoNothing`, :class:`DataRandom`,
+  :class:`DataLeastLoaded`, plus an adaptive extension sketched in the
+  paper's future work.
+
+:mod:`~repro.scheduling.registry` maps algorithm names to factories so the
+experiment harness can sweep the full 4×3 cross product by name.
+"""
+
+from repro.scheduling.base import (
+    DatasetScheduler,
+    ExternalScheduler,
+    LocalScheduler,
+)
+from repro.scheduling.dataset import (
+    DataBestClient,
+    DataDoNothing,
+    DataLeastLoaded,
+    DataRandom,
+)
+from repro.scheduling.external import (
+    JobDataPresent,
+    JobLeastLoaded,
+    JobLocal,
+    JobRandom,
+    JobRoundRobin,
+)
+from repro.scheduling.mapping import MappedExternalScheduler
+from repro.scheduling.local import (
+    DataAwareFIFOScheduler,
+    FIFOLocalScheduler,
+    LongestJobFirstScheduler,
+    ShortestJobFirstScheduler,
+)
+from repro.scheduling.adaptive import AdaptiveExternalScheduler
+from repro.scheduling.registry import (
+    ALL_DS,
+    ALL_ES,
+    ALL_LS,
+    make_dataset_scheduler,
+    make_external_scheduler,
+    make_local_scheduler,
+)
+
+__all__ = [
+    "ALL_DS",
+    "ALL_ES",
+    "ALL_LS",
+    "AdaptiveExternalScheduler",
+    "DataAwareFIFOScheduler",
+    "DataBestClient",
+    "DataDoNothing",
+    "DataLeastLoaded",
+    "DataRandom",
+    "DatasetScheduler",
+    "ExternalScheduler",
+    "FIFOLocalScheduler",
+    "JobDataPresent",
+    "JobLeastLoaded",
+    "JobLocal",
+    "JobRandom",
+    "JobRoundRobin",
+    "LocalScheduler",
+    "MappedExternalScheduler",
+    "LongestJobFirstScheduler",
+    "ShortestJobFirstScheduler",
+    "make_dataset_scheduler",
+    "make_external_scheduler",
+    "make_local_scheduler",
+]

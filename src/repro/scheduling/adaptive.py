@@ -1,0 +1,108 @@
+"""Adaptive scheduling — the paper's future-work sketch (§5.4/§6).
+
+"Slow links and large datasets might imply scheduling the jobs at the data
+source ...  On the other hand, if the data is small and network links are
+not congested, moving the data to the job source ... might be viable."
+
+:class:`AdaptiveExternalScheduler` implements that switch: it estimates the
+time to pull the job's input to the *origin* site and compares it with the
+job's compute time.  Cheap-to-move inputs run locally (data follows job);
+expensive ones run at the data (job follows data, least-loaded holder).
+This is an extension — not part of the paper's 12 evaluated combinations —
+used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.scheduling.base import ExternalScheduler
+from repro.scheduling.external import JobDataPresent, JobLocal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.grid import DataGrid
+    from repro.grid.job import Job
+
+
+class AdaptiveExternalScheduler(ExternalScheduler):
+    """Switch between JobLocal and JobDataPresent per job.
+
+    Parameters
+    ----------
+    rng:
+        Stream for the delegate schedulers' tie-breaks.
+    transfer_budget_fraction:
+        Run locally when the estimated (uncontended) input-transfer time is
+        at most this fraction of the job's compute time.  1.0 means "local
+        is fine whenever the fetch would overlap entirely with a same-length
+        compute"; lower values are more data-affine.
+    congestion_factor:
+        Multiplier applied to the uncontended estimate to account for link
+        sharing; the information service does not expose per-link queue
+        depth (matching the paper's site-level information model), so this
+        is a static pessimism knob.
+    forecaster:
+        Optional :class:`~repro.network.forecast.NWSForecaster`.  When
+        given and it has history for a (source, origin) pair, the
+        *measured* achieved bandwidth replaces the nominal-capacity /
+        congestion-factor estimate — the NWS-informed variant.
+    """
+
+    name = "JobAdaptive"
+
+    def __init__(self, rng: random.Random,
+                 transfer_budget_fraction: float = 0.5,
+                 congestion_factor: float = 2.0,
+                 forecaster=None) -> None:
+        if transfer_budget_fraction <= 0:
+            raise ValueError("transfer_budget_fraction must be positive")
+        if congestion_factor < 1.0:
+            raise ValueError("congestion_factor must be >= 1")
+        self.transfer_budget_fraction = transfer_budget_fraction
+        self.congestion_factor = congestion_factor
+        self.forecaster = forecaster
+        self._local = JobLocal()
+        self._data_present = JobDataPresent(rng)
+        #: Decision counters for ablation reporting.
+        self.chose_local = 0
+        self.chose_data = 0
+        #: How often a measured forecast (vs the static estimate) was used.
+        self.forecast_hits = 0
+        self.forecast_misses = 0
+
+    def select_site(self, job: "Job", grid: "DataGrid") -> str:
+        estimate = self._fetch_estimate(job, grid)
+        if estimate <= self.transfer_budget_fraction * job.runtime_s:
+            self.chose_local += 1
+            return self._local.select_site(job, grid)
+        self.chose_data += 1
+        return self._data_present.select_site(job, grid)
+
+    def _fetch_estimate(self, job: "Job", grid: "DataGrid") -> float:
+        """Pessimistic estimate of fetching all inputs to the origin site."""
+        total = 0.0
+        origin = job.origin_site
+        for fname in job.input_files:
+            if grid.catalog.has_replica(fname, origin):
+                continue
+            locations = grid.catalog.locations(fname)
+            if not locations:
+                return float("inf")
+            size = grid.datasets.get(fname).size_mb
+            total += min(
+                self._pair_estimate(src, origin, size, grid)
+                for src in locations
+            )
+        return total
+
+    def _pair_estimate(self, src: str, origin: str, size_mb: float,
+                       grid: "DataGrid") -> float:
+        if self.forecaster is not None:
+            mbps = self.forecaster.forecast(src, origin)
+            if mbps is not None:
+                self.forecast_hits += 1
+                return size_mb / mbps
+            self.forecast_misses += 1
+        return (grid.transfers.estimated_transfer_time(src, origin, size_mb)
+                * self.congestion_factor)

@@ -1,0 +1,120 @@
+"""Scheduler interfaces (the paper's three per-site modules).
+
+The framework is deliberately policy/mechanism split: these classes make
+*decisions* only; all mechanism (queues, transfers, storage) lives in
+:mod:`repro.grid`.  A particular scheduling *system* (paper terminology) is
+a choice of one algorithm for each of the three interfaces.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.grid import DataGrid
+    from repro.grid.job import Job
+    from repro.grid.site import Site
+
+
+class ExternalScheduler(abc.ABC):
+    """Decides which site each submitted job runs at.
+
+    The paper deploys one ES per site; all the published algorithms are
+    stateless given the information service, so a single instance serves
+    every site, using ``job.origin_site`` where locality matters.
+    """
+
+    #: Registry name (set by subclasses).
+    name: str = "abstract-es"
+
+    @abc.abstractmethod
+    def select_site(self, job: "Job", grid: "DataGrid") -> str:
+        """Return the name of the execution site for ``job``."""
+
+    def __repr__(self) -> str:
+        return f"<ES {self.name}>"
+
+
+class LocalScheduler(abc.ABC):
+    """Decides the order in which a site's queued jobs get processors.
+
+    Two operating modes:
+
+    * **queue mode** (the default): processor requests are issued at job
+      arrival and granted FIFO — or by :meth:`priority` if the scheduler
+      declares ``uses_priorities`` (lower value = served sooner).  The
+      grant order is fixed at arrival time.
+    * **dispatch mode** (``dispatches = True``): the site keeps jobs in a
+      pending list and asks :meth:`pick` which one to run each time a
+      processor frees up — so the decision can react to *current* state,
+      e.g. whether a job's input data has already arrived.
+    """
+
+    name: str = "abstract-ls"
+
+    #: Whether the site must be built with a priority-queue compute pool
+    #: (queue mode only).
+    uses_priorities: bool = False
+
+    #: Whether the site should use the dispatcher path and call `pick`.
+    dispatches: bool = False
+
+    def priority(self, job: "Job") -> Optional[int]:
+        """Priority for the job's processor request (None = FIFO)."""
+        return None
+
+    def pick(self, entries: List["QueuedJob"], now: float) -> Optional[int]:
+        """Dispatch mode: index of the entry to run next, or ``None``.
+
+        ``entries`` is non-empty and ordered by arrival; each exposes
+        ``job``, ``ready`` (prefetch finished) and ``arrived_at``.
+        Returning ``None`` leaves the processor free; the site re-asks
+        whenever a job arrives, finishes, or becomes ready — and every
+        job's prefetch eventually completes (possibly as a no-op), so a
+        ready-only policy is starvation-free.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<LS {self.name}>"
+
+
+class QueuedJob:
+    """A pending job as seen by a dispatch-mode local scheduler."""
+
+    __slots__ = ("job", "arrived_at", "_ready_event")
+
+    def __init__(self, job: "Job", arrived_at: float, ready_event) -> None:
+        self.job = job
+        self.arrived_at = arrived_at
+        self._ready_event = ready_event
+
+    @property
+    def ready(self) -> bool:
+        """Whether the job's prefetched input data is already local."""
+        return self._ready_event.triggered
+
+    def __repr__(self) -> str:
+        return (f"<QueuedJob {self.job.job_id} "
+                f"{'ready' if self.ready else 'fetching'}>")
+
+
+class DatasetScheduler(abc.ABC):
+    """Decides if/when/where to replicate (or delete) datasets.
+
+    One instance is *attached* per site; it may spawn simulation processes
+    (the paper's replication loop is asynchronous and periodic).  The
+    passive LRU caching of remotely fetched files is mechanism (it happens
+    in the storage element regardless of policy); the DS only adds
+    *active* replication on top.
+    """
+
+    name: str = "abstract-ds"
+
+    @abc.abstractmethod
+    def attach(self, site: "Site", grid: "DataGrid") -> None:
+        """Install this policy at ``site`` (spawn processes as needed)."""
+
+    def __repr__(self) -> str:
+        return f"<DS {self.name}>"

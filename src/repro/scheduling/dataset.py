@@ -1,0 +1,224 @@
+"""The paper's three Dataset Scheduler algorithms (§4).
+
+* :class:`DataDoNothing` — "No active replication takes place. ... Data may
+  be fetched from a remote site for a particular job, in which case it is
+  cached and managed using LRU."  (The caching itself is mechanism and
+  always on; this policy simply adds nothing.)
+* :class:`DataRandom` — track per-dataset popularity; when it exceeds a
+  threshold, replicate the dataset to a random site on the grid.
+* :class:`DataLeastLoaded` — same trigger, but the target is the least
+  loaded site among the source site's *neighbors*.
+
+Both active policies run as an asynchronous periodic process per site —
+this is exactly the paper's decoupling: the replication loop never
+coordinates with the External Scheduler.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.grid.storage import StorageFullError
+from repro.scheduling.base import DatasetScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.grid import DataGrid
+    from repro.grid.site import Site
+
+
+class DataDoNothing(DatasetScheduler):
+    """No active replication (passive LRU caching only)."""
+
+    name = "DataDoNothing"
+
+    def attach(self, site: "Site", grid: "DataGrid") -> None:
+        return
+
+
+class _ReplicatingDatasetScheduler(DatasetScheduler):
+    """Shared popularity-threshold replication loop.
+
+    Parameters
+    ----------
+    rng:
+        Stream for random target selection / tie-breaks.
+    popularity_threshold:
+        Local access count at which a dataset becomes "popular".
+    check_interval_s:
+        Period of the asynchronous replication loop.
+    """
+
+    def __init__(self, rng: random.Random, popularity_threshold: int = 5,
+                 check_interval_s: float = 300.0,
+                 delete_idle_after_s: float = 0.0) -> None:
+        if popularity_threshold < 1:
+            raise ValueError(
+                f"popularity threshold must be >= 1, "
+                f"got {popularity_threshold}")
+        if check_interval_s <= 0:
+            raise ValueError(
+                f"check interval must be positive, got {check_interval_s}")
+        if delete_idle_after_s < 0:
+            raise ValueError(
+                f"delete_idle_after_s must be >= 0, "
+                f"got {delete_idle_after_s}")
+        self.rng = rng
+        self.popularity_threshold = popularity_threshold
+        self.check_interval_s = check_interval_s
+        #: If > 0, also exercise the DS's §3 deletion responsibility:
+        #: each period, drop unpinned replicas idle for at least this
+        #: long — provided another replica survives elsewhere.
+        self.delete_idle_after_s = delete_idle_after_s
+        #: Replicas deleted by the idle reaper (metrics).
+        self.deletions = 0
+
+    def attach(self, site: "Site", grid: "DataGrid") -> None:
+        site.sim.process(self._loop(site, grid), name=f"ds:{site.name}")
+
+    def _loop(self, site: "Site", grid: "DataGrid"):
+        while True:
+            yield site.sim.timeout(self.check_interval_s)
+            self._replicate_popular(site, grid)
+            if self.delete_idle_after_s > 0:
+                self._delete_idle(site, grid)
+
+    def _delete_idle(self, site: "Site", grid: "DataGrid") -> None:
+        now = site.sim.now
+        for name in site.storage.idle_files(now, self.delete_idle_after_s):
+            # Never delete the last replica in the grid, and leave files
+            # some other site is currently pulling from us alone.
+            if grid.catalog.replica_count(name) <= 1:
+                continue
+            site.storage.remove(name)
+            grid.catalog.deregister(name, site.name)
+            self.deletions += 1
+
+    def _replicate_popular(self, site: "Site", grid: "DataGrid") -> None:
+        hot = [
+            name for name, count in sorted(site.storage.access_counts.items())
+            if count >= self.popularity_threshold and name in site.storage
+        ]
+        for name in hot:
+            target = self._pick_target(name, site, grid)
+            site.storage.reset_popularity(name)
+            if target is None:
+                continue
+            process = grid.datamover.replicate(name, site.name, target)
+            # Fire-and-forget, but supervised: a replication that cannot
+            # complete (e.g. the target filled up with pinned files while
+            # the copy was in flight) is skipped, never fatal.
+            site.sim.process(_supervise(process), name=f"ds-sup:{site.name}")
+
+    def _pick_target(self, dataset_name: str, site: "Site",
+                     grid: "DataGrid") -> Optional[str]:
+        """Choose the destination site, or None to skip this round."""
+        raise NotImplementedError
+
+    def _eligible(self, candidates: List[str], dataset_name: str,
+                  site: "Site", grid: "DataGrid") -> List[str]:
+        """Filter out the source and sites that already hold the data."""
+        return [
+            c for c in candidates
+            if c != site.name
+            and not grid.catalog.has_replica(dataset_name, c)
+            and not grid.datamover.is_inflight(c, dataset_name)
+        ]
+
+
+def _supervise(process):
+    """Absorb benign replication failures so they never crash the run."""
+    try:
+        yield process
+    except StorageFullError:
+        pass
+
+
+class DataRandom(_ReplicatingDatasetScheduler):
+    """Replicate popular datasets to a random site on the grid."""
+
+    name = "DataRandom"
+
+    def _pick_target(self, dataset_name: str, site: "Site",
+                     grid: "DataGrid") -> Optional[str]:
+        candidates = self._eligible(
+            grid.info.site_names, dataset_name, site, grid)
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+
+class DataBestClient(_ReplicatingDatasetScheduler):
+    """Replicate popular datasets to their *best client* (extension).
+
+    From the authors' companion paper ("Identifying Dynamic Replication
+    Strategies for a High-Performance Data Grid", ref [23]): the site
+    holding a popular dataset pushes a replica to the site whose users
+    generated the most requests for it.  Demand is observed from the
+    origin sites of jobs that execute here — installed via the site's
+    completion listener.
+    """
+
+    name = "DataBestClient"
+
+    def __init__(self, rng: random.Random, popularity_threshold: int = 5,
+                 check_interval_s: float = 300.0,
+                 delete_idle_after_s: float = 0.0) -> None:
+        super().__init__(rng, popularity_threshold, check_interval_s,
+                         delete_idle_after_s)
+        # (site, dataset) -> {origin site: request count}
+        self._demand: dict = {}
+
+    def attach(self, site: "Site", grid: "DataGrid") -> None:
+        site.completion_listeners.append(
+            lambda job, _site=site.name: self._observe(_site, job))
+        super().attach(site, grid)
+
+    def _observe(self, site_name: str, job) -> None:
+        for fname in job.input_files:
+            counts = self._demand.setdefault((site_name, fname), {})
+            counts[job.origin_site] = counts.get(job.origin_site, 0) + 1
+
+    def demand_for(self, site_name: str, dataset_name: str) -> dict:
+        """Observed per-origin request counts (metrics/tests)."""
+        return dict(self._demand.get((site_name, dataset_name), {}))
+
+    def _pick_target(self, dataset_name: str, site: "Site",
+                     grid: "DataGrid") -> Optional[str]:
+        counts = self._demand.get((site.name, dataset_name))
+        if not counts:
+            return None
+        eligible = self._eligible(sorted(counts), dataset_name, site, grid)
+        if not eligible:
+            return None
+        return max(eligible, key=lambda s: (counts[s], s))
+
+
+class DataLeastLoaded(_ReplicatingDatasetScheduler):
+    """Replicate popular datasets to the least-loaded neighbor site.
+
+    "Neighbors" are the sites within ``neighbor_hops`` links (default 2 —
+    the sibling sites under the same regional center in the paper's
+    hierarchical topology).
+    """
+
+    name = "DataLeastLoaded"
+
+    def __init__(self, rng: random.Random, popularity_threshold: int = 5,
+                 check_interval_s: float = 300.0,
+                 neighbor_hops: int = 2,
+                 delete_idle_after_s: float = 0.0) -> None:
+        super().__init__(rng, popularity_threshold, check_interval_s,
+                         delete_idle_after_s)
+        if neighbor_hops < 1:
+            raise ValueError(f"neighbor_hops must be >= 1, got {neighbor_hops}")
+        self.neighbor_hops = neighbor_hops
+
+    def _pick_target(self, dataset_name: str, site: "Site",
+                     grid: "DataGrid") -> Optional[str]:
+        neighbors = grid.topology.neighbors_of_site(
+            site.name, max_hops=self.neighbor_hops)
+        candidates = self._eligible(neighbors, dataset_name, site, grid)
+        if not candidates:
+            return None
+        return grid.info.least_loaded(candidates, rng=self.rng)

@@ -1,0 +1,124 @@
+"""The paper's four External Scheduler algorithms (§4).
+
+Each algorithm picks the execution site for a freshly submitted job:
+
+* :class:`JobRandom` — "a randomly selected site".
+* :class:`JobLeastLoaded` — "the site that currently has the least load",
+  load being "the least number of jobs waiting to run".
+* :class:`JobDataPresent` — "a site that already has the required data.
+  If more than one site qualifies choose the least loaded one."
+* :class:`JobLocal` — "always run jobs locally."
+
+In every case the site mechanism fetches any missing input before the
+compute phase starts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, List
+
+from repro.scheduling.base import ExternalScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.grid import DataGrid
+    from repro.grid.job import Job
+
+
+class JobRandom(ExternalScheduler):
+    """Dispatch each job to a uniformly random site."""
+
+    name = "JobRandom"
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def select_site(self, job: "Job", grid: "DataGrid") -> str:
+        return self.rng.choice(grid.info.site_names)
+
+
+class JobLeastLoaded(ExternalScheduler):
+    """Dispatch each job to the currently least-loaded site.
+
+    Ties are broken uniformly at random; with deterministic tie-breaking
+    every idle-start experiment would dogpile the alphabetically first
+    site.
+    """
+
+    name = "JobLeastLoaded"
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def select_site(self, job: "Job", grid: "DataGrid") -> str:
+        return grid.info.least_loaded(rng=self.rng)
+
+
+class JobDataPresent(ExternalScheduler):
+    """Dispatch each job to a site that already holds its input data.
+
+    Among qualifying sites the least loaded wins (random tie-break).  A
+    site counts as qualifying if it holds *all* the job's inputs; if none
+    does (possible only for multi-input extension workloads), the site
+    holding the largest share of the input bytes is used, so the fetch the
+    mechanism performs is as small as possible.
+    """
+
+    name = "JobDataPresent"
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def select_site(self, job: "Job", grid: "DataGrid") -> str:
+        candidates = grid.info.sites_with_all(job.input_files)
+        if candidates:
+            return grid.info.least_loaded(candidates, rng=self.rng)
+        return self._most_bytes_present(job, grid)
+
+    def _most_bytes_present(self, job: "Job", grid: "DataGrid") -> str:
+        best_sites: List[str] = []
+        best_bytes = -1.0
+        for site in grid.info.site_names:
+            present = sum(
+                grid.datasets.get(f).size_mb
+                for f in job.input_files
+                if grid.catalog.has_replica(f, site)
+            )
+            if present > best_bytes:
+                best_bytes = present
+                best_sites = [site]
+            elif present == best_bytes:
+                best_sites.append(site)
+        if len(best_sites) > 1:
+            return grid.info.least_loaded(best_sites, rng=self.rng)
+        return best_sites[0]
+
+
+class JobLocal(ExternalScheduler):
+    """Run every job at the submitting user's own site."""
+
+    name = "JobLocal"
+
+    def select_site(self, job: "Job", grid: "DataGrid") -> str:
+        return job.origin_site
+
+
+class JobRoundRobin(ExternalScheduler):
+    """Cycle through sites in order (extension).
+
+    Deliberately *stateful*: under the §3 mapping study, one central
+    round-robin scheduler spreads jobs perfectly while per-site instances
+    each run their own cycle — the simplest scheduler for which the
+    user→ES mapping is observable.
+    """
+
+    name = "JobRoundRobin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select_site(self, job: "Job", grid: "DataGrid") -> str:
+        sites = grid.info.site_names
+        site = sites[self._next % len(sites)]
+        self._next += 1
+        return site

@@ -1,0 +1,82 @@
+"""User→External-Scheduler mappings (paper §3).
+
+"Different mappings between users and External Schedulers lead to
+different scenarios.  For example, a one-to-one mapping between External
+Schedulers and users would mean each user takes scheduling decisions on
+their own, while a single ES in the system would mean a central scheduler
+to which all users submit their jobs.  For our experiments we assume one
+ES per site.  We will study other mappings in the future."
+
+:class:`MappedExternalScheduler` realizes that study: it instantiates one
+delegate ES per mapping key (the whole grid, the origin site, or the
+user) and routes each job to its delegate.  For the paper's four ES
+algorithms the choice is invisible (they are stateless given the
+information service); for stateful algorithms such as
+:class:`~repro.scheduling.external.JobRoundRobin` it changes behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.scheduling.base import ExternalScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.grid import DataGrid
+    from repro.grid.job import Job
+
+#: Valid mapping modes.
+MAPPINGS = ("central", "per-site", "per-user")
+
+
+class MappedExternalScheduler(ExternalScheduler):
+    """Routes each job to a per-key delegate External Scheduler.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable building a fresh delegate ES.
+    mapping:
+        ``"central"`` — one delegate for the whole grid (the single-ES
+        scenario); ``"per-site"`` — one per origin site (the paper's
+        experimental setup); ``"per-user"`` — one per user.
+    """
+
+    name = "Mapped"
+
+    def __init__(self, factory: Callable[[], ExternalScheduler],
+                 mapping: str = "per-site") -> None:
+        if mapping not in MAPPINGS:
+            raise ValueError(
+                f"unknown mapping {mapping!r}; valid: {MAPPINGS}")
+        self.factory = factory
+        self.mapping = mapping
+        self._instances: Dict[Optional[str], ExternalScheduler] = {}
+
+    def _key(self, job: "Job") -> Optional[str]:
+        if self.mapping == "central":
+            return None
+        if self.mapping == "per-site":
+            return job.origin_site
+        return job.user
+
+    def delegate_for(self, job: "Job") -> ExternalScheduler:
+        """The delegate instance that decides for this job."""
+        key = self._key(job)
+        instance = self._instances.get(key)
+        if instance is None:
+            instance = self.factory()
+            self._instances[key] = instance
+        return instance
+
+    @property
+    def instance_count(self) -> int:
+        """Delegates created so far."""
+        return len(self._instances)
+
+    def select_site(self, job: "Job", grid: "DataGrid") -> str:
+        return self.delegate_for(job).select_site(job, grid)
+
+    def __repr__(self) -> str:
+        return (f"<MappedES {self.mapping} "
+                f"({self.instance_count} instances)>")

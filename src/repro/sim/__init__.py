@@ -1,0 +1,44 @@
+"""Discrete-event simulation kernel.
+
+This package is the reproduction's substitute for Parsec, the C-based
+simulation language ChicSim was built on (paper ref [3]).  It provides a
+small, deterministic, process-based discrete-event engine:
+
+* :class:`~repro.sim.core.Simulator` — the event loop and simulated clock.
+* :class:`~repro.sim.events.Event` and friends — one-shot triggerable events,
+  timeouts, and ``AllOf``/``AnyOf`` condition composition.
+* :class:`~repro.sim.process.Process` — generator-coroutine processes that
+  ``yield`` events to wait on them, with SimPy-style interrupts.
+* :mod:`~repro.sim.resources` — queued resources (processor pools), stores,
+  and containers used to model compute elements and storage.
+* :mod:`~repro.sim.rng` — named, independently-seeded random substreams so
+  that every run is exactly reproducible.
+
+The engine is intentionally SimPy-like: processes are ordinary generator
+functions, and the kernel guarantees a total, deterministic order of event
+processing (time, priority, insertion order).
+"""
+
+from repro.sim.core import Simulator
+from repro.sim.errors import Interrupt, SimulationError, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Event",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Simulator",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+]

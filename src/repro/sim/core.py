@@ -1,0 +1,206 @@
+"""The simulator: clock, event queue, and run loop.
+
+Determinism contract: events are processed in ``(time, priority, sequence)``
+order, where ``sequence`` is a monotonically increasing insertion counter.
+Two runs with the same seed and the same code therefore produce identical
+event orderings — the property the paper relies on when replicating each
+experiment under three seeds ("we found no significant variation").
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from repro.sim.errors import SimulationError, StopSimulation
+from repro.sim.events import (
+    PRIORITY_NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+)
+from repro.sim.process import Process, ProcessGenerator
+
+Infinity = float("inf")
+
+QueueItem = Tuple[float, int, int, Event]
+
+
+class Simulator:
+    """A discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> def proc(sim):
+    ...     yield sim.timeout(5)
+    ...     return sim.now
+    >>> p = sim.process(proc(sim))
+    >>> sim.run()
+    >>> p.value
+    5.0
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[QueueItem] = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+        #: Optional hooks called as ``hook(sim, event)`` just before each
+        #: event's callbacks run; used by :mod:`repro.sim.trace`.
+        self.pre_event_hooks: List[Callable[["Simulator", Event], None]] = []
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if queue is empty)."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- event factories ------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: Optional[str] = None) -> Process:
+        """Start a new process executing ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        """Put a triggered event on the queue ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {event!r} in the past")
+        heappush(self._queue, (self._now + delay, priority,
+                               next(self._seq), event))
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue is empty.
+        BaseException
+            If a failed event is processed without anyone handling
+            (defusing) it — typically an unhandled exception inside a
+            process nobody waits on.
+        """
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no scheduled events left") from None
+
+        for hook in self.pre_event_hooks:
+            hook(self, event)
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - double-processing guard
+            raise SimulationError(f"{event!r} was scheduled twice")
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SimulationError(  # pragma: no cover - fail() type-checks
+                f"failed event with non-exception value {exc!r}")
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the queue is empty.
+            a number — run until simulated time reaches it.
+            an :class:`Event` — run until that event is processed and return
+            its value (raising its exception if it failed).
+        """
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.processed:
+                    if stop_event.ok:
+                        return stop_event.value
+                    raise stop_event.value
+                stop_event.callbacks.append(_StopCallback())
+            else:
+                horizon = float(until)
+                if horizon < self._now:
+                    raise SimulationError(
+                        f"run(until={horizon}) is in the past (now={self._now})")
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                self.schedule(stop_event, delay=horizon - self._now,
+                              priority=-1)
+                stop_event.callbacks.append(_StopCallback())
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if until is not None and isinstance(until, Event):
+            if not until.triggered:
+                raise SimulationError(
+                    f"run() finished with {until!r} still untriggered")
+        return None
+
+    def run_until_empty(self, max_events: Optional[int] = None) -> int:
+        """Drain the queue, returning the number of events processed.
+
+        ``max_events`` guards against runaway simulations in tests.
+        """
+        processed = 0
+        while self._queue:
+            self.step()
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} (possible livelock)")
+        return processed
+
+
+class _StopCallback:
+    """Callback that stops the run loop with the event's outcome."""
+
+    def __call__(self, event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        event._defused = True
+        raise event._value

@@ -1,0 +1,40 @@
+"""Exception types used by the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel itself."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Simulator.run` early.
+
+    Carries the value that ``run()`` should return.
+    """
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting party may attach an arbitrary ``cause`` describing why
+    the interrupt happened (e.g. a preemption record).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class EventAlreadyTriggered(SimulationError):
+    """Raised when ``succeed``/``fail`` is called on a triggered event."""

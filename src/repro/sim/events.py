@@ -1,0 +1,220 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot occurrence.  It starts *pending*, is
+*triggered* exactly once (either ``succeed`` or ``fail``), gets scheduled on
+the simulator's queue, and is finally *processed* when the event loop invokes
+its callbacks.  Processes wait on events by ``yield``-ing them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+from repro.sim.errors import EventAlreadyTriggered
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.core import Simulator
+
+#: Sentinel marking an event whose value has not been set yet.
+PENDING = object()
+
+#: Default scheduling priority (smaller runs earlier at equal times).
+PRIORITY_NORMAL = 1
+#: Priority used for process-resumption bookkeeping (runs before normal).
+PRIORITY_URGENT = 0
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.core.Simulator`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: Callbacks run when the event is processed.  ``None`` afterwards.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """``True`` once ``succeed``/``fail`` has been called."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded.  Only valid once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, for failed events)."""
+        if self._value is PENDING:
+            raise AttributeError("value of untriggered event is not available")
+        return self._value
+
+    @property
+    def defused(self) -> bool:
+        """Whether a failure has been marked as handled.
+
+        A failed event that is never waited on and never defused causes the
+        simulation to crash when processed, so programming errors cannot be
+        silently dropped.
+        """
+        return self._defused
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled (suppresses loop crash)."""
+        self._defused = True
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        Waiting processes will have the exception re-raised at their
+        ``yield``.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() expects an exception, got {exception!r}")
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.sim.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of another (triggered) event onto this one.
+
+        Useful as a callback: ``other.callbacks.append(this.trigger)``.
+        """
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = event._ok
+        self._value = event._value
+        self.sim.schedule(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay.
+
+    Created via :meth:`Simulator.timeout`; it is scheduled immediately on
+    construction and cannot be cancelled (processes stop waiting on it by
+    being interrupted instead).
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r}>"
+
+
+class Condition(Event):
+    """Composite event over several sub-events.
+
+    Triggers when ``evaluate(events, n_processed)`` returns true or when any
+    sub-event fails (the failure propagates).  The condition's value is a
+    dict mapping each *processed, successful* sub-event to its value.
+    """
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events: List[Event] = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.sim is not sim:
+                raise ValueError("cannot mix events from different simulators")
+        # Register on the next tick so that already-processed events count.
+        for event in self._events:
+            if event.processed:
+                self._on_sub_event(event)
+            else:
+                event.callbacks.append(self._on_sub_event)
+        if not self._events and not self.triggered:
+            self.succeed({})
+
+    @staticmethod
+    def evaluate(events: List[Event], count: int) -> bool:
+        """Decide whether the condition holds; overridden by subclasses."""
+        raise NotImplementedError
+
+    def _on_sub_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self.evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        # Only *processed* sub-events count: a Timeout is triggered from
+        # birth, but its occurrence is the moment it is processed.
+        return {
+            event: event.value
+            for event in self._events
+            if event.processed and event.ok
+        }
+
+
+class AllOf(Condition):
+    """Condition that triggers when *all* sub-events have succeeded.
+
+    This is how a grid job waits for both its processor allocation and its
+    input-data transfer: response time then naturally contains
+    ``max(queue time, transfer time)`` exactly as the paper defines.
+    """
+
+    @staticmethod
+    def evaluate(events: List[Event], count: int) -> bool:
+        return count >= len(events)
+
+
+class AnyOf(Condition):
+    """Condition that triggers when *any* sub-event has succeeded."""
+
+    @staticmethod
+    def evaluate(events: List[Event], count: int) -> bool:
+        return count > 0 or not events

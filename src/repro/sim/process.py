@@ -1,0 +1,180 @@
+"""Generator-coroutine processes.
+
+A process is an ordinary Python generator that ``yield``s events; the kernel
+resumes it with the event's value (or throws the event's exception / an
+:class:`~repro.sim.errors.Interrupt` into it).  The :class:`Process` object
+is itself an :class:`~repro.sim.events.Event` that triggers when the
+generator finishes, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.events import PENDING, PRIORITY_URGENT, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process") -> None:
+        super().__init__(sim)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        sim.schedule(self, priority=PRIORITY_URGENT)
+
+
+class Process(Event):
+    """A running process.  Triggers with the generator's return value.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    generator:
+        The generator to execute.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: ProcessGenerator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(
+                f"{generator!r} is not a generator; did you forget to call "
+                "the process function?")
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None if running).
+        self._target: Optional[Event] = None
+        Initialize(sim, self)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'done' if self.triggered else 'alive'}>"
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the generator has not exited."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting for."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        The process stops waiting on its current target (the target event
+        itself is unaffected and may still trigger later).  Interrupting a
+        finished process is an error; interrupting a process that is waiting
+        on its own initialization is delivered at start.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead {self!r}")
+        if self.sim.active_process is self:
+            raise SimulationError(f"{self!r} cannot interrupt itself")
+        # Deliver asynchronously via a failed urgent event so that interrupt
+        # ordering is deterministic with respect to the event queue.
+        event = Event(self.sim)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.sim.schedule(event, priority=PRIORITY_URGENT)
+        # Detach from the old target so its trigger no longer resumes us.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    # -- kernel interface ----------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.sim._active_process = self
+        try:
+            while True:
+                if event._ok:
+                    try:
+                        target = self._generator.send(event._value)
+                    except StopIteration as stop:
+                        self._finish(ok=True, value=stop.value)
+                        return
+                    except Exception as err:
+                        # Exception escaped the generator: process failure.
+                        self._finish(ok=False, value=err)
+                        return
+                else:
+                    # The waited-on event failed: re-raise inside the process.
+                    event._defused = True
+                    exc = event._value
+                    try:
+                        target = self._generator.throw(exc)
+                    except StopIteration as stop:
+                        self._finish(ok=True, value=stop.value)
+                        return
+                    except Exception as err:
+                        # Either the original exception came back unhandled
+                        # or the handler itself raised; both are failures.
+                        self._finish(ok=False, value=err)
+                        return
+                if not isinstance(target, Event):
+                    # Throw a descriptive error into the generator; if it is
+                    # not caught there, the branch above turns it into a
+                    # process failure on the next loop iteration.
+                    bad = SimulationError(
+                        f"process {self.name!r} yielded a non-event: "
+                        f"{target!r}")
+                    event = Event(self.sim)
+                    event._ok = False
+                    event._value = bad
+                    event._defused = True
+                    continue
+                if target.sim is not self.sim:
+                    bad = SimulationError(
+                        f"process {self.name!r} yielded an event from a "
+                        "different simulator")
+                    event = Event(self.sim)
+                    event._ok = False
+                    event._value = bad
+                    event._defused = True
+                    continue
+                if target.processed:
+                    # Already done: loop immediately without going through
+                    # the queue (same semantics, less overhead).
+                    event = target
+                    continue
+                target.callbacks.append(self._resume)
+                self._target = target
+                return
+        finally:
+            self.sim._active_process = None
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        self._target = None
+        if ok:
+            self.succeed(value)
+        else:
+            # If nobody ever waits on this process, the kernel raises the
+            # exception out of ``Simulator.step`` (undefused failed event),
+            # so errors are never silently swallowed.
+            self.fail(value)

@@ -1,0 +1,303 @@
+"""Queued resources for the simulation kernel.
+
+* :class:`Resource` — a counted resource with a FIFO wait queue (used for
+  processor pools in compute elements).
+* :class:`PriorityResource` — same, but requests carry a sortable priority
+  (used by non-FIFO local schedulers).
+* :class:`Store` — a queue of arbitrary items with blocking ``get``/``put``
+  (used for incoming-job queues).
+* :class:`Container` — a continuous quantity with bounded capacity (used for
+  storage-space accounting when modelling quota-limited storage elements).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from itertools import count
+from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Triggers (succeeds) when the slot is granted.  Must be paired with a
+    ``release`` — the object supports use as a context manager inside
+    process generators::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    __slots__ = ("resource", "key")
+
+    def __init__(self, resource: "Resource", key: Any = None) -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.key = key
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (no-op if already granted)."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and a FIFO queue.
+
+    The grid maps each processor pool (the site's compute elements) onto one
+    ``Resource`` whose capacity is the processor count.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.sim = sim
+        self._capacity = int(capacity)
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {len(self.users)}/{self._capacity} "
+                f"used, {len(self.queue)} queued>")
+
+    @property
+    def capacity(self) -> int:
+        """Total number of slots."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self.queue)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        req = Request(self)
+        self.queue.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a granted slot (granting it to the next waiter)."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Releasing an ungranted request cancels it instead.
+            self._cancel(request)
+            return
+        self._grant()
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            req = self._pop_next()
+            self.users.append(req)
+            req.succeed()
+
+    def _pop_next(self) -> Request:
+        return self.queue.popleft()
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue is ordered by request priority.
+
+    Lower priority values are granted first; ties break FIFO.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        super().__init__(sim, capacity)
+        self._heap: List[Any] = []
+        self._seq = count()
+
+    @property
+    def queued(self) -> int:
+        return len(self._heap)
+
+    def request(self, priority: int = 0) -> Request:  # type: ignore[override]
+        req = Request(self, key=priority)
+        heapq.heappush(self._heap, (priority, next(self._seq), req))
+        self._grant()
+        return req
+
+    def _cancel(self, request: Request) -> None:
+        self._heap = [item for item in self._heap if item[2] is not request]
+        heapq.heapify(self._heap)
+
+    def _grant(self) -> None:
+        while self._heap and len(self.users) < self._capacity:
+            _, _, req = heapq.heappop(self._heap)
+            self.users.append(req)
+            req.succeed()
+
+    def _pop_next(self) -> Request:  # pragma: no cover - unused via heap
+        raise NotImplementedError
+
+
+class StorePut(Event):
+    """Pending ``put`` on a :class:`Store` (fires when accepted)."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, sim: "Simulator", item: Any) -> None:
+        super().__init__(sim)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending ``get`` on a :class:`Store` (fires with the item)."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, sim: "Simulator",
+                 filter: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(sim)
+        self.filter = filter
+
+
+class Store:
+    """A FIFO item queue with optional capacity and filtered gets.
+
+    Site job queues are Stores: the local scheduler ``get``s the next job,
+    users/external schedulers ``put`` jobs in.
+    """
+
+    def __init__(self, sim: "Simulator",
+                 capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __repr__(self) -> str:
+        return f"<Store {len(self.items)} items>"
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; fires immediately unless the store is full."""
+        event = StorePut(self.sim, item)
+        self._putters.append(event)
+        self._settle()
+        return event
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Remove and return an item (the first matching ``filter``)."""
+        event = StoreGet(self.sim, filter)
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit pending puts while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            # Serve getters (possibly filtered).
+            for get in list(self._getters):
+                match_index: Optional[int] = None
+                if get.filter is None:
+                    if self.items:
+                        match_index = 0
+                else:
+                    for i, item in enumerate(self.items):
+                        if get.filter(item):
+                            match_index = i
+                            break
+                if match_index is not None:
+                    self._getters.remove(get)
+                    get.succeed(self.items.pop(match_index))
+                    progressed = True
+
+
+class Container:
+    """A continuous quantity in ``[0, capacity]`` with blocking get/put.
+
+    Used for storage-space accounting where transfers reserve space before
+    the bytes arrive.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float,
+                 init: float = 0.0) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init {init!r} outside [0, {capacity!r}]")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self._level = float(init)
+        self._putters: Deque[Any] = deque()
+        self._getters: Deque[Any] = deque()
+
+    @property
+    def level(self) -> float:
+        """The current stored amount."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; blocks while it would exceed capacity."""
+        if amount < 0:
+            raise ValueError(f"amount must be non-negative, got {amount!r}")
+        event = Event(self.sim)
+        self._putters.append((event, amount))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; blocks until that much is available."""
+        if amount < 0:
+            raise ValueError(f"amount must be non-negative, got {amount!r}")
+        event = Event(self.sim)
+        self._getters.append((event, amount))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity + 1e-9:
+                    self._putters.popleft()
+                    self._level = min(self.capacity, self._level + amount)
+                    event.succeed()
+                    progressed = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if self._level + 1e-9 >= amount:
+                    self._getters.popleft()
+                    self._level = max(0.0, self._level - amount)
+                    event.succeed()
+                    progressed = True

@@ -1,0 +1,87 @@
+"""Lightweight event tracing for debugging and validation.
+
+Attach a :class:`Tracer` to a simulator to record every processed event, or
+use :func:`trace_calls` to log domain-level happenings (job dispatched,
+transfer started, replica created, ...).  Tracing is off by default and has
+zero cost when unused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+    from repro.sim.events import Event
+
+
+@dataclass
+class TraceRecord:
+    """One recorded trace entry."""
+
+    time: float
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        fields = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:12.3f}] {self.kind:<24} {fields}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries, optionally filtered by kind.
+
+    Domain modules call :meth:`emit` at interesting moments; the tracer can
+    also be attached to a simulator to see raw kernel events.
+    """
+
+    def __init__(self, kinds: Optional[Tuple[str, ...]] = None,
+                 max_records: Optional[int] = None) -> None:
+        self.kinds = set(kinds) if kinds else None
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+        self._sinks: List[Callable[[TraceRecord], None]] = []
+
+    def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        """Also forward every accepted record to ``sink`` (e.g. print)."""
+        self._sinks.append(sink)
+
+    def emit(self, time: float, kind: str, **detail: Any) -> None:
+        """Record one entry (dropped if filtered out or over the cap)."""
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        record = TraceRecord(time=time, kind=kind, detail=detail)
+        self.records.append(record)
+        for sink in self._sinks:
+            sink(record)
+
+    def attach_kernel(self, sim: "Simulator") -> None:
+        """Record every kernel event processed by ``sim``."""
+
+        def hook(sim: "Simulator", event: "Event") -> None:
+            self.emit(sim.now, "kernel.event", event=type(event).__name__)
+
+        sim.pre_event_hooks.append(hook)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of one kind, in time order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def dump(self) -> str:
+        """Render the whole trace as text."""
+        return "\n".join(str(r) for r in self.records)
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing (the default wiring)."""
+
+    def emit(self, time: float, kind: str, **detail: Any) -> None:  # noqa: D102
+        return

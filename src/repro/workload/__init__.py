@@ -1,0 +1,36 @@
+"""Synthetic workload generation (paper §5.1, Figure 2).
+
+"In the absence of real traces from real data grids, we model the amount
+of processing power needed per unit of data, and the size of input and
+output datasets, on the expected values of CMS experiments, but otherwise
+generate synthetic data distributions and workloads."
+
+* :mod:`~repro.workload.popularity` — dataset-popularity models: the
+  paper's geometric distribution plus Zipf/uniform extensions.
+* :mod:`~repro.workload.generator` — builds datasets, the initial replica
+  placement, and every user's job sequence.
+* :mod:`~repro.workload.traces` — JSON export/import so a workload can be
+  replayed across algorithm variants or shared.
+"""
+
+from repro.workload.generator import Workload, WorkloadGenerator
+from repro.workload.popularity import (
+    GeometricPopularity,
+    PopularityModel,
+    UniformPopularity,
+    ZipfPopularity,
+    make_popularity_model,
+)
+from repro.workload.traces import load_workload, save_workload
+
+__all__ = [
+    "GeometricPopularity",
+    "PopularityModel",
+    "UniformPopularity",
+    "Workload",
+    "WorkloadGenerator",
+    "ZipfPopularity",
+    "load_workload",
+    "make_popularity_model",
+    "save_workload",
+]

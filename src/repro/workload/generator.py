@@ -1,0 +1,231 @@
+"""Workload generation: datasets, initial placement, users, and job lists.
+
+Reproduces §5.1 of the paper:
+
+* dataset sizes uniform in [500 MB, 2 GB], one initial replica each,
+  placed uniformly at random;
+* users mapped evenly across sites;
+* each job needs a single input file drawn from the geometric popularity
+  distribution and runs for ``300 × (input size in GB)`` seconds;
+* job output is ignored ("as job output is of negligible size as compared
+  to input, we ignore output costs").
+
+Extensions (off by default): multi-input jobs and alternative popularity
+models, both flagged explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.grid.files import Dataset, DatasetCollection
+from repro.grid.job import Job
+from repro.workload.popularity import GeometricPopularity, PopularityModel
+
+
+@dataclass
+class Workload:
+    """A fully materialized workload, independent of any scheduler choice.
+
+    The same Workload object can be fed to every algorithm combination,
+    giving paired (common-random-numbers) comparisons.
+    """
+
+    datasets: DatasetCollection
+    #: dataset name → site holding the initial (primary, pinned) replica.
+    initial_placement: Dict[str, str]
+    #: user name → home site.
+    user_sites: Dict[str, str]
+    #: user name → ordered job list.
+    user_jobs: Dict[str, List[Job]]
+
+    @property
+    def n_jobs(self) -> int:
+        """Total jobs across all users."""
+        return sum(len(jobs) for jobs in self.user_jobs.values())
+
+    @property
+    def users(self) -> List[str]:
+        """User names in creation order."""
+        return list(self.user_jobs)
+
+    def request_counts(self) -> Dict[str, int]:
+        """How many jobs reference each dataset (the Figure 2 histogram)."""
+        counts: Dict[str, int] = {name: 0 for name in self.datasets.names}
+        for jobs in self.user_jobs.values():
+            for job in jobs:
+                for fname in job.input_files:
+                    counts[fname] += 1
+        return counts
+
+    def fresh(self) -> "Workload":
+        """A copy with brand-new Job objects (same ids/inputs/runtimes).
+
+        Jobs are mutated by a run (state, timestamps), so replaying the
+        same workload against another algorithm combination must start
+        from fresh jobs.  Datasets and placements are immutable and shared.
+        """
+        return Workload(
+            datasets=self.datasets,
+            initial_placement=dict(self.initial_placement),
+            user_sites=dict(self.user_sites),
+            user_jobs={
+                user: [
+                    Job(
+                        job_id=j.job_id,
+                        user=j.user,
+                        origin_site=j.origin_site,
+                        input_files=list(j.input_files),
+                        runtime_s=j.runtime_s,
+                        output_size_mb=j.output_size_mb,
+                    )
+                    for j in jobs
+                ]
+                for user, jobs in self.user_jobs.items()
+            },
+        )
+
+    def total_input_mb(self) -> float:
+        """Sum of input sizes over all jobs (an upper bound on fetch
+        traffic if no request ever hit a local or cached replica)."""
+        return sum(
+            self.datasets.get(fname).size_mb
+            for jobs in self.user_jobs.values()
+            for job in jobs
+            for fname in job.input_files
+        )
+
+
+class WorkloadGenerator:
+    """Generates :class:`Workload` objects from paper-style parameters.
+
+    Parameters
+    ----------
+    n_users, n_datasets, n_jobs:
+        Table 1 scale knobs (paper: 120, 200, 6000).
+    sites:
+        Site names users/datasets are distributed over.
+    rng:
+        Source of all randomness (pass a dedicated stream).
+    popularity:
+        Rank distribution (default: the paper's geometric).
+    compute_seconds_per_gb:
+        The paper's 300 s per GB of input.
+    min_size_mb, max_size_mb:
+        Dataset size range (paper: 500–2000 MB).
+    inputs_per_job:
+        1 reproduces the paper; >1 enables the multi-input extension
+        (inputs drawn without replacement from the popularity model).
+    output_fraction:
+        Job output size as a fraction of its input size.  0 reproduces
+        the paper ("we ignore output costs"); positive values enable the
+        output-modelling extension — outputs are written to the execution
+        site's storage but never transferred.
+    """
+
+    def __init__(
+        self,
+        n_users: int,
+        n_datasets: int,
+        n_jobs: int,
+        sites: List[str],
+        rng: random.Random,
+        popularity: Optional[PopularityModel] = None,
+        compute_seconds_per_gb: float = 300.0,
+        min_size_mb: float = 500.0,
+        max_size_mb: float = 2000.0,
+        inputs_per_job: int = 1,
+        output_fraction: float = 0.0,
+    ) -> None:
+        if n_users < 1:
+            raise ValueError(f"need >= 1 user, got {n_users}")
+        if n_jobs < n_users:
+            raise ValueError(
+                f"{n_jobs} jobs cannot be split over {n_users} users "
+                "(each user needs at least one)")
+        if not sites:
+            raise ValueError("no sites")
+        if inputs_per_job < 1:
+            raise ValueError(f"inputs_per_job must be >= 1")
+        if inputs_per_job > n_datasets:
+            raise ValueError(
+                f"inputs_per_job={inputs_per_job} exceeds "
+                f"n_datasets={n_datasets}")
+        if compute_seconds_per_gb <= 0:
+            raise ValueError("compute_seconds_per_gb must be positive")
+        if output_fraction < 0:
+            raise ValueError("output_fraction must be >= 0")
+        self.n_users = n_users
+        self.n_datasets = n_datasets
+        self.n_jobs = n_jobs
+        self.sites = list(sites)
+        self.rng = rng
+        self.popularity = popularity or GeometricPopularity(n_datasets)
+        if self.popularity.n_items != n_datasets:
+            raise ValueError(
+                f"popularity model covers {self.popularity.n_items} items, "
+                f"workload has {n_datasets} datasets")
+        self.compute_seconds_per_gb = compute_seconds_per_gb
+        self.min_size_mb = min_size_mb
+        self.max_size_mb = max_size_mb
+        self.inputs_per_job = inputs_per_job
+        self.output_fraction = output_fraction
+
+    def generate(self) -> Workload:
+        """Materialize a workload (datasets, placement, users, jobs)."""
+        datasets = DatasetCollection.uniform_random(
+            self.n_datasets, self.rng,
+            self.min_size_mb, self.max_size_mb)
+        names = datasets.names
+
+        placement = {
+            name: self.rng.choice(self.sites) for name in names
+        }
+
+        # Users mapped evenly across sites, round-robin.
+        user_sites: Dict[str, str] = {}
+        for u in range(self.n_users):
+            user_sites[f"user{u:03d}"] = self.sites[u % len(self.sites)]
+
+        # Jobs split as evenly as possible (first users get the remainder).
+        base, extra = divmod(self.n_jobs, self.n_users)
+        user_jobs: Dict[str, List[Job]] = {}
+        job_id = 0
+        for u, (user, site) in enumerate(user_sites.items()):
+            count = base + (1 if u < extra else 0)
+            jobs: List[Job] = []
+            for _ in range(count):
+                inputs = self._draw_inputs(names)
+                input_mb = sum(datasets.get(f).size_mb for f in inputs)
+                runtime = self.compute_seconds_per_gb * input_mb / 1000.0
+                jobs.append(Job(
+                    job_id=job_id,
+                    user=user,
+                    origin_site=site,
+                    input_files=inputs,
+                    runtime_s=runtime,
+                    output_size_mb=self.output_fraction * input_mb,
+                ))
+                job_id += 1
+            user_jobs[user] = jobs
+
+        return Workload(
+            datasets=datasets,
+            initial_placement=placement,
+            user_sites=user_sites,
+            user_jobs=user_jobs,
+        )
+
+    def _draw_inputs(self, names: List[str]) -> List[str]:
+        if self.inputs_per_job == 1:
+            return [names[self.popularity.sample(self.rng)]]
+        picked: List[str] = []
+        seen = set()
+        while len(picked) < self.inputs_per_job:
+            rank = self.popularity.sample(self.rng)
+            if rank not in seen:
+                seen.add(rank)
+                picked.append(names[rank])
+        return picked

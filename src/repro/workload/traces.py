@@ -1,0 +1,86 @@
+"""Workload trace export/import.
+
+A :class:`~repro.workload.generator.Workload` serializes to a plain JSON
+document so the exact same job sequence can be replayed across algorithm
+variants, archived alongside results, or inspected by hand.  The format is
+versioned; loading rejects unknown versions loudly rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.grid.files import Dataset, DatasetCollection
+from repro.grid.job import Job
+from repro.workload.generator import Workload
+
+FORMAT_VERSION = 1
+
+
+def workload_to_dict(workload: Workload) -> Dict[str, Any]:
+    """Convert a workload to a JSON-serializable dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "datasets": [
+            {"name": ds.name, "size_mb": ds.size_mb}
+            for ds in workload.datasets
+        ],
+        "initial_placement": dict(workload.initial_placement),
+        "user_sites": dict(workload.user_sites),
+        "user_jobs": {
+            user: [
+                {
+                    "job_id": job.job_id,
+                    "input_files": list(job.input_files),
+                    "runtime_s": job.runtime_s,
+                    "output_size_mb": job.output_size_mb,
+                }
+                for job in jobs
+            ]
+            for user, jobs in workload.user_jobs.items()
+        },
+    }
+
+
+def workload_from_dict(data: Dict[str, Any]) -> Workload:
+    """Rebuild a workload from :func:`workload_to_dict` output."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported workload trace version {version!r} "
+            f"(expected {FORMAT_VERSION})")
+    datasets = DatasetCollection(
+        Dataset(d["name"], d["size_mb"]) for d in data["datasets"])
+    user_sites = dict(data["user_sites"])
+    user_jobs = {}
+    for user, jobs in data["user_jobs"].items():
+        site = user_sites[user]
+        user_jobs[user] = [
+            Job(
+                job_id=j["job_id"],
+                user=user,
+                origin_site=site,
+                input_files=list(j["input_files"]),
+                runtime_s=j["runtime_s"],
+                output_size_mb=j.get("output_size_mb", 0.0),
+            )
+            for j in jobs
+        ]
+    return Workload(
+        datasets=datasets,
+        initial_placement=dict(data["initial_placement"]),
+        user_sites=user_sites,
+        user_jobs=user_jobs,
+    )
+
+
+def save_workload(workload: Workload, path: Union[str, Path]) -> None:
+    """Write a workload trace as JSON."""
+    Path(path).write_text(json.dumps(workload_to_dict(workload), indent=1))
+
+
+def load_workload(path: Union[str, Path]) -> Workload:
+    """Read a workload trace written by :func:`save_workload`."""
+    return workload_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,118 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SMALL = ["--scale", "0.05"]
+
+
+class TestTable1:
+    def test_prints_parameters(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "120" in out
+        assert "6000 jobs" in out
+
+    def test_scale_override(self, capsys):
+        assert main(["table1", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "600 jobs" in out
+
+
+class TestRun:
+    def test_default_combination(self, capsys):
+        assert main(["run", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "JobDataPresent + DataRandom" in out
+        assert "avg response time" in out
+
+    def test_explicit_combination(self, capsys):
+        assert main(["run", "--es", "JobLocal", "--ds", "DataDoNothing",
+                     *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "JobLocal + DataDoNothing" in out
+
+    def test_invalid_scheduler_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--es", "JobMagic", *SMALL])
+
+    def test_config_overrides_applied(self, capsys):
+        assert main(["run", *SMALL, "--jobs", "50", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs completed:            50" in out
+
+    def test_bad_config_returns_error_code(self, capsys):
+        # storage below the largest dataset is a config error
+        code = main(["run", *SMALL, "--storage-gb", "1"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMatrix:
+    def test_prints_three_figures(self, capsys):
+        assert main(["matrix", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3a" in out
+        assert "Figure 3b" in out
+        assert "Figure 4" in out
+        assert "JobDataPresent" in out
+
+
+class TestFigure:
+    def test_figure2(self, capsys):
+        assert main(["figure", "2", *SMALL, "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 5
+
+    @pytest.mark.parametrize("which", ["3a", "3b", "4"])
+    def test_figure_matrix_views(self, which, capsys):
+        assert main(["figure", which, *SMALL]) == 0
+        assert "JobLocal" in capsys.readouterr().out
+
+    def test_figure5(self, capsys):
+        assert main(["figure", "5", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "10MB/sec" in out and "100MB/sec" in out
+
+
+class TestSweepCommand:
+    def test_sweeps_and_reports_best(self, capsys):
+        assert main(["sweep", "bandwidth_mbps", "10", "100",
+                     "--es", "JobLocal", "--ds", "DataDoNothing",
+                     *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "sweep of bandwidth_mbps" in out
+        assert "best bandwidth_mbps" in out
+
+    def test_string_values_parse(self, capsys):
+        assert main(["sweep", "topology", "hierarchical", "star",
+                     *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "star" in out
+
+    def test_unknown_parameter_errors(self, capsys):
+        assert main(["sweep", "warp_factor", "1", *SMALL]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_best_client_policy_accepted(self, capsys):
+        assert main(["run", "--ds", "DataBestClient", *SMALL]) == 0
+        assert "DataBestClient" in capsys.readouterr().out
+
+
+class TestWorkload:
+    def test_writes_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        assert main(["workload", "--out", str(out_file), *SMALL]) == 0
+        data = json.loads(out_file.read_text())
+        assert data["version"] == 1
+        assert "wrote" in capsys.readouterr().out
+
+    def test_trace_round_trips(self, tmp_path):
+        from repro.workload.traces import load_workload
+        out_file = tmp_path / "trace.json"
+        main(["workload", "--out", str(out_file), *SMALL, "--seed", "9"])
+        workload = load_workload(out_file)
+        assert workload.n_jobs == 300

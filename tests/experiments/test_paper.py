@@ -1,0 +1,92 @@
+"""Unit tests for the per-figure reproduction entry points (scaled)."""
+
+import pytest
+
+from repro import SimulationConfig
+from repro.experiments.paper import (
+    PAPER_CLAIMS,
+    reproduce_figure2,
+    reproduce_figure3_and_4,
+    reproduce_figure5,
+    table1_parameters,
+)
+from repro.scheduling.registry import ALL_DS, ALL_ES
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return SimulationConfig.paper().scaled(0.05).with_(
+        ds_check_interval_s=100.0)
+
+
+class TestTable1:
+    def test_default_is_paper_config(self):
+        rows = table1_parameters()
+        assert rows["Size of Workload"] == "6000 jobs"
+
+    def test_custom_config(self, small_config):
+        rows = table1_parameters(small_config)
+        assert rows["Size of Workload"] == f"{small_config.n_jobs} jobs"
+
+
+class TestFigure2:
+    def test_returns_ranked_counts(self, small_config):
+        ranked = reproduce_figure2(small_config, top_n=10)
+        assert len(ranked) == 10
+        counts = [c for _, c in ranked]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_counts_sum_bounded_by_jobs(self, small_config):
+        ranked = reproduce_figure2(small_config,
+                                   top_n=small_config.n_datasets)
+        assert sum(c for _, c in ranked) == small_config.n_jobs
+
+    def test_geometric_head_dominates(self, small_config):
+        # Use a sharper skew so dominance is unambiguous even with the
+        # tiny 10-dataset scaled config.
+        config = small_config.with_(geometric_p=0.3)
+        ranked = reproduce_figure2(config, top_n=config.n_datasets)
+        head = sum(c for _, c in ranked[:5])
+        tail = sum(c for _, c in ranked[-5:])
+        assert head > 3 * max(tail, 1)
+
+
+class TestFigures3And4:
+    @pytest.fixture(scope="class")
+    def result(self, small_config):
+        return reproduce_figure3_and_4(small_config, seeds=(0,))
+
+    def test_all_twelve_combinations(self, result):
+        assert set(result.matrix.runs) == {
+            (es, ds) for es in ALL_ES for ds in ALL_DS}
+
+    def test_figure3a_values_positive(self, result):
+        for value in result.figure3a().values():
+            assert value > 0
+
+    def test_figure3b_datapresent_no_replication_zero(self, result):
+        fig3b = result.figure3b()
+        assert fig3b[("JobDataPresent", "DataDoNothing")] == 0.0
+
+    def test_figure4_percent_range(self, result):
+        for value in result.figure4().values():
+            assert 0.0 <= value <= 100.0
+
+
+class TestFigure5:
+    def test_two_scenarios_four_algorithms(self, small_config):
+        out = reproduce_figure5(small_config, seeds=(0,))
+        assert set(out) == {"10MB/sec", "100MB/sec"}
+        for scenario in out.values():
+            assert set(scenario) == set(ALL_ES)
+
+    def test_more_bandwidth_never_hurts_transfer_heavy(self, small_config):
+        out = reproduce_figure5(small_config, seeds=(0,))
+        for es in ("JobRandom", "JobLeastLoaded", "JobLocal"):
+            assert out["100MB/sec"][es] <= out["10MB/sec"][es] * 1.05
+
+
+class TestClaims:
+    def test_six_documented_claims(self):
+        assert len(PAPER_CLAIMS) == 6
+        assert all(claim.startswith("C") for claim in PAPER_CLAIMS)

@@ -1,0 +1,71 @@
+"""Unit tests for result persistence."""
+
+import pytest
+
+from repro import SimulationConfig, run_matrix
+from repro.experiments.persistence import (
+    load_matrix,
+    matrix_from_dict,
+    matrix_to_dict,
+    run_metrics_from_dict,
+    run_metrics_to_dict,
+    save_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    config = SimulationConfig.paper().scaled(0.05)
+    return run_matrix(config, es_names=["JobLocal", "JobDataPresent"],
+                      ds_names=["DataDoNothing"], seeds=(0, 1))
+
+
+class TestRunMetricsRoundTrip:
+    def test_round_trip_identical(self, matrix):
+        original = matrix.runs[("JobLocal", "DataDoNothing")][0]
+        restored = run_metrics_from_dict(run_metrics_to_dict(original))
+        assert restored == original
+
+    def test_unknown_field_rejected(self, matrix):
+        data = run_metrics_to_dict(
+            matrix.runs[("JobLocal", "DataDoNothing")][0])
+        data["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            run_metrics_from_dict(data)
+
+
+class TestMatrixRoundTrip:
+    def test_dict_round_trip(self, matrix):
+        restored = matrix_from_dict(matrix_to_dict(matrix))
+        assert restored.seeds == matrix.seeds
+        assert restored.config == matrix.config
+        assert set(restored.runs) == set(matrix.runs)
+        for key in matrix.runs:
+            assert restored.runs[key] == matrix.runs[key]
+
+    def test_file_round_trip(self, matrix, tmp_path):
+        path = tmp_path / "results.json"
+        save_matrix(matrix, path)
+        restored = load_matrix(path)
+        assert restored.metric_matrix("avg_response_time_s") == \
+            matrix.metric_matrix("avg_response_time_s")
+
+    def test_restored_summaries_work(self, matrix, tmp_path):
+        path = tmp_path / "results.json"
+        save_matrix(matrix, path)
+        restored = load_matrix(path)
+        summary = restored.summary("JobLocal", "DataDoNothing")
+        assert summary["avg_response_time_s"].n == 2
+
+    def test_bad_version_rejected(self, matrix):
+        data = matrix_to_dict(matrix)
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            matrix_from_dict(data)
+
+    def test_malformed_key_rejected(self, matrix):
+        data = matrix_to_dict(matrix)
+        runs = data["runs"].pop(next(iter(data["runs"])))
+        data["runs"]["no-separator"] = runs
+        with pytest.raises(ValueError, match="malformed"):
+            matrix_from_dict(data)

@@ -1,0 +1,40 @@
+"""Shared fixtures for grid-layer tests: a small, fully wired grid."""
+
+import random
+
+import pytest
+
+from repro.grid import DataGrid, Dataset, DatasetCollection
+from repro.network import Topology
+from repro.scheduling import DataDoNothing, FIFOLocalScheduler, JobLocal
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def small_grid():
+    """A 4-site star grid with 3 datasets, JobLocal/FIFO/DataDoNothing.
+
+    Layout: every site has 2 processors and 10 GB of storage; dataset dN
+    (N×500 MB) initially lives at siteN.
+    """
+    sim = Simulator()
+    topology = Topology.star(4, 10.0)
+    datasets = DatasetCollection([
+        Dataset("d0", 500),
+        Dataset("d1", 1000),
+        Dataset("d2", 1500),
+    ])
+    grid = DataGrid.create(
+        sim=sim,
+        topology=topology,
+        datasets=datasets,
+        external_scheduler=JobLocal(),
+        local_scheduler=FIFOLocalScheduler(),
+        dataset_scheduler=DataDoNothing(),
+        site_processors={name: 2 for name in topology.sites},
+        storage_capacity_mb=10_000,
+        datamover_rng=random.Random(0),
+    )
+    grid.place_initial_replicas(
+        {"d0": "site00", "d1": "site01", "d2": "site02"})
+    return sim, grid

@@ -1,0 +1,86 @@
+"""Unit tests for the replica catalog."""
+
+import random
+
+import pytest
+
+from repro.grid import DatasetCollection, ReplicaCatalog
+from repro.grid.files import Dataset
+
+
+class TestCatalog:
+    def test_register_and_locations(self):
+        cat = ReplicaCatalog()
+        cat.register("d", "s1")
+        cat.register("d", "s0")
+        assert cat.locations("d") == ["s0", "s1"]  # sorted
+
+    def test_unknown_dataset_empty(self):
+        assert ReplicaCatalog().locations("ghost") == []
+
+    def test_has_replica(self):
+        cat = ReplicaCatalog()
+        cat.register("d", "s1")
+        assert cat.has_replica("d", "s1")
+        assert not cat.has_replica("d", "s2")
+
+    def test_deregister(self):
+        cat = ReplicaCatalog()
+        cat.register("d", "s1")
+        cat.deregister("d", "s1")
+        assert cat.locations("d") == []
+
+    def test_deregister_idempotent(self):
+        cat = ReplicaCatalog()
+        cat.deregister("d", "s1")  # no exception
+        cat.register("d", "s1")
+        cat.deregister("d", "s1")
+        cat.deregister("d", "s1")
+        assert cat.deregistrations == 1
+
+    def test_register_same_replica_twice_counts_once(self):
+        cat = ReplicaCatalog()
+        cat.register("d", "s1")
+        cat.register("d", "s1")
+        assert cat.replica_count("d") == 1
+
+    def test_datasets_at(self):
+        cat = ReplicaCatalog()
+        cat.register("d2", "s1")
+        cat.register("d1", "s1")
+        cat.register("d3", "s2")
+        assert cat.datasets_at("s1") == ["d1", "d2"]
+
+    def test_total_replicas(self):
+        cat = ReplicaCatalog()
+        cat.register("d1", "s1")
+        cat.register("d1", "s2")
+        cat.register("d2", "s1")
+        assert cat.total_replicas() == 3
+
+
+class TestInitialDistribution:
+    def test_every_dataset_placed(self):
+        datasets = DatasetCollection(
+            [Dataset(f"d{i}", 100) for i in range(50)])
+        sites = [f"s{i}" for i in range(5)]
+        mapping = ReplicaCatalog.initial_uniform_distribution(
+            datasets, sites, random.Random(0))
+        assert set(mapping) == set(datasets.names)
+        assert set(mapping.values()) <= set(sites)
+
+    def test_deterministic_for_seed(self):
+        datasets = DatasetCollection(
+            [Dataset(f"d{i}", 100) for i in range(20)])
+        sites = ["a", "b", "c"]
+        m1 = ReplicaCatalog.initial_uniform_distribution(
+            datasets, sites, random.Random(5))
+        m2 = ReplicaCatalog.initial_uniform_distribution(
+            datasets, sites, random.Random(5))
+        assert m1 == m2
+
+    def test_no_sites_rejected(self):
+        datasets = DatasetCollection([Dataset("d", 100)])
+        with pytest.raises(ValueError):
+            ReplicaCatalog.initial_uniform_distribution(
+                datasets, [], random.Random(0))

@@ -1,0 +1,61 @@
+"""Model-based (stateful) property tests for the replica catalog."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.grid import ReplicaCatalog
+
+DATASETS = [f"d{i}" for i in range(5)]
+SITES = [f"s{i}" for i in range(4)]
+
+
+class CatalogMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.catalog = ReplicaCatalog()
+        self.model = {}  # name -> set of sites
+
+    @rule(name=st.sampled_from(DATASETS), site=st.sampled_from(SITES))
+    def register(self, name, site):
+        self.catalog.register(name, site)
+        self.model.setdefault(name, set()).add(site)
+
+    @rule(name=st.sampled_from(DATASETS), site=st.sampled_from(SITES))
+    def deregister(self, name, site):
+        self.catalog.deregister(name, site)
+        if name in self.model:
+            self.model[name].discard(site)
+
+    @invariant()
+    def locations_agree(self):
+        for name in DATASETS:
+            assert self.catalog.locations(name) == sorted(
+                self.model.get(name, ()))
+
+    @invariant()
+    def membership_agrees(self):
+        for name in DATASETS:
+            for site in SITES:
+                assert self.catalog.has_replica(name, site) == (
+                    site in self.model.get(name, set()))
+
+    @invariant()
+    def counts_agree(self):
+        for name in DATASETS:
+            assert self.catalog.replica_count(name) == len(
+                self.model.get(name, set()))
+        assert self.catalog.total_replicas() == sum(
+            len(sites) for sites in self.model.values())
+
+    @invariant()
+    def per_site_view_agrees(self):
+        for site in SITES:
+            expected = sorted(
+                name for name, sites in self.model.items() if site in sites)
+            assert self.catalog.datasets_at(site) == expected
+
+
+TestCatalogStateful = CatalogMachine.TestCase
+TestCatalogStateful.settings = settings(
+    max_examples=50, stateful_step_count=30, deadline=None)

@@ -1,0 +1,130 @@
+"""Unit tests for compute elements and utilization accounting."""
+
+import pytest
+
+from repro.grid import ComputeElement
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestPool:
+    def test_needs_positive_processors(self, sim):
+        with pytest.raises(ValueError):
+            ComputeElement(sim, "s", 0)
+
+    def test_waiting_counts_queued_requests(self, sim):
+        ce = ComputeElement(sim, "s", 1)
+        ce.acquire()
+        ce.acquire()
+        ce.acquire()
+        assert ce.waiting == 2
+
+    def test_release_grants_next(self, sim):
+        ce = ComputeElement(sim, "s", 1)
+        r1 = ce.acquire()
+        r2 = ce.acquire()
+        ce.release(r1)
+        assert r2.triggered
+        assert ce.waiting == 0
+
+    def test_priority_requires_priority_pool(self, sim):
+        ce = ComputeElement(sim, "s", 1)
+        with pytest.raises(TypeError):
+            ce.acquire(priority=3)
+
+    def test_priority_pool_orders_by_priority(self, sim):
+        ce = ComputeElement(sim, "s", 1, priority_queue=True)
+        blocker = ce.acquire(priority=0)
+        order = []
+
+        def worker(name, prio):
+            req = ce.acquire(priority=prio)
+            yield req
+            order.append(name)
+            ce.release(req)
+
+        sim.process(worker("slow", 9))
+        sim.process(worker("fast", 1))
+
+        def release():
+            yield sim.timeout(1)
+            ce.release(blocker)
+
+        sim.process(release())
+        sim.run()
+        assert order == ["fast", "slow"]
+
+
+class TestUtilization:
+    def test_idle_when_nothing_ran(self, sim):
+        ce = ComputeElement(sim, "s", 2)
+        sim.timeout(100)
+        sim.run()
+        assert ce.idle_fraction() == 1.0
+        assert ce.busy_processor_seconds() == 0.0
+
+    def test_busy_integral_single_job(self, sim):
+        ce = ComputeElement(sim, "s", 2)
+
+        def job():
+            yield sim.timeout(10)  # idle lead-in
+            ce.compute_started()
+            yield sim.timeout(30)
+            ce.compute_finished()
+            yield sim.timeout(10)  # idle tail
+
+        sim.process(job())
+        sim.run()
+        assert sim.now == 50
+        assert ce.busy_processor_seconds() == pytest.approx(30)
+        # 30 busy-seconds of 2 * 50 available.
+        assert ce.idle_fraction() == pytest.approx(1 - 30 / 100)
+
+    def test_overlapping_jobs_integrate(self, sim):
+        ce = ComputeElement(sim, "s", 2)
+
+        def job(start, duration):
+            yield sim.timeout(start)
+            ce.compute_started()
+            yield sim.timeout(duration)
+            ce.compute_finished()
+
+        sim.process(job(0, 20))
+        sim.process(job(10, 20))
+        sim.run()
+        assert ce.busy_processor_seconds() == pytest.approx(40)
+        assert ce.jobs_computed == 2
+
+    def test_busy_extends_to_horizon(self, sim):
+        ce = ComputeElement(sim, "s", 1)
+        ce.compute_started()
+        sim.timeout(10)
+        sim.run()
+        # Still computing at the horizon: integral counts to "now".
+        assert ce.busy_processor_seconds(until=10) == pytest.approx(10)
+        assert ce.idle_fraction(until=10) == pytest.approx(0.0)
+
+    def test_idle_fraction_zero_horizon(self, sim):
+        assert ComputeElement(sim, "s", 1).idle_fraction(until=0) == 1.0
+
+    def test_waiting_for_data_counts_as_idle(self, sim):
+        """A processor held by a job that is waiting for data is idle —
+        the Figure 4 definition."""
+        ce = ComputeElement(sim, "s", 1)
+
+        def job():
+            req = ce.acquire()
+            yield req
+            yield sim.timeout(40)  # "waiting for data" — no compute_started
+            ce.compute_started()
+            yield sim.timeout(10)
+            ce.compute_finished()
+            ce.release(req)
+
+        sim.process(job())
+        sim.run()
+        assert ce.idle_fraction() == pytest.approx(1 - 10 / 50)

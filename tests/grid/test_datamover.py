@@ -1,0 +1,143 @@
+"""Unit tests for the data mover: fetches, dedup, pinning, replication."""
+
+import pytest
+
+from repro.grid.datamover import DataUnavailableError
+from repro.grid.files import Dataset
+
+
+class TestEnsureLocal:
+    def test_present_file_returns_zero_traffic(self, small_grid):
+        sim, grid = small_grid
+        p = grid.datamover.ensure_local("site00", "d0")
+        assert sim.run(until=p) == 0.0
+        assert grid.transfers.total_mb_moved == 0.0
+
+    def test_remote_fetch_moves_file(self, small_grid):
+        sim, grid = small_grid
+        p = grid.datamover.ensure_local("site01", "d0")
+        moved = sim.run(until=p)
+        assert moved == 500
+        assert "d0" in grid.storages["site01"]
+        assert grid.catalog.has_replica("d0", "site01")
+        # 500 MB over two 10 MB/s hops -> 50 s.
+        assert sim.now == pytest.approx(50.0)
+
+    def test_pin_flag_pins_after_arrival(self, small_grid):
+        sim, grid = small_grid
+        p = grid.datamover.ensure_local("site01", "d0", pin=True)
+        sim.run(until=p)
+        assert grid.storages["site01"].is_pinned("d0")
+
+    def test_concurrent_fetches_share_one_transfer(self, small_grid):
+        sim, grid = small_grid
+        p1 = grid.datamover.ensure_local("site01", "d0")
+        p2 = grid.datamover.ensure_local("site01", "d0")
+        done = sim.all_of([p1, p2])
+        sim.run(until=done)
+        # Only one initiator pays; the wire moved the file exactly once.
+        assert sorted([p1.value, p2.value]) == [0.0, 500.0]
+        assert grid.transfers.total_mb_moved == 500
+
+    def test_inflight_query(self, small_grid):
+        sim, grid = small_grid
+        grid.datamover.ensure_local("site01", "d0")
+        sim.step()  # let the fetch process start
+        assert grid.datamover.is_inflight("site01", "d0")
+
+    def test_unavailable_dataset_fails(self, small_grid):
+        sim, grid = small_grid
+        grid.catalog.deregister("d0", "site00")
+        p = grid.datamover.ensure_local("site01", "d0")
+        with pytest.raises(DataUnavailableError):
+            sim.run(until=p)
+
+    def test_unknown_dataset_fails(self, small_grid):
+        sim, grid = small_grid
+        p = grid.datamover.ensure_local("site01", "ghost")
+        with pytest.raises(KeyError):
+            sim.run(until=p)
+
+    def test_fetch_waits_for_pinned_space(self, small_grid):
+        sim, grid = small_grid
+        storage = grid.storages["site03"]
+        # Fill site03 with pinned files: 10 GB capacity.
+        for i in range(10):
+            big = Dataset(f"blk{i}", 999)
+            grid.datasets.add(big)
+            storage.add(big, now=0, pin=True)
+        p = grid.datamover.ensure_local("site03", "d0")
+
+        def unpin_later():
+            yield sim.timeout(500)
+            storage.unpin("blk0")
+            storage.remove("blk0")
+
+        sim.process(unpin_later())
+        moved = sim.run(until=p)
+        assert moved == 500
+        assert sim.now >= 500  # had to wait for space
+
+
+class TestSourceSelection:
+    def test_prefers_closest_replica(self, small_grid):
+        sim, grid = small_grid
+        # In a star, all sites are equidistant, so use traffic to verify
+        # the source actually used: put d0 at site02 too and check whose
+        # uplink carried the bytes.
+        grid.place_initial_replica("d0", "site02")
+        p = grid.datamover.ensure_local("site01", "d0")
+        sim.run(until=p)
+        carried = {
+            link.endpoints: link.bytes_carried
+            for link in grid.topology.links
+        }
+        used = [ep for ep, mb in carried.items() if mb > 0]
+        # One source uplink and the destination downlink.
+        assert len(used) == 2
+
+    def test_tie_break_spreads_sources(self, small_grid):
+        sim, grid = small_grid
+        grid.place_initial_replica("d0", "site02")
+        sources = set()
+        for _ in range(20):
+            src = grid.datamover._pick_source("site01", "d0", None)
+            sources.add(src)
+        assert sources == {"site00", "site02"}
+
+
+class TestReplicate:
+    def test_creates_replica(self, small_grid):
+        sim, grid = small_grid
+        p = grid.datamover.replicate("d0", "site00", "site02")
+        moved = sim.run(until=p)
+        assert moved == 500
+        assert grid.catalog.has_replica("d0", "site02")
+        assert grid.datamover.replications_done == 1
+        by = grid.transfers.mb_moved_by_purpose()
+        assert by == {"replication": 500}
+
+    def test_skips_if_target_has_replica(self, small_grid):
+        sim, grid = small_grid
+        p = grid.datamover.replicate("d0", "site00", "site00")
+        assert sim.run(until=p) == 0.0
+        assert grid.datamover.replications_skipped == 1
+
+    def test_skips_if_target_full_of_pins(self, small_grid):
+        sim, grid = small_grid
+        storage = grid.storages["site03"]
+        for i in range(10):
+            big = Dataset(f"blk{i}", 999)
+            grid.datasets.add(big)
+            storage.add(big, now=0, pin=True)
+        p = grid.datamover.replicate("d0", "site00", "site03")
+        assert sim.run(until=p) == 0.0
+        assert grid.datamover.replications_skipped == 1
+
+    def test_skips_if_already_inflight(self, small_grid):
+        sim, grid = small_grid
+        grid.datamover.ensure_local("site02", "d0")
+        sim.step()  # fetch started
+        p = grid.datamover.replicate("d0", "site00", "site02")
+        assert sim.run(until=p) == 0.0
+        assert grid.datamover.replications_skipped == 1

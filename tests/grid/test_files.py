@@ -1,0 +1,81 @@
+"""Unit tests for datasets and collections."""
+
+import random
+
+import pytest
+
+from repro.grid import Dataset, DatasetCollection
+
+
+class TestDataset:
+    def test_immutable(self):
+        ds = Dataset("d", 100)
+        with pytest.raises(AttributeError):
+            ds.size_mb = 200
+
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            Dataset("d", 0)
+
+    def test_size_gb(self):
+        assert Dataset("d", 1500).size_gb == pytest.approx(1.5)
+
+    def test_equality_by_value(self):
+        assert Dataset("d", 100) == Dataset("d", 100)
+        assert Dataset("d", 100) != Dataset("d", 200)
+
+
+class TestDatasetCollection:
+    def test_add_and_get(self):
+        coll = DatasetCollection()
+        coll.add(Dataset("a", 10))
+        assert coll.get("a").size_mb == 10
+        assert "a" in coll
+        assert len(coll) == 1
+
+    def test_duplicate_rejected(self):
+        coll = DatasetCollection([Dataset("a", 10)])
+        with pytest.raises(ValueError):
+            coll.add(Dataset("a", 20))
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(KeyError):
+            DatasetCollection().get("ghost")
+
+    def test_names_in_insertion_order(self):
+        coll = DatasetCollection([Dataset("b", 1), Dataset("a", 2)])
+        assert coll.names == ["b", "a"]
+
+    def test_total_size(self):
+        coll = DatasetCollection([Dataset("a", 10), Dataset("b", 15)])
+        assert coll.total_size_mb == 25
+
+    def test_iteration(self):
+        coll = DatasetCollection([Dataset("a", 1), Dataset("b", 2)])
+        assert [d.name for d in coll] == ["a", "b"]
+
+
+class TestUniformRandom:
+    def test_count_and_size_range(self):
+        coll = DatasetCollection.uniform_random(
+            50, random.Random(0), min_size_mb=500, max_size_mb=2000)
+        assert len(coll) == 50
+        for ds in coll:
+            assert 500 <= ds.size_mb <= 2000
+
+    def test_deterministic(self):
+        c1 = DatasetCollection.uniform_random(20, random.Random(7))
+        c2 = DatasetCollection.uniform_random(20, random.Random(7))
+        assert [d.size_mb for d in c1] == [d.size_mb for d in c2]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            DatasetCollection.uniform_random(0, random.Random(0))
+        with pytest.raises(ValueError):
+            DatasetCollection.uniform_random(
+                5, random.Random(0), min_size_mb=10, max_size_mb=5)
+
+    def test_prefix(self):
+        coll = DatasetCollection.uniform_random(
+            3, random.Random(0), prefix="file")
+        assert coll.names == ["file0000", "file0001", "file0002"]

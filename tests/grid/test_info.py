@@ -1,0 +1,103 @@
+"""Unit tests for the information service (live and stale modes)."""
+
+import random
+
+import pytest
+
+from repro.grid import Job
+from repro.grid.info import InformationService
+
+
+class TestLiveQueries:
+    def test_site_names_sorted(self, small_grid):
+        _, grid = small_grid
+        assert grid.info.site_names == sorted(grid.sites)
+
+    def test_load_of_idle_site_zero(self, small_grid):
+        _, grid = small_grid
+        assert grid.info.load("site00") == 0
+
+    def test_load_counts_waiting_jobs(self, small_grid):
+        sim, grid = small_grid
+        # 2 processors at site00: the 3rd+ job waits.
+        for i in range(5):
+            job = Job(job_id=i, user="u", origin_site="site00",
+                      input_files=["d0"], runtime_s=100)
+            grid.submit(job)
+        assert grid.info.load("site00") == 3
+
+    def test_unknown_site_raises(self, small_grid):
+        _, grid = small_grid
+        with pytest.raises(KeyError):
+            grid.info.load("nowhere")
+
+    def test_loads_returns_all(self, small_grid):
+        _, grid = small_grid
+        loads = grid.info.loads()
+        assert set(loads) == set(grid.sites)
+
+    def test_least_loaded_prefers_min(self, small_grid):
+        sim, grid = small_grid
+        for i in range(4):
+            grid.submit(Job(job_id=i, user="u", origin_site="site00",
+                            input_files=["d0"], runtime_s=100))
+        # site00 now has waiting jobs; others are empty.
+        assert grid.info.least_loaded() != "site00"
+
+    def test_least_loaded_deterministic_without_rng(self, small_grid):
+        _, grid = small_grid
+        assert grid.info.least_loaded() == "site00"  # alphabetical tie-break
+
+    def test_least_loaded_random_tie_break(self, small_grid):
+        _, grid = small_grid
+        rng = random.Random(0)
+        picks = {grid.info.least_loaded(rng=rng) for _ in range(50)}
+        assert len(picks) > 1  # ties spread across sites
+
+    def test_least_loaded_candidates_subset(self, small_grid):
+        _, grid = small_grid
+        assert grid.info.least_loaded(["site02", "site03"]) in (
+            "site02", "site03")
+
+    def test_least_loaded_no_candidates_raises(self, small_grid):
+        _, grid = small_grid
+        with pytest.raises(ValueError):
+            grid.info.least_loaded([])
+
+    def test_dataset_locations_delegates_to_catalog(self, small_grid):
+        _, grid = small_grid
+        assert grid.info.dataset_locations("d0") == ["site00"]
+
+    def test_sites_with_all(self, small_grid):
+        _, grid = small_grid
+        grid.catalog.register("d0", "site01")
+        assert grid.info.sites_with_all(["d0", "d1"]) == ["site01"]
+        assert grid.info.sites_with_all([]) == grid.info.site_names
+
+
+class TestStaleness:
+    def test_negative_interval_rejected(self, small_grid):
+        sim, grid = small_grid
+        with pytest.raises(ValueError):
+            InformationService(sim, grid.sites, grid.catalog,
+                               refresh_interval_s=-1)
+
+    def test_stale_load_lags_reality(self, small_grid):
+        sim, grid = small_grid
+        info = InformationService(sim, grid.sites, grid.catalog,
+                                  refresh_interval_s=100.0)
+        for i in range(5):
+            grid.submit(Job(job_id=i, user="u", origin_site="site00",
+                            input_files=["d0"], runtime_s=10_000))
+        # Real load is 3, but the snapshot was taken at t=0.
+        assert grid.sites["site00"].load == 3
+        assert info.load("site00") == 0
+        sim.run(until=150)  # refresher fired at t=100
+        assert info.load("site00") == 3
+
+    def test_stale_unknown_site_raises(self, small_grid):
+        sim, grid = small_grid
+        info = InformationService(sim, grid.sites, grid.catalog,
+                                  refresh_interval_s=100.0)
+        with pytest.raises(KeyError):
+            info.load("nowhere")

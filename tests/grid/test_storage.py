@@ -1,0 +1,169 @@
+"""Unit tests for LRU storage with pinning."""
+
+import pytest
+
+from repro.grid import Dataset, StorageElement, StorageFullError
+
+
+def ds(name, size=100):
+    return Dataset(name, size)
+
+
+class TestBasics:
+    def test_add_and_contains(self):
+        st = StorageElement("s", 1000)
+        st.add(ds("a"), now=0)
+        assert "a" in st
+        assert st.used_mb == 100
+        assert st.free_mb == 900
+
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError):
+            StorageElement("s", 0)
+
+    def test_re_add_refreshes_not_duplicates(self):
+        st = StorageElement("s", 1000)
+        st.add(ds("a"), now=0)
+        st.add(ds("a"), now=5)
+        assert st.used_mb == 100
+        assert len(st) == 1
+
+    def test_oversized_file_rejected(self):
+        st = StorageElement("s", 50)
+        with pytest.raises(StorageFullError):
+            st.add(ds("big", 100), now=0)
+
+    def test_remove(self):
+        st = StorageElement("s", 1000)
+        st.add(ds("a"), now=0)
+        st.remove("a")
+        assert "a" not in st
+        assert st.used_mb == 0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            StorageElement("s", 100).remove("ghost")
+
+    def test_touch_missing_raises(self):
+        with pytest.raises(KeyError):
+            StorageElement("s", 100).touch("ghost", now=0)
+
+    def test_files_and_datasets(self):
+        st = StorageElement("s", 1000)
+        st.add(ds("a"), now=0)
+        st.add(ds("b"), now=1)
+        assert st.files == ["a", "b"]
+        assert [d.name for d in st.datasets()] == ["a", "b"]
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        st = StorageElement("s", 300)
+        st.add(ds("a"), now=0)
+        st.add(ds("b"), now=1)
+        st.add(ds("c"), now=2)
+        st.touch("a", now=3)  # refresh a; b is now LRU
+        st.add(ds("d"), now=4)
+        assert "b" not in st
+        assert "a" in st and "c" in st and "d" in st
+        assert st.evictions == 1
+
+    def test_evicts_as_many_as_needed(self):
+        st = StorageElement("s", 300)
+        for i, name in enumerate("abc"):
+            st.add(ds(name), now=i)
+        st.add(ds("big", 250), now=5)
+        assert "big" in st
+        assert st.evictions == 3
+        assert st.used_mb == pytest.approx(250)
+
+    def test_eviction_callback_fired(self):
+        evicted = []
+        st = StorageElement("s", 200, on_evict=lambda d: evicted.append(d.name))
+        st.add(ds("a"), now=0)
+        st.add(ds("b"), now=1)
+        st.add(ds("c"), now=2)
+        assert evicted == ["a"]
+
+    def test_infinite_capacity_never_evicts(self):
+        st = StorageElement("s")
+        for i in range(100):
+            st.add(ds(f"f{i}", 10_000), now=i)
+        assert st.evictions == 0
+
+
+class TestPinning:
+    def test_pinned_files_not_evicted(self):
+        st = StorageElement("s", 200)
+        st.add(ds("keep"), now=0, pin=True)
+        st.add(ds("b"), now=1)
+        st.add(ds("c"), now=2)  # must evict b, not pinned keep
+        assert "keep" in st
+        assert "b" not in st
+
+    def test_pin_counts_nest(self):
+        st = StorageElement("s", 200)
+        st.add(ds("a"), now=0)
+        st.pin("a")
+        st.pin("a")
+        st.unpin("a")
+        assert st.is_pinned("a")
+        st.unpin("a")
+        assert not st.is_pinned("a")
+
+    def test_unpin_unpinned_raises(self):
+        st = StorageElement("s", 200)
+        st.add(ds("a"), now=0)
+        with pytest.raises(ValueError):
+            st.unpin("a")
+
+    def test_unpin_missing_is_noop(self):
+        StorageElement("s", 200).unpin("ghost")  # no exception
+
+    def test_pin_missing_raises(self):
+        with pytest.raises(KeyError):
+            StorageElement("s", 200).pin("ghost")
+
+    def test_all_pinned_blocks_add(self):
+        st = StorageElement("s", 200)
+        st.add(ds("a"), now=0, pin=True)
+        st.add(ds("b"), now=1, pin=True)
+        with pytest.raises(StorageFullError, match="pinned"):
+            st.add(ds("c"), now=2)
+
+    def test_can_fit_respects_pins(self):
+        st = StorageElement("s", 200)
+        st.add(ds("a"), now=0, pin=True)
+        st.add(ds("b"), now=1)
+        assert st.can_fit(100)       # b (100 MB) is evictable
+        assert not st.can_fit(150)   # a (pinned) can never be evicted
+        st.pin("b")
+        assert not st.can_fit(100)   # now everything is pinned
+
+
+class TestPopularity:
+    def test_record_access_counts(self):
+        st = StorageElement("s", 1000)
+        st.add(ds("a"), now=0)
+        assert st.record_access("a", now=1) == 1
+        assert st.record_access("a", now=2) == 2
+        assert st.access_counts["a"] == 2
+
+    def test_reset_popularity(self):
+        st = StorageElement("s", 1000)
+        st.add(ds("a"), now=0)
+        st.record_access("a", now=1)
+        st.reset_popularity("a")
+        assert st.access_counts["a"] == 0
+
+    def test_eviction_clears_counter(self):
+        st = StorageElement("s", 200)
+        st.add(ds("a"), now=0)
+        st.record_access("a", now=1)
+        st.add(ds("b"), now=2)
+        st.add(ds("c"), now=3)  # evicts a
+        assert "a" not in st.access_counts
+
+    def test_record_access_missing_raises(self):
+        with pytest.raises(KeyError):
+            StorageElement("s", 100).record_access("ghost", now=0)

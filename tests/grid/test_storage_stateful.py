@@ -1,0 +1,133 @@
+"""Model-based (stateful) property tests for StorageElement.
+
+Hypothesis drives arbitrary interleavings of add/touch/pin/unpin/remove
+against a simple reference model, checking after every step that the real
+LRU storage agrees with the model on contents, usage, pinning, and the
+capacity invariant.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.grid import Dataset, StorageElement, StorageFullError
+
+CAPACITY = 1000.0
+NAMES = [f"f{i}" for i in range(8)]
+SIZES = {name: 100.0 + 50.0 * i for i, name in enumerate(NAMES)}
+
+
+class StorageMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.storage = StorageElement(
+            "s", CAPACITY, on_evict=lambda ds: self.evicted.append(ds.name))
+        self.evicted = []
+        # Reference model: name -> (size, pins, last_access)
+        self.model = {}
+        self.clock = 0.0
+
+    def _tick(self):
+        self.clock += 1.0
+        return self.clock
+
+    def _model_evict_for(self, size):
+        """Mirror LRU eviction in the reference model."""
+        def free():
+            return CAPACITY - sum(s for s, _, _ in self.model.values())
+
+        victims = sorted(
+            ((la, name) for name, (sz, pins, la) in self.model.items()
+             if pins == 0),
+            key=lambda pair: pair[0])
+        for _, name in victims:
+            if free() >= size:
+                break
+            del self.model[name]
+        return free() >= size
+
+    @rule(name=st.sampled_from(NAMES), pin=st.booleans())
+    def add(self, name, pin):
+        now = self._tick()
+        size = SIZES[name]
+        fits = (name in self.model) or self._can_fit_model(size)
+        try:
+            self.storage.add(Dataset(name, size), now, pin=pin)
+            assert fits, f"add({name}) succeeded but model said no room"
+            if name in self.model:
+                sz, pins, _ = self.model[name]
+                self.model[name] = (sz, pins + (1 if pin else 0), now)
+            else:
+                assert self._model_evict_for(size)
+                self.model[name] = (size, 1 if pin else 0, now)
+        except StorageFullError:
+            assert not fits, f"add({name}) failed but model had room"
+
+    def _can_fit_model(self, size):
+        free = CAPACITY - sum(s for s, _, _ in self.model.values())
+        evictable = sum(
+            s for s, pins, _ in self.model.values() if pins == 0)
+        return size <= free + evictable
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def touch(self, data):
+        name = data.draw(st.sampled_from(sorted(self.model)))
+        now = self._tick()
+        self.storage.touch(name, now)
+        size, pins, _ = self.model[name]
+        self.model[name] = (size, pins, now)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def pin(self, data):
+        name = data.draw(st.sampled_from(sorted(self.model)))
+        self.storage.pin(name)
+        size, pins, la = self.model[name]
+        self.model[name] = (size, pins + 1, la)
+
+    @precondition(lambda self: any(
+        pins > 0 for _, pins, _ in self.model.values()))
+    @rule(data=st.data())
+    def unpin(self, data):
+        pinned = sorted(
+            name for name, (_, pins, _) in self.model.items() if pins > 0)
+        name = data.draw(st.sampled_from(pinned))
+        self.storage.unpin(name)
+        size, pins, la = self.model[name]
+        self.model[name] = (size, pins - 1, la)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def remove(self, data):
+        name = data.draw(st.sampled_from(sorted(self.model)))
+        self.storage.remove(name)
+        del self.model[name]
+
+    @invariant()
+    def contents_agree(self):
+        assert set(self.storage.files) == set(self.model)
+
+    @invariant()
+    def usage_agrees(self):
+        expected = sum(s for s, _, _ in self.model.values())
+        assert abs(self.storage.used_mb - expected) < 1e-9
+
+    @invariant()
+    def capacity_never_exceeded(self):
+        assert self.storage.used_mb <= CAPACITY + 1e-9
+
+    @invariant()
+    def pins_agree(self):
+        for name, (_, pins, _) in self.model.items():
+            assert self.storage.is_pinned(name) == (pins > 0)
+
+
+TestStorageStateful = StorageMachine.TestCase
+TestStorageStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None)

@@ -1,0 +1,68 @@
+"""Unit tests for sequential user submission."""
+
+import pytest
+
+from repro.grid import Job, User
+
+
+def make_jobs(n, origin="site00", runtime=50.0):
+    return [
+        Job(job_id=i, user="u0", origin_site=origin,
+            input_files=["d0"], runtime_s=runtime)
+        for i in range(n)
+    ]
+
+
+class TestUser:
+    def test_submits_all_jobs(self, small_grid):
+        sim, grid = small_grid
+        user = User(sim, "u0", "site00", make_jobs(5), grid)
+        grid.add_user(user)
+        grid.run()
+        assert len(user.completed) == 5
+        assert user.process.value == 5
+
+    def test_strictly_sequential(self, small_grid):
+        sim, grid = small_grid
+        jobs = make_jobs(4)
+        user = User(sim, "u0", "site00", jobs, grid)
+        grid.add_user(user)
+        grid.run()
+        for prev, nxt in zip(jobs[:-1], jobs[1:]):
+            assert nxt.submitted_at >= prev.completed_at
+
+    def test_think_time_inserts_gaps(self, small_grid):
+        sim, grid = small_grid
+        jobs = make_jobs(3)
+        user = User(sim, "u0", "site00", jobs, grid, think_time_s=25.0)
+        grid.add_user(user)
+        grid.run()
+        for prev, nxt in zip(jobs[:-1], jobs[1:]):
+            assert nxt.submitted_at >= prev.completed_at + 25.0
+
+    def test_negative_think_time_rejected(self, small_grid):
+        sim, grid = small_grid
+        with pytest.raises(ValueError):
+            User(sim, "u0", "site00", [], grid, think_time_s=-1)
+
+    def test_zero_jobs_user_finishes_immediately(self, small_grid):
+        sim, grid = small_grid
+        user = User(sim, "u0", "site00", [], grid)
+        p = user.start()
+        sim.run(until=p)
+        assert p.value == 0
+
+    def test_multiple_users_interleave(self, small_grid):
+        sim, grid = small_grid
+        u0 = User(sim, "u0", "site00", make_jobs(3), grid)
+        jobs1 = [
+            Job(job_id=100 + i, user="u1", origin_site="site01",
+                input_files=["d1"], runtime_s=50)
+            for i in range(3)
+        ]
+        u1 = User(sim, "u1", "site01", jobs1, grid)
+        grid.add_user(u0)
+        grid.add_user(u1)
+        grid.run()
+        assert len(u0.completed) == 3
+        assert len(u1.completed) == 3

@@ -1,0 +1,117 @@
+"""Property-based tests over randomized whole-grid scenarios.
+
+Hypothesis drives small but structurally varied grids (topology, scale,
+bandwidth, algorithm pair, storage) through complete runs and checks the
+invariants that must hold for *any* configuration.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SimulationConfig, build_grid, make_workload
+from repro.metrics import RunMetrics
+from repro.scheduling.registry import ALL_DS, ALL_ES
+
+scenario = st.fixed_dictionaries({
+    "es": st.sampled_from(ALL_ES),
+    "ds": st.sampled_from(ALL_DS),
+    "seed": st.integers(min_value=0, max_value=50),
+    "n_sites": st.integers(min_value=2, max_value=6),
+    "n_jobs": st.integers(min_value=20, max_value=80),
+    "n_datasets": st.integers(min_value=5, max_value=25),
+    "bandwidth": st.sampled_from([5.0, 10.0, 100.0]),
+    "topology": st.sampled_from(["hierarchical", "star"]),
+    "storage_gb": st.sampled_from([15.0, 30.0, 1000.0]),
+})
+
+
+def run_scenario(params):
+    # Keep storage feasible: each site must be able to hold its share of
+    # the corpus (worst case 2 GB/dataset) plus one max-file of headroom,
+    # otherwise initial placement correctly rejects the configuration.
+    min_storage_mb = 2000.0 * (
+        1 + -(-params["n_datasets"] // params["n_sites"]))
+    config = SimulationConfig(
+        n_users=params["n_sites"] * 2,
+        n_sites=params["n_sites"],
+        n_datasets=params["n_datasets"],
+        n_jobs=max(params["n_jobs"], params["n_sites"] * 2),
+        bandwidth_mbps=params["bandwidth"],
+        topology=params["topology"],
+        storage_capacity_mb=max(params["storage_gb"] * 1000,
+                                min_storage_mb),
+        ds_check_interval_s=150.0,
+        seed=params["seed"],
+    )
+    workload = make_workload(config, seed=params["seed"])
+    sim, grid = build_grid(config, params["es"], params["ds"], workload,
+                           seed=params["seed"])
+    makespan = grid.run()
+    return config, grid, makespan
+
+
+@given(params=scenario)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_every_scenario_completes_all_jobs(params):
+    config, grid, makespan = run_scenario(params)
+    assert len(grid.completed_jobs) == config.n_jobs
+    assert makespan > 0
+    metrics = RunMetrics.from_grid(grid, makespan)
+    assert metrics.avg_response_time_s > 0
+    assert 0.0 <= metrics.idle_fraction <= 1.0
+
+
+@given(params=scenario)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_catalog_storage_consistency_everywhere(params):
+    _, grid, _ = run_scenario(params)
+    for site_name, storage in grid.storages.items():
+        for fname in storage.files:
+            assert grid.catalog.has_replica(fname, site_name)
+        assert storage.used_mb <= storage.capacity_mb + 1e-6
+    for name in grid.datasets.names:
+        assert grid.catalog.replica_count(name) >= 1
+        for site_name in grid.catalog.locations(name):
+            assert name in grid.storages[site_name]
+
+
+@given(params=scenario)
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_response_time_decomposition_holds(params):
+    _, grid, _ = run_scenario(params)
+    for job in grid.completed_jobs:
+        total = job.queue_time + job.transfer_time + job.compute_time
+        # queued_at may lag submitted_at only through instantaneous
+        # dispatch, so decomposition covers the full response time.
+        assert total == pytest.approx(job.response_time, abs=1e-6)
+        assert job.compute_time == pytest.approx(job.runtime_s, abs=1e-6)
+
+
+@given(params=scenario)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_traffic_never_exceeds_worst_case(params):
+    config, grid, _ = run_scenario(params)
+    metrics = RunMetrics.from_grid(grid)
+    workload_mb = sum(
+        grid.datasets.get(f).size_mb
+        for j in grid.completed_jobs for f in j.input_files)
+    # Fetch traffic can't exceed one full fetch per job input (dedup and
+    # caching only reduce it).
+    assert metrics.fetch_traffic_mb <= workload_mb + 1e-6
+
+
+@given(params=scenario)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_rerun_is_bit_identical(params):
+    _, grid1, makespan1 = run_scenario(params)
+    _, grid2, makespan2 = run_scenario(params)
+    assert makespan1 == makespan2
+    m1 = RunMetrics.from_grid(grid1, makespan1)
+    m2 = RunMetrics.from_grid(grid2, makespan2)
+    assert m1 == m2

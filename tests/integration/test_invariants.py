@@ -1,0 +1,126 @@
+"""Integration tests: system-wide invariants on full runs."""
+
+import pytest
+
+from repro import SimulationConfig, build_grid, make_workload
+from repro.grid.job import JobState
+from repro.metrics import RunMetrics
+
+
+@pytest.fixture(scope="module", params=[
+    ("JobLocal", "DataDoNothing"),
+    ("JobDataPresent", "DataRandom"),
+    ("JobLeastLoaded", "DataLeastLoaded"),
+    ("JobRandom", "DataRandom"),
+])
+def finished(request):
+    es, ds = request.param
+    config = SimulationConfig.paper().scaled(0.1).with_(
+        ds_check_interval_s=100.0)
+    workload = make_workload(config, seed=0)
+    sim, grid = build_grid(config, es, ds, workload, seed=0)
+    makespan = grid.run()
+    return config, workload, sim, grid, makespan
+
+
+class TestJobAccounting:
+    def test_every_job_completed_exactly_once(self, finished):
+        config, workload, sim, grid, _ = finished
+        assert len(grid.submitted_jobs) == config.n_jobs
+        assert len(grid.completed_jobs) == config.n_jobs
+        ids = [j.job_id for j in grid.completed_jobs]
+        assert len(set(ids)) == config.n_jobs
+
+    def test_timestamps_monotone(self, finished):
+        _, _, _, grid, _ = finished
+        for job in grid.completed_jobs:
+            assert 0 <= job.submitted_at <= job.dispatched_at
+            assert job.dispatched_at <= job.queued_at
+            assert job.queued_at <= job.processor_at
+            assert job.processor_at <= job.data_ready_at
+            assert job.data_ready_at <= job.started_at
+            assert job.started_at <= job.completed_at
+
+    def test_compute_phase_matches_runtime(self, finished):
+        _, _, _, grid, _ = finished
+        for job in grid.completed_jobs:
+            assert job.compute_time == pytest.approx(job.runtime_s)
+
+    def test_site_counters_consistent(self, finished):
+        config, _, _, grid, _ = finished
+        per_site = sum(s.jobs_completed for s in grid.sites.values())
+        assert per_site == config.n_jobs
+        assert all(s.jobs_in_system == 0 for s in grid.sites.values())
+
+    def test_jobs_ran_where_dispatched(self, finished):
+        _, _, _, grid, _ = finished
+        for job in grid.completed_jobs:
+            assert job.execution_site in grid.sites
+
+
+class TestDataConsistency:
+    def test_catalog_matches_storage_exactly(self, finished):
+        _, _, _, grid, _ = finished
+        for site_name, storage in grid.storages.items():
+            for fname in storage.files:
+                assert grid.catalog.has_replica(fname, site_name), \
+                    f"{fname} stored at {site_name} but not cataloged"
+        for fname in grid.datasets.names:
+            for site_name in grid.catalog.locations(fname):
+                assert fname in grid.storages[site_name], \
+                    f"{fname} cataloged at {site_name} but not stored"
+
+    def test_every_dataset_still_has_a_replica(self, finished):
+        _, _, _, grid, _ = finished
+        for name in grid.datasets.names:
+            assert grid.catalog.replica_count(name) >= 1
+
+    def test_no_transfers_left_running(self, finished):
+        _, _, _, grid, _ = finished
+        assert grid.transfers.active == []
+
+    def test_storage_never_over_capacity(self, finished):
+        config, _, _, grid, _ = finished
+        for storage in grid.storages.values():
+            assert storage.used_mb <= storage.capacity_mb + 1e-6
+
+    def test_no_pins_leak(self, finished):
+        """After the run, only permanent primary pins remain."""
+        _, workload, _, grid, _ = finished
+        for site_name, storage in grid.storages.items():
+            for fname in storage.files:
+                if storage.is_pinned(fname):
+                    entry = storage._entries[fname]
+                    assert entry.pins == 1, \
+                        f"{fname}@{site_name} has {entry.pins} pins"
+
+
+class TestTrafficAccounting:
+    def test_traffic_decomposition_complete(self, finished):
+        _, _, _, grid, makespan = finished
+        by_purpose = grid.transfers.mb_moved_by_purpose()
+        assert set(by_purpose) <= {"job-fetch", "replication"}
+        assert sum(by_purpose.values()) == pytest.approx(
+            grid.transfers.total_mb_moved)
+
+    def test_metrics_extraction_succeeds(self, finished):
+        _, _, _, grid, makespan = finished
+        m = RunMetrics.from_grid(grid, makespan)
+        assert m.n_jobs > 0
+
+
+class TestDeterminism:
+    def test_identical_runs_bit_identical_metrics(self):
+        config = SimulationConfig.paper().scaled(0.1)
+
+        def once():
+            workload = make_workload(config, seed=4)
+            sim, grid = build_grid(config, "JobDataPresent", "DataRandom",
+                                   workload, seed=4)
+            makespan = grid.run()
+            m = RunMetrics.from_grid(grid, makespan)
+            return (m.avg_response_time_s, m.avg_data_transferred_mb,
+                    m.idle_fraction, m.makespan_s, m.replications_done,
+                    m.evictions, tuple(sorted(m.jobs_per_site.items())))
+
+        assert once() == once()

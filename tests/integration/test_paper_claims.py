@@ -1,0 +1,149 @@
+"""Integration tests: the paper's qualitative claims must reproduce.
+
+These run the actual 12-combination sweep.  The default tests use a
+0.2-scaled grid (6 sites, 1200 jobs) for speed; the full Table-1 scale is
+exercised once in ``TestPaperScale`` (a ~15 s run) since several claims —
+notably the hotspot overload behind C1 — only show their full strength at
+paper scale.
+"""
+
+import pytest
+
+from repro import SimulationConfig, run_matrix
+from repro.experiments.paper import reproduce_figure5
+from repro.scheduling.registry import ALL_DS, ALL_ES
+
+REPLICATED = ("DataRandom", "DataLeastLoaded")
+OTHERS = ("JobRandom", "JobLeastLoaded", "JobLocal")
+
+
+@pytest.fixture(scope="module")
+def matrix_small():
+    config = SimulationConfig.paper().scaled(0.2)
+    return run_matrix(config, seeds=(0, 1))
+
+
+@pytest.fixture(scope="module")
+def matrix_paper():
+    config = SimulationConfig.paper()
+    return run_matrix(config, seeds=(0,))
+
+
+class TestClaimsSmallScale:
+    """Scaled-down sweep: the robust claims must already hold here."""
+
+    def test_c2_datapresent_with_replication_wins(self, matrix_small):
+        rt = matrix_small.metric_matrix("avg_response_time_s")
+        best_jdp = min(rt[("JobDataPresent", ds)] for ds in REPLICATED)
+        best_no_repl = min(rt[(es, "DataDoNothing")] for es in ALL_ES)
+        assert best_jdp <= best_no_repl * 1.02
+
+    def test_c3_datapresent_transfers_least(self, matrix_small):
+        mb = matrix_small.metric_matrix("avg_data_transferred_mb")
+        for ds in ALL_DS:
+            jdp = mb[("JobDataPresent", ds)]
+            for es in OTHERS:
+                assert jdp < mb[(es, ds)] * 0.8
+
+    def test_c5_two_replication_policies_similar(self, matrix_small):
+        rt = matrix_small.metric_matrix("avg_response_time_s")
+        a = rt[("JobDataPresent", "DataRandom")]
+        b = rt[("JobDataPresent", "DataLeastLoaded")]
+        assert abs(a - b) / min(a, b) < 0.25
+
+    def test_c4_replication_does_not_help_others(self, matrix_small):
+        rt = matrix_small.metric_matrix("avg_response_time_s")
+        for es in OTHERS:
+            no_repl = rt[(es, "DataDoNothing")]
+            for ds in REPLICATED:
+                assert rt[(es, ds)] >= no_repl * 0.90
+
+    def test_idle_time_follows_response_ordering(self, matrix_small):
+        idle = matrix_small.metric_matrix("idle_percent")
+        # JobDataPresent with replication keeps processors busiest.
+        jdp = min(idle[("JobDataPresent", ds)] for ds in REPLICATED)
+        for es in OTHERS:
+            for ds in ALL_DS:
+                assert jdp <= idle[(es, ds)] + 1.0
+
+
+class TestPaperScale:
+    """Full Table-1 scale: all six §5.3/§5.4 claims."""
+
+    def test_c1_no_replication_local_best_datapresent_worst(
+            self, matrix_paper):
+        rt = matrix_paper.metric_matrix("avg_response_time_s")
+        column = {es: rt[(es, "DataDoNothing")] for es in ALL_ES}
+        assert max(column, key=column.get) == "JobDataPresent"
+        # JobLocal is best (within noise of the runner-up).
+        best = min(column, key=column.get)
+        assert column["JobLocal"] <= column[best] * 1.05
+
+    def test_c2_decoupled_combination_wins_everything(self, matrix_paper):
+        rt = matrix_paper.metric_matrix("avg_response_time_s")
+        best_jdp = min(rt[("JobDataPresent", ds)] for ds in REPLICATED)
+        for es in ALL_ES:
+            for ds in ALL_DS:
+                if es == "JobDataPresent" and ds in REPLICATED:
+                    continue
+                assert best_jdp < rt[(es, ds)]
+
+    def test_c2_beats_best_no_replication_clearly(self, matrix_paper):
+        rt = matrix_paper.metric_matrix("avg_response_time_s")
+        best_jdp = min(rt[("JobDataPresent", ds)] for ds in REPLICATED)
+        best_no_repl = min(rt[(es, "DataDoNothing")] for es in ALL_ES)
+        assert best_jdp < best_no_repl * 0.75
+
+    def test_c3_large_traffic_gap(self, matrix_paper):
+        """Figure 3b: 'the difference ... is very large (> 400 MB/job)'."""
+        mb = matrix_paper.metric_matrix("avg_data_transferred_mb")
+        for ds in ALL_DS:
+            jdp = mb[("JobDataPresent", ds)]
+            others_min = min(mb[(es, ds)] for es in OTHERS)
+            assert others_min - jdp > 300.0
+
+    def test_c4_replication_does_not_help_others(self, matrix_paper):
+        rt = matrix_paper.metric_matrix("avg_response_time_s")
+        for es in OTHERS:
+            no_repl = rt[(es, "DataDoNothing")]
+            for ds in REPLICATED:
+                assert rt[(es, ds)] >= no_repl * 0.95
+
+    def test_c5_replication_policies_equivalent(self, matrix_paper):
+        rt = matrix_paper.metric_matrix("avg_response_time_s")
+        a = rt[("JobDataPresent", "DataRandom")]
+        b = rt[("JobDataPresent", "DataLeastLoaded")]
+        assert abs(a - b) / min(a, b) < 0.15
+
+    def test_figure4_idle_shape(self, matrix_paper):
+        idle = matrix_paper.metric_matrix("idle_percent")
+        # Without replication JobDataPresent idles the most (hotspot);
+        # with replication it idles the least.
+        no_repl = {es: idle[(es, "DataDoNothing")] for es in ALL_ES}
+        assert max(no_repl, key=no_repl.get) == "JobDataPresent"
+        with_repl = min(idle[("JobDataPresent", ds)] for ds in REPLICATED)
+        for es in OTHERS:
+            for ds in ALL_DS:
+                assert with_repl < idle[(es, ds)]
+
+
+class TestBandwidthSensitivity:
+    """Figure 5 / claim C6 at paper scale."""
+
+    @pytest.fixture(scope="class")
+    def figure5(self):
+        return reproduce_figure5(SimulationConfig.paper(), seeds=(0,))
+
+    def test_c6_no_clear_winner_at_high_bandwidth(self, figure5):
+        fast = figure5["100MB/sec"]
+        ratio = fast["JobLocal"] / fast["JobDataPresent"]
+        assert 0.6 <= ratio <= 1.4
+
+    def test_transfer_heavy_algorithms_improve_dramatically(self, figure5):
+        for es in OTHERS:
+            assert figure5["100MB/sec"][es] < figure5["10MB/sec"][es] * 0.8
+
+    def test_datapresent_consistent_across_bandwidths(self, figure5):
+        slow = figure5["10MB/sec"]["JobDataPresent"]
+        fast = figure5["100MB/sec"]["JobDataPresent"]
+        assert abs(slow - fast) / slow < 0.25

@@ -1,0 +1,128 @@
+"""Validation against M/M/c queueing theory.
+
+A single site with ``c`` processors, Poisson arrivals, exponential
+service, and local data is exactly an M/M/c queue.  Running the *entire
+stack* (user arrivals → External Scheduler → site queue → compute) and
+comparing the measured mean wait with the Erlang-C prediction is a
+strong end-to-end correctness check of the kernel's resources, event
+ordering, and timestamp accounting.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.grid import DataGrid, Dataset, DatasetCollection, Job
+from repro.grid.arrivals import OpenArrivalProcess
+from repro.network import Topology
+from repro.scheduling import DataDoNothing, FIFOLocalScheduler, JobLocal
+from repro.sim import Simulator
+
+
+def erlang_c_wait(arrival_rate, service_rate, c):
+    """Theoretical M/M/c mean waiting time (Erlang C)."""
+    rho = arrival_rate / (c * service_rate)
+    assert rho < 1, "offered load must be stable"
+    a = arrival_rate / service_rate
+    summation = sum(a ** k / math.factorial(k) for k in range(c))
+    p_wait = (a ** c / (math.factorial(c) * (1 - rho))) / (
+        summation + a ** c / (math.factorial(c) * (1 - rho)))
+    return p_wait / (c * service_rate - arrival_rate)
+
+
+def run_mmc(arrival_rate, mean_service, c, n_jobs, seed=0):
+    """One-site grid driven open-loop; returns measured mean wait."""
+    sim = Simulator()
+    topology = Topology.star(1, 10.0)
+    datasets = DatasetCollection([Dataset("d0", 100)])
+    grid = DataGrid.create(
+        sim=sim, topology=topology, datasets=datasets,
+        external_scheduler=JobLocal(),
+        local_scheduler=FIFOLocalScheduler(),
+        dataset_scheduler=DataDoNothing(),
+        site_processors={"site00": c},
+        storage_capacity_mb=10_000,
+        datamover_rng=random.Random(seed),
+    )
+    grid.place_initial_replicas({"d0": "site00"})
+
+    service_rng = random.Random(seed + 1)
+
+    def factory(i):
+        return Job(job_id=i, user="open", origin_site="site00",
+                   input_files=["d0"],
+                   runtime_s=service_rng.expovariate(1.0 / mean_service))
+
+    arrivals = OpenArrivalProcess(
+        sim, grid, rate_per_s=arrival_rate, job_factory=factory,
+        n_jobs=n_jobs, rng=random.Random(seed + 2))
+    sim.run(until=arrivals.start())
+
+    waits = [j.queue_time for j in arrivals.submitted]
+    return sum(waits) / len(waits)
+
+
+class TestErlangC:
+    @pytest.mark.parametrize("c,rho", [(1, 0.5), (2, 0.7), (4, 0.6)])
+    def test_mean_wait_matches_theory(self, c, rho):
+        mean_service = 100.0
+        arrival_rate = rho * c / mean_service
+        expected = erlang_c_wait(arrival_rate, 1.0 / mean_service, c)
+        # Average three independent long runs to tame stochastic noise.
+        measured = sum(
+            run_mmc(arrival_rate, mean_service, c, n_jobs=4000, seed=s)
+            for s in (1, 2, 3)) / 3
+        assert measured == pytest.approx(expected, rel=0.15)
+
+    def test_low_load_no_waiting(self):
+        measured = run_mmc(arrival_rate=0.0005, mean_service=100.0,
+                           c=4, n_jobs=500)
+        assert measured < 1.0  # essentially never queues
+
+    def test_heavier_load_waits_longer(self):
+        light = run_mmc(0.005, 100.0, 1, n_jobs=2000)   # rho = 0.5
+        heavy = run_mmc(0.008, 100.0, 1, n_jobs=2000)   # rho = 0.8
+        assert heavy > 2 * light
+
+
+class TestOpenArrivals:
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            OpenArrivalProcess(sim, None, rate_per_s=0,
+                               job_factory=lambda i: None, n_jobs=1)
+        with pytest.raises(ValueError):
+            OpenArrivalProcess(sim, None, rate_per_s=1.0,
+                               job_factory=lambda i: None, n_jobs=0)
+
+    def test_submits_exact_count_and_completes(self):
+        measured = run_mmc(0.01, 10.0, 2, n_jobs=100)
+        assert measured >= 0.0
+
+    def test_interarrival_times_exponentialish(self):
+        # Kolmogorov-style sanity: mean interarrival ~ 1/λ.
+        sim = Simulator()
+        topology = Topology.star(1, 10.0)
+        datasets = DatasetCollection([Dataset("d0", 100)])
+        grid = DataGrid.create(
+            sim=sim, topology=topology, datasets=datasets,
+            external_scheduler=JobLocal(),
+            local_scheduler=FIFOLocalScheduler(),
+            dataset_scheduler=DataDoNothing(),
+            site_processors={"site00": 64},
+            storage_capacity_mb=10_000,
+            datamover_rng=random.Random(0),
+        )
+        grid.place_initial_replicas({"d0": "site00"})
+        arrivals = OpenArrivalProcess(
+            sim, grid, rate_per_s=0.02,
+            job_factory=lambda i: Job(
+                job_id=i, user="u", origin_site="site00",
+                input_files=["d0"], runtime_s=1.0),
+            n_jobs=2000, rng=random.Random(7))
+        sim.run(until=arrivals.start())
+        times = sorted(j.submitted_at for j in arrivals.submitted)
+        gaps = [b - a for a, b in zip(times[:-1], times[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert mean_gap == pytest.approx(50.0, rel=0.1)

@@ -1,0 +1,98 @@
+"""Unit tests for RunMetrics extraction."""
+
+import pytest
+
+from repro import SimulationConfig, build_grid, make_workload
+from repro.metrics import RunMetrics
+
+
+@pytest.fixture(scope="module")
+def finished_run():
+    config = SimulationConfig.paper().scaled(0.05)
+    workload = make_workload(config, seed=0)
+    sim, grid = build_grid(config, "JobDataPresent", "DataRandom",
+                           workload, seed=0)
+    makespan = grid.run()
+    return grid, makespan
+
+
+class TestFromGrid:
+    def test_counts_all_jobs(self, finished_run):
+        grid, makespan = finished_run
+        m = RunMetrics.from_grid(grid, makespan)
+        assert m.n_jobs == len(grid.submitted_jobs)
+        assert m.makespan_s == makespan
+
+    def test_response_time_matches_job_records(self, finished_run):
+        grid, makespan = finished_run
+        m = RunMetrics.from_grid(grid, makespan)
+        expected = sum(j.response_time for j in grid.completed_jobs) / \
+            m.n_jobs
+        assert m.avg_response_time_s == pytest.approx(expected)
+
+    def test_traffic_matches_transfer_manager(self, finished_run):
+        grid, makespan = finished_run
+        m = RunMetrics.from_grid(grid, makespan)
+        assert m.total_traffic_mb == pytest.approx(
+            grid.transfers.total_mb_moved)
+        assert m.avg_data_transferred_mb == pytest.approx(
+            grid.transfers.total_mb_moved / m.n_jobs)
+
+    def test_traffic_decomposition_sums(self, finished_run):
+        grid, makespan = finished_run
+        m = RunMetrics.from_grid(grid, makespan)
+        assert m.fetch_traffic_mb + m.replication_traffic_mb == \
+            pytest.approx(m.total_traffic_mb)
+
+    def test_idle_fraction_in_unit_interval(self, finished_run):
+        grid, makespan = finished_run
+        m = RunMetrics.from_grid(grid, makespan)
+        assert 0.0 <= m.idle_fraction <= 1.0
+        assert m.idle_percent == pytest.approx(100 * m.idle_fraction)
+
+    def test_idle_consistent_with_compute_time(self, finished_run):
+        grid, makespan = finished_run
+        m = RunMetrics.from_grid(grid, makespan)
+        total_compute = sum(j.compute_time for j in grid.completed_jobs)
+        busy_fraction = total_compute / (m.total_processors * makespan)
+        assert m.idle_fraction == pytest.approx(1 - busy_fraction, abs=1e-6)
+
+    def test_jobs_per_site_sums_to_total(self, finished_run):
+        grid, makespan = finished_run
+        m = RunMetrics.from_grid(grid, makespan)
+        assert sum(m.jobs_per_site.values()) == m.n_jobs
+
+    def test_idle_per_site_covers_all_sites(self, finished_run):
+        grid, makespan = finished_run
+        m = RunMetrics.from_grid(grid, makespan)
+        assert set(m.idle_per_site) == set(grid.sites)
+        for v in m.idle_per_site.values():
+            assert 0.0 <= v <= 1.0
+
+    def test_fractions_in_unit_interval(self, finished_run):
+        grid, makespan = finished_run
+        m = RunMetrics.from_grid(grid, makespan)
+        assert 0.0 <= m.fraction_jobs_at_origin <= 1.0
+        assert 0.0 <= m.fraction_jobs_local_data <= 1.0
+
+    def test_load_imbalance_at_least_one(self, finished_run):
+        grid, makespan = finished_run
+        m = RunMetrics.from_grid(grid, makespan)
+        assert m.load_imbalance >= 1.0
+
+    def test_queue_plus_wait_bounded_by_response(self, finished_run):
+        grid, makespan = finished_run
+        m = RunMetrics.from_grid(grid, makespan)
+        assert m.avg_queue_time_s + m.avg_transfer_wait_s + \
+            m.avg_compute_time_s == pytest.approx(
+                m.avg_response_time_s, rel=1e-6)
+
+
+class TestErrorCases:
+    def test_unrun_grid_rejected(self):
+        config = SimulationConfig.paper().scaled(0.05)
+        workload = make_workload(config, seed=0)
+        sim, grid = build_grid(config, "JobLocal", "DataDoNothing",
+                               workload, seed=0)
+        with pytest.raises(ValueError, match="no completed jobs"):
+            RunMetrics.from_grid(grid)

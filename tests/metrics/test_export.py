@@ -1,0 +1,84 @@
+"""Unit tests for CSV export."""
+
+import csv
+
+import pytest
+
+from repro import SimulationConfig, build_grid, make_workload, run_matrix
+from repro.experiments.sweep import sweep
+from repro.metrics.export import (
+    METRIC_COLUMNS,
+    matrix_to_csv,
+    sweep_to_csv,
+    timeseries_to_csv,
+)
+from repro.metrics.timeseries import GridMonitor
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return SimulationConfig.paper().scaled(0.05)
+
+
+class TestColumns:
+    def test_scalar_metrics_exported(self):
+        assert "avg_response_time_s" in METRIC_COLUMNS
+        assert "avg_data_transferred_mb" in METRIC_COLUMNS
+        assert "idle_fraction" in METRIC_COLUMNS
+        # dict-valued fields stay out of the CSV.
+        assert "jobs_per_site" not in METRIC_COLUMNS
+
+
+class TestMatrixCsv:
+    def test_one_row_per_run(self, small_config, tmp_path):
+        result = run_matrix(small_config,
+                            es_names=["JobLocal", "JobDataPresent"],
+                            ds_names=["DataDoNothing"], seeds=(0, 1))
+        path = tmp_path / "matrix.csv"
+        assert matrix_to_csv(result, path) == 4
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+        assert {r["es"] for r in rows} == {"JobLocal", "JobDataPresent"}
+        assert float(rows[0]["avg_response_time_s"]) > 0
+
+    def test_values_match_metrics(self, small_config, tmp_path):
+        result = run_matrix(small_config, es_names=["JobLocal"],
+                            ds_names=["DataDoNothing"], seeds=(0,))
+        path = tmp_path / "matrix.csv"
+        matrix_to_csv(result, path)
+        with open(path) as handle:
+            row = next(csv.DictReader(handle))
+        metrics = result.runs[("JobLocal", "DataDoNothing")][0]
+        assert float(row["avg_response_time_s"]) == pytest.approx(
+            metrics.avg_response_time_s)
+        assert int(row["n_jobs"]) == metrics.n_jobs
+
+
+class TestSweepCsv:
+    def test_one_row_per_value_seed(self, small_config, tmp_path):
+        result = sweep(small_config, "bandwidth_mbps", (10.0, 100.0),
+                       es_name="JobLocal", ds_name="DataDoNothing",
+                       seeds=(0, 1))
+        path = tmp_path / "sweep.csv"
+        assert sweep_to_csv(result, path) == 4
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert {r["bandwidth_mbps"] for r in rows} == {"10.0", "100.0"}
+
+
+class TestTimeseriesCsv:
+    def test_one_row_per_sample(self, small_config, tmp_path):
+        workload = make_workload(small_config, seed=0)
+        sim, grid = build_grid(small_config, "JobLocal", "DataDoNothing",
+                               workload, seed=0)
+        monitor = GridMonitor(grid, period_s=500.0)
+        grid.run()
+        path = tmp_path / "series.csv"
+        assert timeseries_to_csv(monitor, path) == len(monitor)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(monitor)
+        # The final sample precedes the last completions by up to one
+        # period, but must be nearly done.
+        assert float(rows[-1]["completed_jobs"]) >= 0.9 * small_config.n_jobs

@@ -1,0 +1,63 @@
+"""Unit tests for ASCII reporting."""
+
+import pytest
+
+from repro.metrics.report import format_comparison, format_matrix, format_run
+
+from tests.metrics.test_summary import fake_metrics
+
+
+class TestFormatMatrix:
+    def test_renders_all_cells(self):
+        values = {
+            ("ES1", "DS1"): 1.5,
+            ("ES1", "DS2"): 2.5,
+            ("ES2", "DS1"): 3.5,
+            ("ES2", "DS2"): 4.5,
+        }
+        out = format_matrix("Title", values, ["ES1", "ES2"], ["DS1", "DS2"])
+        assert "Title" in out
+        assert "1.5" in out and "4.5" in out
+        assert out.index("ES1") < out.index("ES2")
+
+    def test_missing_cells_dashed(self):
+        out = format_matrix("T", {("A", "X"): 1.0}, ["A", "B"], ["X"])
+        assert "--" in out
+
+    def test_unit_footer(self):
+        out = format_matrix("T", {("A", "X"): 1.0}, ["A"], ["X"],
+                            unit="seconds")
+        assert "(values in seconds)" in out
+
+    def test_precision(self):
+        out = format_matrix("T", {("A", "X"): 1.23456}, ["A"], ["X"],
+                            precision=3)
+        assert "1.235" in out
+
+
+class TestFormatRun:
+    def test_includes_headline_metrics(self):
+        out = format_run(fake_metrics(response=123.4), label="test-run")
+        assert "test-run" in out
+        assert "123.4" in out
+        assert "idle" in out.lower()
+        assert "replication" in out.lower()
+
+
+class TestFormatComparison:
+    def test_tabulates_rows(self):
+        rows = {
+            "slow": fake_metrics(response=200.0),
+            "fast": fake_metrics(response=50.0),
+        }
+        out = format_comparison(rows)
+        assert "slow" in out and "fast" in out
+        assert "200.0" in out and "50.0" in out
+
+    def test_custom_metric(self):
+        rows = {"x": fake_metrics(data=77.0)}
+        out = format_comparison(
+            rows, metric=lambda m: m.avg_data_transferred_mb,
+            metric_name="MB/job")
+        assert "77.0" in out
+        assert "MB/job" in out

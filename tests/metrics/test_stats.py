@@ -1,0 +1,114 @@
+"""Unit tests for the statistical-validation helpers."""
+
+import random
+
+import pytest
+
+from repro.metrics.stats import (
+    chi_square_popularity,
+    confidence_interval,
+    welch_t_test,
+)
+from repro.workload.popularity import GeometricPopularity, UniformPopularity
+
+
+class TestChiSquare:
+    def _observed(self, model, n, seed=0):
+        rng = random.Random(seed)
+        counts = [0] * model.n_items
+        for _ in range(n):
+            counts[model.sample(rng)] += 1
+        return counts
+
+    def test_matching_model_not_rejected(self):
+        model = GeometricPopularity(50, p=0.05)
+        observed = self._observed(model, 10_000)
+        result = chi_square_popularity(observed, model)
+        assert not result.rejected_at_5pct
+        assert result.bins >= 2
+        assert result.dof == result.bins - 1
+
+    def test_wrong_model_rejected(self):
+        geometric = GeometricPopularity(50, p=0.1)
+        observed = self._observed(geometric, 10_000)
+        result = chi_square_popularity(observed, UniformPopularity(50))
+        assert result.rejected_at_5pct
+
+    def test_tail_pooling_keeps_test_valid(self):
+        # Very skewed model: most ranks expect << 5 counts and must pool.
+        model = GeometricPopularity(200, p=0.2)
+        observed = self._observed(model, 2000)
+        result = chi_square_popularity(observed, model)
+        assert result.bins < 200
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_popularity([1, 2], GeometricPopularity(3, p=0.1))
+
+    def test_no_observations_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_popularity([0] * 10, GeometricPopularity(10, p=0.1))
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        lo, hi = confidence_interval([10.0, 11.0, 12.0])
+        assert lo < 11.0 < hi
+
+    def test_narrower_at_lower_level(self):
+        values = [10.0, 11.0, 12.0, 13.0]
+        lo95, hi95 = confidence_interval(values, level=0.95)
+        lo50, hi50 = confidence_interval(values, level=0.50)
+        assert (hi50 - lo50) < (hi95 - lo95)
+
+    def test_single_value_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0])
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], level=1.5)
+
+    def test_zero_variance_degenerate_interval(self):
+        lo, hi = confidence_interval([5.0, 5.0, 5.0])
+        assert lo == hi == 5.0
+
+
+class TestWelch:
+    def test_identical_samples_not_significant(self):
+        result = welch_t_test([5.0, 5.0], [5.0, 5.0])
+        assert result.p_value == 1.0
+        assert not result.significant_at_5pct
+
+    def test_constant_but_different_samples_significant(self):
+        result = welch_t_test([5.0, 5.0], [9.0, 9.0])
+        assert result.significant_at_5pct
+
+    def test_clearly_different_means_significant(self):
+        a = [10.0, 10.1, 9.9, 10.2, 9.8]
+        b = [20.0, 20.1, 19.9, 20.2, 19.8]
+        assert welch_t_test(a, b).significant_at_5pct
+
+    def test_overlapping_samples_not_significant(self):
+        a = [10.0, 12.0, 11.0, 13.0]
+        b = [11.0, 13.0, 10.0, 12.0]
+        assert not welch_t_test(a, b).significant_at_5pct
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(ValueError):
+            welch_t_test([1.0], [2.0, 3.0])
+
+
+class TestPaperEquivalence:
+    """Formalize C5: DataRandom ~ DataLeastLoaded for JobDataPresent."""
+
+    def test_c5_not_significant_across_seeds(self):
+        from repro import SimulationConfig, run_replicated
+
+        config = SimulationConfig.paper().scaled(0.2)
+        seeds = (0, 1, 2, 3)
+        a = [m.avg_response_time_s for m in run_replicated(
+            config, "JobDataPresent", "DataRandom", seeds)]
+        b = [m.avg_response_time_s for m in run_replicated(
+            config, "JobDataPresent", "DataLeastLoaded", seeds)]
+        assert not welch_t_test(a, b).significant_at_5pct

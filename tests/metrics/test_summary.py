@@ -1,0 +1,73 @@
+"""Unit tests for cross-seed aggregation."""
+
+import dataclasses
+
+import pytest
+
+from repro.metrics import MetricSummary, RunMetrics, summarize
+
+
+def fake_metrics(response=100.0, data=50.0, idle=0.3):
+    return RunMetrics(
+        n_jobs=10, makespan_s=1000.0, total_processors=8,
+        avg_response_time_s=response,
+        avg_data_transferred_mb=data,
+        idle_fraction=idle,
+        avg_queue_time_s=10.0, avg_transfer_wait_s=5.0,
+        avg_compute_time_s=85.0,
+        fetch_traffic_mb=400.0, replication_traffic_mb=100.0,
+        replications_done=2, replications_skipped=1,
+        total_replicas=20, evictions=3, outputs_dropped=0,
+        fraction_jobs_at_origin=0.5, fraction_jobs_local_data=0.4,
+        jobs_per_site={"a": 5, "b": 5},
+        idle_per_site={"a": 0.3, "b": 0.3},
+    )
+
+
+class TestMetricSummary:
+    def test_of_single_value(self):
+        s = MetricSummary.of([5.0])
+        assert s.mean == 5.0
+        assert s.std == 0.0
+        assert s.n == 1
+
+    def test_of_multiple_values(self):
+        s = MetricSummary.of([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.std == pytest.approx((2 / 3) ** 0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSummary.of([])
+
+    def test_relative_spread(self):
+        s = MetricSummary.of([90.0, 100.0, 110.0])
+        assert s.relative_spread == pytest.approx(0.2)
+
+    def test_relative_spread_zero_mean(self):
+        assert MetricSummary.of([0.0, 0.0]).relative_spread == 0.0
+
+
+class TestSummarize:
+    def test_aggregates_each_field(self):
+        runs = [fake_metrics(response=r) for r in (100.0, 110.0, 120.0)]
+        out = summarize(runs)
+        assert out["avg_response_time_s"].mean == pytest.approx(110.0)
+        assert out["avg_response_time_s"].n == 3
+
+    def test_includes_counter_fields(self):
+        out = summarize([fake_metrics()])
+        assert "replications_done" in out
+        assert "evictions" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_identical_runs_zero_spread(self):
+        out = summarize([fake_metrics(), fake_metrics()])
+        for summary in out.values():
+            assert summary.std == 0.0
+            assert summary.relative_spread == 0.0

@@ -1,0 +1,102 @@
+"""Unit tests for the GridMonitor time-series sampler."""
+
+import pytest
+
+from repro import SimulationConfig, build_grid, make_workload
+from repro.metrics.timeseries import SAMPLED_FIELDS, GridMonitor
+
+
+@pytest.fixture(scope="module")
+def monitored_run():
+    config = SimulationConfig.paper().scaled(0.05)
+    workload = make_workload(config, seed=0)
+    sim, grid = build_grid(config, "JobDataPresent", "DataRandom",
+                           workload, seed=0)
+    monitor = GridMonitor(grid, period_s=200.0, track_site_queues=True)
+    makespan = grid.run()
+    return grid, monitor, makespan
+
+
+class TestSampling:
+    def test_invalid_period_rejected(self, monitored_run):
+        grid, _, _ = monitored_run
+        with pytest.raises(ValueError):
+            GridMonitor(grid, period_s=0)
+
+    def test_samples_cover_run(self, monitored_run):
+        _, monitor, makespan = monitored_run
+        assert len(monitor) >= makespan / 200.0 - 1
+        assert monitor.times[0] == 0.0
+        assert monitor.times == sorted(monitor.times)
+
+    def test_all_fields_sampled(self, monitored_run):
+        _, monitor, _ = monitored_run
+        for name in SAMPLED_FIELDS:
+            series = monitor.series(name)
+            assert len(series) == len(monitor)
+            assert all(v >= 0 for v in series)
+
+    def test_unknown_series_rejected(self, monitored_run):
+        _, monitor, _ = monitored_run
+        with pytest.raises(KeyError):
+            monitor.series("nope")
+
+    def test_completed_jobs_monotone(self, monitored_run):
+        _, monitor, _ = monitored_run
+        series = monitor.series("completed_jobs")
+        assert all(a <= b for a, b in zip(series[:-1], series[1:]))
+
+    def test_initial_sample_is_empty_grid(self, monitored_run):
+        _, monitor, _ = monitored_run
+        first = monitor.samples[0]
+        assert first.values["completed_jobs"] == 0
+        assert first.values["running_jobs"] == 0
+
+    def test_replicas_grow_under_replication(self, monitored_run):
+        _, monitor, _ = monitored_run
+        series = monitor.series("total_replicas")
+        assert series[-1] > series[0]
+
+
+class TestDerived:
+    def test_peak(self, monitored_run):
+        _, monitor, _ = monitored_run
+        t, v = monitor.peak("jobs_in_system")
+        assert v == max(monitor.series("jobs_in_system"))
+        assert t in monitor.times
+
+    def test_completion_fraction_times_ordered(self, monitored_run):
+        _, monitor, _ = monitored_run
+        t50 = monitor.time_of_completion_fraction(0.5)
+        t90 = monitor.time_of_completion_fraction(0.9)
+        assert t50 is not None and t90 is not None
+        assert t50 <= t90
+
+    def test_completion_fraction_validation(self, monitored_run):
+        _, monitor, _ = monitored_run
+        with pytest.raises(ValueError):
+            monitor.time_of_completion_fraction(0)
+        with pytest.raises(ValueError):
+            monitor.time_of_completion_fraction(1.5)
+
+    def test_site_queue_series(self, monitored_run):
+        grid, monitor, _ = monitored_run
+        for site in grid.sites:
+            series = monitor.site_queue_series(site)
+            assert len(series) == len(monitor)
+
+    def test_site_queues_require_flag(self):
+        config = SimulationConfig.paper().scaled(0.05)
+        workload = make_workload(config, seed=0)
+        _, grid = build_grid(config, "JobLocal", "DataDoNothing",
+                             workload, seed=0)
+        monitor = GridMonitor(grid, period_s=100.0)
+        grid.run()
+        with pytest.raises(ValueError):
+            monitor.site_queue_series("site00")
+
+    def test_render_produces_plot(self, monitored_run):
+        _, monitor, _ = monitored_run
+        art = monitor.render("jobs_in_system", width=40, height=8)
+        assert "peak" in art
+        assert "#" in art

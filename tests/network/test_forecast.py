@@ -1,0 +1,156 @@
+"""Unit tests for the NWS-style bandwidth forecasting substrate."""
+
+from collections import deque
+
+import pytest
+
+from repro.network import Topology, TransferManager
+from repro.network.forecast import (
+    BandwidthHistory,
+    LastValuePredictor,
+    MeanPredictor,
+    MedianPredictor,
+    NWSForecaster,
+)
+from repro.sim import Simulator
+
+
+class TestPredictors:
+    def test_last_value(self):
+        assert LastValuePredictor().predict(deque([1.0, 5.0, 3.0])) == 3.0
+
+    def test_mean(self):
+        assert MeanPredictor().predict(deque([2.0, 4.0, 6.0])) == 4.0
+
+    def test_median_robust_to_spike(self):
+        assert MedianPredictor().predict(
+            deque([10.0, 10.0, 0.1, 10.0, 10.0])) == 10.0
+
+
+class TestBandwidthHistory:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthHistory(window=0)
+
+    def test_observes_completed_transfers(self):
+        sim = Simulator()
+        topo = Topology.star(3, 10.0)
+        tm = TransferManager(sim, topo)
+        history = BandwidthHistory()
+        history.attach(tm)
+        tm.start("site00", "site01", 100)  # 10 s at 10 MB/s bottleneck
+        sim.run()
+        series = history.series("site00", "site01")
+        assert len(series) == 1
+        assert series[0] == pytest.approx(10.0)
+        assert history.pairs() == [("site00", "site01")]
+
+    def test_contention_visible_in_observations(self):
+        sim = Simulator()
+        topo = Topology.star(3, 10.0)
+        tm = TransferManager(sim, topo)
+        history = BandwidthHistory()
+        history.attach(tm)
+        tm.start("site00", "site01", 100)
+        tm.start("site00", "site02", 100)  # share uplink: 5 MB/s each
+        sim.run()
+        assert history.series("site00", "site01")[0] == pytest.approx(5.0)
+
+    def test_local_transfers_not_recorded(self):
+        sim = Simulator()
+        tm = TransferManager(sim, Topology.star(2, 10.0))
+        history = BandwidthHistory()
+        history.attach(tm)
+        tm.start("site00", "site00", 100)
+        sim.run()
+        assert history.observations == 0
+
+    def test_window_caps_history(self):
+        history = BandwidthHistory(window=3)
+
+        class T:
+            route = [object()]
+            src, dst = "a", "b"
+            size_mb = 10.0
+            finished_at = 1.0
+            duration = 1.0
+
+        for _ in range(10):
+            history.observe(T())
+        assert len(history.series("a", "b")) == 3
+
+
+class TestNWSForecaster:
+    def _history(self, values, pair=("a", "b")):
+        history = BandwidthHistory()
+
+        class T:
+            route = [object()]
+            src, dst = pair
+            finished_at = 1.0
+            duration = 1.0
+
+        for v in values:
+            t = T()
+            t.size_mb = v  # duration 1 → bandwidth == v
+            history.observe(t)
+        return history
+
+    def test_decay_validation(self):
+        with pytest.raises(ValueError):
+            NWSForecaster(BandwidthHistory(), decay=0)
+
+    def test_no_history_returns_none(self):
+        forecaster = NWSForecaster(BandwidthHistory())
+        assert forecaster.forecast("x", "y") is None
+
+    def test_single_observation_returned_directly(self):
+        forecaster = NWSForecaster(self._history([7.0]))
+        assert forecaster.forecast("a", "b") == pytest.approx(7.0)
+        assert forecaster.best_predictor("a", "b") is None
+
+    def test_constant_series_forecast_exact(self):
+        forecaster = NWSForecaster(self._history([8.0] * 10))
+        assert forecaster.forecast("a", "b") == pytest.approx(8.0)
+
+    def test_spiky_series_prefers_robust_predictor(self):
+        # Stable value with rare extreme dips: median beats last-value.
+        values = [10.0, 10.0, 10.0, 0.1, 10.0, 10.0, 10.0, 0.1,
+                  10.0, 10.0]
+        forecaster = NWSForecaster(self._history(values))
+        best = forecaster.best_predictor("a", "b")
+        assert best.name == "median"
+        assert forecaster.forecast("a", "b") == pytest.approx(10.0)
+
+    def test_trending_series_prefers_last_value(self):
+        # Strictly rising series: last-value has the smallest error.
+        values = [float(i) for i in range(1, 15)]
+        forecaster = NWSForecaster(self._history(values))
+        assert forecaster.best_predictor("a", "b").name == "last"
+        assert forecaster.forecast("a", "b") == pytest.approx(14.0)
+
+
+class TestAdaptiveIntegration:
+    def test_forecaster_feeds_adaptive_scheduler(self):
+        import random
+
+        from repro import SimulationConfig, make_workload
+        from repro.experiments.runner import build_grid
+        from repro.metrics import RunMetrics
+        from repro.scheduling import AdaptiveExternalScheduler
+
+        config = SimulationConfig.paper().scaled(0.1)
+        workload = make_workload(config, seed=0)
+        sim, grid = build_grid(config, "JobLocal", "DataRandom",
+                               workload, seed=0)
+        history = BandwidthHistory()
+        history.attach(grid.transfers)
+        adaptive = AdaptiveExternalScheduler(
+            random.Random(0), forecaster=NWSForecaster(history))
+        grid.external_scheduler = adaptive
+        makespan = grid.run()
+        metrics = RunMetrics.from_grid(grid, makespan)
+        assert metrics.n_jobs == config.n_jobs
+        # Once traffic has flowed, forecasts start being used.
+        assert adaptive.forecast_hits > 0
+        assert history.observations > 0

@@ -1,0 +1,65 @@
+"""Unit tests for shortest-path routing."""
+
+import pytest
+
+from repro.network import Router, Topology
+
+
+@pytest.fixture
+def topo():
+    return Topology.hierarchical(12, 10, branching=4)
+
+
+class TestRouter:
+    def test_same_node_empty_route(self, topo):
+        router = Router(topo)
+        assert router.route("site00", "site00") == []
+        assert router.hops("site00", "site00") == 0
+
+    def test_sibling_route_two_hops(self, topo):
+        router = Router(topo)
+        # site00 and site03 share tier1-0 (12 sites round-robin across 3
+        # regions).
+        route = router.route("site00", "site03")
+        assert len(route) == 2
+
+    def test_cross_region_route_four_hops(self, topo):
+        router = Router(topo)
+        assert router.hops("site00", "site01") == 4
+
+    def test_route_links_are_contiguous(self, topo):
+        router = Router(topo)
+        route = router.route("site00", "site01")
+        # Consecutive links must share an endpoint.
+        for a, b in zip(route[:-1], route[1:]):
+            assert set(a.endpoints) & set(b.endpoints)
+
+    def test_reverse_route_is_reversed(self, topo):
+        router = Router(topo)
+        fwd = router.route("site00", "site05")
+        rev = router.route("site05", "site00")
+        assert rev == list(reversed(fwd))
+
+    def test_route_is_cached(self, topo):
+        router = Router(topo)
+        r1 = router.route("site00", "site05")
+        r2 = router.route("site00", "site05")
+        assert r1 is r2
+
+    def test_unknown_node_raises(self, topo):
+        router = Router(topo)
+        with pytest.raises(ValueError):
+            router.route("site00", "nowhere")
+
+    def test_no_path_raises(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        with pytest.raises(ValueError, match="no route"):
+            Router(topo).route("a", "b")
+
+    def test_warm_precomputes_all_pairs(self, topo):
+        router = Router(topo)
+        router.warm()
+        n = len(topo.sites)
+        assert len(router._cache) == n * (n - 1)

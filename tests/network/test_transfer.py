@@ -1,0 +1,202 @@
+"""Unit tests for the transfer manager: timing, contention, allocators."""
+
+import pytest
+
+from repro.network import (
+    EqualShareAllocator,
+    MaxMinFairAllocator,
+    Topology,
+    TransferManager,
+)
+from repro.sim import Simulator
+
+
+def star(n=4, bw=10.0):
+    return Topology.star(n, bw)
+
+
+class TestSingleTransfer:
+    def test_uncontended_duration_exact(self):
+        sim = Simulator()
+        tm = TransferManager(sim, star())
+        t = tm.start("site00", "site01", 100)  # 2 hops @ 10 MB/s
+        sim.run(until=t.done)
+        assert sim.now == pytest.approx(10.0)
+        assert t.duration == pytest.approx(10.0)
+
+    def test_local_transfer_instant(self):
+        sim = Simulator()
+        tm = TransferManager(sim, star())
+        t = tm.start("site00", "site00", 500)
+        assert t.finished_at == 0.0
+        assert t.done.triggered
+
+    def test_zero_size_instant(self):
+        sim = Simulator()
+        tm = TransferManager(sim, star())
+        t = tm.start("site00", "site01", 0)
+        assert t.finished_at == 0.0
+
+    def test_negative_size_rejected(self):
+        sim = Simulator()
+        tm = TransferManager(sim, star())
+        with pytest.raises(ValueError):
+            tm.start("site00", "site01", -1)
+
+    def test_duration_of_unfinished_raises(self):
+        sim = Simulator()
+        tm = TransferManager(sim, star())
+        t = tm.start("site00", "site01", 100)
+        with pytest.raises(ValueError):
+            _ = t.duration
+
+    def test_done_event_value_is_transfer(self):
+        sim = Simulator()
+        tm = TransferManager(sim, star())
+        t = tm.start("site00", "site01", 10)
+        assert sim.run(until=t.done) is t
+
+
+class TestContention:
+    def test_two_transfers_sharing_uplink_halve(self):
+        sim = Simulator()
+        tm = TransferManager(sim, star())
+        a = tm.start("site00", "site01", 100)
+        b = tm.start("site00", "site02", 100)
+        sim.run()
+        assert a.finished_at == pytest.approx(20.0)
+        assert b.finished_at == pytest.approx(20.0)
+
+    def test_disjoint_routes_do_not_interfere(self):
+        sim = Simulator()
+        tm = TransferManager(sim, Topology.ring(6, 10))
+        a = tm.start("site00", "site01", 100)
+        b = tm.start("site03", "site04", 100)
+        sim.run()
+        assert a.finished_at == pytest.approx(10.0)
+        assert b.finished_at == pytest.approx(10.0)
+
+    def test_late_joiner_slows_existing_transfer(self):
+        sim = Simulator()
+        tm = TransferManager(sim, star())
+        results = {}
+
+        def scenario():
+            a = tm.start("site00", "site01", 100)
+            yield sim.timeout(5)  # a has moved 50 MB
+            b = tm.start("site00", "site02", 100)
+            yield sim.all_of([a.done, b.done])
+            results["a"] = a.finished_at
+            results["b"] = b.finished_at
+
+        sim.process(scenario())
+        sim.run()
+        # a: 50 MB left at 5 MB/s -> finishes at 15.
+        assert results["a"] == pytest.approx(15.0)
+        # b: 50 MB at 5 MB/s until t=15, then 50 MB at 10 -> t=20.
+        assert results["b"] == pytest.approx(20.0)
+
+    def test_departure_speeds_up_survivor(self):
+        sim = Simulator()
+        tm = TransferManager(sim, star())
+        a = tm.start("site00", "site01", 50)
+        b = tm.start("site00", "site02", 150)
+        sim.run()
+        # Shared 5 MB/s each until a finishes at t=10 (50 MB);
+        # b then has 100 MB left at 10 MB/s -> t=20.
+        assert a.finished_at == pytest.approx(10.0)
+        assert b.finished_at == pytest.approx(20.0)
+
+    def test_bottleneck_is_busiest_link_on_route(self):
+        sim = Simulator()
+        topo = star(5, 10.0)
+        tm = TransferManager(sim, topo)
+        # Three transfers out of site00: its uplink is the bottleneck
+        # (3.33 MB/s each) even though destination links are idle.
+        ts = [tm.start("site00", f"site0{i}", 100) for i in (1, 2, 3)]
+        sim.run()
+        for t in ts:
+            assert t.finished_at == pytest.approx(30.0)
+
+
+class TestStatistics:
+    def test_total_mb_moved(self):
+        sim = Simulator()
+        tm = TransferManager(sim, star())
+        tm.start("site00", "site01", 100)
+        tm.start("site01", "site02", 60)
+        sim.run()
+        assert tm.total_mb_moved == pytest.approx(160)
+
+    def test_mb_by_purpose(self):
+        sim = Simulator()
+        tm = TransferManager(sim, star())
+        tm.start("site00", "site01", 100, purpose="job-fetch")
+        tm.start("site01", "site02", 60, purpose="replication")
+        tm.start("site02", "site03", 40, purpose="replication")
+        sim.run()
+        by = tm.mb_moved_by_purpose()
+        assert by["job-fetch"] == pytest.approx(100)
+        assert by["replication"] == pytest.approx(100)
+
+    def test_link_bytes_accounted(self):
+        sim = Simulator()
+        topo = star()
+        tm = TransferManager(sim, topo)
+        tm.start("site00", "site01", 100)
+        sim.run()
+        for link in topo.links:
+            if "site02" in link.endpoints or "site03" in link.endpoints:
+                assert link.bytes_carried == 0
+            else:
+                assert link.bytes_carried == pytest.approx(100)
+
+    def test_estimated_transfer_time(self):
+        sim = Simulator()
+        tm = TransferManager(sim, star(4, 20.0))
+        assert tm.estimated_transfer_time("site00", "site01", 100) == \
+            pytest.approx(5.0)
+        assert tm.estimated_transfer_time("site00", "site00", 100) == 0.0
+
+
+class TestMaxMinAllocator:
+    def test_single_transfer_gets_bottleneck(self):
+        sim = Simulator()
+        tm = TransferManager(sim, star(), allocator=MaxMinFairAllocator())
+        t = tm.start("site00", "site01", 100)
+        sim.run()
+        assert t.finished_at == pytest.approx(10.0)
+
+    def test_never_oversubscribes_links(self):
+        sim = Simulator()
+        topo = star(6, 10.0)
+        tm = TransferManager(sim, topo, allocator=MaxMinFairAllocator())
+        for i in range(1, 6):
+            tm.start("site00", f"site0{i}", 50)
+
+        def check(sim_, event):
+            for link in topo.links:
+                total = sum(t.rate for t in link.active)
+                assert total <= link.capacity_mbps + 1e-6
+
+        sim.pre_event_hooks.append(check)
+        sim.run()
+
+    def test_maxmin_uses_spare_capacity(self):
+        # a: site00->site01 shares site00 uplink with b: site00->site02.
+        # c: site03->site04 is independent.  Under max-min, c gets full
+        # rate while a and b split the uplink.
+        sim = Simulator()
+        tm = TransferManager(sim, star(6, 10.0),
+                             allocator=MaxMinFairAllocator())
+        a = tm.start("site00", "site01", 100)
+        b = tm.start("site00", "site02", 100)
+        c = tm.start("site03", "site04", 100)
+        sim.run()
+        assert c.finished_at == pytest.approx(10.0)
+        assert a.finished_at == pytest.approx(20.0)
+        assert b.finished_at == pytest.approx(20.0)
+
+    def test_allocator_names(self):
+        assert EqualShareAllocator().name == "equal-share"
+        assert MaxMinFairAllocator().name == "max-min"

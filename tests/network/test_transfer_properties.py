@@ -1,0 +1,102 @@
+"""Property-based tests for transfer-manager invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import MaxMinFairAllocator, Topology, TransferManager
+from repro.sim import Simulator
+
+transfer_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),   # src site index
+        st.integers(min_value=0, max_value=5),   # dst site index
+        st.floats(min_value=0.1, max_value=500),  # size MB
+        st.floats(min_value=0, max_value=100),   # start delay
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+def _run(specs, allocator=None):
+    sim = Simulator()
+    topo = Topology.star(6, 10.0)
+    tm = TransferManager(sim, topo, allocator=allocator)
+    transfers = []
+
+    def starter(src, dst, size, delay):
+        yield sim.timeout(delay)
+        transfers.append(tm.start(f"site{src:02d}", f"site{dst:02d}", size))
+
+    for src, dst, size, delay in specs:
+        sim.process(starter(src, dst, size, delay))
+    sim.run()
+    return sim, topo, tm, transfers
+
+
+@given(specs=transfer_specs)
+@settings(max_examples=40, deadline=None)
+def test_all_transfers_complete_and_conserve_bytes(specs):
+    sim, topo, tm, transfers = _run(specs)
+    assert len(transfers) == len(specs)
+    for t in transfers:
+        assert t.finished_at is not None
+        assert t.remaining_mb == 0.0
+    # Every remote transfer crossed exactly two star links; bytes carried
+    # per link must equal the sum of sizes of transfers using that link.
+    total_remote = sum(t.size_mb for t in transfers if t.route)
+    carried = sum(link.bytes_carried for link in topo.links)
+    expected = sum(t.size_mb * len(t.route) for t in transfers)
+    assert abs(carried - expected) <= 1e-6 * max(1.0, expected)
+    assert tm.total_mb_moved >= total_remote - 1e-6
+
+
+@given(specs=transfer_specs)
+@settings(max_examples=40, deadline=None)
+def test_no_transfer_beats_uncontended_bound(specs):
+    sim, topo, tm, transfers = _run(specs)
+    for t in transfers:
+        if not t.route:
+            continue
+        lower_bound = t.size_mb / min(l.capacity_mbps for l in t.route)
+        assert t.duration >= lower_bound - 1e-6
+
+
+@given(specs=transfer_specs)
+@settings(max_examples=30, deadline=None)
+def test_maxmin_matches_completion_set(specs):
+    """Both allocators must complete the same transfers (timing differs)."""
+    _, _, tm_eq, ts_eq = _run(specs)
+    _, _, tm_mm, ts_mm = _run(specs, allocator=MaxMinFairAllocator())
+    assert len(ts_eq) == len(ts_mm)
+    assert tm_eq.total_mb_moved == pytest.approx(tm_mm.total_mb_moved)
+
+
+@given(specs=transfer_specs)
+@settings(max_examples=30, deadline=None)
+def test_maxmin_never_slower_than_equal_share_overall(specs):
+    """Max–min dominates equal-share: every link's capacity is used at
+    least as well, so the last completion can't be later by more than
+    float noise."""
+    sim_eq, _, _, ts_eq = _run(specs)
+    sim_mm, _, _, ts_mm = _run(specs, allocator=MaxMinFairAllocator())
+    last_eq = max(t.finished_at for t in ts_eq)
+    last_mm = max(t.finished_at for t in ts_mm)
+    assert last_mm <= last_eq + 1e-6
+
+
+@given(
+    sizes=st.lists(st.floats(min_value=1, max_value=200), min_size=2,
+                   max_size=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_simultaneous_equal_transfers_finish_together(sizes):
+    """Equal-size transfers over the same route must tie exactly."""
+    size = sizes[0]
+    sim = Simulator()
+    tm = TransferManager(sim, Topology.star(3, 10.0))
+    ts = [tm.start("site00", "site01", size) for _ in range(len(sizes))]
+    sim.run()
+    finishes = {round(t.finished_at, 6) for t in ts}
+    assert len(finishes) == 1

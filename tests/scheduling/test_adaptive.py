@@ -1,0 +1,68 @@
+"""Unit tests for the adaptive external scheduler (extension)."""
+
+import random
+
+import pytest
+
+from repro.scheduling import AdaptiveExternalScheduler
+
+from tests.scheduling.conftest import build_grid, make_job
+
+
+class TestAdaptive:
+    def test_local_data_runs_locally(self, star_grid):
+        _, grid = star_grid
+        es = AdaptiveExternalScheduler(random.Random(0))
+        job = make_job(origin="site00", inputs=("d0",), runtime=10)
+        assert es.select_site(job, grid) == "site00"
+        assert es.chose_local == 1
+
+    def test_long_job_small_fetch_runs_locally(self, star_grid):
+        _, grid = star_grid
+        es = AdaptiveExternalScheduler(random.Random(0),
+                                       transfer_budget_fraction=0.5,
+                                       congestion_factor=1.0)
+        # d1 fetch to site00: 500 MB / 10 MB/s = 50 s; runtime 10000 s.
+        job = make_job(origin="site00", inputs=("d1",), runtime=10_000)
+        assert es.select_site(job, grid) == "site00"
+        assert es.chose_local == 1
+
+    def test_short_job_big_fetch_goes_to_data(self, star_grid):
+        _, grid = star_grid
+        es = AdaptiveExternalScheduler(random.Random(0),
+                                       transfer_budget_fraction=0.5,
+                                       congestion_factor=1.0)
+        # 50 s fetch vs 20 s runtime: fetch dominates, follow the data.
+        job = make_job(origin="site00", inputs=("d1",), runtime=20)
+        assert es.select_site(job, grid) == "site01"
+        assert es.chose_data == 1
+
+    def test_congestion_factor_biases_toward_data(self, star_grid):
+        _, grid = star_grid
+        # Borderline job: 50 s fetch (uncontended), 110 s runtime,
+        # budget 0.5 -> local if estimate <= 55 s.
+        job = make_job(origin="site00", inputs=("d1",), runtime=110)
+        lenient = AdaptiveExternalScheduler(
+            random.Random(0), transfer_budget_fraction=0.5,
+            congestion_factor=1.0)
+        assert lenient.select_site(job, grid) == "site00"
+        pessimist = AdaptiveExternalScheduler(
+            random.Random(0), transfer_budget_fraction=0.5,
+            congestion_factor=2.0)
+        assert pessimist.select_site(job, grid) == "site01"
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AdaptiveExternalScheduler(random.Random(0),
+                                      transfer_budget_fraction=0)
+        with pytest.raises(ValueError):
+            AdaptiveExternalScheduler(random.Random(0),
+                                      congestion_factor=0.5)
+
+    def test_counts_accumulate(self, star_grid):
+        _, grid = star_grid
+        es = AdaptiveExternalScheduler(random.Random(0))
+        es.select_site(make_job(origin="site00", inputs=("d0",)), grid)
+        es.select_site(
+            make_job(origin="site00", inputs=("d1",), runtime=1), grid)
+        assert es.chose_local + es.chose_data == 2

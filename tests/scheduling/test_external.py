@@ -1,0 +1,119 @@
+"""Unit tests for the paper's four External Scheduler algorithms."""
+
+import random
+
+import pytest
+
+from repro.scheduling import (
+    JobDataPresent,
+    JobLeastLoaded,
+    JobLocal,
+    JobRandom,
+)
+
+from tests.scheduling.conftest import build_grid, load_site, make_job
+
+
+class TestJobLocal:
+    def test_always_origin(self, star_grid):
+        _, grid = star_grid
+        es = JobLocal()
+        for origin in grid.sites:
+            job = make_job(origin=origin)
+            assert es.select_site(job, grid) == origin
+
+    def test_ignores_load(self, star_grid):
+        _, grid = star_grid
+        load_site(grid, "site00", 10)
+        assert JobLocal().select_site(make_job(origin="site00"), grid) == \
+            "site00"
+
+
+class TestJobRandom:
+    def test_uniform_coverage(self, star_grid):
+        _, grid = star_grid
+        es = JobRandom(random.Random(0))
+        picks = {es.select_site(make_job(), grid) for _ in range(200)}
+        assert picks == set(grid.sites)
+
+    def test_deterministic_under_seed(self, star_grid):
+        _, grid = star_grid
+        seq1 = [JobRandom(random.Random(5)).select_site(make_job(), grid)
+                for _ in range(1)]
+        seq2 = [JobRandom(random.Random(5)).select_site(make_job(), grid)
+                for _ in range(1)]
+        assert seq1 == seq2
+
+
+class TestJobLeastLoaded:
+    def test_avoids_loaded_site(self, star_grid):
+        _, grid = star_grid
+        load_site(grid, "site00", 8)
+        load_site(grid, "site01", 8)
+        es = JobLeastLoaded(random.Random(0))
+        for _ in range(20):
+            assert es.select_site(make_job(), grid) in ("site02", "site03")
+
+    def test_tie_break_spreads(self, star_grid):
+        _, grid = star_grid
+        es = JobLeastLoaded(random.Random(0))
+        picks = {es.select_site(make_job(), grid) for _ in range(100)}
+        assert len(picks) > 1
+
+    def test_picks_unique_minimum(self, star_grid):
+        _, grid = star_grid
+        for site in ("site00", "site01", "site02"):
+            load_site(grid, site, 4)
+        es = JobLeastLoaded(random.Random(0))
+        assert es.select_site(make_job(), grid) == "site03"
+
+
+class TestJobDataPresent:
+    def test_goes_to_data(self, star_grid):
+        _, grid = star_grid
+        es = JobDataPresent(random.Random(0))
+        job = make_job(inputs=("d2",), origin="site00")
+        assert es.select_site(job, grid) == "site02"
+
+    def test_least_loaded_among_holders(self, star_grid):
+        _, grid = star_grid
+        grid.catalog.register("d2", "site03")  # two holders now
+        load_site(grid, "site02", 8)
+        es = JobDataPresent(random.Random(0))
+        job = make_job(inputs=("d2",))
+        assert es.select_site(job, grid) == "site03"
+
+    def test_multi_input_requires_all(self, star_grid):
+        _, grid = star_grid
+        grid.catalog.register("d0", "site02")  # site02 has d0 and d2
+        es = JobDataPresent(random.Random(0))
+        job = make_job(inputs=("d0", "d2"))
+        assert es.select_site(job, grid) == "site02"
+
+    def test_multi_input_partial_falls_back_to_most_bytes(self, star_grid):
+        _, grid = star_grid
+        # No site has both d0 and d1; both are 500 MB, so the least loaded
+        # of the two single-holders is chosen.
+        load_site(grid, "site00", 8)
+        es = JobDataPresent(random.Random(0))
+        job = make_job(inputs=("d0", "d1"))
+        assert es.select_site(job, grid) == "site01"
+
+    def test_respects_cached_replicas(self, star_grid):
+        sim, grid = star_grid
+        p = grid.datamover.ensure_local("site03", "d0")
+        sim.run(until=p)
+        load_site(grid, "site00", 8)
+        es = JobDataPresent(random.Random(0))
+        assert es.select_site(make_job(inputs=("d0",)), grid) == "site03"
+
+
+class TestNames:
+    @pytest.mark.parametrize("cls,expected", [
+        (JobLocal, "JobLocal"),
+        (JobRandom, "JobRandom"),
+        (JobLeastLoaded, "JobLeastLoaded"),
+        (JobDataPresent, "JobDataPresent"),
+    ])
+    def test_registry_names(self, cls, expected):
+        assert cls.name == expected

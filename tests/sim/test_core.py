@@ -1,0 +1,196 @@
+"""Unit tests for the simulator loop: ordering, run modes, error surfacing."""
+
+import pytest
+
+from repro.sim import Event, Simulator
+from repro.sim.errors import SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Simulator(initial_time=100.0).now == 100.0
+
+    def test_peek_empty_queue_is_inf(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, sim):
+        sim.timeout(5)
+        sim.timeout(3)
+        assert sim.peek() == 3.0
+
+    def test_len_counts_scheduled_events(self, sim):
+        sim.timeout(1)
+        sim.timeout(2)
+        assert len(sim) == 2
+
+
+class TestStep:
+    def test_advances_clock(self, sim):
+        sim.timeout(4)
+        sim.step()
+        assert sim.now == 4.0
+
+    def test_empty_queue_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_unhandled_failed_event_raises(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            sim.step()
+
+    def test_defused_failed_event_does_not_raise(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("handled"))
+        ev.defuse()
+        sim.step()  # no exception
+        assert ev.processed
+
+
+class TestOrdering:
+    def test_time_order(self, sim):
+        order = []
+        for delay in (5, 1, 3):
+            sim.timeout(delay).callbacks.append(
+                lambda ev, d=delay: order.append(d))
+        sim.run()
+        assert order == [1, 3, 5]
+
+    def test_fifo_within_same_time(self, sim):
+        order = []
+        for tag in "abc":
+            sim.timeout(2).callbacks.append(
+                lambda ev, t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_schedule_rejected(self, sim):
+        ev = Event(sim)
+        ev._ok = True
+        ev._value = None
+        with pytest.raises(SimulationError):
+            sim.schedule(ev, delay=-0.5)
+
+
+class TestRun:
+    def test_until_none_drains_queue(self, sim):
+        sim.timeout(10)
+        sim.run()
+        assert sim.now == 10.0
+        assert len(sim) == 0
+
+    def test_until_time_stops_exactly(self, sim):
+        def ticker():
+            while True:
+                yield sim.timeout(1)
+
+        sim.process(ticker())
+        sim.run(until=5.5)
+        assert sim.now == 5.5
+
+    def test_until_time_excludes_later_events(self, sim):
+        fired = []
+        sim.timeout(3).callbacks.append(lambda ev: fired.append(3))
+        sim.timeout(8).callbacks.append(lambda ev: fired.append(8))
+        sim.run(until=5)
+        assert fired == [3]
+
+    def test_until_past_time_rejected(self, sim):
+        sim.timeout(10)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=5)
+
+    def test_until_event_returns_value(self, sim):
+        def proc():
+            yield sim.timeout(3)
+            return "result"
+
+        p = sim.process(proc())
+        assert sim.run(until=p) == "result"
+
+    def test_until_event_raises_failure(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            raise ValueError("deliberate")
+
+        p = sim.process(proc())
+        with pytest.raises(ValueError, match="deliberate"):
+            sim.run(until=p)
+
+    def test_until_already_processed_event(self, sim):
+        t = sim.timeout(2, value="early")
+        sim.run()
+        assert sim.run(until=t) == "early"
+
+    def test_until_event_stops_before_draining(self, sim):
+        late = []
+        sim.timeout(100).callbacks.append(lambda ev: late.append(1))
+
+        def proc():
+            yield sim.timeout(3)
+
+        sim.run(until=sim.process(proc()))
+        assert sim.now == 3.0
+        assert late == []
+
+    def test_until_never_triggered_event_raises(self, sim):
+        ev = sim.event()  # nothing will ever trigger it
+        sim.timeout(1)
+        with pytest.raises(SimulationError):
+            sim.run(until=ev)
+
+
+class TestRunUntilEmpty:
+    def test_counts_events(self, sim):
+        sim.timeout(1)
+        sim.timeout(2)
+        assert sim.run_until_empty() == 2
+
+    def test_max_events_guard(self, sim):
+        def forever():
+            while True:
+                yield sim.timeout(1)
+
+        sim.process(forever())
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run_until_empty(max_events=50)
+
+
+class TestHooks:
+    def test_pre_event_hooks_called(self, sim):
+        seen = []
+        sim.pre_event_hooks.append(lambda s, ev: seen.append(s.now))
+        sim.timeout(2)
+        sim.timeout(7)
+        sim.run()
+        assert seen == [2.0, 7.0]
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build_and_run():
+            sim = Simulator()
+            trace = []
+
+            def proc(name, delay):
+                yield sim.timeout(delay)
+                trace.append((name, sim.now))
+                yield sim.timeout(delay)
+                trace.append((name, sim.now))
+
+            for i in range(10):
+                sim.process(proc(f"p{i}", (i * 7) % 5 + 1))
+            sim.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

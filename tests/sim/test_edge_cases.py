@@ -1,0 +1,182 @@
+"""Kernel edge cases beyond the mainline tests."""
+
+import pytest
+
+from repro.sim import (
+    AnyOf,
+    Event,
+    Interrupt,
+    PriorityResource,
+    Resource,
+    Simulator,
+    Store,
+)
+from repro.sim.errors import SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEventEdges:
+    def test_callbacks_on_processed_event_are_gone(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        sim.run()
+        assert ev.callbacks is None
+
+    def test_defuse_before_processing_suppresses_crash(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("handled elsewhere"))
+        ev.defuse()
+        sim.run()  # no raise
+        assert ev.processed
+
+    def test_trigger_from_failed_source_propagates_failure(self, sim):
+        src = sim.event()
+        dst = sim.event()
+        src.fail(ValueError("orig"))
+        src.defuse()
+        dst.trigger(src)
+        dst.defuse()
+        sim.run()
+        assert not dst.ok
+        assert isinstance(dst.value, ValueError)
+
+    def test_condition_with_prefailed_processed_event(self, sim):
+        bad = sim.event()
+        bad.fail(RuntimeError("pre-existing"))
+        bad.defuse()
+        sim.run()
+        cond = AnyOf(sim, [bad, sim.timeout(5)])
+        cond.defuse()
+        sim.run()
+        assert not cond.ok
+
+
+class TestProcessEdges:
+    def test_process_waiting_on_explicit_event_target(self, sim):
+        gate = sim.event()
+
+        def waiter():
+            value = yield gate
+            return value
+
+        p = sim.process(waiter())
+        sim.timeout(1).callbacks.append(lambda _ev: gate.succeed("opened"))
+        sim.run()
+        assert p.value == "opened"
+
+    def test_target_property_reflects_wait(self, sim):
+        t = sim.timeout(10)
+
+        def waiter():
+            yield t
+
+        p = sim.process(waiter())
+        sim.run(until=5)
+        assert p.target is t
+        sim.run()
+        assert p.target is None
+
+    def test_interrupt_self_rejected(self, sim):
+        def narcissist():
+            sim.active_process.interrupt()
+            yield sim.timeout(1)
+
+        sim.process(narcissist())
+        with pytest.raises(SimulationError, match="interrupt itself"):
+            sim.run()
+
+    def test_double_interrupt_delivers_both(self, sim):
+        hits = []
+
+        def tough():
+            for _ in range(2):
+                try:
+                    yield sim.timeout(100)
+                except Interrupt as i:
+                    hits.append(i.cause)
+            return hits
+
+        p = sim.process(tough())
+
+        def attacker():
+            yield sim.timeout(1)
+            p.interrupt("first")
+            p.interrupt("second")
+
+        sim.process(attacker())
+        sim.run(until=p)
+        assert hits == ["first", "second"]
+
+    def test_exception_in_finally_does_not_hang(self, sim):
+        def leaky():
+            try:
+                yield sim.timeout(1)
+                raise ValueError("original")
+            finally:
+                pass  # cleanup runs; exception continues
+
+        p = sim.process(leaky())
+        with pytest.raises(ValueError, match="original"):
+            sim.run(until=p)
+
+
+class TestResourceEdges:
+    def test_release_twice_is_safe(self, sim):
+        res = Resource(sim, capacity=1)
+        req = res.request()
+        res.release(req)
+        res.release(req)  # second release degrades to a no-op cancel
+        assert res.count == 0
+
+    def test_priority_resource_release_ungranted(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        res.request(priority=1)
+        waiting = res.request(priority=2)
+        res.release(waiting)  # cancels from the heap
+        assert res.queued == 0
+
+    def test_store_put_get_interleaving_preserves_items(self, sim):
+        store = Store(sim, capacity=2)
+        puts = [store.put(i) for i in range(5)]
+        gotten = []
+
+        def consumer():
+            for _ in range(5):
+                item = yield store.get()
+                gotten.append(item)
+                yield sim.timeout(1)
+
+        sim.process(consumer())
+        sim.run()
+        assert gotten == [0, 1, 2, 3, 4]
+        assert all(p.triggered for p in puts)
+
+
+class TestClockEdges:
+    def test_zero_duration_events_preserve_fifo(self, sim):
+        order = []
+        for i in range(5):
+            ev = Event(sim)
+            ev._ok, ev._value = True, None
+            ev.callbacks.append(lambda _e, i=i: order.append(i))
+            sim.schedule(ev, delay=0.0)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_run_until_now_is_noop(self, sim):
+        sim.timeout(10)
+        sim.run(until=0)
+        assert sim.now == 0.0
+
+    def test_float_time_accumulation_is_stable(self, sim):
+        def ticker():
+            for _ in range(1000):
+                yield sim.timeout(0.1)
+
+        sim.process(ticker())
+        sim.run()
+        assert sim.now == pytest.approx(100.0, abs=1e-6)

@@ -1,0 +1,195 @@
+"""Unit tests for the kernel's event primitives."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Simulator, Timeout
+from repro.sim.errors import EventAlreadyTriggered
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEventLifecycle:
+    def test_new_event_is_pending(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_succeed_triggers(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_succeed_default_value_is_none(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        assert ev.value is None
+
+    def test_fail_stores_exception(self, sim):
+        ev = sim.event()
+        exc = RuntimeError("boom")
+        ev.fail(exc)
+        ev.defuse()
+        assert ev.triggered
+        assert not ev.ok
+        assert ev.value is exc
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_double_succeed_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(EventAlreadyTriggered):
+            ev.succeed()
+
+    def test_succeed_after_fail_rejected(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("x"))
+        ev.defuse()
+        with pytest.raises(EventAlreadyTriggered):
+            ev.succeed()
+
+    def test_value_unavailable_before_trigger(self, sim):
+        ev = sim.event()
+        with pytest.raises(AttributeError):
+            _ = ev.value
+
+    def test_processed_after_run(self, sim):
+        ev = sim.event()
+        ev.succeed("done")
+        sim.run()
+        assert ev.processed
+
+    def test_callbacks_receive_event(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.callbacks.append(seen.append)
+        ev.succeed("v")
+        sim.run()
+        assert seen == [ev]
+
+    def test_trigger_copies_outcome(self, sim):
+        src = sim.event()
+        dst = sim.event()
+        src.succeed("payload")
+        dst.trigger(src)
+        sim.run()
+        assert dst.value == "payload"
+        assert dst.ok
+
+    def test_repr_shows_state(self, sim):
+        ev = sim.event()
+        assert "pending" in repr(ev)
+        ev.succeed()
+        assert "triggered" in repr(ev)
+        sim.run()
+        assert "processed" in repr(ev)
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, sim):
+        t = sim.timeout(7.5)
+        sim.run()
+        assert sim.now == 7.5
+        assert t.processed
+
+    def test_carries_value(self, sim):
+        t = sim.timeout(1, value="hello")
+        sim.run()
+        assert t.value == "hello"
+
+    def test_zero_delay_allowed(self, sim):
+        t = sim.timeout(0)
+        sim.run()
+        assert sim.now == 0.0
+        assert t.processed
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1)
+
+    def test_repr(self, sim):
+        assert "3" in repr(sim.timeout(3))
+
+
+class TestAllOf:
+    def test_waits_for_all(self, sim):
+        t1, t2 = sim.timeout(3, "a"), sim.timeout(9, "b")
+        cond = sim.all_of([t1, t2])
+        sim.run()
+        assert sim.now == 9
+        assert sorted(cond.value.values()) == ["a", "b"]
+
+    def test_empty_succeeds_immediately(self, sim):
+        cond = sim.all_of([])
+        assert cond.triggered
+        sim.run()
+        assert cond.value == {}
+
+    def test_already_processed_subevents_count(self, sim):
+        t1 = sim.timeout(1, "x")
+        sim.run()
+        cond = sim.all_of([t1])
+        sim.run()
+        assert cond.value == {t1: "x"}
+
+    def test_failure_propagates(self, sim):
+        ev = sim.event()
+        t = sim.timeout(5)
+        cond = sim.all_of([ev, t])
+        exc = RuntimeError("sub-event failed")
+        ev.fail(exc)
+        cond.defuse()
+        sim.run()
+        assert not cond.ok
+        assert cond.value is exc
+
+    def test_mixed_simulators_rejected(self, sim):
+        other = Simulator()
+        with pytest.raises(ValueError):
+            sim.all_of([other.timeout(1)])
+
+    def test_value_maps_events_to_values(self, sim):
+        t1, t2 = sim.timeout(1, 10), sim.timeout(2, 20)
+        cond = sim.all_of([t1, t2])
+        sim.run()
+        assert cond.value[t1] == 10
+        assert cond.value[t2] == 20
+
+
+class TestAnyOf:
+    def test_fires_on_first(self, sim):
+        t1, t2 = sim.timeout(3, "fast"), sim.timeout(100, "slow")
+        cond = sim.any_of([t1, t2])
+        results = {}
+
+        def waiter():
+            got = yield cond
+            results.update(got)
+
+        sim.process(waiter())
+        sim.run()
+        assert results == {t1: "fast"}
+
+    def test_empty_succeeds_immediately(self, sim):
+        cond = sim.any_of([])
+        assert cond.triggered
+
+    def test_wakes_process_at_first_event_time(self, sim):
+        t1, t2 = sim.timeout(3), sim.timeout(100)
+        woke_at = []
+
+        def waiter():
+            yield sim.any_of([t1, t2])
+            woke_at.append(sim.now)
+
+        sim.process(waiter())
+        sim.run()
+        assert woke_at == [3.0]

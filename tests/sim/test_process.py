@@ -1,0 +1,281 @@
+"""Unit tests for generator processes: returns, exceptions, interrupts."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+from repro.sim.errors import SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestBasics:
+    def test_process_requires_generator(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)  # not a generator
+
+    def test_return_value_becomes_event_value(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            return 99
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 99
+
+    def test_no_explicit_return_yields_none(self, sim):
+        def proc():
+            yield sim.timeout(1)
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value is None
+
+    def test_is_alive_transitions(self, sim):
+        def proc():
+            yield sim.timeout(5)
+
+        p = sim.process(proc())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_yield_value_is_event_value(self, sim):
+        got = []
+
+        def proc():
+            v = yield sim.timeout(2, value="payload")
+            got.append(v)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_immediate_return_process(self, sim):
+        def proc():
+            return 7
+            yield  # pragma: no cover - makes it a generator
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 7
+
+    def test_processes_can_wait_on_processes(self, sim):
+        def child():
+            yield sim.timeout(4)
+            return "child-result"
+
+        def parent():
+            result = yield sim.process(child())
+            return f"got {result}"
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == "got child-result"
+
+    def test_yield_non_event_raises(self, sim):
+        def proc():
+            yield 42
+
+        p = sim.process(proc())
+        with pytest.raises(SimulationError, match="non-event"):
+            sim.run()
+
+    def test_yield_foreign_event_raises(self, sim):
+        other = Simulator()
+
+        def proc():
+            yield other.timeout(1)
+
+        sim.process(proc())
+        with pytest.raises(SimulationError, match="different simulator"):
+            sim.run()
+
+    def test_yield_already_processed_event_continues_immediately(self, sim):
+        t = sim.timeout(1, value="past")
+        sim.run()
+
+        def proc():
+            v = yield t
+            return (v, sim.now)
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == ("past", 1.0)
+
+    def test_active_process_visible_during_execution(self, sim):
+        seen = []
+
+        def proc():
+            seen.append(sim.active_process)
+            yield sim.timeout(1)
+
+        p = sim.process(proc())
+        sim.run()
+        assert seen == [p]
+        assert sim.active_process is None
+
+    def test_name_from_argument(self, sim):
+        def proc():
+            yield sim.timeout(1)
+
+        p = sim.process(proc(), name="my-proc")
+        assert "my-proc" in repr(p)
+        sim.run()
+
+
+class TestExceptions:
+    def test_unhandled_exception_propagates_to_run(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            raise KeyError("inside process")
+
+        sim.process(proc())
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_waiter_receives_child_failure(self, sim):
+        def child():
+            yield sim.timeout(1)
+            raise ValueError("child broke")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except ValueError as exc:
+                return f"caught: {exc}"
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == "caught: child broke"
+
+    def test_uncaught_child_failure_propagates_through_parent(self, sim):
+        def child():
+            yield sim.timeout(1)
+            raise ValueError("uncaught")
+
+        def parent():
+            yield sim.process(child())
+
+        def grandparent():
+            try:
+                yield sim.process(parent())
+            except ValueError:
+                return "reached grandparent"
+
+        p = sim.process(grandparent())
+        sim.run()
+        assert p.value == "reached grandparent"
+
+    def test_failed_event_reraised_at_yield(self, sim):
+        ev = sim.event()
+
+        def proc():
+            try:
+                yield ev
+            except RuntimeError:
+                return "handled"
+
+        p = sim.process(proc())
+        ev.fail(RuntimeError("event failure"))
+        sim.run()
+        assert p.value == "handled"
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as i:
+                return ("interrupted", sim.now, i.cause)
+
+        p = sim.process(sleeper())
+
+        def killer():
+            yield sim.timeout(10)
+            p.interrupt(cause="reason")
+
+        sim.process(killer())
+        sim.run()
+        assert p.value == ("interrupted", 10.0, "reason")
+
+    def test_interrupted_process_can_keep_running(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(100)
+            except Interrupt:
+                pass
+            yield sim.timeout(5)
+            return sim.now
+
+        p = sim.process(sleeper())
+
+        def killer():
+            yield sim.timeout(10)
+            p.interrupt()
+
+        sim.process(killer())
+        sim.run()
+        assert p.value == 15.0
+
+    def test_unhandled_interrupt_fails_process(self, sim):
+        def sleeper():
+            yield sim.timeout(100)
+
+        p = sim.process(sleeper())
+
+        def killer():
+            yield sim.timeout(1)
+            p.interrupt()
+
+        sim.process(killer())
+        with pytest.raises(Interrupt):
+            sim.run()
+
+    def test_interrupt_dead_process_rejected(self, sim):
+        def quick():
+            yield sim.timeout(1)
+
+        p = sim.process(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_target_detached_after_interrupt(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(100)
+            except Interrupt:
+                return "out"
+
+        p = sim.process(sleeper())
+
+        def killer():
+            yield sim.timeout(1)
+            p.interrupt()
+
+        sim.process(killer())
+        sim.run()
+        # The original timeout still fires at t=100 but nobody waits on it.
+        assert p.value == "out"
+        assert sim.now == 100.0  # timeout drained from queue
+
+    def test_interrupt_cause_defaults_to_none(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as i:
+                return i.cause
+
+        p = sim.process(sleeper())
+
+        def killer():
+            yield sim.timeout(1)
+            p.interrupt()
+
+        sim.process(killer())
+        sim.run()
+        assert p.value is None

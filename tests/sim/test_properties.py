@@ -1,0 +1,90 @@
+"""Property-based tests for kernel invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Container, Resource, Simulator
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=50))
+def test_events_processed_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    seen = []
+    for d in delays:
+        sim.timeout(d).callbacks.append(lambda ev: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    holds=st.lists(st.floats(min_value=0.1, max_value=100), min_size=1,
+                   max_size=40),
+)
+@settings(max_examples=50)
+def test_resource_never_exceeds_capacity_and_serves_everyone(capacity, holds):
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    served = []
+    peak = [0]
+
+    def worker(i, hold):
+        with res.request() as req:
+            yield req
+            peak[0] = max(peak[0], res.count)
+            assert res.count <= capacity
+            yield sim.timeout(hold)
+        served.append(i)
+
+    for i, hold in enumerate(holds):
+        sim.process(worker(i, hold))
+    sim.run()
+    assert sorted(served) == list(range(len(holds)))
+    assert peak[0] <= capacity
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["put", "get"]),
+                  st.floats(min_value=0.0, max_value=10.0)),
+        max_size=40,
+    )
+)
+@settings(max_examples=50)
+def test_container_level_always_within_bounds(ops):
+    sim = Simulator()
+    capacity = 25.0
+    c = Container(sim, capacity=capacity, init=capacity / 2)
+    for op, amount in ops:
+        if op == "put":
+            c.put(amount)
+        else:
+            c.get(amount)
+        assert -1e-9 <= c.level <= capacity + 1e-9
+    sim.run()
+    assert -1e-9 <= c.level <= capacity + 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=25)
+def test_process_scheduling_deterministic_for_any_seed(seed):
+    import random
+
+    def run_once():
+        rng = random.Random(seed)
+        sim = Simulator()
+        trace = []
+
+        def proc(i):
+            for _ in range(3):
+                yield sim.timeout(rng.uniform(0, 10))
+                trace.append((i, sim.now))
+
+        for i in range(5):
+            sim.process(proc(i))
+        sim.run()
+        return trace
+
+    assert run_once() == run_once()

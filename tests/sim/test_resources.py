@@ -1,0 +1,266 @@
+"""Unit tests for Resource, PriorityResource, Store, and Container."""
+
+import pytest
+
+from repro.sim import (
+    Container,
+    PriorityResource,
+    Resource,
+    Simulator,
+    Store,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_grants_up_to_capacity(self, sim):
+        res = Resource(sim, capacity=2)
+        r1, r2, r3 = res.request(), res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert not r3.triggered
+        assert res.count == 2
+        assert res.queued == 1
+
+    def test_release_grants_next(self, sim):
+        res = Resource(sim, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        res.release(r1)
+        assert r2.triggered
+        assert res.count == 1
+
+    def test_fifo_grant_order(self, sim):
+        res = Resource(sim, capacity=1)
+        first = res.request()
+        order = []
+
+        def worker(i):
+            req = res.request()
+            yield req
+            order.append(i)
+            res.release(req)
+
+        for i in range(3):
+            sim.process(worker(i))
+        res.release(first)
+        sim.run()
+        assert order == [0, 1, 2]
+
+    def test_release_ungranted_cancels(self, sim):
+        res = Resource(sim, capacity=1)
+        res.request()
+        waiting = res.request()
+        res.release(waiting)  # cancels instead
+        assert res.queued == 0
+
+    def test_context_manager_releases(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def worker():
+            with res.request() as req:
+                yield req
+                yield sim.timeout(5)
+            return res.count
+
+        p = sim.process(worker())
+        sim.run()
+        assert p.value == 0
+
+    def test_cancel_removes_from_queue(self, sim):
+        res = Resource(sim, capacity=1)
+        res.request()
+        pending = res.request()
+        pending.cancel()
+        assert res.queued == 0
+
+    def test_interleaved_workers_respect_capacity(self, sim):
+        res = Resource(sim, capacity=3)
+        peak = []
+
+        def worker():
+            with res.request() as req:
+                yield req
+                peak.append(res.count)
+                yield sim.timeout(10)
+
+        for _ in range(10):
+            sim.process(worker())
+        sim.run()
+        assert max(peak) <= 3
+
+    def test_repr(self, sim):
+        res = Resource(sim, capacity=2)
+        res.request()
+        assert "1/2" in repr(res)
+
+
+class TestPriorityResource:
+    def test_lower_priority_served_first(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        blocker = res.request(priority=0)
+        order = []
+
+        def worker(name, prio):
+            req = res.request(priority=prio)
+            yield req
+            order.append(name)
+            res.release(req)
+
+        sim.process(worker("low-prio", 10))
+        sim.process(worker("high-prio", 1))
+        sim.process(worker("mid-prio", 5))
+
+        def release_blocker():
+            yield sim.timeout(1)
+            res.release(blocker)
+
+        sim.process(release_blocker())
+        sim.run()
+        assert order == ["high-prio", "mid-prio", "low-prio"]
+
+    def test_equal_priority_is_fifo(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        blocker = res.request(priority=0)
+        order = []
+
+        def worker(i):
+            req = res.request(priority=7)
+            yield req
+            order.append(i)
+            res.release(req)
+
+        for i in range(4):
+            sim.process(worker(i))
+
+        def go():
+            yield sim.timeout(1)
+            res.release(blocker)
+
+        sim.process(go())
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_cancel_pending_priority_request(self, sim):
+        res = PriorityResource(sim, capacity=1)
+        res.request(priority=0)
+        pending = res.request(priority=5)
+        pending.cancel()
+        assert res.queued == 0
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("item")
+        got = store.get()
+        assert got.triggered
+        assert got.value == "item"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        results = []
+
+        def consumer():
+            item = yield store.get()
+            results.append((item, sim.now))
+
+        def producer():
+            yield sim.timeout(5)
+            store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert results == [("late", 5.0)]
+
+    def test_fifo_item_order(self, sim):
+        store = Store(sim)
+        for i in range(3):
+            store.put(i)
+        assert [store.get().value for _ in range(3)] == [0, 1, 2]
+
+    def test_capacity_blocks_put(self, sim):
+        store = Store(sim, capacity=1)
+        p1 = store.put("a")
+        p2 = store.put("b")
+        assert p1.triggered
+        assert not p2.triggered
+        store.get()
+        assert p2.triggered
+
+    def test_filtered_get(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        store.put(3)
+        got = store.get(filter=lambda x: x % 2 == 0)
+        assert got.value == 2
+        assert store.items == [1, 3]
+
+    def test_filtered_get_waits_for_match(self, sim):
+        store = Store(sim)
+        store.put("no-match")
+        got = store.get(filter=lambda x: x == "match")
+        assert not got.triggered
+        store.put("match")
+        assert got.triggered
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+    def test_len(self, sim):
+        store = Store(sim)
+        store.put("x")
+        assert len(store) == 1
+
+
+class TestContainer:
+    def test_initial_level(self, sim):
+        c = Container(sim, capacity=100, init=40)
+        assert c.level == 40
+
+    def test_put_and_get(self, sim):
+        c = Container(sim, capacity=100)
+        c.put(30)
+        c.get(10)
+        assert c.level == 20
+
+    def test_get_blocks_until_available(self, sim):
+        c = Container(sim, capacity=100)
+        got = c.get(50)
+        assert not got.triggered
+        c.put(50)
+        assert got.triggered
+        assert c.level == 0
+
+    def test_put_blocks_at_capacity(self, sim):
+        c = Container(sim, capacity=10, init=8)
+        blocked = c.put(5)
+        assert not blocked.triggered
+        c.get(4)
+        assert blocked.triggered
+        assert c.level == pytest.approx(9)
+
+    def test_negative_amounts_rejected(self, sim):
+        c = Container(sim, capacity=10)
+        with pytest.raises(ValueError):
+            c.put(-1)
+        with pytest.raises(ValueError):
+            c.get(-1)
+
+    def test_bad_init_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Container(sim, capacity=10, init=11)
+
+    def test_bad_capacity_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Container(sim, capacity=0)

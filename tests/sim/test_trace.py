@@ -1,0 +1,65 @@
+"""Unit tests for the tracing facility."""
+
+from repro.sim import Simulator
+from repro.sim.trace import NullTracer, Tracer
+
+
+class TestTracer:
+    def test_records_emitted_entries(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "job.start", job=1)
+        tracer.emit(2.0, "job.end", job=1)
+        assert len(tracer) == 2
+        assert tracer.records[0].kind == "job.start"
+        assert tracer.records[1].detail == {"job": 1}
+
+    def test_kind_filter(self):
+        tracer = Tracer(kinds=("keep",))
+        tracer.emit(0.0, "keep")
+        tracer.emit(0.0, "drop")
+        assert [r.kind for r in tracer.records] == ["keep"]
+
+    def test_max_records_cap(self):
+        tracer = Tracer(max_records=2)
+        for i in range(5):
+            tracer.emit(float(i), "x")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_of_kind(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "a")
+        tracer.emit(1.0, "b")
+        tracer.emit(2.0, "a")
+        assert [r.time for r in tracer.of_kind("a")] == [0.0, 2.0]
+
+    def test_sink_receives_records(self):
+        tracer = Tracer()
+        seen = []
+        tracer.add_sink(seen.append)
+        tracer.emit(3.0, "evt", k="v")
+        assert len(seen) == 1
+        assert seen[0].time == 3.0
+
+    def test_dump_renders_lines(self):
+        tracer = Tracer()
+        tracer.emit(1.5, "something", key="val")
+        out = tracer.dump()
+        assert "something" in out
+        assert "key=val" in out
+
+    def test_attach_kernel_sees_events(self):
+        sim = Simulator()
+        tracer = Tracer()
+        tracer.attach_kernel(sim)
+        sim.timeout(1)
+        sim.timeout(2)
+        sim.run()
+        assert len(tracer.of_kind("kernel.event")) == 2
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        tracer.emit(0.0, "anything")
+        assert len(tracer) == 0

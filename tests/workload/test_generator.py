@@ -1,0 +1,134 @@
+"""Unit tests for the workload generator."""
+
+import random
+
+import pytest
+
+from repro.workload import UniformPopularity, WorkloadGenerator
+
+
+def make_generator(**kw):
+    defaults = dict(
+        n_users=12,
+        n_datasets=20,
+        n_jobs=120,
+        sites=[f"site{i:02d}" for i in range(4)],
+        rng=random.Random(0),
+    )
+    defaults.update(kw)
+    return WorkloadGenerator(**defaults)
+
+
+class TestValidation:
+    def test_fewer_jobs_than_users_rejected(self):
+        with pytest.raises(ValueError):
+            make_generator(n_users=10, n_jobs=5)
+
+    def test_no_sites_rejected(self):
+        with pytest.raises(ValueError):
+            make_generator(sites=[])
+
+    def test_bad_inputs_per_job(self):
+        with pytest.raises(ValueError):
+            make_generator(inputs_per_job=0)
+        with pytest.raises(ValueError):
+            make_generator(inputs_per_job=21)  # > n_datasets
+
+    def test_popularity_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_generator(popularity=UniformPopularity(99))
+
+    def test_nonpositive_compute_rate_rejected(self):
+        with pytest.raises(ValueError):
+            make_generator(compute_seconds_per_gb=0)
+
+
+class TestGenerate:
+    def test_counts(self):
+        wl = make_generator().generate()
+        assert len(wl.datasets) == 20
+        assert len(wl.user_sites) == 12
+        assert wl.n_jobs == 120
+        assert wl.users == sorted(wl.users)
+
+    def test_users_mapped_round_robin(self):
+        wl = make_generator().generate()
+        # 12 users over 4 sites -> exactly 3 per site.
+        per_site = {}
+        for site in wl.user_sites.values():
+            per_site[site] = per_site.get(site, 0) + 1
+        assert set(per_site.values()) == {3}
+
+    def test_jobs_split_evenly_with_remainder(self):
+        wl = make_generator(n_jobs=125).generate()
+        sizes = sorted(len(j) for j in wl.user_jobs.values())
+        assert sizes == [10] * 7 + [11] * 5
+
+    def test_runtime_follows_paper_formula(self):
+        wl = make_generator().generate()
+        for jobs in wl.user_jobs.values():
+            for job in jobs:
+                expected = 300.0 * sum(
+                    wl.datasets.get(f).size_gb for f in job.input_files)
+                assert job.runtime_s == pytest.approx(expected)
+
+    def test_single_input_by_default(self):
+        wl = make_generator().generate()
+        for jobs in wl.user_jobs.values():
+            assert all(len(j.input_files) == 1 for j in jobs)
+
+    def test_multi_input_extension(self):
+        wl = make_generator(inputs_per_job=3).generate()
+        for jobs in wl.user_jobs.values():
+            for job in jobs:
+                assert len(job.input_files) == 3
+                assert len(set(job.input_files)) == 3  # no duplicates
+
+    def test_job_ids_unique_and_dense(self):
+        wl = make_generator().generate()
+        ids = sorted(
+            j.job_id for jobs in wl.user_jobs.values() for j in jobs)
+        assert ids == list(range(120))
+
+    def test_origin_site_matches_user_site(self):
+        wl = make_generator().generate()
+        for user, jobs in wl.user_jobs.items():
+            assert all(j.origin_site == wl.user_sites[user] for j in jobs)
+
+    def test_placement_covers_all_datasets(self):
+        wl = make_generator().generate()
+        assert set(wl.initial_placement) == set(wl.datasets.names)
+
+    def test_deterministic_for_seed(self):
+        wl1 = make_generator(rng=random.Random(5)).generate()
+        wl2 = make_generator(rng=random.Random(5)).generate()
+        assert wl1.initial_placement == wl2.initial_placement
+        for user in wl1.users:
+            files1 = [j.input_files for j in wl1.user_jobs[user]]
+            files2 = [j.input_files for j in wl2.user_jobs[user]]
+            assert files1 == files2
+
+
+class TestWorkloadHelpers:
+    def test_request_counts_total(self):
+        wl = make_generator().generate()
+        assert sum(wl.request_counts().values()) == 120
+
+    def test_total_input_mb(self):
+        wl = make_generator().generate()
+        expected = sum(
+            wl.datasets.get(j.input_files[0]).size_mb
+            for jobs in wl.user_jobs.values() for j in jobs)
+        assert wl.total_input_mb() == pytest.approx(expected)
+
+    def test_fresh_resets_job_objects(self):
+        wl = make_generator().generate()
+        job = wl.user_jobs[wl.users[0]][0]
+        job.submitted_at = 123.0  # simulate a used workload
+        fresh = wl.fresh()
+        fresh_job = fresh.user_jobs[wl.users[0]][0]
+        assert fresh_job is not job
+        assert fresh_job.submitted_at is None
+        assert fresh_job.job_id == job.job_id
+        assert fresh_job.input_files == job.input_files
+        assert fresh.datasets is wl.datasets  # immutable, shared

@@ -1,0 +1,138 @@
+"""Unit and property tests for popularity models."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import (
+    GeometricPopularity,
+    UniformPopularity,
+    ZipfPopularity,
+    make_popularity_model,
+)
+
+
+class TestGeometric:
+    def test_pmf_sums_to_one(self):
+        model = GeometricPopularity(200, p=0.05)
+        assert sum(model.pmf()) == pytest.approx(1.0)
+
+    def test_pmf_strictly_decreasing(self):
+        pmf = GeometricPopularity(100, p=0.05).pmf()
+        assert all(a > b for a, b in zip(pmf[:-1], pmf[1:]))
+
+    def test_samples_in_range(self):
+        model = GeometricPopularity(50, p=0.1)
+        rng = random.Random(0)
+        for _ in range(2000):
+            assert 0 <= model.sample(rng) < 50
+
+    def test_rank_zero_most_frequent(self):
+        model = GeometricPopularity(50, p=0.1)
+        rng = random.Random(0)
+        counts = [0] * 50
+        for _ in range(20_000):
+            counts[model.sample(rng)] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > counts[10] > counts[40]
+
+    def test_empirical_matches_pmf(self):
+        model = GeometricPopularity(20, p=0.2)
+        rng = random.Random(1)
+        n = 50_000
+        counts = [0] * 20
+        for _ in range(n):
+            counts[model.sample(rng)] += 1
+        for k, p in enumerate(model.pmf()):
+            assert counts[k] / n == pytest.approx(p, abs=0.01)
+
+    def test_invalid_p(self):
+        for bad in (0, 1, -0.5, 2):
+            with pytest.raises(ValueError):
+                GeometricPopularity(10, p=bad)
+
+    def test_expected_counts_scale(self):
+        model = GeometricPopularity(10, p=0.3)
+        counts = model.expected_counts(1000)
+        assert sum(counts) == pytest.approx(1000)
+
+
+class TestZipf:
+    def test_pmf_sums_to_one(self):
+        assert sum(ZipfPopularity(100, alpha=1.0).pmf()) == pytest.approx(1.0)
+
+    def test_rank_ratio_follows_power_law(self):
+        pmf = ZipfPopularity(100, alpha=1.0).pmf()
+        assert pmf[0] / pmf[9] == pytest.approx(10.0)
+
+    def test_samples_in_range(self):
+        model = ZipfPopularity(30, alpha=1.5)
+        rng = random.Random(0)
+        assert all(0 <= model.sample(rng) < 30 for _ in range(2000))
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ZipfPopularity(10, alpha=0)
+
+
+class TestUniform:
+    def test_flat_pmf(self):
+        pmf = UniformPopularity(10).pmf()
+        assert pmf == [0.1] * 10
+
+    def test_roughly_even_samples(self):
+        model = UniformPopularity(5)
+        rng = random.Random(0)
+        counts = [0] * 5
+        for _ in range(10_000):
+            counts[model.sample(rng)] += 1
+        for c in counts:
+            assert c == pytest.approx(2000, rel=0.15)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("geometric", GeometricPopularity),
+        ("zipf", ZipfPopularity),
+        ("uniform", UniformPopularity),
+    ])
+    def test_builds_by_name(self, name, cls):
+        assert isinstance(make_popularity_model(name, 10), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_popularity_model("pareto", 10)
+
+    def test_zero_items_rejected(self):
+        with pytest.raises(ValueError):
+            make_popularity_model("uniform", 0)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    p=st.floats(min_value=0.001, max_value=0.999),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60)
+def test_geometric_samples_always_in_range(n, p, seed):
+    model = GeometricPopularity(n, p=p)
+    rng = random.Random(seed)
+    for _ in range(100):
+        assert 0 <= model.sample(rng) < n
+
+
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    alpha=st.floats(min_value=0.1, max_value=3.0),
+)
+@settings(max_examples=40)
+def test_pmfs_are_distributions(n, alpha):
+    for model in (GeometricPopularity(n, p=0.05),
+                  ZipfPopularity(n, alpha=alpha),
+                  UniformPopularity(n)):
+        pmf = model.pmf()
+        assert len(pmf) == n
+        assert all(p >= 0 for p in pmf)
+        assert sum(pmf) == pytest.approx(1.0)

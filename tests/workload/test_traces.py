@@ -1,0 +1,70 @@
+"""Unit tests for workload trace export/import."""
+
+import json
+import random
+
+import pytest
+
+from repro.workload import WorkloadGenerator, load_workload, save_workload
+from repro.workload.traces import workload_from_dict, workload_to_dict
+
+
+@pytest.fixture
+def workload():
+    return WorkloadGenerator(
+        n_users=6, n_datasets=10, n_jobs=30,
+        sites=["site00", "site01", "site02"],
+        rng=random.Random(0),
+    ).generate()
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, workload):
+        restored = workload_from_dict(workload_to_dict(workload))
+        assert restored.initial_placement == workload.initial_placement
+        assert restored.user_sites == workload.user_sites
+        assert restored.datasets.names == workload.datasets.names
+        for name in workload.datasets.names:
+            assert restored.datasets.get(name).size_mb == \
+                workload.datasets.get(name).size_mb
+        for user in workload.users:
+            orig = workload.user_jobs[user]
+            back = restored.user_jobs[user]
+            assert [j.job_id for j in back] == [j.job_id for j in orig]
+            assert [j.input_files for j in back] == [
+                j.input_files for j in orig]
+            assert [j.runtime_s for j in back] == [j.runtime_s for j in orig]
+
+    def test_file_round_trip(self, workload, tmp_path):
+        path = tmp_path / "trace.json"
+        save_workload(workload, path)
+        restored = load_workload(path)
+        assert restored.n_jobs == workload.n_jobs
+        assert restored.user_sites == workload.user_sites
+
+    def test_trace_is_plain_json(self, workload, tmp_path):
+        path = tmp_path / "trace.json"
+        save_workload(workload, path)
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert len(data["datasets"]) == 10
+
+    def test_restored_jobs_are_fresh(self, workload):
+        job = workload.user_jobs[workload.users[0]][0]
+        job.submitted_at = 55.0
+        restored = workload_from_dict(workload_to_dict(workload))
+        assert restored.user_jobs[workload.users[0]][0].submitted_at is None
+
+
+class TestVersioning:
+    def test_unknown_version_rejected(self, workload):
+        data = workload_to_dict(workload)
+        data["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            workload_from_dict(data)
+
+    def test_missing_version_rejected(self, workload):
+        data = workload_to_dict(workload)
+        del data["version"]
+        with pytest.raises(ValueError, match="version"):
+            workload_from_dict(data)
