@@ -6,7 +6,7 @@ bench shows the headline conclusions are insensitive to it.
 
 from repro import SimulationConfig, run_single
 
-from common import publish
+from common import flatten_metrics, publish, publish_json
 
 
 def test_ablation_allocator(benchmark):
@@ -36,6 +36,12 @@ def test_ablation_allocator(benchmark):
                          f"{m.avg_response_time_s:>9.1f}"
                          f"{m.avg_data_transferred_mb:>9.1f}")
     publish("ablation_allocator", "\n".join(lines))
+    flat = {(allocator, label): m
+            for allocator, rows in results.items()
+            for label, m in rows.items()}
+    publish_json("ablation_allocator", flatten_metrics(
+        flat, ("avg_response_time_s", "avg_data_transferred_mb",
+               "makespan_s")))
 
     # The decoupled winner stays the winner under both allocators.
     for allocator in results:

@@ -12,7 +12,7 @@ hinge on it.
 
 from repro import SimulationConfig, run_single
 
-from common import publish
+from common import flatten_metrics, publish, publish_json
 
 REGIMES = (
     ("default (50 GB)", 50_000.0),
@@ -49,6 +49,11 @@ def test_ablation_dataaware(benchmark):
     lines.append(f"\nbackfilling gain under cache pressure: {gain:.2f}x "
                  "(paper's FIFO simplification is benign)")
     publish("ablation_dataaware", "\n".join(lines))
+    publish_json("ablation_dataaware", {
+        **flatten_metrics(results, ("avg_response_time_s",
+                                    "idle_percent")),
+        "backfilling_gain": gain,
+    }, higher_is_better=["backfilling_gain"])
 
     for label, _ in REGIMES:
         fifo = results[(label, "FIFO")]

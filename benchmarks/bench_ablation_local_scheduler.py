@@ -6,7 +6,7 @@ headline configuration cares, using the SJF/LJF extensions.
 
 from repro import SimulationConfig, run_single
 
-from common import publish
+from common import flatten_metrics, publish, publish_json
 
 
 def test_ablation_local_scheduler(benchmark):
@@ -29,6 +29,9 @@ def test_ablation_local_scheduler(benchmark):
         lines.append(f"{ls:<8}{m.avg_response_time_s:>9.1f}"
                      f"{m.avg_queue_time_s:>10.1f}{m.idle_percent:>7.1f}")
     publish("ablation_local_scheduler", "\n".join(lines))
+    publish_json("ablation_local_scheduler", flatten_metrics(
+        results, ("avg_response_time_s", "avg_queue_time_s",
+                  "idle_percent")))
 
     # SJF can't make mean response worse than LJF (classic result); FIFO
     # sits between or near them.  Users submit sequentially so queues are

@@ -16,7 +16,7 @@ replication policy then removes).
 
 from repro import SimulationConfig, run_single
 
-from common import publish
+from common import flatten_metrics, publish, publish_json
 
 MODELS = ("geometric", "zipf", "uniform")
 
@@ -55,6 +55,11 @@ def test_ablation_popularity(benchmark):
         "-> no cache reuse\nfor the coupled baseline -> larger decoupling "
         "win (transfer avoidance dominates).")
     publish("ablation_popularity", "\n".join(lines))
+    publish_json("ablation_popularity", {
+        **flatten_metrics(results, ("avg_response_time_s",
+                                    "avg_data_transferred_mb")),
+        **{f"decoupling_gain[{model}]": g for model, g in gains.items()},
+    }, higher_is_better=[f"decoupling_gain[{m}]" for m in MODELS])
 
     # Decoupling wins under every distribution...
     for model in MODELS:

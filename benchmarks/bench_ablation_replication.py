@@ -7,7 +7,7 @@ unpublished; this bench sweeps both around our defaults (5 accesses,
 
 from repro import SimulationConfig, run_single
 
-from common import publish
+from common import flatten_metrics, publish, publish_json
 
 
 def test_ablation_replication_tuning(benchmark):
@@ -42,6 +42,12 @@ def test_ablation_replication_tuning(benchmark):
     lines.append(f"\nno-replication baseline: "
                  f"{baseline.avg_response_time_s:.1f} s")
     publish("ablation_replication", "\n".join(lines))
+    publish_json("ablation_replication", {
+        **flatten_metrics(results, ("avg_response_time_s",
+                                    "avg_data_transferred_mb",
+                                    "replications_done")),
+        "no_replication_baseline_s": baseline.avg_response_time_s,
+    })
 
     # Every tuning in the sweep still beats no replication.
     for m in results.values():

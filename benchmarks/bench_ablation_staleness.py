@@ -7,7 +7,7 @@ load-based scheduling degrades as information ages (the herding effect).
 
 from repro import SimulationConfig, run_single
 
-from common import publish
+from common import flatten_metrics, publish, publish_json
 
 
 def test_ablation_staleness(benchmark):
@@ -32,6 +32,8 @@ def test_ablation_staleness(benchmark):
         lines.append(f"{label:>12}{m.avg_response_time_s:>10.1f}"
                      f"{m.load_imbalance:>11.2f}")
     publish("ablation_staleness", "\n".join(lines))
+    publish_json("ablation_staleness", flatten_metrics(
+        results, ("avg_response_time_s", "load_imbalance")))
 
     # Live information is at least as good as badly stale information.
     assert results[0.0].avg_response_time_s <= \

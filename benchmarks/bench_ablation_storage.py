@@ -9,7 +9,7 @@ of the curve, so the headline comparison is not a storage artifact.
 
 from repro import SimulationConfig, run_single
 
-from common import publish
+from common import flatten_metrics, publish, publish_json
 
 CAPACITIES_GB = (15.0, 25.0, 50.0, 100.0, 1000.0)
 
@@ -40,6 +40,9 @@ def test_ablation_storage(benchmark):
                      f"{m.avg_data_transferred_mb:>9.1f}"
                      f"{m.evictions:>10}")
     publish("ablation_storage", "\n".join(lines))
+    publish_json("ablation_storage", flatten_metrics(
+        results, ("avg_response_time_s", "avg_data_transferred_mb",
+                  "evictions")))
 
     # Cache pressure (15 GB) hurts the coupled baseline much more than
     # the decoupled winner.

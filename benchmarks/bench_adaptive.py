@@ -15,7 +15,7 @@ from repro.metrics import RunMetrics
 from repro.network import BandwidthHistory, NWSForecaster
 from repro.scheduling import AdaptiveExternalScheduler
 
-from common import publish
+from common import flatten_metrics, publish, publish_json
 
 
 def run_nws_informed(config, seed=0):
@@ -52,6 +52,8 @@ def test_adaptive_scheduler(benchmark):
         lines.append(f"{bw:>8.0f}  {es:<18}{m.avg_response_time_s:>9.1f}"
                      f"{m.avg_data_transferred_mb:>9.1f}")
     publish("adaptive", "\n".join(lines))
+    publish_json("adaptive", flatten_metrics(
+        results, ("avg_response_time_s", "avg_data_transferred_mb")))
 
     for bw in (10.0, 100.0):
         best_fixed = min(results[(bw, "JobLocal")].avg_response_time_s,

@@ -8,7 +8,7 @@ bench runs all four under the winning External Scheduler.
 
 from repro import SimulationConfig, run_single
 
-from common import publish
+from common import flatten_metrics, publish, publish_json
 
 POLICIES = ("DataDoNothing", "DataRandom", "DataLeastLoaded",
             "DataBestClient")
@@ -34,6 +34,9 @@ def test_ds_comparison(benchmark):
                      f"{m.avg_data_transferred_mb:>9.1f}"
                      f"{m.idle_percent:>7.1f}{m.replications_done:>10}")
     publish("ds_comparison", "\n".join(lines))
+    publish_json("ds_comparison", flatten_metrics(
+        results, ("avg_response_time_s", "avg_data_transferred_mb",
+                  "idle_percent")))
 
     base = results["DataDoNothing"].avg_response_time_s
     for ds in ("DataRandom", "DataLeastLoaded", "DataBestClient"):

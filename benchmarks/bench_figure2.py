@@ -8,7 +8,7 @@ from repro import SimulationConfig
 from repro.experiments.paper import reproduce_figure2
 from repro.workload.popularity import GeometricPopularity
 
-from common import publish
+from common import benchmark_stats, publish, publish_json
 
 
 def test_figure2(benchmark):
@@ -27,6 +27,11 @@ def test_figure2(benchmark):
         lines.append(f"{rank:>4} {name:<14} {count:>9}  {bar}")
     lines.append(f"... ({len(ranked)} shown of {config.n_datasets})")
     publish("figure2", "\n".join(lines))
+    metrics = {f"requests[rank{rank:02d}]": count
+               for rank, (_, count) in enumerate(ranked[:10])}
+    metrics["total_requests"] = sum(c for _, c in ranked)
+    metrics.update(benchmark_stats(benchmark))
+    publish_json("figure2", metrics)
 
     counts = [c for _, c in ranked]
     # Monotone non-increasing by construction of the ranking; the real

@@ -7,7 +7,7 @@ JobDataPresent worst; with replication JobDataPresent wins outright.
 from repro.metrics.report import format_matrix
 from repro.scheduling.registry import ALL_DS, ALL_ES
 
-from common import paper_matrix, publish
+from common import matrix_metrics, paper_matrix, publish, publish_json
 
 
 def test_figure3a(benchmark):
@@ -17,6 +17,8 @@ def test_figure3a(benchmark):
     publish("figure3a", format_matrix(
         "Figure 3a: average response time per job (seconds)",
         values, ALL_ES, ALL_DS, unit="seconds"))
+    publish_json("figure3a",
+                 matrix_metrics(result, ["avg_response_time_s"]))
 
     no_repl = {es: values[(es, "DataDoNothing")] for es in ALL_ES}
     assert max(no_repl, key=no_repl.get) == "JobDataPresent"

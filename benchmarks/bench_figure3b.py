@@ -8,7 +8,7 @@ DataDoNothing it moves none at all (jobs go to the single replica).
 from repro.metrics.report import format_matrix
 from repro.scheduling.registry import ALL_DS, ALL_ES
 
-from common import paper_matrix, publish
+from common import matrix_metrics, paper_matrix, publish, publish_json
 
 
 def test_figure3b(benchmark):
@@ -18,6 +18,8 @@ def test_figure3b(benchmark):
     publish("figure3b", format_matrix(
         "Figure 3b: average data transferred per job (MB)",
         values, ALL_ES, ALL_DS, unit="MB"))
+    publish_json("figure3b",
+                 matrix_metrics(result, ["avg_data_transferred_mb"]))
 
     assert values[("JobDataPresent", "DataDoNothing")] == 0.0
     for ds in ALL_DS:

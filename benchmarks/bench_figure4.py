@@ -8,7 +8,7 @@ same algorithm without replication idles the most (hotspot starvation).
 from repro.metrics.report import format_matrix
 from repro.scheduling.registry import ALL_DS, ALL_ES
 
-from common import paper_matrix, publish
+from common import matrix_metrics, paper_matrix, publish, publish_json
 
 
 def test_figure4(benchmark):
@@ -18,6 +18,7 @@ def test_figure4(benchmark):
     publish("figure4", format_matrix(
         "Figure 4: average idle time of processors (%)",
         values, ALL_ES, ALL_DS, unit="percent"))
+    publish_json("figure4", matrix_metrics(result, ["idle_percent"]))
 
     for v in values.values():
         assert 0.0 <= v <= 100.0

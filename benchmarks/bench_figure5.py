@@ -10,7 +10,7 @@ from repro import SimulationConfig
 from repro.experiments.paper import reproduce_figure5
 from repro.scheduling.registry import ALL_ES
 
-from common import PAPER_SEEDS, publish
+from common import PAPER_SEEDS, publish, publish_json
 
 
 def test_figure5(benchmark):
@@ -28,6 +28,11 @@ def test_figure5(benchmark):
         lines.append(f"{es:<16}{out['10MB/sec'][es]:>12.1f}"
                      f"{out['100MB/sec'][es]:>12.1f}")
     publish("figure5", "\n".join(lines))
+    publish_json("figure5", {
+        f"avg_response_time_s[{scenario}|{es}]": seconds
+        for scenario, per_es in out.items()
+        for es, seconds in per_es.items()
+    })
 
     slow, fast = out["10MB/sec"], out["100MB/sec"]
     for es in ("JobRandom", "JobLeastLoaded", "JobLocal"):

@@ -8,7 +8,7 @@ variation" across seeds).
 from repro.metrics.summary import summarize
 from repro.scheduling.registry import ALL_DS, ALL_ES
 
-from common import PAPER_SEEDS, paper_matrix, publish
+from common import PAPER_SEEDS, paper_matrix, publish, publish_json
 
 
 def test_full_study(benchmark):
@@ -30,6 +30,7 @@ def test_full_study(benchmark):
              "(12 pairs x 3 seeds x 2 bandwidths)",
              "=" * 60]
     spreads = {}
+    metrics = {}
     for bw, matrix in results.items():
         lines.append(f"\n--- bandwidth {bw:g} MB/s ---")
         lines.append(f"{'ES':<16}{'DS':<18}{'resp(s)':>9}{'MB/job':>9}"
@@ -41,6 +42,10 @@ def test_full_study(benchmark):
                 mb = summary["avg_data_transferred_mb"]
                 idle = summary["idle_fraction"]
                 spreads[(bw, es, ds)] = resp.relative_spread
+                label = f"{bw:g}|{es}|{ds}"
+                metrics[f"avg_response_time_s[{label}]"] = resp.mean
+                metrics[f"avg_data_transferred_mb[{label}]"] = mb.mean
+                metrics[f"idle_percent[{label}]"] = 100 * idle.mean
                 lines.append(
                     f"{es:<16}{ds:<18}{resp.mean:>9.1f}{mb.mean:>9.1f}"
                     f"{100 * idle.mean:>7.1f}{resp.relative_spread:>8.3f}")
@@ -52,6 +57,9 @@ def test_full_study(benchmark):
         "random initial placement of the hottest datasets sets the "
         "overload severity)")
     publish("full_study", "\n".join(lines))
+    metrics["worst_relative_spread"] = worst
+    metrics["total_runs"] = total_runs
+    publish_json("full_study", metrics)
 
     assert total_runs == 72
     # The paper's variance claim: seeds agree within a small spread for

@@ -3,9 +3,39 @@
 These are true repeated-round benchmarks (unlike the one-shot paper
 reproductions): event throughput, process churn, and resource contention
 are the hot paths of every simulation above them.
+
+Besides the pytest-benchmark tables, the measured numbers accumulate into
+``benchmarks/results/kernel.json`` and the top-level ``BENCH_kernel.json``
+— the committed performance baseline that ``benchmarks/compare.py`` diffs
+across checkouts.  Each test re-publishes the accumulated record, so a
+partial run updates only the metrics it measured.
 """
 
 from repro.sim import Resource, Simulator
+
+from common import benchmark_stats, publish_json
+
+#: Accumulates ``<test>_mean_s`` / ``<test>_per_s`` across the module's
+#: tests within one pytest session.
+_METRICS = {}
+
+
+def _record(name: str, benchmark, work_items: int) -> None:
+    """Fold one benchmark's timing into the kernel baseline record."""
+    stats = benchmark_stats(benchmark)
+    if not stats:  # --benchmark-disable: nothing measured
+        return
+    _METRICS[f"{name}_mean_s"] = stats["mean_s"]
+    _METRICS[f"{name}_min_s"] = stats["min_s"]
+    _METRICS[f"{name}_per_s"] = work_items / stats["mean_s"]
+    publish_json(
+        "kernel",
+        _METRICS,
+        meta={"units": "per_s = work items (events/processes/acquisitions)"
+                       " per second of mean wall-clock"},
+        higher_is_better=[k for k in _METRICS if k.endswith("_per_s")],
+        top_level="BENCH_kernel.json",
+    )
 
 
 def test_event_throughput(benchmark):
@@ -20,6 +50,7 @@ def test_event_throughput(benchmark):
 
     result = benchmark(run)
     assert result == 96
+    _record("event_throughput", benchmark, work_items=10_000)
 
 
 def test_process_churn(benchmark):
@@ -38,6 +69,7 @@ def test_process_churn(benchmark):
         return sim.now
 
     assert benchmark(run) == 2
+    _record("process_churn", benchmark, work_items=2_000)
 
 
 def test_resource_contention(benchmark):
@@ -60,6 +92,7 @@ def test_resource_contention(benchmark):
         return len(done)
 
     assert benchmark(run) == 1_000
+    _record("resource_contention", benchmark, work_items=1_000)
 
 
 def test_condition_fanin(benchmark):
@@ -73,3 +106,4 @@ def test_condition_fanin(benchmark):
         return len(cond.value)
 
     assert benchmark(run) == 3_000
+    _record("condition_fanin", benchmark, work_items=3_000)

@@ -1,0 +1,81 @@
+"""Benchmark of the parallel experiment engine (serial vs fan-out).
+
+Runs the same scaled-down algorithm matrix twice — serial and with
+worker processes — and checks the engine's two contracts:
+
+* **determinism**: the parallel result is bitwise-identical to the
+  serial one (exact float equality, every metric, every run);
+* **speedup**: on a multi-core machine the fan-out actually pays for
+  its process overhead (asserted only when ≥4 cores are available —
+  single-core CI still verifies determinism and records both times).
+
+Wall-clocks and the speedup land in ``benchmarks/results/parallel.json``.
+"""
+
+import dataclasses
+import os
+import time
+
+from repro import SimulationConfig, run_matrix
+
+from common import publish, publish_json
+
+#: Matrix scale for the timing comparison: big enough that each run takes
+#: an appreciable fraction of a second, small enough for quick CI.
+SCALE = 0.25
+SEEDS = (0, 1)
+JOBS = 4
+
+
+def _matrix_runs(result):
+    """All per-run metrics as comparable dicts, in deterministic order."""
+    return [
+        dataclasses.asdict(m)
+        for key in sorted(result.runs)
+        for m in result.runs[key]
+    ]
+
+
+def test_parallel_matrix(benchmark):
+    config = SimulationConfig.paper().scaled(SCALE)
+
+    t0 = time.perf_counter()
+    serial = run_matrix(config, seeds=SEEDS, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: run_matrix(config, seeds=SEEDS, jobs=JOBS),
+        rounds=1, iterations=1)
+    parallel_s = time.perf_counter() - t0
+
+    speedup = serial_s / parallel_s
+    cores = os.cpu_count() or 1
+    n_runs = sum(len(runs) for runs in serial.runs.values())
+
+    publish("parallel", "\n".join([
+        "Parallel experiment engine: serial vs process fan-out",
+        "=" * 54,
+        f"matrix: 4 ES x 3 DS x {len(SEEDS)} seeds = {n_runs} runs "
+        f"at scale {SCALE:g}",
+        f"{'serial (jobs=1)':<24}{serial_s:>8.2f} s",
+        f"{f'parallel (jobs={JOBS})':<24}{parallel_s:>8.2f} s",
+        f"{'speedup':<24}{speedup:>8.2f} x   ({cores} core(s))",
+        "results bitwise-identical: True",
+    ]))
+    publish_json("parallel", {
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": speedup,
+        "jobs": JOBS,
+        "cores": cores,
+        "n_runs": n_runs,
+    }, higher_is_better=["speedup", "jobs", "cores"])
+
+    # The determinism contract holds everywhere, unconditionally.
+    assert _matrix_runs(parallel) == _matrix_runs(serial)
+    # The speedup claim needs real cores to be meaningful; process
+    # startup makes fan-out a net loss on one core.
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"jobs={JOBS} gave only {speedup:.2f}x on {cores} cores")

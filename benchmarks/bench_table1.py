@@ -8,7 +8,7 @@ from repro import SimulationConfig
 from repro.experiments.paper import table1_parameters
 from repro.experiments.runner import make_workload
 
-from common import publish
+from common import benchmark_stats, publish, publish_json
 
 
 def test_table1(benchmark):
@@ -27,6 +27,13 @@ def test_table1(benchmark):
                  f"{len(workload.datasets)} datasets, "
                  f"{len(workload.user_sites)} users")
     publish("table1", "\n".join(lines))
+    publish_json("table1", {
+        "workload_jobs": workload.n_jobs,
+        "workload_datasets": len(workload.datasets),
+        "workload_users": len(workload.user_sites),
+        **{f"workload_gen_{k}": v
+           for k, v in benchmark_stats(benchmark).items()},
+    })
 
     assert rows["Total number of users"] == "120"
     assert rows["Number of Sites"] == "30"

@@ -3,6 +3,23 @@
 from repro.network import MaxMinFairAllocator, Topology, TransferManager
 from repro.sim import Simulator
 
+from common import benchmark_stats, publish_json
+
+_METRICS = {}
+
+
+def _record(name, benchmark, transfers):
+    """Fold one scenario's timing into benchmarks/results/transfers.json."""
+    stats = benchmark_stats(benchmark)
+    if not stats:
+        return
+    _METRICS[f"{name}_mean_s"] = stats["mean_s"]
+    _METRICS[f"{name}_transfers_per_s"] = transfers / stats["mean_s"]
+    publish_json(
+        "transfers", _METRICS,
+        higher_is_better=[k for k in _METRICS
+                          if k.endswith("_transfers_per_s")])
+
 
 def _churn(allocator=None, n=300):
     sim = Simulator()
@@ -23,11 +40,13 @@ def _churn(allocator=None, n=300):
 def test_transfer_churn_equal_share(benchmark):
     """300 staggered transfers over the paper topology (equal share)."""
     assert benchmark(_churn) == 300
+    _record("churn_equal_share", benchmark, transfers=300)
 
 
 def test_transfer_churn_maxmin(benchmark):
     """Same churn under progressive-filling max-min fairness."""
     assert benchmark(_churn, MaxMinFairAllocator()) == 300
+    _record("churn_maxmin", benchmark, transfers=300)
 
 
 def test_rebalance_storm(benchmark):
@@ -44,3 +63,4 @@ def test_rebalance_storm(benchmark):
         return len(tm.completed)
 
     assert benchmark(run) == 200
+    _record("rebalance_storm", benchmark, transfers=200)

@@ -2,23 +2,62 @@
 
 Figures 3a, 3b, and 4 are three views of one 36-run sweep (12 algorithm
 pairs × 3 seeds), so the sweep result is computed once per pytest session
-and shared.  Every benchmark writes its paper-shaped table both to stdout
-and to ``benchmarks/results/<name>.txt`` so results survive output
-capturing.
+and shared — fanned out over worker processes (``REPRO_BENCH_JOBS``
+overrides the worker count; results are identical at any count).
+
+Every benchmark publishes two artifacts:
+
+* a paper-shaped ASCII table (:func:`publish`) to stdout and
+  ``benchmarks/results/<name>.txt``;
+* a machine-readable JSON record (:func:`publish_json`) to
+  ``benchmarks/results/<name>.json`` — a flat ``metrics`` mapping plus
+  provenance — so ``benchmarks/compare.py`` can diff two checkouts and
+  flag regressions.  Kernel micro-benchmarks additionally mirror their
+  numbers to a top-level ``BENCH_kernel.json`` as the repo's performance
+  trajectory baseline.
 """
 
 from __future__ import annotations
 
 import functools
+import json
+import os
 from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 from repro import SimulationConfig, run_matrix
 from repro.experiments.runner import MatrixResult
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
+
+#: Version of the JSON result schema written by :func:`publish_json`.
+SCHEMA_VERSION = 1
 
 #: Seeds used for the headline reproduction (the paper uses three).
 PAPER_SEEDS = (0, 1, 2)
+
+
+def bench_jobs() -> int:
+    """Worker processes for benchmark fan-out.
+
+    ``REPRO_BENCH_JOBS`` overrides (1 forces the serial path); the
+    default is one worker per core.  Results are identical either way —
+    only wall-clock changes.
+    """
+    env = os.environ.get("REPRO_BENCH_JOBS")
+    if env is not None:
+        return int(env)
+    return os.cpu_count() or 1
+
+
+def bench_cache_dir() -> Optional[str]:
+    """On-disk run cache for benchmark sessions (``REPRO_BENCH_CACHE``).
+
+    Unset disables caching; any value names the cache directory, letting
+    repeated benchmark sessions skip already-computed runs.
+    """
+    return os.environ.get("REPRO_BENCH_CACHE") or None
 
 
 @functools.lru_cache(maxsize=None)
@@ -26,7 +65,8 @@ def paper_matrix(bandwidth_mbps: float = 10.0,
                  seeds: tuple = PAPER_SEEDS) -> MatrixResult:
     """The full 4×3 sweep at Table-1 scale (cached per session)."""
     config = SimulationConfig.paper(bandwidth_mbps=bandwidth_mbps)
-    return run_matrix(config, seeds=seeds)
+    return run_matrix(config, seeds=seeds, jobs=bench_jobs(),
+                      cache_dir=bench_cache_dir())
 
 
 def publish(name: str, text: str) -> None:
@@ -35,3 +75,78 @@ def publish(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+def publish_json(
+    name: str,
+    metrics: Mapping[str, float],
+    meta: Optional[Mapping] = None,
+    higher_is_better: Iterable[str] = (),
+    top_level: Optional[str] = None,
+) -> dict:
+    """Write a machine-readable result record.
+
+    ``metrics`` is a flat name → number mapping (the unit belongs in the
+    name: ``..._s``, ``..._mb``, ``..._per_s``).  ``higher_is_better``
+    names the metrics where an increase is an improvement (throughputs,
+    speedups); everything else is treated as lower-is-better by
+    ``compare.py``.  ``top_level`` additionally mirrors the record to
+    ``<repo root>/<top_level>`` (the committed ``BENCH_*.json``
+    trajectory files).
+    """
+    payload = {
+        "name": name,
+        "schema_version": SCHEMA_VERSION,
+        "metrics": {key: float(value) for key, value in metrics.items()},
+        "higher_is_better": sorted(set(higher_is_better)),
+        "meta": dict(meta or {}),
+    }
+    text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(text)
+    if top_level is not None:
+        (REPO_ROOT / top_level).write_text(text)
+    return payload
+
+
+def matrix_metrics(
+    result: MatrixResult,
+    fields: Sequence[str] = ("avg_response_time_s",
+                             "avg_data_transferred_mb", "idle_percent"),
+) -> Dict[str, float]:
+    """Flatten a MatrixResult into publish_json metrics.
+
+    Keys look like ``avg_response_time_s[JobDataPresent|DataRandom]``.
+    """
+    out: Dict[str, float] = {}
+    for field in fields:
+        for (es, ds), value in result.metric_matrix(field).items():
+            out[f"{field}[{es}|{ds}]"] = value
+    return out
+
+
+def flatten_metrics(results: Mapping, fields: Sequence[str]) -> Dict[str, float]:
+    """Flatten ``{key: RunMetrics}`` into publish_json metrics.
+
+    Tuple keys are joined with ``|``: ``avg_response_time_s[10.0|JobLocal]``.
+    """
+    out: Dict[str, float] = {}
+    for key, run in results.items():
+        label = "|".join(str(k) for k in key) if isinstance(key, tuple) \
+            else str(key)
+        for field in fields:
+            out[f"{field}[{label}]"] = float(getattr(run, field))
+    return out
+
+
+def benchmark_stats(benchmark) -> Dict[str, float]:
+    """Timing numbers from a pytest-benchmark fixture, if it recorded any.
+
+    Returns ``{}`` under ``--benchmark-disable`` (or any harness that
+    skips stats), so JSON emission never breaks a bench run.
+    """
+    try:
+        stats = benchmark.stats.stats
+        return {"mean_s": float(stats.mean), "min_s": float(stats.min)}
+    except (AttributeError, TypeError):
+        return {}

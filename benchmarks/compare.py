@@ -1,0 +1,113 @@
+"""Diff two benchmark JSON records and flag regressions.
+
+Usage::
+
+    python benchmarks/compare.py BASELINE.json CURRENT.json [--threshold 0.10]
+
+Both files are :func:`common.publish_json` records (e.g. a committed
+``BENCH_kernel.json`` against a freshly generated
+``benchmarks/results/kernel.json``).  Metrics present in both files are
+compared; a metric regresses when it moves in the *bad* direction by more
+than ``--threshold`` (default 10%).  Direction comes from the records'
+``higher_is_better`` lists, falling back to a name heuristic
+(``*_per_s``/``*speedup``/``*gain`` are higher-is-better, everything
+else — times, MB moved, idle %, spreads — lower-is-better).
+
+Exit status: 0 = no regressions, 1 = regressions found, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Tuple
+
+#: Metric-name suffixes treated as higher-is-better when the record
+#: itself doesn't say.
+_HIGHER_SUFFIXES = ("_per_s", "speedup", "gain")
+
+
+def load_record(path: str) -> dict:
+    """Read one publish_json record, validating the pieces compare uses."""
+    with open(path) as handle:
+        record = json.load(handle)
+    if not isinstance(record.get("metrics"), dict):
+        raise ValueError(f"{path}: not a benchmark record "
+                         "(missing 'metrics' object)")
+    return record
+
+
+def higher_is_better(name: str, *records: dict) -> bool:
+    for record in records:
+        if name in record.get("higher_is_better", ()):
+            return True
+    base = name.split("[", 1)[0]
+    return base.endswith(_HIGHER_SUFFIXES)
+
+
+def compare(baseline: dict, current: dict,
+            threshold: float) -> Tuple[List[str], List[str]]:
+    """Return (report lines, regression lines) for two records."""
+    old_metrics = baseline["metrics"]
+    new_metrics = current["metrics"]
+    shared = sorted(set(old_metrics) & set(new_metrics))
+    lines: List[str] = []
+    regressions: List[str] = []
+    width = max((len(name) for name in shared), default=10)
+    for name in shared:
+        old, new = float(old_metrics[name]), float(new_metrics[name])
+        if old == 0.0:
+            change = 0.0 if new == 0.0 else float("inf")
+        else:
+            change = (new - old) / abs(old)
+        better = higher_is_better(name, current, baseline)
+        regressed = (-change if better else change) > threshold
+        arrow = "WORSE" if regressed else ""
+        lines.append(f"{name:<{width}}  {old:>14.6g} -> {new:>14.6g}  "
+                     f"{change:>+8.1%}  {arrow}")
+        if regressed:
+            regressions.append(
+                f"{name}: {old:.6g} -> {new:.6g} "
+                f"({change:+.1%}, {'higher' if better else 'lower'} "
+                "is better)")
+    for name in sorted(set(old_metrics) ^ set(new_metrics)):
+        side = "baseline" if name in old_metrics else "current"
+        lines.append(f"{name:<{width}}  (only in {side})")
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare two benchmark JSON records.")
+    parser.add_argument("baseline", help="reference record (old)")
+    parser.add_argument("current", help="record under test (new)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative change counted as a regression "
+                             "(default 0.10 = 10%%)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_record(args.baseline)
+        current = load_record(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    lines, regressions = compare(baseline, current, args.threshold)
+    print(f"comparing {args.baseline} (baseline) vs "
+          f"{args.current} (current), threshold {args.threshold:.0%}")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) > "
+              f"{args.threshold:.0%}:")
+        for regression in regressions:
+            print(f"  {regression}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,9 +4,12 @@ Everything the library can do, driveable from a shell::
 
     python -m repro table1
     python -m repro run --es JobDataPresent --ds DataRandom --scale 0.25
-    python -m repro matrix --seeds 0 1 2
+    python -m repro matrix --seeds 0 1 2 -j 4 --cache
     python -m repro figure 3a
     python -m repro workload --out trace.json --scale 0.1
+
+``-j/--jobs`` fans the independent runs of matrix/figure/sweep commands
+out over worker processes; results are identical at any worker count.
 
 All commands accept the configuration overrides listed under
 ``python -m repro run --help``; defaults are the paper's Table 1.
@@ -19,6 +22,7 @@ import sys
 from typing import List, Optional
 
 from repro.experiments.config import SimulationConfig
+from repro.experiments.parallel import DEFAULT_CACHE_DIR
 from repro.experiments.paper import (
     reproduce_figure2,
     reproduce_figure3_and_4,
@@ -39,8 +43,8 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                             "(default 1.0 = paper scale)")
     group.add_argument("--bandwidth", type=float, default=None,
                        metavar="MBPS", help="link bandwidth in MB/s")
-    group.add_argument("--jobs", type=int, default=None,
-                       help="total number of jobs")
+    group.add_argument("--n-jobs", type=int, default=None,
+                       help="total number of jobs in the workload")
     group.add_argument("--sites", type=int, default=None,
                        help="number of sites")
     group.add_argument("--users", type=int, default=None,
@@ -73,7 +77,7 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
     overrides = {}
     mapping = {
         "bandwidth": "bandwidth_mbps",
-        "jobs": "n_jobs",
+        "n_jobs": "n_jobs",
         "sites": "n_sites",
         "users": "n_users",
         "datasets": "n_datasets",
@@ -96,6 +100,25 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
     return config
 
 
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("parallel execution")
+    group.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes for independent runs "
+                            "(1 = serial, 0 = all cores; results are "
+                            "identical at any worker count)")
+    group.add_argument("--cache", action="store_true",
+                       help=f"reuse finished runs via an on-disk cache "
+                            f"under {DEFAULT_CACHE_DIR}/")
+    group.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (implies --cache)")
+
+
+def _cache_dir(args: argparse.Namespace):
+    if args.cache_dir is not None:
+        return args.cache_dir
+    return DEFAULT_CACHE_DIR if args.cache else None
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     rows = table1_parameters(_build_config(args))
     width = max(len(k) for k in rows) + 2
@@ -115,7 +138,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
     config = _build_config(args)
-    result = run_matrix(config, seeds=tuple(args.seeds))
+    result = run_matrix(config, seeds=tuple(args.seeds),
+                        jobs=args.jobs, cache_dir=_cache_dir(args))
     print(format_matrix(
         "Figure 3a: average response time per job (seconds)",
         result.metric_matrix("avg_response_time_s"), ALL_ES, ALL_DS))
@@ -139,13 +163,16 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             print(f"{name:<16}{count:>8}")
         return 0
     if args.which == "5":
-        out = reproduce_figure5(config, seeds=seeds)
+        out = reproduce_figure5(config, seeds=seeds,
+                                jobs=args.jobs, cache_dir=_cache_dir(args))
         print(f"{'':<16}{'10MB/sec':>12}{'100MB/sec':>12}")
         for es in ALL_ES:
             print(f"{es:<16}{out['10MB/sec'][es]:>12.1f}"
                   f"{out['100MB/sec'][es]:>12.1f}")
         return 0
-    result = reproduce_figure3_and_4(config, seeds=seeds)
+    result = reproduce_figure3_and_4(config, seeds=seeds,
+                                     jobs=args.jobs,
+                                     cache_dir=_cache_dir(args))
     views = {
         "3a": ("Figure 3a: average response time per job (seconds)",
                result.figure3a()),
@@ -166,7 +193,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     values = [_parse_value(v) for v in args.values]
     result = sweep(config, args.parameter, values,
                    es_name=args.es, ds_name=args.ds,
-                   seeds=tuple(args.seeds))
+                   seeds=tuple(args.seeds),
+                   jobs=args.jobs, cache_dir=_cache_dir(args))
     print(result.table())
     best = result.best_value()
     print(f"\nbest {args.parameter} for response time: {best}")
@@ -218,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
         "matrix", help="run the full 4x3 sweep (Figures 3a/3b/4)")
     p_matrix.add_argument("--seeds", type=int, nargs="+", default=[0])
     _add_config_arguments(p_matrix)
+    _add_parallel_arguments(p_matrix)
     p_matrix.set_defaults(func=_cmd_matrix)
 
     p_figure = sub.add_parser("figure", help="reproduce one paper figure")
@@ -226,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_figure.add_argument("--top", type=int, default=60,
                           help="datasets to list for figure 2")
     _add_config_arguments(p_figure)
+    _add_parallel_arguments(p_figure)
     p_figure.set_defaults(func=_cmd_figure)
 
     p_sweep = sub.add_parser(
@@ -240,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=ALL_DS + ["DataBestClient"])
     p_sweep.add_argument("--seeds", type=int, nargs="+", default=[0])
     _add_config_arguments(p_sweep)
+    _add_parallel_arguments(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_workload = sub.add_parser(

@@ -4,11 +4,15 @@
   defaults are exactly Table 1 of the paper.
 * :mod:`~repro.experiments.runner` — build-and-run helpers: one run, seed
   replications, the 4×3 algorithm matrix, the full 72-run study.
+* :mod:`~repro.experiments.parallel` — process-pool fan-out of
+  independent runs with deterministic merging and an on-disk result
+  cache (``run_matrix(..., jobs=N)``).
 * :mod:`~repro.experiments.paper` — entry points that regenerate each
   figure/table of §5 and return the same rows/series the paper plots.
 """
 
 from repro.experiments.config import SimulationConfig
+from repro.experiments.parallel import ParallelRunner, ResultCache, RunSpec
 from repro.experiments.persistence import load_matrix, save_matrix
 from repro.experiments.sweep import SweepResult, sweep
 from repro.experiments.runner import (
@@ -27,6 +31,9 @@ from repro.experiments.paper import (
 
 __all__ = [
     "MatrixResult",
+    "ParallelRunner",
+    "ResultCache",
+    "RunSpec",
     "SimulationConfig",
     "build_grid",
     "SweepResult",

@@ -72,21 +72,29 @@ class Figure345Result:
 def reproduce_figure3_and_4(
     config: SimulationConfig = None,
     seeds: Sequence[int] = (0, 1, 2),
+    jobs: int = 1,
+    cache_dir=None,
 ) -> Figure345Result:
     """Run the 12-combination sweep behind Figures 3a, 3b, and 4.
 
     Results are "the average over the three experiments performed for each
-    algorithm pair" (§5.3).
+    algorithm pair" (§5.3).  ``jobs``/``cache_dir`` fan the 36 runs out
+    over worker processes and reuse cached results, exactly as in
+    :func:`~repro.experiments.runner.run_matrix`.
     """
     if config is None:
         config = SimulationConfig.paper()
-    return Figure345Result(run_matrix(config, ALL_ES, ALL_DS, seeds))
+    return Figure345Result(
+        run_matrix(config, ALL_ES, ALL_DS, seeds,
+                   jobs=jobs, cache_dir=cache_dir))
 
 
 def reproduce_figure5(
     config: SimulationConfig = None,
     seeds: Sequence[int] = (0, 1, 2),
     ds_name: str = "DataLeastLoaded",
+    jobs: int = 1,
+    cache_dir=None,
 ) -> Dict[str, Dict[str, float]]:
     """Figure 5: response times for the two bandwidth scenarios.
 
@@ -99,7 +107,8 @@ def reproduce_figure5(
     out: Dict[str, Dict[str, float]] = {}
     for bandwidth in (SCENARIO_1_BANDWIDTH, SCENARIO_2_BANDWIDTH):
         scenario = config.with_(bandwidth_mbps=bandwidth)
-        matrix = run_matrix(scenario, ALL_ES, [ds_name], seeds)
+        matrix = run_matrix(scenario, ALL_ES, [ds_name], seeds,
+                            jobs=jobs, cache_dir=cache_dir)
         response = matrix.metric_matrix("avg_response_time_s")
         out[f"{bandwidth:g}MB/sec"] = {
             es: response[(es, ds_name)] for es in ALL_ES

@@ -1,0 +1,244 @@
+"""Parallel execution of independent simulation runs.
+
+The paper's evidence is a 72-run study (4 ES × 3 DS × 3 seeds × 2
+bandwidths); every run is an independent single-threaded simulation, so
+the whole matrix is embarrassingly parallel.  This module provides:
+
+* :class:`RunSpec` — a picklable description of one run (config +
+  algorithm pair + seed).  Everything a worker process needs; workloads
+  are regenerated deterministically from the seed inside the worker.
+* :class:`ParallelRunner` — executes a list of specs either serially
+  (in-process, ``jobs <= 1``) or over a
+  :class:`concurrent.futures.ProcessPoolExecutor`, merging results back
+  in *submission order* so callers see bitwise-identical metrics at any
+  worker count.
+* :class:`ResultCache` — an optional on-disk cache under
+  ``.repro-cache/`` keyed by a content hash of (config fields, es, ds,
+  seed), so repeated benchmark sessions skip already-computed runs.
+
+Determinism contract: a run is a pure function of ``(config, es, ds,
+seed)``.  The workload generator and every scheduler draw from named
+:class:`~repro.sim.rng.RandomStreams` seeded only by the run seed, so
+regenerating the workload in a worker yields the exact runs the serial
+path produces — verified by tests/experiments/test_parallel.py down to
+exact float equality.
+
+The worker entry point (:func:`execute_spec`) is a module-level function
+and specs are plain picklable dataclasses, so the pool works under every
+multiprocessing start method, including Windows' ``spawn``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.experiments.config import SimulationConfig
+from repro.metrics.collector import RunMetrics
+
+#: Bump when RunMetrics or run semantics change, invalidating old entries.
+CACHE_VERSION = 1
+
+#: Default on-disk cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one independent simulation run."""
+
+    config: SimulationConfig
+    es_name: str
+    ds_name: str
+    seed: int
+
+    def run(self) -> RunMetrics:
+        """Execute the run in the current process."""
+        return execute_spec(self)
+
+    def cache_key(self) -> str:
+        """Content hash identifying this run's result.
+
+        Covers every config field plus the algorithm pair and seed, so any
+        parameter change produces a different key; ``CACHE_VERSION`` is
+        mixed in so format/semantics bumps invalidate old caches.
+        """
+        payload = {
+            "cache_version": CACHE_VERSION,
+            "config": dataclasses.asdict(self.config),
+            "es": self.es_name,
+            "ds": self.ds_name,
+            "seed": self.seed,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@functools.lru_cache(maxsize=4)
+def _workload_for(config: SimulationConfig, seed: int):
+    """Per-process workload memo: one generation per (config, seed).
+
+    ``run_single`` replays a shared workload via ``Workload.fresh()``, so
+    consecutive specs that differ only in algorithm pair (the matrix inner
+    loop) skip regeneration — in the serial path and in each worker alike.
+    """
+    from repro.experiments.runner import make_workload
+
+    return make_workload(config, seed)
+
+
+def execute_spec(spec: RunSpec) -> RunMetrics:
+    """Worker entry point: run one spec to completion.
+
+    Module-level (not a lambda/method) so process pools can pickle it
+    under the ``spawn`` start method.
+    """
+    from repro.experiments.runner import run_single
+
+    workload = _workload_for(spec.config, spec.seed)
+    return run_single(spec.config, spec.es_name, spec.ds_name,
+                      workload=workload, seed=spec.seed)
+
+
+class ResultCache:
+    """Content-addressed on-disk store of :class:`RunMetrics`.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` — one file per run, atomic
+    writes (temp file + rename), corrupt or stale-version entries are
+    treated as misses and overwritten.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: RunSpec) -> Path:
+        key = spec.cache_key()
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: RunSpec) -> Optional[RunMetrics]:
+        """The cached metrics for a spec, or None on a miss."""
+        path = self.path_for(spec)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if data.get("cache_version") != CACHE_VERSION:
+            self.misses += 1
+            return None
+        try:
+            metrics = RunMetrics(**data["metrics"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return metrics
+
+    def put(self, spec: RunSpec, metrics: RunMetrics) -> None:
+        """Store one result (atomic; last writer wins)."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "cache_version": CACHE_VERSION,
+            "key": spec.cache_key(),
+            "es": spec.es_name,
+            "ds": spec.ds_name,
+            "seed": spec.seed,
+            "metrics": dataclasses.asdict(metrics),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` request: None/0 → all cores, floor of 1."""
+    if jobs is None or jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+class ParallelRunner:
+    """Runs :class:`RunSpec` lists with deterministic result merging.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) runs everything serially in
+        this process — no pool, no pickling; ``None`` or ``0`` uses every
+        core.
+    cache_dir:
+        Optional directory for an on-disk result cache (see
+        :class:`ResultCache`).  ``None`` disables caching.
+    mp_context:
+        Optional :mod:`multiprocessing` context, e.g.
+        ``multiprocessing.get_context("spawn")``.  The default context of
+        the platform is used otherwise; the worker path is spawn-safe.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        mp_context=None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.mp_context = mp_context
+
+    def map(self, specs: Sequence[RunSpec]) -> List[RunMetrics]:
+        """Execute every spec, returning results in input order.
+
+        Identical specs are executed once and fanned back out.  Results
+        are merged by input position, never completion order, so the
+        output is independent of scheduling jitter and worker count.
+        """
+        specs = list(specs)
+        results: List[Optional[RunMetrics]] = [None] * len(specs)
+
+        pending: Dict[RunSpec, List[int]] = {}
+        for index, spec in enumerate(specs):
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.setdefault(spec, []).append(index)
+
+        if pending:
+            ordered = list(pending)
+            if self.jobs > 1 and len(ordered) > 1:
+                computed = self._run_pool(ordered)
+            else:
+                computed = [execute_spec(spec) for spec in ordered]
+            for spec, metrics in zip(ordered, computed):
+                if self.cache is not None:
+                    self.cache.put(spec, metrics)
+                for index in pending[spec]:
+                    results[index] = metrics
+
+        return results  # type: ignore[return-value]
+
+    def _run_pool(self, specs: List[RunSpec]) -> List[RunMetrics]:
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(
+                max_workers=workers, mp_context=self.mp_context) as pool:
+            futures = [pool.submit(execute_spec, spec) for spec in specs]
+            return [future.result() for future in futures]

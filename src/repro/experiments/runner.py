@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.config import SimulationConfig
+from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.grid.grid import DataGrid
 from repro.grid.user import User
 from repro.metrics.collector import RunMetrics
@@ -159,11 +161,18 @@ def run_replicated(
     es_name: str,
     ds_name: str,
     seeds: Sequence[int] = (0, 1, 2),
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> List[RunMetrics]:
-    """The paper's three-seed replication for one algorithm pair."""
-    return [
-        run_single(config, es_name, ds_name, seed=seed) for seed in seeds
-    ]
+    """The paper's three-seed replication for one algorithm pair.
+
+    ``jobs`` fans the seeds out over worker processes (1 = serial;
+    None/0 = all cores); ``cache_dir`` enables the on-disk result cache.
+    Results are identical at any worker count.
+    """
+    runner = ParallelRunner(jobs=jobs, cache_dir=cache_dir)
+    return runner.map(
+        [RunSpec(config, es_name, ds_name, seed) for seed in seeds])
 
 
 @dataclass
@@ -198,16 +207,35 @@ def run_matrix(
     es_names: Sequence[str] = tuple(ALL_ES),
     ds_names: Sequence[str] = tuple(ALL_DS),
     seeds: Sequence[int] = (0, 1, 2),
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> MatrixResult:
-    """Run every (ES, DS) pair under every seed with paired workloads."""
+    """Run every (ES, DS) pair under every seed with paired workloads.
+
+    Runs are independent simulations, so ``jobs`` fans them out over a
+    process pool (1 = serial in-process; None/0 = one worker per core).
+    Workloads are regenerated deterministically from each seed inside the
+    workers, so the returned :class:`MatrixResult` is bitwise-identical
+    at any worker count.  ``cache_dir`` enables the on-disk result cache
+    (see :mod:`repro.experiments.parallel`).
+    """
     result = MatrixResult(config=config, seeds=tuple(seeds))
-    workloads = {seed: make_workload(config, seed) for seed in seeds}
-    for es_name in es_names:
-        for ds_name in ds_names:
-            runs = [
-                run_single(config, es_name, ds_name,
-                           workload=workloads[seed], seed=seed)
-                for seed in seeds
-            ]
-            result.runs[(es_name, ds_name)] = runs
+    seeds = tuple(seeds)
+    if not seeds:
+        for es_name in es_names:
+            for ds_name in ds_names:
+                result.runs[(es_name, ds_name)] = []
+        return result
+    specs = [
+        RunSpec(config, es_name, ds_name, seed)
+        for es_name in es_names
+        for ds_name in ds_names
+        for seed in seeds
+    ]
+    runner = ParallelRunner(jobs=jobs, cache_dir=cache_dir)
+    metrics = runner.map(specs)
+    for pair_index in range(len(specs) // len(seeds)):
+        spec = specs[pair_index * len(seeds)]
+        result.runs[(spec.es_name, spec.ds_name)] = metrics[
+            pair_index * len(seeds):(pair_index + 1) * len(seeds)]
     return result

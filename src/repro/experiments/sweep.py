@@ -10,10 +10,11 @@ result object that yields metric series ready for tabulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.config import SimulationConfig
-from repro.experiments.runner import run_single
+from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.metrics.collector import RunMetrics
 from repro.metrics.summary import MetricSummary
 
@@ -77,6 +78,8 @@ def sweep(
     es_name: str = "JobDataPresent",
     ds_name: str = "DataRandom",
     seeds: Sequence[int] = (0,),
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> SweepResult:
     """Run ``es_name``/``ds_name`` at every value of one config field.
 
@@ -85,6 +88,11 @@ def sweep(
     datasets, popularity, ...) naturally regenerate the workload; for
     purely environmental parameters (bandwidth, storage, staleness) the
     workload stays identical across values, giving paired comparisons.
+
+    ``jobs`` fans the (value × seed) grid out over worker processes
+    (1 = serial; None/0 = all cores) with results merged back in sweep
+    order, and ``cache_dir`` enables the on-disk result cache — both as
+    in :func:`~repro.experiments.runner.run_matrix`.
     """
     if not values:
         raise ValueError("no sweep values given")
@@ -98,10 +106,15 @@ def sweep(
         ds_name=ds_name,
         seeds=tuple(seeds),
     )
-    for value in values:
-        variant = config.with_(**{parameter: value})
-        result.runs[value] = [
-            run_single(variant, es_name, ds_name, seed=seed)
-            for seed in seeds
-        ]
+    seeds = tuple(seeds)
+    specs = [
+        RunSpec(config.with_(**{parameter: value}), es_name, ds_name, seed)
+        for value in values
+        for seed in seeds
+    ]
+    runner = ParallelRunner(jobs=jobs, cache_dir=cache_dir)
+    metrics = runner.map(specs)
+    for index, value in enumerate(values):
+        result.runs[value] = metrics[
+            index * len(seeds):(index + 1) * len(seeds)]
     return result

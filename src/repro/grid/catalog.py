@@ -5,15 +5,28 @@ schedulers would issue on a real grid.  The catalog is authoritative and
 instantaneous by default; staleness can be injected at the
 :class:`~repro.grid.info.InformationService` layer instead, keeping this
 class a simple consistent index.
+
+Schedulers hit this object on every job, so the indices are maintained
+*incrementally*:
+
+* per-dataset location lists stay sorted via :mod:`bisect` insertion, so
+  :meth:`locations` never re-sorts;
+* a per-site dataset→size index makes :meth:`datasets_at` and the
+  byte-weighted queries (:meth:`bytes_at`, :meth:`bytes_present_by_site`)
+  independent of the total number of replica records in the grid.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+import bisect
+from typing import Dict, Iterable, List, Mapping, Optional, Set
 
 import random
 
 from repro.grid.files import Dataset, DatasetCollection
+
+#: Shared immutable empty result for queries about unknown names/sites.
+_EMPTY_SET: frozenset = frozenset()
 
 
 class ReplicaCatalog:
@@ -21,13 +34,28 @@ class ReplicaCatalog:
 
     def __init__(self) -> None:
         self._locations: Dict[str, Set[str]] = {}
+        #: Incrementally maintained sorted view of each location set.
+        self._sorted_locations: Dict[str, List[str]] = {}
+        #: site → {dataset name: size in MB} (0.0 when registered sizeless).
+        self._site_index: Dict[str, Dict[str, float]] = {}
         #: Cumulative counters for metrics.
         self.registrations = 0
         self.deregistrations = 0
 
-    def register(self, dataset_name: str, site: str) -> None:
-        """Record that ``site`` now holds ``dataset_name``."""
-        self._locations.setdefault(dataset_name, set()).add(site)
+    def register(self, dataset_name: str, site: str,
+                 size_mb: float = 0.0) -> None:
+        """Record that ``site`` now holds ``dataset_name``.
+
+        ``size_mb`` feeds the per-site byte index; callers that move real
+        data (the data mover, initial placement) pass the dataset size so
+        byte-weighted queries stay meaningful.
+        """
+        sites = self._locations.setdefault(dataset_name, set())
+        if site not in sites:
+            sites.add(site)
+            bisect.insort(
+                self._sorted_locations.setdefault(dataset_name, []), site)
+        self._site_index.setdefault(site, {})[dataset_name] = size_mb
         self.registrations += 1
 
     def deregister(self, dataset_name: str, site: str) -> None:
@@ -35,11 +63,20 @@ class ReplicaCatalog:
         sites = self._locations.get(dataset_name)
         if sites is not None and site in sites:
             sites.discard(site)
+            ordered = self._sorted_locations[dataset_name]
+            del ordered[bisect.bisect_left(ordered, site)]
+            held = self._site_index.get(site)
+            if held is not None:
+                held.pop(dataset_name, None)
             self.deregistrations += 1
 
     def locations(self, dataset_name: str) -> List[str]:
         """Sites currently holding the dataset (sorted for determinism)."""
-        return sorted(self._locations.get(dataset_name, ()))
+        return list(self._sorted_locations.get(dataset_name, ()))
+
+    def location_set(self, dataset_name: str) -> Set[str]:
+        """The holder set itself (shared, read-only — do not mutate)."""
+        return self._locations.get(dataset_name, _EMPTY_SET)
 
     def has_replica(self, dataset_name: str, site: str) -> bool:
         """Whether ``site`` holds ``dataset_name``."""
@@ -51,8 +88,39 @@ class ReplicaCatalog:
 
     def datasets_at(self, site: str) -> List[str]:
         """All datasets with a replica at ``site``."""
-        return sorted(
-            name for name, sites in self._locations.items() if site in sites)
+        return sorted(self._site_index.get(site, ()))
+
+    def bytes_at(self, site: str) -> float:
+        """Total MB of replica data recorded at ``site``."""
+        return sum(self._site_index.get(site, {}).values())
+
+    def bytes_present_by_site(
+        self,
+        dataset_names: Iterable[str],
+        sizes: Optional[Mapping[str, float]] = None,
+    ) -> Dict[str, float]:
+        """MB of the named datasets present per site (sites holding > 0).
+
+        Iterates replicas of the *requested* datasets rather than scanning
+        every site, so the cost is O(inputs × replicas-per-input) — the
+        fast path behind ``JobDataPresent``'s most-bytes-present fallback.
+        ``sizes`` overrides the sizes recorded at registration (useful when
+        the caller owns the authoritative dataset collection); names appear
+        once per occurrence, so duplicated inputs count twice, matching a
+        per-input scan.
+        """
+        present: Dict[str, float] = {}
+        for name in dataset_names:
+            holders = self._locations.get(name)
+            if not holders:
+                continue
+            for site in holders:
+                if sizes is not None:
+                    size = sizes[name]
+                else:
+                    size = self._site_index[site][name]
+                present[site] = present.get(site, 0.0) + size
+        return present
 
     def total_replicas(self) -> int:
         """Total replica records in the grid."""

@@ -190,7 +190,8 @@ class DataMover:
                         if retries > self.MAX_RETRIES:
                             raise
                         yield self.sim.timeout(self.RETRY_INTERVAL_S)
-                self.catalog.register(dataset_name, site)
+                self.catalog.register(dataset_name, site,
+                                      size_mb=dataset.size_mb)
             finally:
                 self._inflight.pop(key, None)
                 if not arrival.triggered:

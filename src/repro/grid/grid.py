@@ -133,7 +133,7 @@ class DataGrid:
         """
         dataset = self.datasets.get(dataset_name)
         self.storages[site].add(dataset, self.sim.now, pin=True)
-        self.catalog.register(dataset_name, site)
+        self.catalog.register(dataset_name, site, size_mb=dataset.size_mb)
 
     def place_initial_replicas(self, mapping: Dict[str, str],
                                headroom_mb: Optional[float] = None) -> None:

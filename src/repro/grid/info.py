@@ -51,6 +51,9 @@ class InformationService:
         self.sites = sites
         self.catalog = catalog
         self.refresh_interval_s = refresh_interval_s
+        # The site set is fixed once the grid is wired, and every external
+        # scheduler consults site_names per job — sort once, not per call.
+        self._site_names: List[str] = sorted(sites)
         self._snapshot: Optional[Dict[str, int]] = None
         if refresh_interval_s > 0:
             self._snapshot = self._take_snapshot()
@@ -70,8 +73,12 @@ class InformationService:
 
     @property
     def site_names(self) -> List[str]:
-        """All site names, sorted (deterministic iteration order)."""
-        return sorted(self.sites)
+        """All site names, sorted (deterministic iteration order).
+
+        The list is cached at construction (the site set never changes
+        after wiring) and shared between calls — treat it as read-only.
+        """
+        return self._site_names
 
     def load(self, site: str) -> int:
         """The paper's load metric: jobs waiting to run at ``site``."""
@@ -124,7 +131,9 @@ class InformationService:
         names = list(dataset_names)
         if not names:
             return self.site_names
-        result = set(self.catalog.locations(names[0]))
+        result = set(self.catalog.location_set(names[0]))
         for name in names[1:]:
-            result &= set(self.catalog.locations(name))
+            if not result:
+                break
+            result &= self.catalog.location_set(name)
         return sorted(result)

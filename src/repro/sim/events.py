@@ -207,6 +207,8 @@ class AllOf(Condition):
     ``max(queue time, transfer time)`` exactly as the paper defines.
     """
 
+    __slots__ = ()
+
     @staticmethod
     def evaluate(events: List[Event], count: int) -> bool:
         return count >= len(events)
@@ -214,6 +216,8 @@ class AllOf(Condition):
 
 class AnyOf(Condition):
     """Condition that triggers when *any* sub-event has succeeded."""
+
+    __slots__ = ()
 
     @staticmethod
     def evaluate(events: List[Event], count: int) -> bool:

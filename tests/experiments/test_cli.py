@@ -40,7 +40,7 @@ class TestRun:
             main(["run", "--es", "JobMagic", *SMALL])
 
     def test_config_overrides_applied(self, capsys):
-        assert main(["run", *SMALL, "--jobs", "50", "--seed", "3"]) == 0
+        assert main(["run", *SMALL, "--n-jobs", "50", "--seed", "3"]) == 0
         out = capsys.readouterr().out
         assert "jobs completed:            50" in out
 
@@ -59,6 +59,26 @@ class TestMatrix:
         assert "Figure 3b" in out
         assert "Figure 4" in out
         assert "JobDataPresent" in out
+
+
+class TestParallelFlags:
+    def test_matrix_with_workers(self, capsys):
+        assert main(["matrix", *SMALL, "-j", "2"]) == 0
+        assert "Figure 3a" in capsys.readouterr().out
+
+    def test_cache_flag_creates_cache_dir(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["matrix", *SMALL, "--cache-dir", str(cache)]) == 0
+        first = capsys.readouterr().out
+        assert any(cache.rglob("*.json"))
+        # Second invocation is served from the cache, identically.
+        assert main(["matrix", *SMALL, "--cache-dir", str(cache)]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_sweep_with_workers(self, capsys):
+        assert main(["sweep", "bandwidth_mbps", "10", "100",
+                     *SMALL, "-j", "2"]) == 0
+        assert "sweep of bandwidth_mbps" in capsys.readouterr().out
 
 
 class TestFigure:

@@ -58,6 +58,56 @@ class TestCatalog:
         cat.register("d2", "s1")
         assert cat.total_replicas() == 3
 
+    def test_locations_stay_sorted_through_churn(self):
+        cat = ReplicaCatalog()
+        for site in ("s3", "s1", "s4", "s0", "s2"):
+            cat.register("d", site)
+        assert cat.locations("d") == ["s0", "s1", "s2", "s3", "s4"]
+        cat.deregister("d", "s2")
+        cat.deregister("d", "s0")
+        assert cat.locations("d") == ["s1", "s3", "s4"]
+        cat.register("d", "s2")
+        assert cat.locations("d") == ["s1", "s2", "s3", "s4"]
+
+    def test_location_set(self):
+        cat = ReplicaCatalog()
+        cat.register("d", "s1")
+        cat.register("d", "s0")
+        assert cat.location_set("d") == {"s0", "s1"}
+        assert cat.location_set("ghost") == frozenset()
+
+
+class TestSiteIndex:
+    def test_bytes_at_tracks_sizes(self):
+        cat = ReplicaCatalog()
+        cat.register("d1", "s1", size_mb=100.0)
+        cat.register("d2", "s1", size_mb=50.0)
+        assert cat.bytes_at("s1") == 150.0
+        cat.deregister("d1", "s1")
+        assert cat.bytes_at("s1") == 50.0
+        assert cat.bytes_at("ghost") == 0.0
+
+    def test_bytes_present_by_site(self):
+        cat = ReplicaCatalog()
+        cat.register("d1", "s1", size_mb=100.0)
+        cat.register("d1", "s2", size_mb=100.0)
+        cat.register("d2", "s2", size_mb=30.0)
+        assert cat.bytes_present_by_site(["d1", "d2"]) == {
+            "s1": 100.0, "s2": 130.0}
+        assert cat.bytes_present_by_site(["ghost"]) == {}
+
+    def test_bytes_present_sizes_override(self):
+        cat = ReplicaCatalog()
+        cat.register("d1", "s1")  # size unknown to the catalog
+        assert cat.bytes_present_by_site(["d1"]) == {"s1": 0.0}
+        assert cat.bytes_present_by_site(
+            ["d1"], sizes={"d1": 70.0}) == {"s1": 70.0}
+
+    def test_duplicate_inputs_count_twice(self):
+        cat = ReplicaCatalog()
+        cat.register("d1", "s1", size_mb=10.0)
+        assert cat.bytes_present_by_site(["d1", "d1"]) == {"s1": 20.0}
+
 
 class TestInitialDistribution:
     def test_every_dataset_placed(self):

@@ -13,6 +13,17 @@ class TestLiveQueries:
         _, grid = small_grid
         assert grid.info.site_names == sorted(grid.sites)
 
+    def test_site_names_cached_and_stable(self, small_grid):
+        """site_names is computed once at construction, not per query."""
+        _, grid = small_grid
+        first = grid.info.site_names
+        assert grid.info.site_names is first  # no per-call re-sort
+        snapshot = list(first)
+        for i in range(3):
+            grid.submit(Job(job_id=i, user="u", origin_site="site00",
+                            input_files=["d0"], runtime_s=10))
+        assert grid.info.site_names == snapshot
+
     def test_load_of_idle_site_zero(self, small_grid):
         _, grid = small_grid
         assert grid.info.load("site00") == 0

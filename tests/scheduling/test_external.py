@@ -108,6 +108,56 @@ class TestJobDataPresent:
         assert es.select_site(make_job(inputs=("d0",)), grid) == "site03"
 
 
+def _reference_most_bytes(job, grid, rng):
+    """Brute-force most-bytes-present: full scan of sites × inputs.
+
+    The pre-index implementation of JobDataPresent's fallback; the
+    indexed version must select identical sites and consume the rng
+    identically.
+    """
+    best_bytes = -1.0
+    best_sites = []
+    for site in grid.info.site_names:
+        present = sum(grid.datasets.get(f).size_mb
+                      for f in job.input_files
+                      if grid.catalog.has_replica(f, site))
+        if present > best_bytes:
+            best_bytes, best_sites = present, [site]
+        elif present == best_bytes:
+            best_sites.append(site)
+    if best_bytes <= 0.0:
+        return grid.info.least_loaded(rng=rng)
+    if len(best_sites) > 1:
+        return grid.info.least_loaded(best_sites, rng=rng)
+    return best_sites[0]
+
+
+class TestMostBytesPresentEquivalence:
+    """The per-site byte index must not change scheduling decisions."""
+
+    CASES = (
+        ("d0", "d1"),          # tie: two 500 MB single-holders
+        ("d0", "d1", "d2"),    # site02 holds d1+d2 -> unique winner
+        ("d0",),               # unique holder
+        ("d3",),               # nothing anywhere -> least-loaded fallback
+        ("d0", "d3"),          # partial presence
+    )
+
+    def test_matches_reference_scan(self, star_grid):
+        _, grid = star_grid
+        grid.catalog.register("d1", "site02")  # site02: d1 + d2
+        grid.catalog.deregister("d3", "site03")  # d3 now held nowhere
+        load_site(grid, "site01", 5)
+        es = JobDataPresent(random.Random(7))
+        reference_rng = random.Random(7)
+        for trial in range(10):
+            for inputs in self.CASES:
+                job = make_job(inputs=inputs)
+                expected = _reference_most_bytes(job, grid,
+                                                 reference_rng)
+                assert es._most_bytes_present(job, grid) == expected
+
+
 class TestNames:
     @pytest.mark.parametrize("cls,expected", [
         (JobLocal, "JobLocal"),

@@ -193,3 +193,34 @@ class TestAnyOf:
         sim.process(waiter())
         sim.run()
         assert woke_at == [3.0]
+
+
+class TestSlots:
+    """The kernel's per-event classes must stay __dict__-free.
+
+    Millions of Event/Timeout/Process instances churn through a full
+    simulation; an accidental __dict__ (e.g. a subclass forgetting
+    __slots__) multiplies their footprint several-fold.
+    """
+
+    def test_hot_classes_have_no_dict(self, sim):
+        from repro.sim.process import Initialize, Process
+
+        def proc():
+            yield sim.timeout(1)
+
+        instances = [
+            sim.event(),
+            sim.timeout(1),
+            sim.all_of([sim.timeout(1)]),
+            sim.any_of([sim.timeout(1)]),
+            sim.process(proc()),
+        ]
+        for obj in instances:
+            assert not hasattr(obj, "__dict__"), type(obj).__name__
+        for cls in (Event, Timeout, AllOf, AnyOf, Process, Initialize):
+            assert "__slots__" in cls.__dict__, cls.__name__
+
+    def test_unknown_attribute_assignment_rejected(self, sim):
+        with pytest.raises(AttributeError):
+            sim.timeout(1).scratch = 1
