@@ -24,6 +24,7 @@ Package map — see DESIGN.md for the full inventory:
 * :mod:`repro.workload` — synthetic CMS-like workload generation.
 * :mod:`repro.metrics` — the paper's metrics and reporting.
 * :mod:`repro.experiments` — per-figure/table reproduction harness.
+* :mod:`repro.faults` — deterministic fault injection and recovery.
 """
 
 from repro.experiments.config import SimulationConfig
@@ -34,6 +35,7 @@ from repro.experiments.runner import (
     run_replicated,
     run_single,
 )
+from repro.faults.plan import FaultPlan, LinkDegradation, SiteOutage
 from repro.grid.grid import DataGrid
 from repro.metrics.collector import RunMetrics
 from repro.scheduling.registry import ALL_DS, ALL_ES, ALL_LS
@@ -45,8 +47,11 @@ __all__ = [
     "ALL_ES",
     "ALL_LS",
     "DataGrid",
+    "FaultPlan",
+    "LinkDegradation",
     "RunMetrics",
     "SimulationConfig",
+    "SiteOutage",
     "build_grid",
     "make_workload",
     "run_matrix",

@@ -68,12 +68,58 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--allocator", default=None,
                        choices=["equal-share", "max-min"])
     group.add_argument("--seed", type=int, default=0)
+    faults = parser.add_argument_group(
+        "fault injection (default: no faults; any of these enables the "
+        "repro.faults layer — runs stay seed-reproducible)")
+    faults.add_argument("--fault-plan", default=None, metavar="FILE",
+                        help="JSON fault plan (see FaultPlan.save)")
+    faults.add_argument("--site-mtbf", type=float, default=None,
+                        metavar="SECONDS",
+                        help="mean time between site failures "
+                             "(exponential; 0 = never)")
+    faults.add_argument("--site-mttr", type=float, default=None,
+                        metavar="SECONDS",
+                        help="mean site repair time (default 1800)")
+    faults.add_argument("--link-drop-rate", type=float, default=None,
+                        metavar="PROB",
+                        help="probability that any individual transfer is "
+                             "dropped mid-flight")
+    faults.add_argument("--fault-seed", type=int, default=None,
+                        help="seed for the stochastic fault stream "
+                             "(default: the run seed)")
+
+
+def _build_fault_plan(args: argparse.Namespace):
+    """Compose the FaultPlan from --fault-plan plus scalar overrides."""
+    from repro.faults.plan import FaultPlan
+
+    relevant = (args.fault_plan, args.site_mtbf, args.site_mttr,
+                args.link_drop_rate, args.fault_seed)
+    if all(value is None for value in relevant):
+        return None
+    plan = (FaultPlan.load(args.fault_plan)
+            if args.fault_plan is not None else FaultPlan.none())
+    overrides = {}
+    if args.site_mtbf is not None:
+        overrides["site_mtbf_s"] = args.site_mtbf
+    if args.site_mttr is not None:
+        overrides["site_mttr_s"] = args.site_mttr
+    if args.link_drop_rate is not None:
+        overrides["transfer_fail_prob"] = args.link_drop_rate
+    if args.fault_seed is not None:
+        overrides["seed"] = args.fault_seed
+    if overrides:
+        plan = plan.with_(**overrides)
+    return plan
 
 
 def _build_config(args: argparse.Namespace) -> SimulationConfig:
     config = SimulationConfig.paper(seed=args.seed)
     if args.scale != 1.0:
         config = config.scaled(args.scale)
+    fault_plan = _build_fault_plan(args)
+    if fault_plan is not None:
+        config = config.with_(fault_plan=fault_plan)
     overrides = {}
     mapping = {
         "bandwidth": "bandwidth_mbps",

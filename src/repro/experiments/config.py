@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
+
+from repro.faults.plan import FaultPlan
 
 #: Table 1 bandwidth scenarios, MB/s.
 SCENARIO_1_BANDWIDTH = 10.0
@@ -90,10 +92,22 @@ class SimulationConfig:
     #: Transfer rate allocator: "equal-share" (paper) or "max-min".
     allocator: str = "equal-share"
 
+    # ---- Fault injection ------------------------------------------------------
+    #: Optional fault plan.  ``None`` (or a null plan) keeps every code
+    #: path bitwise-identical to a fault-free build; any non-null plan
+    #: installs the :mod:`repro.faults` injector.  Part of the frozen,
+    #: hashable config, so faulty runs participate in the parallel
+    #: runner's cache keys and stay reproducible at any worker count.
+    fault_plan: Optional[FaultPlan] = None
+
     # ---- Replication seed ----------------------------------------------------
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if isinstance(self.fault_plan, dict):
+            # Cache persistence round-trips configs through plain dicts.
+            object.__setattr__(
+                self, "fault_plan", FaultPlan.from_json_dict(self.fault_plan))
         if self.n_users < 1 or self.n_sites < 1 or self.n_datasets < 1:
             raise ValueError("users, sites and datasets must all be >= 1")
         if self.n_jobs < self.n_users:

@@ -45,7 +45,9 @@ from repro.experiments.config import SimulationConfig
 from repro.metrics.collector import RunMetrics
 
 #: Bump when RunMetrics or run semantics change, invalidating old entries.
-CACHE_VERSION = 1
+#: v2: fault-injection metrics added to RunMetrics; configs carry an
+#: optional FaultPlan.
+CACHE_VERSION = 2
 
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"

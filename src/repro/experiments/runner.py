@@ -120,6 +120,11 @@ def build_grid(
         delete_idle_after_s=config.ds_delete_idle_after_s,
     )
 
+    # The "faults" stream is only drawn when a plan is active, so adding
+    # the fault layer cannot perturb any other stream in fault-free runs.
+    fault_plan = config.fault_plan
+    if fault_plan is not None and fault_plan.is_null:
+        fault_plan = None
     grid = DataGrid.create(
         sim=sim,
         topology=topology,
@@ -132,6 +137,9 @@ def build_grid(
         datamover_rng=streams.stream("datamover"),
         info_refresh_interval_s=config.info_refresh_interval_s,
         allocator=_make_allocator(config),
+        fault_plan=fault_plan,
+        fault_rng=(streams.stream("faults")
+                   if fault_plan is not None else None),
     )
     grid.place_initial_replicas(workload.initial_placement)
     for user, site in workload.user_sites.items():

@@ -1,0 +1,21 @@
+"""repro.faults — deterministic fault injection and recovery.
+
+* :class:`~repro.faults.plan.FaultPlan` (+ :class:`SiteOutage`,
+  :class:`LinkDegradation`) — the declarative, seed-driven description of
+  what breaks during a run.
+* :class:`~repro.faults.injector.FaultInjector` — replays a plan against
+  a wired grid: site outages (scripted and MTBF-driven), link
+  degradation, transfer drops, and all the recovery accounting.
+
+See docs/faults.md for the fault model and determinism guarantees.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, LinkDegradation, SiteOutage
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDegradation",
+    "SiteOutage",
+]

@@ -1,0 +1,272 @@
+"""The fault injector: replays a :class:`~repro.faults.plan.FaultPlan`.
+
+One injector is wired into a :class:`~repro.grid.grid.DataGrid` when the
+grid is built with a non-null plan.  It owns every piece of failure state
+and all recovery accounting:
+
+* **Site outages** — scripted windows and/or MTBF-driven loops.  When a
+  site goes down, every job queued or running there is killed (processor
+  requests cancelled, compute aborted, pins released) and handed back to
+  the grid's re-dispatch supervisor; in-flight transfers touching the
+  site are aborted; the information service stops advertising the site.
+  A *permanent* outage additionally wipes the site's storage and
+  invalidates its replica-catalog records.
+* **Link degradation** — link capacities are scaled down for a window
+  (factor 0 ≈ dead link) and every active transfer is re-rated.
+* **Transfer sabotage** — with ``transfer_fail_prob``, a freshly started
+  transfer is scheduled to be killed partway through.
+
+Determinism: all randomness comes from one injected
+:class:`random.Random` (derived from the run's named streams), per-site
+loops get their own sub-streams drawn in sorted site order, and every
+action happens through simulator events — so a seeded faulty run is
+bitwise-identical across processes, worker counts, and cache replays.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from repro.faults.plan import FaultPlan, LinkDegradation, SiteOutage
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.grid import DataGrid
+    from repro.network.transfer import Transfer
+    from repro.sim.core import Simulator
+
+
+class FaultInjector:
+    """Drives faults into a wired grid and tracks recovery metrics.
+
+    Parameters
+    ----------
+    sim, grid:
+        The simulator and the fully wired grid.
+    plan:
+        The fault plan to execute (must not be null — a null plan should
+        simply not install an injector).
+    rng:
+        Seeded stream for stochastic faults.
+    """
+
+    def __init__(self, sim: "Simulator", grid: "DataGrid", plan: FaultPlan,
+                 rng: Optional[random.Random] = None) -> None:
+        if plan.is_null:
+            raise ValueError(
+                "null fault plan: build the grid without an injector")
+        self.sim = sim
+        self.grid = grid
+        self.plan = plan
+        self.rng = rng or random.Random(plan.seed)
+
+        #: Sites currently unavailable (includes permanently dead ones).
+        self.down: Set[str] = set()
+        #: Sites that died permanently (never recover).
+        self.dead: Set[str] = set()
+        self._down_since: Dict[str, float] = {}
+        self._downtime_s: Dict[str, float] = {name: 0.0 for name in grid.sites}
+        self._link_base: Dict[object, float] = {}
+        self._recovery_waiters: List[Event] = []
+
+        # ---- recovery metrics ------------------------------------------------
+        #: Job attempts killed by an outage (or data starvation) and
+        #: re-dispatched by the External Scheduler.
+        self.jobs_retried = 0
+        #: Jobs that exhausted their retry budget and were accounted FAILED.
+        self.jobs_failed = 0
+        #: Dispatches the ES aimed at a down site that were re-routed.
+        self.jobs_redirected = 0
+        #: Replica records invalidated by permanent site loss.
+        self.replicas_invalidated = 0
+        #: Sites taken down (windows started), for reporting.
+        self.outages_started = 0
+
+    # -- installation -----------------------------------------------------------
+
+    def install(self) -> None:
+        """Wire the injector into the grid and spawn its driver processes."""
+        grid = self.grid
+        grid.faults = self
+        grid.datamover.faults = self
+        for site in grid.sites.values():
+            site.faults = self
+        for outage in self.plan.site_outages:
+            if outage.site not in grid.sites:
+                raise ValueError(
+                    f"fault plan names unknown site {outage.site!r}")
+            self.sim.process(self._scripted_outage(outage),
+                             name=f"fault:outage:{outage.site}")
+        for deg in self.plan.link_degradations:
+            try:
+                link = grid.topology.link_between(deg.a, deg.b)
+            except KeyError:
+                raise ValueError(
+                    f"fault plan degrades nonexistent link "
+                    f"{deg.a!r}-{deg.b!r}; name a physical link "
+                    f"(site-to-hub in tiered topologies)") from None
+            self.sim.process(self._scripted_degradation(deg, link),
+                             name=f"fault:link:{deg.a}-{deg.b}")
+        if self.plan.site_mtbf_s > 0:
+            # Per-site sub-streams drawn in sorted order: deterministic and
+            # independent of how the site processes later interleave.
+            for name in sorted(grid.sites):
+                site_rng = random.Random(self.rng.randrange(2 ** 62))
+                self.sim.process(self._mtbf_loop(name, site_rng),
+                                 name=f"fault:mtbf:{name}")
+        if self.plan.transfer_fail_prob > 0:
+            grid.transfers.on_start.append(self._maybe_sabotage)
+
+    # -- site availability --------------------------------------------------------
+
+    def is_up(self, site: str) -> bool:
+        """Whether a site is currently available."""
+        return site not in self.down
+
+    def any_site_up(self) -> bool:
+        """Whether at least one site can accept work."""
+        return len(self.down) < len(self.grid.sites)
+
+    @property
+    def grid_lost(self) -> bool:
+        """True when every site is permanently dead — nothing can recover."""
+        return len(self.dead) == len(self.grid.sites)
+
+    def recovery_event(self) -> Event:
+        """An event that fires the next time any site comes back up."""
+        event = Event(self.sim)
+        self._recovery_waiters.append(event)
+        return event
+
+    def fallback_site(self) -> Optional[str]:
+        """Deterministic stand-in when the ES picks a down site.
+
+        The least-loaded available site (ties by name) — the closest
+        analogue of what a real broker does when its first choice bounces.
+        """
+        if not self.any_site_up():
+            return None
+        return self.grid.info.least_loaded()
+
+    # -- outage mechanics ---------------------------------------------------------
+
+    def take_site_down(self, site: str, permanent: bool = False) -> bool:
+        """Fail a site now.  Returns False if it was already down."""
+        if site in self.down:
+            if permanent and site not in self.dead:
+                self._make_permanent(site)
+                return True
+            return False
+        self.down.add(site)
+        self._down_since[site] = self.sim.now
+        self.outages_started += 1
+        self.grid.info.mark_site_down(site)
+        if permanent:
+            self._make_permanent(site)
+        # Kill everything the site was doing.
+        self.grid.sites[site].fail_site()
+        # Abort in-flight transfers touching the site; the data mover's
+        # retry machinery fails the survivors over to other replicas.
+        transfers = self.grid.transfers
+        for transfer in [t for t in list(transfers.active)
+                         if site in (t.src, t.dst)]:
+            transfers.abort(transfer, reason=f"site {site} down")
+        return True
+
+    def bring_site_up(self, site: str) -> bool:
+        """Recover a (non-permanently) failed site."""
+        if site not in self.down or site in self.dead:
+            return False
+        self.down.discard(site)
+        self._downtime_s[site] += self.sim.now - self._down_since.pop(site)
+        self.grid.info.mark_site_up(site)
+        waiters, self._recovery_waiters = self._recovery_waiters, []
+        for event in waiters:
+            event.succeed(site)
+        return True
+
+    def _make_permanent(self, site: str) -> None:
+        self.dead.add(site)
+        # The disks are gone: wipe storage and invalidate the catalog.
+        invalidated = self.grid.catalog.invalidate_site(site)
+        self.replicas_invalidated += len(invalidated)
+        storage = self.grid.storages[site]
+        for name in list(storage.files):
+            storage.remove(name)
+        if self.grid_lost:
+            # Recovery is now impossible; wake parked dispatch supervisors
+            # so they can observe it and fail their jobs instead of waiting
+            # on a recovery that will never come.
+            waiters, self._recovery_waiters = self._recovery_waiters, []
+            for event in waiters:
+                event.succeed(None)
+
+    def _scripted_outage(self, outage: SiteOutage):
+        if outage.start_s > 0:
+            yield self.sim.timeout(outage.start_s)
+        self.take_site_down(outage.site, permanent=outage.permanent)
+        if not outage.permanent:
+            yield self.sim.timeout(outage.end_s - outage.start_s)
+            self.bring_site_up(outage.site)
+
+    def _mtbf_loop(self, site: str, rng: random.Random):
+        while True:
+            yield self.sim.timeout(rng.expovariate(1.0 / self.plan.site_mtbf_s))
+            if site in self.down:  # scripted window already has it down
+                continue
+            self.take_site_down(site)
+            yield self.sim.timeout(rng.expovariate(1.0 / self.plan.site_mttr_s))
+            self.bring_site_up(site)
+
+    # -- link mechanics -----------------------------------------------------------
+
+    #: Floor applied to a factor-0 ("dead") link so routes and rate
+    #: allocation stay well-defined; transfers crossing it effectively
+    #: stall and are recovered by the fetch timeout.
+    DEAD_LINK_FACTOR = 1e-6
+
+    def _scripted_degradation(self, deg: LinkDegradation, link):
+        if deg.start_s > 0:
+            yield self.sim.timeout(deg.start_s)
+        self._link_base.setdefault(link, link.capacity_mbps)
+        factor = max(deg.factor, self.DEAD_LINK_FACTOR)
+        link.capacity_mbps = self._link_base[link] * factor
+        self.grid.transfers.rebalance()
+        if deg.end_s != float("inf"):
+            yield self.sim.timeout(deg.end_s - deg.start_s)
+            link.capacity_mbps = self._link_base[link]
+            self.grid.transfers.rebalance()
+
+    # -- transfer sabotage ----------------------------------------------------------
+
+    def _maybe_sabotage(self, transfer: "Transfer") -> None:
+        if not transfer.route:
+            return  # local move, nothing to kill
+        if self.rng.random() >= self.plan.transfer_fail_prob:
+            return
+        # Kill the transfer somewhere in its (uncontended-estimate) flight.
+        bottleneck = min(link.capacity_mbps for link in transfer.route)
+        estimate = transfer.size_mb / bottleneck
+        delay = self.rng.uniform(0.1, 0.9) * estimate
+        self.sim.process(self._abort_later(transfer, delay),
+                         name="fault:transfer-kill")
+
+    def _abort_later(self, transfer: "Transfer", delay: float):
+        yield self.sim.timeout(delay)
+        self.grid.transfers.abort(transfer, reason="injected drop")
+
+    # -- accounting ---------------------------------------------------------------
+
+    def downtime_per_site(self, horizon: Optional[float] = None
+                          ) -> Dict[str, float]:
+        """Accumulated unavailable time per site over ``[0, horizon]``."""
+        horizon = self.sim.now if horizon is None else horizon
+        out = dict(self._downtime_s)
+        for site, since in self._down_since.items():
+            out[site] += max(0.0, horizon - since)
+        return out
+
+    def total_downtime_s(self, horizon: Optional[float] = None) -> float:
+        """Sum of per-site downtime."""
+        return sum(self.downtime_per_site(horizon).values())

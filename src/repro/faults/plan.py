@@ -1,0 +1,230 @@
+"""Fault plans: a declarative, seed-driven description of what breaks.
+
+A :class:`FaultPlan` is the single knob that turns the fault layer on.  It
+is a frozen, hashable, JSON-round-trippable dataclass so it can live inside
+:class:`~repro.experiments.config.SimulationConfig`, participate in the
+parallel runner's content-addressed cache keys, and travel to worker
+processes unchanged — a faulty run stays a pure function of
+``(config, es, ds, seed)`` and is therefore bitwise-reproducible at any
+worker count.
+
+Two kinds of faults can be described:
+
+* **Scripted** — explicit :class:`SiteOutage` windows and
+  :class:`LinkDegradation` schedules, replayed at exact simulated times.
+* **Stochastic** — site MTBF/MTTR outage loops and a per-transfer failure
+  probability, drawn from a dedicated seeded stream so they never perturb
+  the workload or scheduler streams (common random numbers are preserved
+  across algorithm variants).
+
+The all-zero plan (``FaultPlan.none()`` or any plan whose :attr:`is_null`
+is true) installs nothing: the grid wires exactly as before and every
+metric is bitwise-identical to a fault-free build.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+#: JSON stand-in for ``float('inf')`` (strict-JSON friendly).
+_INF = float("inf")
+
+
+def _coerce_end(value: Any) -> float:
+    """Interpret an outage end: None / "inf" / missing mean permanent."""
+    if value is None:
+        return _INF
+    if isinstance(value, str):
+        if value.lower() in ("inf", "infinity", "permanent"):
+            return _INF
+        return float(value)
+    return float(value)
+
+
+@dataclass(frozen=True)
+class SiteOutage:
+    """One site-down window.
+
+    ``end_s = inf`` marks a *permanent* failure: the site never comes
+    back, its storage contents are lost, and its replica-catalog records
+    are invalidated the moment it dies.
+    """
+
+    site: str
+    start_s: float
+    end_s: float = _INF
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "end_s", _coerce_end(self.end_s))
+        if self.start_s < 0:
+            raise ValueError(f"outage of {self.site!r} starts in the past")
+        if self.end_s <= self.start_s:
+            raise ValueError(
+                f"outage of {self.site!r} ends ({self.end_s}) before it "
+                f"starts ({self.start_s})")
+
+    @property
+    def permanent(self) -> bool:
+        """Whether the site never recovers."""
+        return self.end_s == _INF
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """A window during which one link's capacity is scaled by ``factor``.
+
+    ``factor = 0`` models a dead link: capacity is clamped to a vanishing
+    fraction of the original so routes stay well-defined but transfers
+    crossing it stall until the data mover's timeout aborts and fails
+    them over.
+    """
+
+    a: str
+    b: str
+    start_s: float
+    end_s: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "end_s", _coerce_end(self.end_s))
+        if self.start_s < 0:
+            raise ValueError(f"degradation of {self.a!r}-{self.b!r} starts "
+                             "in the past")
+        if self.end_s <= self.start_s:
+            raise ValueError(
+                f"degradation of {self.a!r}-{self.b!r} ends before it starts")
+        if not 0.0 <= self.factor < 1.0:
+            raise ValueError(
+                f"degradation factor must be in [0, 1), got {self.factor!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that goes wrong in one run, plus the recovery knobs.
+
+    Fault sources
+    -------------
+    site_outages / link_degradations:
+        Scripted windows (see :class:`SiteOutage`,
+        :class:`LinkDegradation`).
+    transfer_fail_prob:
+        Probability that any individual wide-area transfer is killed
+        mid-flight (a stalled/dropped connection).  Drawn per transfer
+        from the plan's seeded stream.
+    site_mtbf_s / site_mttr_s:
+        If MTBF > 0, every site additionally fails at exponentially
+        distributed intervals (mean ``site_mtbf_s``) and repairs after an
+        exponentially distributed downtime (mean ``site_mttr_s``).
+
+    Recovery knobs
+    --------------
+    transfer_max_retries / transfer_backoff_base_s / transfer_backoff_cap_s:
+        Failed fetches retry with capped exponential backoff
+        (``min(base * 2**attempt, cap)``) before the fetch is declared
+        unsatisfiable.
+    transfer_timeout_factor / transfer_timeout_min_s:
+        A fetch is aborted (and retried) if it exceeds
+        ``max(min_s, factor × uncontended-time)``; the allowance doubles
+        on every retry so genuinely slow-but-alive paths still complete.
+    job_max_retries / redispatch_delay_s:
+        Jobs killed by an outage (or starved of data) are handed back to
+        the External Scheduler after ``redispatch_delay_s`` and re-placed,
+        up to ``job_max_retries`` times before the job is accounted FAILED.
+    """
+
+    site_outages: Tuple[SiteOutage, ...] = ()
+    link_degradations: Tuple[LinkDegradation, ...] = ()
+    transfer_fail_prob: float = 0.0
+    site_mtbf_s: float = 0.0
+    site_mttr_s: float = 1800.0
+    seed: int = 0
+
+    # ---- recovery policy ---------------------------------------------------
+    transfer_max_retries: int = 6
+    transfer_backoff_base_s: float = 10.0
+    transfer_backoff_cap_s: float = 300.0
+    transfer_timeout_factor: float = 25.0
+    transfer_timeout_min_s: float = 120.0
+    job_max_retries: int = 10
+    redispatch_delay_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        # Accept lists (JSON, hand-written plans) but store hashable tuples.
+        object.__setattr__(
+            self, "site_outages",
+            tuple(o if isinstance(o, SiteOutage) else SiteOutage(**o)
+                  for o in self.site_outages))
+        object.__setattr__(
+            self, "link_degradations",
+            tuple(d if isinstance(d, LinkDegradation) else LinkDegradation(**d)
+                  for d in self.link_degradations))
+        if not 0.0 <= self.transfer_fail_prob <= 1.0:
+            raise ValueError(
+                f"transfer_fail_prob must be a probability, "
+                f"got {self.transfer_fail_prob!r}")
+        if self.site_mtbf_s < 0 or self.site_mttr_s <= 0:
+            raise ValueError("site MTBF must be >= 0 and MTTR > 0")
+        if self.transfer_max_retries < 0 or self.job_max_retries < 0:
+            raise ValueError("retry limits must be >= 0")
+        if (self.transfer_backoff_base_s < 0
+                or self.transfer_backoff_cap_s < self.transfer_backoff_base_s):
+            raise ValueError("backoff cap must be >= backoff base >= 0")
+        if self.transfer_timeout_factor <= 0 or self.transfer_timeout_min_s <= 0:
+            raise ValueError("transfer timeout knobs must be positive")
+        if self.redispatch_delay_s < 0:
+            raise ValueError("redispatch delay must be >= 0")
+
+    # ---- queries -----------------------------------------------------------
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects nothing (the pay-for-use guarantee)."""
+        return (not self.site_outages
+                and not self.link_degradations
+                and self.transfer_fail_prob == 0.0
+                and self.site_mtbf_s == 0.0)
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The canonical all-zero plan."""
+        return cls()
+
+    def with_(self, **changes) -> "FaultPlan":
+        """A copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    # ---- (de)serialization ---------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """A strict-JSON-safe dict (``inf`` becomes ``None``)."""
+        out = dataclasses.asdict(self)
+        for outage in out["site_outages"]:
+            if outage["end_s"] == _INF:
+                outage["end_s"] = None
+        for deg in out["link_degradations"]:
+            if deg["end_s"] == _INF:
+                deg["end_s"] = None
+        return out
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`to_json_dict`; unknown keys are rejected."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault-plan fields {sorted(unknown)}")
+        return cls(**data)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the plan as JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_json_dict(), indent=1, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        """Read a plan written by :meth:`save` (or by hand)."""
+        return cls.from_json_dict(json.loads(Path(path).read_text()))

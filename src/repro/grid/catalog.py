@@ -122,6 +122,18 @@ class ReplicaCatalog:
                 present[site] = present.get(site, 0.0) + size
         return present
 
+    def invalidate_site(self, site: str) -> List[str]:
+        """Drop every replica record at ``site`` (permanent site loss).
+
+        Called by fault injection when a site dies for good: its disks are
+        gone, so the catalog must stop advertising anything it held.
+        Returns the invalidated dataset names (sorted).
+        """
+        names = self.datasets_at(site)
+        for name in names:
+            self.deregister(name, site)
+        return names
+
     def total_replicas(self) -> int:
         """Total replica records in the grid."""
         return sum(len(sites) for sites in self._locations.values())

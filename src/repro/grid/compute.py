@@ -107,6 +107,18 @@ class ComputeElement:
         if self._busy < 0:  # pragma: no cover - invariant
             raise RuntimeError(f"{self.site!r}: negative busy count")
 
+    def compute_aborted(self) -> None:
+        """End a compute phase without crediting a completed job.
+
+        Used by fault injection when a running job is killed: the
+        busy-time integral stays truthful (the processor *was* burning
+        cycles) but ``jobs_computed`` only ever counts real completions.
+        """
+        self._account()
+        self._busy -= 1
+        if self._busy < 0:  # pragma: no cover - invariant
+            raise RuntimeError(f"{self.site!r}: negative busy count")
+
     def busy_processor_seconds(self, until: Optional[float] = None) -> float:
         """Integral of computing-processor count over [0, until]."""
         horizon = self.sim.now if until is None else until

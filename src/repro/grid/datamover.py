@@ -18,7 +18,7 @@ job and the traffic numbers would be meaningless.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, AbstractSet, Dict, FrozenSet, Optional, Tuple
 
 from repro.grid.catalog import ReplicaCatalog
 from repro.grid.files import DatasetCollection
@@ -27,6 +27,8 @@ from repro.network.transfer import TransferManager
 from repro.sim.core import Simulator
 from repro.sim.events import Event
 from repro.sim.process import Process
+
+_EMPTY: FrozenSet[str] = frozenset()
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.grid.site import Site
@@ -68,6 +70,13 @@ class DataMover:
         #: Metrics: replications completed / skipped.
         self.replications_done = 0
         self.replications_skipped = 0
+        #: Fault injector, installed by the grid when a plan is active.
+        #: ``None`` keeps every fetch on the exact fault-free code path.
+        self.faults = None
+        #: Metrics (fault mode only): transfer attempts that failed or
+        #: stalled, and retries that switched to an alternate replica.
+        self.transfers_failed = 0
+        self.failovers = 0
 
     # -- public API ----------------------------------------------------------
 
@@ -171,12 +180,19 @@ class DataMover:
             arrival = Event(self.sim)
             self._inflight[key] = arrival
             try:
-                source = self._pick_source(site, dataset_name,
-                                           preferred_source)
-                transfer = self.transfers.start(
-                    source, site, dataset.size_mb, purpose=purpose,
-                    metadata={"dataset": dataset_name})
-                yield transfer.done
+                if self.faults is None:
+                    source = self._pick_source(site, dataset_name,
+                                               preferred_source)
+                    transfer = self.transfers.start(
+                        source, site, dataset.size_mb, purpose=purpose,
+                        metadata={"dataset": dataset_name})
+                    yield transfer.done
+                else:
+                    delivered = yield from self._fetch_with_faults(
+                        site, dataset, dataset_name, purpose,
+                        preferred_source, best_effort)
+                    if not delivered:
+                        return 0.0
                 # Space may have been pinned away while the bytes were in
                 # flight; retry the landing rather than dropping the data.
                 while True:
@@ -200,10 +216,89 @@ class DataMover:
                 storage.pin(dataset_name)
             return dataset.size_mb
 
+    def _fetch_with_faults(self, site: str, dataset, dataset_name: str,
+                           purpose: str, preferred_source: Optional[str],
+                           best_effort: bool):
+        """Run one wire fetch under fault injection.
+
+        Retries failed/stalled transfers with capped exponential backoff,
+        failing over to alternate replica sources, up to the plan's
+        ``transfer_max_retries``.  Returns ``True`` once the bytes arrive;
+        ``False`` if a best-effort fetch gave up; raises
+        :class:`DataUnavailableError` when a required fetch exhausts its
+        budget (the job-level recovery then retries the whole job).
+        """
+        plan = self.faults.plan
+        avoid: set = set()
+        attempt = 0
+        while True:
+            attempt += 1
+            if not self.faults.is_up(site):
+                # The destination died while we were waiting/retrying:
+                # pushing bytes at a dead site is pointless.  The waiting
+                # job (if any) is being killed by the same outage.
+                if best_effort:
+                    return False
+                raise DataUnavailableError(
+                    f"destination {site!r} is down")
+            try:
+                source = self._pick_source(site, dataset_name,
+                                           preferred_source,
+                                           avoid=frozenset(avoid))
+            except DataUnavailableError:
+                if best_effort:
+                    return False
+                raise
+            transfer = self.transfers.start(
+                source, site, dataset.size_mb, purpose=purpose,
+                metadata={"dataset": dataset_name})
+            if transfer.finished_at is not None and not transfer.failed:
+                return True  # local / empty move completed instantly
+            # Guard against stalls (dead links, source dying silently):
+            # abort if the transfer exceeds a generous multiple of its
+            # nominal uncontended time.  The allowance doubles per attempt
+            # so contention alone cannot starve a fetch forever.
+            allowance = max(
+                plan.transfer_timeout_min_s,
+                plan.transfer_timeout_factor
+                * self.transfers.base_transfer_time(source, site,
+                                                    dataset.size_mb))
+            allowance *= 2 ** (attempt - 1)
+            deadline = self.sim.timeout(allowance)
+            yield self.sim.any_of([transfer.done, deadline])
+            if transfer.finished_at is None:
+                self.transfers.abort(transfer, reason="stalled")
+            if not transfer.failed:
+                return True
+            self.transfers_failed += 1
+            avoid.add(source)
+            if attempt > plan.transfer_max_retries:
+                if best_effort:
+                    return False
+                raise DataUnavailableError(
+                    f"fetch of {dataset_name!r} to {site!r} failed "
+                    f"{attempt} times; giving up")
+            self.failovers += 1
+            backoff = min(
+                plan.transfer_backoff_base_s * 2 ** (attempt - 1),
+                plan.transfer_backoff_cap_s)
+            if backoff > 0:
+                yield self.sim.timeout(backoff)
+
     def _pick_source(self, dest: str, dataset_name: str,
-                     preferred: Optional[str]) -> str:
+                     preferred: Optional[str],
+                     avoid: AbstractSet[str] = _EMPTY) -> str:
         locations = self.catalog.locations(dataset_name)
         locations = [s for s in locations if s != dest]
+        if self.faults is not None:
+            # Down sites cannot serve bytes.  Sources that already failed
+            # this fetch (``avoid``) are deprioritized, not banned: if they
+            # hold the only replica we retry them (they may have recovered).
+            locations = [s for s in locations if self.faults.is_up(s)]
+            if avoid:
+                fresh = [s for s in locations if s not in avoid]
+                if fresh:
+                    locations = fresh
         if preferred is not None and preferred in locations:
             return preferred
         if not locations:

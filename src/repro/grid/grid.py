@@ -67,6 +67,12 @@ class DataGrid:
         self.users: List[User] = []
         #: Every job ever submitted, in submission order.
         self.submitted_jobs: List[Job] = []
+        #: Fault injector (``None`` in fault-free runs; installed by
+        #: :meth:`create` when a non-null plan is given).  Every fault
+        #: branch in the hot path is gated on this staying ``None`` so a
+        #: plan-less grid behaves bitwise-identically to one built before
+        #: the fault layer existed.
+        self.faults = None
 
     # -- construction -----------------------------------------------------------
 
@@ -84,6 +90,8 @@ class DataGrid:
         datamover_rng: Optional[random.Random] = None,
         info_refresh_interval_s: float = 0.0,
         allocator=None,
+        fault_plan=None,
+        fault_rng: Optional[random.Random] = None,
     ) -> "DataGrid":
         """Build and wire a grid over ``topology``.
 
@@ -120,6 +128,10 @@ class DataGrid:
                    dataset_scheduler)
         for site in sites.values():
             dataset_scheduler.attach(site, grid)
+        if fault_plan is not None and not fault_plan.is_null:
+            from repro.faults.injector import FaultInjector
+
+            FaultInjector(sim, grid, fault_plan, rng=fault_rng).install()
         return grid
 
     # -- data placement ----------------------------------------------------------
@@ -171,9 +183,16 @@ class DataGrid:
         """Submit a job: ES picks the site, the site executes it.
 
         Returns the execution process (triggers with the job when done).
+        Under a fault plan the returned process is a recovery supervisor
+        that re-dispatches the job when an outage kills it, so callers
+        (users) still simply wait for one process per job.
         """
         job.advance(JobState.SUBMITTED, self.sim.now)
         self.submitted_jobs.append(job)
+        if self.faults is not None:
+            return self.sim.process(
+                self._submit_with_recovery(job),
+                name=f"supervise:job{job.job_id}")
         site_name = self.external_scheduler.select_site(job, self)
         if site_name not in self.sites:
             raise ValueError(
@@ -182,6 +201,52 @@ class DataGrid:
         job.execution_site = site_name
         job.advance(JobState.DISPATCHED, self.sim.now)
         return self.sites[site_name].enqueue(job)
+
+    def _submit_with_recovery(self, job: Job):
+        """Dispatch loop under fault injection.
+
+        Each iteration: wait until some site is up, place the job (with a
+        deterministic fallback if the ES's choice is down), and wait for
+        the execution attempt.  A killed attempt comes back with the job
+        not COMPLETED; the job is rewound and re-dispatched after the
+        plan's redispatch delay, until it completes or exhausts its retry
+        budget and is accounted FAILED.
+        """
+        faults = self.faults
+        plan = faults.plan
+        while True:
+            while not faults.any_site_up():
+                if faults.grid_lost:
+                    # Every site is permanently dead: recovery can never
+                    # happen, so fail fast instead of waiting forever.
+                    job.mark_failed("all sites permanently failed")
+                    faults.jobs_failed += 1
+                    return job
+                yield faults.recovery_event()
+            site_name = self.external_scheduler.select_site(job, self)
+            if site_name not in self.sites:
+                raise ValueError(
+                    f"{self.external_scheduler!r} chose unknown site "
+                    f"{site_name!r}")
+            if not faults.is_up(site_name):
+                fallback = faults.fallback_site()
+                if fallback is None:
+                    continue  # last site died under us; wait for recovery
+                site_name = fallback
+                faults.jobs_redirected += 1
+            job.execution_site = site_name
+            job.advance(JobState.DISPATCHED, self.sim.now)
+            yield self.sites[site_name].enqueue(job)
+            if job.state is JobState.COMPLETED:
+                return job
+            if job.retries >= plan.job_max_retries:
+                job.mark_failed(job.failure_reason or "retries exhausted")
+                faults.jobs_failed += 1
+                return job
+            job.reset_for_retry()
+            faults.jobs_retried += 1
+            if plan.redispatch_delay_s > 0:
+                yield self.sim.timeout(plan.redispatch_delay_s)
 
     def add_user(self, user: User) -> None:
         """Register a user (started by :meth:`run`)."""
@@ -210,6 +275,11 @@ class DataGrid:
         """All jobs that reached COMPLETED."""
         return [j for j in self.submitted_jobs
                 if j.state is JobState.COMPLETED]
+
+    @property
+    def failed_jobs(self) -> List[Job]:
+        """Jobs given up on by fault recovery (empty in fault-free runs)."""
+        return [j for j in self.submitted_jobs if j.state is JobState.FAILED]
 
     @property
     def total_processors(self) -> int:

@@ -10,7 +10,7 @@ an extension; the paper's results use live information.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
 
 import random
 
@@ -54,6 +54,11 @@ class InformationService:
         # The site set is fixed once the grid is wired, and every external
         # scheduler consults site_names per job — sort once, not per call.
         self._site_names: List[str] = sorted(sites)
+        # Fault injection: sites currently down are hidden from scheduler
+        # queries.  When the set is empty (always, in fault-free runs) the
+        # original cached list is served unchanged.
+        self._unavailable: Set[str] = set()
+        self._available_names: List[str] = self._site_names
         self._snapshot: Optional[Dict[str, int]] = None
         if refresh_interval_s > 0:
             self._snapshot = self._take_snapshot()
@@ -73,12 +78,34 @@ class InformationService:
 
     @property
     def site_names(self) -> List[str]:
-        """All site names, sorted (deterministic iteration order).
+        """*Available* site names, sorted (deterministic iteration order).
 
-        The list is cached at construction (the site set never changes
-        after wiring) and shared between calls — treat it as read-only.
+        The list is cached (the site set never changes after wiring, and
+        availability only changes on fault transitions) and shared between
+        calls — treat it as read-only.  Down sites are excluded so
+        schedulers stop considering them; in fault-free runs this is the
+        identical all-sites list.
         """
-        return self._site_names
+        return self._available_names
+
+    def mark_site_down(self, site: str) -> None:
+        """Hide a failed site from scheduler queries (fault injection)."""
+        if site not in self.sites:
+            raise KeyError(f"unknown site {site!r}")
+        self._unavailable.add(site)
+        self._available_names = [
+            name for name in self._site_names
+            if name not in self._unavailable]
+
+    def mark_site_up(self, site: str) -> None:
+        """Re-advertise a recovered site."""
+        self._unavailable.discard(site)
+        if self._unavailable:
+            self._available_names = [
+                name for name in self._site_names
+                if name not in self._unavailable]
+        else:
+            self._available_names = self._site_names
 
     def load(self, site: str) -> int:
         """The paper's load metric: jobs waiting to run at ``site``."""
@@ -123,11 +150,15 @@ class InformationService:
         return best[0]
 
     def dataset_locations(self, dataset_name: str) -> List[str]:
-        """Sites holding a replica of the dataset."""
-        return self.catalog.locations(dataset_name)
+        """*Available* sites holding a replica of the dataset."""
+        locations = self.catalog.locations(dataset_name)
+        if self._unavailable:
+            locations = [s for s in locations
+                         if s not in self._unavailable]
+        return locations
 
     def sites_with_all(self, dataset_names: Iterable[str]) -> List[str]:
-        """Sites holding *all* of the given datasets (multi-input jobs)."""
+        """Available sites holding *all* given datasets (multi-input jobs)."""
         names = list(dataset_names)
         if not names:
             return self.site_names
@@ -136,4 +167,6 @@ class InformationService:
             if not result:
                 break
             result &= self.catalog.location_set(name)
+        if self._unavailable:
+            result -= self._unavailable
         return sorted(result)

@@ -68,6 +68,8 @@ class Job:
     started_at: Optional[float] = None
     completed_at: Optional[float] = None
     failure_reason: Optional[str] = None
+    #: Execution attempts killed by faults and re-dispatched (0 = clean run).
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if self.runtime_s < 0:
@@ -93,6 +95,30 @@ class Job:
         }.get(state)
         if attr is not None:
             setattr(self, attr, now)
+
+    def reset_for_retry(self) -> None:
+        """Rewind a killed execution attempt back to SUBMITTED.
+
+        The only sanctioned exception to the monotone :meth:`advance`
+        order: fault recovery re-dispatches the job as if the ES had just
+        received it.  ``submitted_at`` is preserved so response time spans
+        the whole ordeal, including every failed attempt.
+        """
+        self.retries += 1
+        self.state = JobState.SUBMITTED
+        self.execution_site = None
+        self.dispatched_at = None
+        self.queued_at = None
+        self.data_ready_at = None
+        self.processor_at = None
+        self.started_at = None
+        self.fetched_mb = 0.0
+
+    def mark_failed(self, reason: str) -> None:
+        """Give up on the job permanently (fault recovery exhausted)."""
+        self.state = JobState.FAILED
+        self.completed_at = None
+        self.failure_reason = reason
 
     # -- derived metrics -------------------------------------------------------
 

@@ -19,14 +19,34 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.grid.compute import ComputeElement
-from repro.grid.datamover import DataMover
+from repro.grid.datamover import DataMover, DataUnavailableError
 from repro.grid.job import Job, JobState
 from repro.grid.storage import StorageElement
 from repro.sim.core import Simulator
+from repro.sim.errors import Interrupt
 from repro.sim.process import Process
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.scheduling.base import LocalScheduler
+
+
+class _Attempt:
+    """Cleanup bookkeeping for one fault-mode execution attempt.
+
+    Records exactly which resources the attempt holds at any yield point
+    so an :class:`~repro.sim.errors.Interrupt` (site failure) or a
+    :class:`~repro.grid.datamover.DataUnavailableError` can be unwound
+    without leaking processors, pins, or in-flight fetches.  Null-mode
+    executions pass ``attempt=None`` and skip all of this.
+    """
+
+    __slots__ = ("fetch", "fetch_name", "pinned", "computing")
+
+    def __init__(self) -> None:
+        self.fetch: Optional[Process] = None
+        self.fetch_name: Optional[str] = None
+        self.pinned: List[str] = []
+        self.computing = False
 
 
 class Site:
@@ -61,6 +81,14 @@ class Site:
         # Dispatcher state (only used when the LS runs in dispatch mode).
         self._pending: List = []
         self._free_processors = compute.n_processors
+        #: Fault injector (None = fault-free; every hot path is gated on
+        #: this staying None so a no-fault run is bitwise-identical).
+        self.faults = None
+        #: Alive execution processes, tracked only in fault mode so
+        #: :meth:`fail_site` can kill them.  An insertion-ordered dict, not
+        #: a set: Process hashes by id, and interrupt order must not depend
+        #: on memory layout or a run stops being reproducible.
+        self._alive: Dict[Process, None] = {}
 
     def __repr__(self) -> str:
         return (f"<Site {self.name} load={self.load} "
@@ -102,9 +130,29 @@ class Site:
             request = self.compute.acquire()
         else:
             request = self.compute.acquire(priority=priority)
-        return self.sim.process(
-            self._execute(job, request, prefetches),
+        attempt = _Attempt() if self.faults is not None else None
+        process = self.sim.process(
+            self._execute(job, request, prefetches, attempt),
             name=f"job{job.job_id}@{self.name}")
+        if attempt is not None:
+            self._track(process)
+        return process
+
+    def _track(self, process: Process) -> None:
+        self._alive[process] = None
+        process.callbacks.append(lambda _ev: self._alive.pop(process, None))
+
+    def fail_site(self) -> None:
+        """Site outage: kill every queued and running job here.
+
+        Dispatch-mode queue entries are dropped (their grants will never
+        fire) and every execution process is interrupted; each unwinds its
+        own held resources and returns its (incomplete) job so the grid's
+        recovery supervisor can re-dispatch it elsewhere.
+        """
+        self._pending.clear()
+        for process in [p for p in self._alive if p.is_alive]:
+            process.interrupt("site failure")
 
     # -- dispatch-mode path (data-aware local schedulers) ----------------------
 
@@ -118,9 +166,12 @@ class Site:
         self._pending.append((entry, grant))
         # A data arrival can unblock a better dispatch choice.
         ready.callbacks.append(lambda _ev: self._try_dispatch())
+        attempt = _Attempt() if self.faults is not None else None
         process = self.sim.process(
-            self._execute_dispatched(job, grant, ready),
+            self._execute_dispatched(job, grant, ready, attempt),
             name=f"job{job.job_id}@{self.name}")
+        if attempt is not None:
+            self._track(process)
         self._try_dispatch()
         return process
 
@@ -138,24 +189,38 @@ class Site:
             self._free_processors -= 1
             grant.succeed()
 
-    def _execute_dispatched(self, job: Job, grant, ready):
-        yield grant
-        job.processor_at = self.sim.now
+    def _execute_dispatched(self, job: Job, grant, ready, attempt=None):
+        try:
+            yield grant
+            job.processor_at = self.sim.now
 
-        prefetched = yield ready
-        fetched_mb = sum(prefetched.values())
-        for fname in job.input_files:
-            fetched_mb += yield self.datamover.ensure_local(
-                self.name, fname, pin=True)
-        job.data_ready_at = self.sim.now
-        job.fetched_mb = fetched_mb
+            prefetched = yield ready
+            fetched_mb = sum(prefetched.values())
+            fetched_mb += yield from self._fetch_inputs(job, attempt)
+            job.data_ready_at = self.sim.now
+            job.fetched_mb = fetched_mb
 
-        job.advance(JobState.RUNNING, self.sim.now)
-        for fname in job.input_files:
-            self.storage.record_access(fname, self.sim.now)
-        self.compute.compute_started()
-        yield self.sim.timeout(job.runtime_s)
-        self.compute.compute_finished()
+            job.advance(JobState.RUNNING, self.sim.now)
+            for fname in job.input_files:
+                self.storage.record_access(fname, self.sim.now)
+            if attempt is not None:
+                attempt.computing = True
+            self.compute.compute_started()
+            yield self.sim.timeout(job.runtime_s)
+            self.compute.compute_finished()
+            if attempt is not None:
+                attempt.computing = False
+        except (Interrupt, DataUnavailableError) as err:
+            if attempt is None:
+                raise
+            # Return the processor slot iff one was ever granted (the
+            # remaining steps after the compute yield are synchronous, so
+            # a granted slot cannot have been returned twice).
+            if grant.triggered:
+                self._free_processors += 1
+                self._try_dispatch()
+            self._unwind(job, attempt, err)
+            return job
 
         if job.output_size_mb > 0:
             self._store_output(job)
@@ -171,29 +236,40 @@ class Site:
             listener(job)
         return job
 
-    def _execute(self, job: Job, request, prefetches):
-        # 1. Wait for a processor, in LS-decided order.
-        yield request
-        job.processor_at = self.sim.now
+    def _execute(self, job: Job, request, prefetches, attempt=None):
+        try:
+            # 1. Wait for a processor, in LS-decided order.
+            yield request
+            job.processor_at = self.sim.now
 
-        # 2. Hold the processor until the input data is local and pinned.
-        #    Usually the prefetch already landed (or is joined in flight)
-        #    and this is instantaneous.
-        prefetched = yield self.sim.all_of(prefetches)
-        fetched_mb = sum(prefetched.values())
-        for fname in job.input_files:
-            fetched_mb += yield self.datamover.ensure_local(
-                self.name, fname, pin=True)
-        job.data_ready_at = self.sim.now
-        job.fetched_mb = fetched_mb
+            # 2. Hold the processor until the input data is local and
+            #    pinned.  Usually the prefetch already landed (or is joined
+            #    in flight) and this is instantaneous.
+            prefetched = yield self.sim.all_of(prefetches)
+            fetched_mb = sum(prefetched.values())
+            fetched_mb += yield from self._fetch_inputs(job, attempt)
+            job.data_ready_at = self.sim.now
+            job.fetched_mb = fetched_mb
 
-        # 3. Compute.
-        job.advance(JobState.RUNNING, self.sim.now)
-        for fname in job.input_files:
-            self.storage.record_access(fname, self.sim.now)
-        self.compute.compute_started()
-        yield self.sim.timeout(job.runtime_s)
-        self.compute.compute_finished()
+            # 3. Compute.
+            job.advance(JobState.RUNNING, self.sim.now)
+            for fname in job.input_files:
+                self.storage.record_access(fname, self.sim.now)
+            if attempt is not None:
+                attempt.computing = True
+            self.compute.compute_started()
+            yield self.sim.timeout(job.runtime_s)
+            self.compute.compute_finished()
+            if attempt is not None:
+                attempt.computing = False
+        except (Interrupt, DataUnavailableError) as err:
+            if attempt is None:
+                raise
+            # Release covers every request state: granted (returns the
+            # slot, grants the next waiter) and still-queued (cancels).
+            self.compute.release(request)
+            self._unwind(job, attempt, err)
+            return job
 
         # 4. Write the output (stored locally, never transferred — §5.1
         #    ignores output transfer costs; the bytes still occupy the
@@ -211,6 +287,59 @@ class Site:
         for listener in self.completion_listeners:
             listener(job)
         return job
+
+    def _fetch_inputs(self, job: Job, attempt):
+        """Pin every input locally; fault mode tracks the in-flight fetch."""
+        fetched_mb = 0.0
+        for fname in job.input_files:
+            if attempt is None:
+                fetched_mb += yield self.datamover.ensure_local(
+                    self.name, fname, pin=True)
+                continue
+            attempt.fetch = self.datamover.ensure_local(
+                self.name, fname, pin=True)
+            attempt.fetch_name = fname
+            fetched_mb += yield attempt.fetch
+            attempt.fetch = None
+            attempt.fetch_name = None
+            attempt.pinned.append(fname)
+        return fetched_mb
+
+    def _unwind(self, job: Job, attempt, err) -> None:
+        """Undo everything a killed execution attempt still holds."""
+        if attempt.computing:
+            self.compute.compute_aborted()
+            attempt.computing = False
+        for fname in attempt.pinned:
+            self.storage.unpin(fname)
+        attempt.pinned = []
+        if attempt.fetch is not None:
+            self._settle_orphan_fetch(attempt.fetch, attempt.fetch_name)
+            attempt.fetch = None
+            attempt.fetch_name = None
+        self.jobs_in_system -= 1
+        job.failure_reason = str(err) or type(err).__name__
+
+    def _settle_orphan_fetch(self, fetch: Process, fname: str) -> None:
+        """Tie off a pinned fetch whose job was killed mid-wait.
+
+        The fetch process keeps running in the background; if it lands it
+        will pin the file for a job that no longer exists, so unpin on
+        success.  On failure, defuse — nobody waits on it anymore.
+        """
+        storage = self.storage
+
+        def settle(event) -> None:
+            if event.ok:
+                storage.unpin(fname)
+            else:
+                event.defuse()
+
+        if fetch.processed:
+            if fetch.ok:
+                storage.unpin(fname)
+        else:
+            fetch.callbacks.append(settle)
 
     def _store_output(self, job: Job) -> None:
         """Write the job's output file into local storage (best effort)."""

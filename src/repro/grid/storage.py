@@ -164,8 +164,15 @@ class StorageElement:
         entry = self._entries.pop(name, None)
         if entry is None:
             raise KeyError(f"{name!r} not stored at {self.site!r}")
-        self._used_mb -= entry.dataset.size_mb
+        self._release(entry.dataset.size_mb)
         self.access_counts.pop(name, None)
+
+    def _release(self, size_mb: float) -> None:
+        self._used_mb -= size_mb
+        # Repeated float subtraction can leave a ±1e-13 residue; an empty
+        # store holds exactly nothing.
+        if not self._entries:
+            self._used_mb = 0.0
 
     def idle_files(self, now: float, older_than_s: float) -> List[str]:
         """Unpinned files not accessed for at least ``older_than_s``.
@@ -212,7 +219,7 @@ class StorageElement:
                 break
             del self._entries[entry.dataset.name]
             self.access_counts.pop(entry.dataset.name, None)
-            self._used_mb -= entry.dataset.size_mb
+            self._release(entry.dataset.size_mb)
             self.evictions += 1
             if self.on_evict is not None:
                 self.on_evict(entry.dataset)

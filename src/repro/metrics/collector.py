@@ -55,14 +55,39 @@ class RunMetrics:
     fraction_jobs_at_origin: float
     fraction_jobs_local_data: float
 
+    # Fault injection & recovery (all zero in fault-free runs).
+    #: Jobs permanently given up on after exhausting their retry budget.
+    jobs_failed: int = 0
+    #: Execution attempts killed by faults and re-dispatched.
+    jobs_retried: int = 0
+    #: Dispatches re-routed because the ES's chosen site was down.
+    jobs_redirected: int = 0
+    #: Fetch attempts that failed or stalled and were retried.
+    transfers_failed: int = 0
+    #: Failed fetch retries that switched to an alternate replica source.
+    failovers: int = 0
+    #: Replica records invalidated by permanent site loss.
+    replicas_invalidated: int = 0
+    #: Site-down windows that started during the run.
+    outages: int = 0
+    #: Total site-seconds of unavailability over the horizon.
+    site_downtime_s: float = 0.0
+
     # Per-site detail (site name → value), for load-balance analysis.
     jobs_per_site: Dict[str, int] = field(default_factory=dict)
     idle_per_site: Dict[str, float] = field(default_factory=dict)
+    downtime_per_site: Dict[str, float] = field(default_factory=dict)
 
     @property
     def idle_percent(self) -> float:
         """Idle fraction as a percentage (Figure 4's axis)."""
         return 100.0 * self.idle_fraction
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of finished jobs that completed (1.0 when none failed)."""
+        total = self.n_jobs + self.jobs_failed
+        return self.n_jobs / total if total else 0.0
 
     @property
     def total_traffic_mb(self) -> float:
@@ -95,7 +120,11 @@ class RunMetrics:
         jobs = grid.completed_jobs
         if not jobs:
             raise ValueError("no completed jobs; did the grid run?")
-        incomplete = len(grid.submitted_jobs) - len(jobs)
+        failed = grid.failed_jobs
+        # A job may legitimately end FAILED under fault injection; only
+        # *unaccounted* jobs (neither completed nor failed) mean the run
+        # stopped mid-flight and the averages would be biased.
+        incomplete = len(grid.submitted_jobs) - len(jobs) - len(failed)
         if incomplete:
             raise ValueError(
                 f"{incomplete} submitted jobs never completed; "
@@ -117,6 +146,10 @@ class RunMetrics:
         jobs_per_site = {name: 0 for name in grid.sites}
         for job in jobs:
             jobs_per_site[job.execution_site] += 1
+
+        faults = grid.faults
+        downtime = (faults.downtime_per_site(horizon)
+                    if faults is not None else {})
 
         return cls(
             n_jobs=len(jobs),
@@ -140,9 +173,19 @@ class RunMetrics:
                 [1.0 if j.ran_at_origin else 0.0 for j in jobs]),
             fraction_jobs_local_data=_mean(
                 [1.0 if j.transfer_time <= 1e-9 else 0.0 for j in jobs]),
+            jobs_failed=len(failed),
+            jobs_retried=faults.jobs_retried if faults else 0,
+            jobs_redirected=faults.jobs_redirected if faults else 0,
+            transfers_failed=grid.datamover.transfers_failed,
+            failovers=grid.datamover.failovers,
+            replicas_invalidated=(
+                faults.replicas_invalidated if faults else 0),
+            outages=faults.outages_started if faults else 0,
+            site_downtime_s=sum(downtime.values()),
             jobs_per_site=jobs_per_site,
             idle_per_site={
                 name: site.compute.idle_fraction(horizon)
                 for name, site in grid.sites.items()
             },
+            downtime_per_site=downtime,
         )

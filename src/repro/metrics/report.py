@@ -67,6 +67,20 @@ def format_run(metrics: RunMetrics, label: str = "run") -> str:
         f"jobs with local data:      {100 * metrics.fraction_jobs_local_data:.1f} %",
         f"load imbalance (max/mean): {metrics.load_imbalance:.2f}",
     ]
+    if (metrics.outages or metrics.jobs_failed or metrics.jobs_retried
+            or metrics.transfers_failed or metrics.site_downtime_s):
+        lines += [
+            "faults & recovery:",
+            f"  site outages:            {metrics.outages}",
+            f"  site downtime:           {metrics.site_downtime_s:,.0f} site-s",
+            f"  jobs retried/redirected: {metrics.jobs_retried}"
+            f"/{metrics.jobs_redirected}",
+            f"  jobs failed for good:    {metrics.jobs_failed} "
+            f"(completion rate {100 * metrics.completion_rate:.1f} %)",
+            f"  transfers failed:        {metrics.transfers_failed}",
+            f"  replica failovers:       {metrics.failovers}",
+            f"  replicas invalidated:    {metrics.replicas_invalidated}",
+        ]
     return "\n".join(lines)
 
 

@@ -29,6 +29,7 @@ class Link:
         "a",
         "b",
         "capacity_mbps",
+        "base_capacity_mbps",
         "active",
         "bytes_carried",
         "busy_time",
@@ -44,6 +45,9 @@ class Link:
         self.a = a
         self.b = b
         self.capacity_mbps = float(capacity_mbps)
+        #: Nominal (undegraded) capacity.  Fault injection mutates
+        #: ``capacity_mbps`` only; timeouts and restores use this.
+        self.base_capacity_mbps = float(capacity_mbps)
         self.active: Set["Transfer"] = set()
         self.bytes_carried = 0.0
         self.busy_time = 0.0

@@ -39,7 +39,12 @@ class Transfer:
     ----------
     done:
         Kernel event that succeeds (with the transfer itself as value) when
-        the last byte arrives.
+        the last byte arrives — or when the transfer is *aborted* by fault
+        injection.  Waiters must check :attr:`failed` after the event fires;
+        ``done`` never fails, so shared waiters (and ``AnyOf`` races) stay
+        safe without defusing gymnastics.
+    failed:
+        ``True`` if the transfer was aborted before the last byte arrived.
     purpose:
         Free-form tag — the grid uses ``"job-fetch"`` and ``"replication"``
         so the metrics layer can attribute traffic.
@@ -48,7 +53,7 @@ class Transfer:
     __slots__ = (
         "src", "dst", "size_mb", "remaining_mb", "rate", "route",
         "done", "started_at", "finished_at", "purpose", "metadata",
-        "weight", "_last_update",
+        "weight", "failed", "_last_update",
     )
 
     def __init__(self, sim: Simulator, src: str, dst: str, size_mb: float,
@@ -72,6 +77,7 @@ class Transfer:
         #: Share weight: a transfer opened with N parallel streams
         #: (GridFTP-style) competes for link capacity as N unit flows.
         self.weight = float(weight)
+        self.failed = False
         self._last_update = sim.now
 
     def __repr__(self) -> str:
@@ -185,8 +191,15 @@ class TransferManager:
         self.completed: List[Transfer] = []
         self._timer_token = 0
         #: Called with each transfer the moment it completes (used by the
-        #: NWS-style bandwidth forecaster, tracing, ...).
+        #: NWS-style bandwidth forecaster, tracing, ...).  Aborted
+        #: transfers do NOT reach observers — a dropped connection carries
+        #: no useful bandwidth sample.
         self.observers: List[Any] = []
+        #: Called with each network transfer the moment it starts (used by
+        #: the fault injector's sabotage hook).  Empty unless faults are on.
+        self.on_start: List[Any] = []
+        #: Transfers killed by :meth:`abort` (fault injection).
+        self.n_aborted = 0
 
     # -- public API ----------------------------------------------------------
 
@@ -218,8 +231,39 @@ class TransferManager:
         for link in route:
             link.attach(transfer, self.sim.now)
         self.active.append(transfer)
+        for hook in self.on_start:
+            hook(transfer)
         self._rebalance()
         return transfer
+
+    def abort(self, transfer: Transfer, reason: str = "") -> bool:
+        """Kill an in-flight transfer (fault injection).
+
+        The partial progress is credited to the links it crossed, the
+        transfer is marked :attr:`~Transfer.failed`, and its ``done`` event
+        *succeeds* — waiters are woken and must inspect ``failed``.
+        Returns ``False`` if the transfer had already finished.
+        """
+        if transfer.finished_at is not None or transfer not in self.active:
+            return False
+        self._advance_progress()
+        now = self.sim.now
+        transfer.finished_at = now
+        transfer.failed = True
+        if reason:
+            transfer.metadata.setdefault("abort_reason", reason)
+        carried = transfer.size_mb - transfer.remaining_mb
+        for link in transfer.route:
+            link.detach(transfer, now, carried)
+        self.active.remove(transfer)
+        self.n_aborted += 1
+        transfer.done.succeed(transfer)
+        self._rebalance()
+        return True
+
+    def rebalance(self) -> None:
+        """Recompute rates now (e.g. after a link capacity change)."""
+        self._rebalance()
 
     def estimated_transfer_time(self, src: str, dst: str,
                                 size_mb: float) -> float:
@@ -230,6 +274,19 @@ class TransferManager:
         if not route or size_mb == 0:
             return 0.0
         bottleneck = min(link.capacity_mbps for link in route)
+        return size_mb / bottleneck
+
+    def base_transfer_time(self, src: str, dst: str, size_mb: float) -> float:
+        """Uncontended time over *nominal* (undegraded) capacities.
+
+        Fault-mode transfer timeouts are sized from this so that a
+        degraded link reads as a stall instead of silently inflating the
+        allowance.
+        """
+        route = self.router.route(src, dst)
+        if not route or size_mb == 0:
+            return 0.0
+        bottleneck = min(link.base_capacity_mbps for link in route)
         return size_mb / bottleneck
 
     # -- internals -----------------------------------------------------------

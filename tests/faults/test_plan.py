@@ -1,0 +1,142 @@
+"""Unit tests for FaultPlan: validation, nullness, hashing, JSON."""
+
+import pytest
+
+from repro.faults.plan import FaultPlan, LinkDegradation, SiteOutage
+
+
+class TestSiteOutage:
+    def test_finite_window(self):
+        outage = SiteOutage("site00", 100.0, 500.0)
+        assert not outage.permanent
+
+    def test_default_end_is_permanent(self):
+        assert SiteOutage("site00", 100.0).permanent
+
+    @pytest.mark.parametrize("end", [None, "inf", "Infinity", "permanent"])
+    def test_permanent_spellings(self, end):
+        assert SiteOutage("site00", 0.0, end).permanent
+
+    def test_numeric_string_end(self):
+        assert SiteOutage("site00", 0.0, "250.5").end_s == 250.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError, match="starts in the past"):
+            SiteOutage("site00", -1.0, 10.0)
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError, match="ends .* before it starts"):
+            SiteOutage("site00", 100.0, 50.0)
+
+
+class TestLinkDegradation:
+    def test_valid(self):
+        deg = LinkDegradation("a", "b", 0.0, 10.0, 0.5)
+        assert deg.factor == 0.5
+
+    @pytest.mark.parametrize("factor", [-0.1, 1.0, 2.0])
+    def test_rejects_bad_factor(self, factor):
+        with pytest.raises(ValueError, match="factor"):
+            LinkDegradation("a", "b", 0.0, 10.0, factor)
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError, match="ends before it starts"):
+            LinkDegradation("a", "b", 10.0, 5.0, 0.5)
+
+
+class TestFaultPlanNullness:
+    def test_default_is_null(self):
+        assert FaultPlan().is_null
+        assert FaultPlan.none().is_null
+
+    def test_each_fault_source_breaks_nullness(self):
+        assert not FaultPlan(
+            site_outages=[SiteOutage("s", 0.0, 1.0)]).is_null
+        assert not FaultPlan(
+            link_degradations=[LinkDegradation("a", "b", 0, 1, 0.5)]).is_null
+        assert not FaultPlan(transfer_fail_prob=0.1).is_null
+        assert not FaultPlan(site_mtbf_s=1000.0).is_null
+
+    def test_recovery_knobs_alone_keep_plan_null(self):
+        # Tuning how recovery *would* behave injects nothing.
+        assert FaultPlan(job_max_retries=3, transfer_backoff_base_s=1.0).is_null
+
+
+class TestFaultPlanValidation:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan(transfer_fail_prob=1.5)
+
+    def test_rejects_negative_mtbf(self):
+        with pytest.raises(ValueError, match="MTBF"):
+            FaultPlan(site_mtbf_s=-1.0)
+
+    def test_rejects_zero_mttr(self):
+        with pytest.raises(ValueError, match="MTTR"):
+            FaultPlan(site_mttr_s=0.0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="retry"):
+            FaultPlan(job_max_retries=-1)
+
+    def test_rejects_cap_below_base(self):
+        with pytest.raises(ValueError, match="backoff"):
+            FaultPlan(transfer_backoff_base_s=100.0,
+                      transfer_backoff_cap_s=10.0)
+
+
+class TestFaultPlanValueSemantics:
+    def test_coerces_dicts_and_lists(self):
+        plan = FaultPlan(
+            site_outages=[{"site": "site00", "start_s": 0.0, "end_s": 10.0}],
+            link_degradations=[
+                {"a": "x", "b": "y", "start_s": 0, "end_s": 1, "factor": 0.2}],
+        )
+        assert isinstance(plan.site_outages, tuple)
+        assert isinstance(plan.site_outages[0], SiteOutage)
+        assert isinstance(plan.link_degradations[0], LinkDegradation)
+
+    def test_hashable_and_equal(self):
+        a = FaultPlan(site_outages=[SiteOutage("s", 1.0, 2.0)], seed=7)
+        b = FaultPlan(site_outages=[SiteOutage("s", 1.0, 2.0)], seed=7)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert {a: "x"}[b] == "x"
+
+    def test_with_replaces_fields(self):
+        plan = FaultPlan.none().with_(transfer_fail_prob=0.3, seed=9)
+        assert plan.transfer_fail_prob == 0.3
+        assert plan.seed == 9
+        assert FaultPlan.none().transfer_fail_prob == 0.0
+
+
+class TestFaultPlanSerialization:
+    def plan(self):
+        return FaultPlan(
+            site_outages=[SiteOutage("site00", 10.0, 20.0),
+                          SiteOutage("site01", 30.0)],  # permanent
+            link_degradations=[
+                LinkDegradation("site00", "hub", 0.0, 5.0, 0.25)],
+            transfer_fail_prob=0.1,
+            site_mtbf_s=5000.0,
+            seed=3,
+        )
+
+    def test_json_round_trip(self):
+        plan = self.plan()
+        assert FaultPlan.from_json_dict(plan.to_json_dict()) == plan
+
+    def test_json_dict_is_strict_json(self):
+        import json
+        blob = json.dumps(self.plan().to_json_dict(), allow_nan=False)
+        assert "Infinity" not in blob  # inf encoded as null, not a literal
+
+    def test_save_load(self, tmp_path):
+        plan = self.plan()
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan fields"):
+            FaultPlan.from_json_dict({"site_mtbf": 100.0})

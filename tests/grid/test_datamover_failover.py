@@ -1,0 +1,151 @@
+"""Shared-transfer failover: waiters must never hang on a dead source.
+
+Concurrent ``ensure_local`` calls for the same (site, dataset) share one
+wire transfer.  If the source site dies mid-flight, the holder of the
+shared transfer retries against an alternate replica while the waiters
+stay parked on the in-flight event — these tests pin down that the
+waiters are failed over with the holder (file delivered) or failed
+loudly with it (no replica left), never left hanging.
+"""
+
+import random
+
+import pytest
+
+from repro.faults import FaultPlan, SiteOutage
+from repro.grid import DataGrid, Dataset, DatasetCollection
+from repro.grid.datamover import DataUnavailableError
+from repro.network import Topology
+from repro.scheduling import DataDoNothing, FIFOLocalScheduler, JobLocal
+from repro.sim import Simulator
+
+
+def make_grid(plan):
+    sim = Simulator()
+    topology = Topology.star(4, 10.0)
+    datasets = DatasetCollection([Dataset("d0", 500)])
+    grid = DataGrid.create(
+        sim=sim,
+        topology=topology,
+        datasets=datasets,
+        external_scheduler=JobLocal(),
+        local_scheduler=FIFOLocalScheduler(),
+        dataset_scheduler=DataDoNothing(),
+        site_processors={name: 2 for name in topology.sites},
+        storage_capacity_mb=10_000,
+        datamover_rng=random.Random(0),
+        fault_plan=plan,
+        fault_rng=random.Random(0),
+    )
+    # d0 starts only at site00, so the first fetch must source from there.
+    grid.place_initial_replicas({"d0": "site00"})
+    return sim, grid
+
+
+def gather(sim, process, results, label):
+    """Await a process, recording success or DataUnavailableError."""
+    try:
+        value = yield process
+        results[label] = ("ok", value)
+    except DataUnavailableError as err:
+        results[label] = ("unavailable", err)
+
+
+def test_waiter_fails_over_with_holder_when_source_dies():
+    # site00 (the only source at t=0) dies at t=10, mid-transfer; a backup
+    # replica appears at site03 at t=5.  Both the transfer holder and the
+    # waiter sharing it must get the file via the alternate source.
+    plan = FaultPlan(
+        site_outages=[SiteOutage("site00", 10.0, 100_000.0)],
+        transfer_backoff_base_s=5.0,
+        transfer_backoff_cap_s=5.0,
+    )
+    sim, grid = make_grid(plan)
+
+    def seed_backup():
+        yield sim.timeout(5.0)
+        dataset = grid.datasets.get("d0")
+        grid.storages["site03"].add(dataset, sim.now)
+        grid.catalog.register("d0", "site03", size_mb=dataset.size_mb)
+
+    sim.process(seed_backup())
+    holder = grid.datamover.ensure_local("site01", "d0")
+    waiter = grid.datamover.ensure_local("site01", "d0")
+    results = {}
+    done = sim.all_of([
+        sim.process(gather(sim, holder, results, "holder")),
+        sim.process(gather(sim, waiter, results, "waiter")),
+    ])
+    sim.run(until=done)
+
+    assert results["holder"][0] == "ok"
+    assert results["waiter"][0] == "ok"
+    # Exactly one of the two paid the (single) successful wire move.
+    assert sorted(r[1] for r in results.values()) == [0.0, 500.0]
+    assert "d0" in grid.storages["site01"]
+    assert grid.datamover.transfers_failed >= 1
+    assert grid.datamover.failovers >= 1
+    # The retry actually sourced from the backup replica, not the corpse.
+    assert sim.now > 10.0
+
+
+def test_waiter_fails_loudly_when_no_replica_survives():
+    # The only replica's site dies mid-transfer and nothing replaces it:
+    # holder and waiter must both fail with DataUnavailableError within
+    # the retry budget instead of hanging forever.
+    plan = FaultPlan(
+        site_outages=[SiteOutage("site00", 10.0, 100_000.0)],
+        transfer_max_retries=2,
+        transfer_backoff_base_s=5.0,
+        transfer_backoff_cap_s=5.0,
+    )
+    sim, grid = make_grid(plan)
+    holder = grid.datamover.ensure_local("site01", "d0")
+    waiter = grid.datamover.ensure_local("site01", "d0")
+    results = {}
+    done = sim.all_of([
+        sim.process(gather(sim, holder, results, "holder")),
+        sim.process(gather(sim, waiter, results, "waiter")),
+    ])
+    sim.run(until=done)
+
+    assert results["holder"][0] == "unavailable"
+    assert results["waiter"][0] == "unavailable"
+    assert "d0" not in grid.storages["site01"]
+
+
+def test_waiter_joining_after_source_death_still_completes():
+    # A late waiter that joins during the backoff window (transfer dead,
+    # holder sleeping before its retry) must also be served eventually.
+    plan = FaultPlan(
+        site_outages=[SiteOutage("site00", 10.0, 100_000.0)],
+        transfer_backoff_base_s=30.0,
+        transfer_backoff_cap_s=30.0,
+    )
+    sim, grid = make_grid(plan)
+
+    def seed_backup():
+        yield sim.timeout(5.0)
+        dataset = grid.datasets.get("d0")
+        grid.storages["site03"].add(dataset, sim.now)
+        grid.catalog.register("d0", "site03", size_mb=dataset.size_mb)
+
+    sim.process(seed_backup())
+    holder = grid.datamover.ensure_local("site01", "d0")
+
+    results = {}
+
+    def late_waiter():
+        yield sim.timeout(20.0)  # source died at t=10; holder is backing off
+        waiter = grid.datamover.ensure_local("site01", "d0")
+        yield from gather(sim, waiter, results, "waiter")
+
+    done = sim.all_of([
+        sim.process(gather(sim, holder, results, "holder")),
+        sim.process(late_waiter()),
+    ])
+    sim.run(until=done)
+
+    assert results["holder"][0] == "ok"
+    assert results["waiter"] == ("ok", 0.0)
+    assert "d0" in grid.storages["site01"]

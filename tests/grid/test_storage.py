@@ -40,6 +40,18 @@ class TestBasics:
         assert "a" not in st
         assert st.used_mb == 0
 
+    def test_drained_store_is_exactly_empty(self):
+        # Fractional sizes accumulate float residue; once the last file
+        # is gone, used_mb must be exactly 0.0, not ±1e-13.
+        st = StorageElement("s", 1000)
+        sizes = [0.1, 0.2, 0.7, 0.3]
+        for i, size in enumerate(sizes):
+            st.add(ds(f"f{i}", size), now=i)
+        for i in reversed(range(len(sizes))):
+            st.remove(f"f{i}")
+        assert st.used_mb == 0.0
+        assert st.free_mb == 1000
+
     def test_remove_missing_raises(self):
         with pytest.raises(KeyError):
             StorageElement("s", 100).remove("ghost")

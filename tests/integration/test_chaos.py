@@ -1,0 +1,81 @@
+"""Chaos smoke test: the full algorithm matrix under a hostile plan.
+
+Every ES × DS pair runs a 4-site grid through heavy MTBF churn (~30%
+per-site downtime), a lossy wide-area network (20% of transfers dropped
+mid-flight) and a degraded-link window.  The bar: every run terminates
+(no deadlock), the books stay non-negative and balanced, and the paper's
+preferred pair (JobDataPresent + DataRandom) still completes ≥ 90% of
+the workload.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    ALL_DS,
+    ALL_ES,
+    FaultPlan,
+    LinkDegradation,
+    SimulationConfig,
+    run_matrix,
+)
+
+HOSTILE_PLAN = FaultPlan(
+    # availability = MTBF / (MTBF + MTTR) = 0.7 -> ~30% downtime per site.
+    site_mtbf_s=7_000.0,
+    site_mttr_s=3_000.0,
+    transfer_fail_prob=0.2,
+    link_degradations=(
+        LinkDegradation("site00", "tier1-0", 1_000.0, 4_000.0, 0.05),),
+    job_max_retries=40,
+    redispatch_delay_s=30.0,
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_matrix():
+    config = SimulationConfig.paper().scaled(0.15).with_(
+        fault_plan=HOSTILE_PLAN)
+    return run_matrix(config, seeds=(0,))
+
+
+class TestChaosMatrix:
+    def test_every_pair_ran(self, chaos_matrix):
+        assert set(chaos_matrix.runs) == {
+            (es, ds) for es in ALL_ES for ds in ALL_DS}
+        assert all(len(runs) == 1 for runs in chaos_matrix.runs.values())
+
+    def test_books_balance_everywhere(self, chaos_matrix):
+        total = chaos_matrix.config.n_jobs
+        for (es, ds), (metrics,) in chaos_matrix.runs.items():
+            assert metrics.n_jobs + metrics.jobs_failed == total, (es, ds)
+            assert metrics.n_jobs > 0, (es, ds)
+
+    def test_no_negative_metrics(self, chaos_matrix):
+        for (es, ds), (metrics,) in chaos_matrix.runs.items():
+            for field, value in dataclasses.asdict(metrics).items():
+                if isinstance(value, dict):
+                    assert all(v >= 0 for v in value.values()), \
+                        (es, ds, field)
+                elif isinstance(value, (int, float)):
+                    assert value >= 0, (es, ds, field)
+
+    def test_faults_actually_happened(self, chaos_matrix):
+        for (es, ds), (metrics,) in chaos_matrix.runs.items():
+            assert metrics.outages > 0, (es, ds)
+            assert metrics.site_downtime_s > 0, (es, ds)
+            assert metrics.jobs_retried > 0, (es, ds)
+
+    def test_runs_terminate_in_bounded_time(self, chaos_matrix):
+        for (es, ds), (metrics,) in chaos_matrix.runs.items():
+            assert metrics.makespan_s < float("inf"), (es, ds)
+
+    def test_preferred_pair_completes_90_percent(self, chaos_matrix):
+        (metrics,) = chaos_matrix.runs[("JobDataPresent", "DataRandom")]
+        assert metrics.completion_rate >= 0.90
+
+    def test_no_pair_collapses(self, chaos_matrix):
+        # Even the weakest combination keeps the grid mostly useful.
+        for (es, ds), (metrics,) in chaos_matrix.runs.items():
+            assert metrics.completion_rate >= 0.5, (es, ds)

@@ -1,0 +1,185 @@
+"""Property-based tests: conservation invariants under arbitrary faults.
+
+Hypothesis generates small but adversarial fault plans — overlapping
+scripted outages (including permanent ones), dead and degraded links,
+transfer drops, MTBF churn, tight retry budgets — and runs a small grid
+to completion under each.  Whatever the plan, the system must conserve
+its books:
+
+* every submitted job ends the run either COMPLETED or FAILED;
+* storage occupancy never exceeds capacity and no pins leak negative;
+* a pinned file is never LRU-evicted;
+* the replica catalog and the storage contents agree exactly.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import FaultPlan, LinkDegradation, SimulationConfig, SiteOutage
+from repro import build_grid, make_workload
+from repro.grid.job import JobState
+from repro.metrics import RunMetrics
+
+# The small grid under test: SimulationConfig.paper().scaled(0.02) wires
+# two sites under one tier-1 hub with 120 jobs — big enough to exercise
+# shared transfers and queue churn, small enough for many examples.
+SITES = ["site00", "site01"]
+LINKS = [("site00", "tier1-0"), ("site01", "tier1-0")]
+
+
+@st.composite
+def site_outages(draw):
+    site = draw(st.sampled_from(SITES))
+    start = draw(st.floats(0.0, 4000.0, allow_nan=False))
+    duration = draw(st.one_of(
+        st.none(),  # permanent
+        st.floats(50.0, 5000.0, allow_nan=False)))
+    end = None if duration is None else start + duration
+    return SiteOutage(site, start, end)
+
+
+@st.composite
+def link_degradations(draw):
+    a, b = draw(st.sampled_from(LINKS))
+    start = draw(st.floats(0.0, 3000.0, allow_nan=False))
+    duration = draw(st.floats(50.0, 4000.0, allow_nan=False))
+    factor = draw(st.floats(0.0, 0.9, allow_nan=False))
+    return LinkDegradation(a, b, start, start + duration, factor)
+
+
+@st.composite
+def fault_plans(draw):
+    return FaultPlan(
+        site_outages=tuple(draw(st.lists(site_outages(), max_size=3))),
+        link_degradations=tuple(
+            draw(st.lists(link_degradations(), max_size=2))),
+        transfer_fail_prob=draw(st.sampled_from([0.0, 0.1, 0.4])),
+        site_mtbf_s=draw(st.sampled_from([0.0, 5_000.0, 20_000.0])),
+        site_mttr_s=draw(st.sampled_from([500.0, 2_000.0])),
+        transfer_max_retries=draw(st.sampled_from([1, 4])),
+        transfer_backoff_base_s=5.0,
+        job_max_retries=draw(st.sampled_from([2, 10])),
+        redispatch_delay_s=5.0,
+        seed=draw(st.integers(0, 3)),
+    )
+
+
+def run_under_plan(plan, seed=0, es="JobDataPresent", ds="DataRandom"):
+    """Run the small grid under a plan; returns (grid, eviction audit)."""
+    config = SimulationConfig.paper().scaled(0.02).with_(fault_plan=plan)
+    workload = make_workload(config, seed=seed)
+    sim, grid = build_grid(config, es, ds, workload, seed=seed)
+    evicted_while_pinned = _audit_evictions(grid)
+    grid.run()
+    return grid, evicted_while_pinned
+
+
+def _audit_evictions(grid):
+    """Instrument every storage to catch evictions of pinned files.
+
+    Shadow-counts pins via wrapped pin/unpin and checks the count at the
+    moment ``on_evict`` fires (the entry itself is already gone by then).
+    """
+    violations = []
+    for site, storage in grid.storages.items():
+        pins = {}
+
+        def wrap(storage=storage, site=site, pins=pins):
+            original_pin = storage.pin
+            original_unpin = storage.unpin
+            previous_evict = storage.on_evict
+
+            def pin(name):
+                original_pin(name)
+                pins[name] = pins.get(name, 0) + 1
+
+            def unpin(name):
+                original_unpin(name)
+                if pins.get(name, 0) > 0:
+                    pins[name] -= 1
+
+            def on_evict(dataset):
+                if pins.get(dataset.name, 0) > 0:
+                    violations.append((site, dataset.name))
+                if previous_evict is not None:
+                    previous_evict(dataset)
+
+            storage.pin = pin
+            storage.unpin = unpin
+            storage.on_evict = on_evict
+
+        wrap()
+    return violations
+
+
+common_settings = settings(
+    max_examples=30, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.data_too_large])
+
+
+@given(plan=fault_plans())
+@common_settings
+def test_every_job_completes_or_is_accounted_failed(plan):
+    grid, _ = run_under_plan(plan)
+    states = [job.state for job in grid.submitted_jobs]
+    assert all(s in (JobState.COMPLETED, JobState.FAILED) for s in states)
+    assert len(grid.completed_jobs) + len(grid.failed_jobs) == len(states)
+    assert len(grid.submitted_jobs) == 120  # nothing dropped pre-submit
+    # No stragglers left inside any site and no wire still hot.
+    assert all(s.jobs_in_system == 0 for s in grid.sites.values())
+    assert grid.transfers.active == []
+
+
+@given(plan=fault_plans())
+@common_settings
+def test_storage_never_exceeds_capacity(plan):
+    grid, _ = run_under_plan(plan)
+    for storage in grid.storages.values():
+        assert storage.used_mb <= storage.capacity_mb + 1e-6
+        assert storage.used_mb >= 0.0
+        # Per-file pin counts can never go negative.
+        for name in storage.files:
+            assert storage._entries[name].pins >= 0
+
+
+@given(plan=fault_plans())
+@common_settings
+def test_pinned_files_are_never_evicted(plan):
+    _, evicted_while_pinned = run_under_plan(plan)
+    assert evicted_while_pinned == []
+
+
+@given(plan=fault_plans())
+@common_settings
+def test_catalog_matches_storage_exactly(plan):
+    grid, _ = run_under_plan(plan)
+    for site, storage in grid.storages.items():
+        for name in storage.files:
+            assert grid.catalog.has_replica(name, site), \
+                f"{name} stored at {site} but not cataloged"
+    for name in grid.datasets.names:
+        for site in grid.catalog.locations(name):
+            assert name in grid.storages[site], \
+                f"{name} cataloged at {site} but not stored"
+
+
+@given(plan=fault_plans())
+@common_settings
+def test_metrics_extraction_is_sane(plan):
+    grid, _ = run_under_plan(plan)
+    if not grid.completed_jobs:
+        # A plan can legitimately kill everything (both sites permanently
+        # dead); metrics extraction refuses to average over nothing.
+        with pytest.raises(ValueError):
+            RunMetrics.from_grid(grid, grid.sim.now)
+        return
+    metrics = RunMetrics.from_grid(grid, grid.sim.now)
+    assert 0.0 <= metrics.completion_rate <= 1.0
+    assert metrics.n_jobs + metrics.jobs_failed == 120
+    for field in ("jobs_retried", "jobs_redirected", "transfers_failed",
+                  "failovers", "replicas_invalidated", "outages",
+                  "site_downtime_s", "avg_response_time_s", "makespan_s"):
+        assert getattr(metrics, field) >= 0, field
+    assert all(v >= 0 for v in metrics.downtime_per_site.values())
