@@ -1,0 +1,103 @@
+"""Micro-benchmarks of the tracing layer.
+
+The tracing contract is "free when off, cheap when on": every emission
+site in the grid is guarded by a single ``tracer is not None`` attribute
+check, so a disabled tracer must cost nothing measurable, and an enabled
+one must stay far from the simulation hot path.  These benchmarks pin
+the three costs that matter:
+
+* the disabled-tracer guard itself (the only overhead untraced runs pay);
+* raw ``Tracer.emit`` throughput with detail kwargs;
+* ``of_kind`` lookups, which are index-backed and must not re-scan.
+
+Numbers accumulate into ``benchmarks/results/trace.json`` following the
+same schema as the kernel baseline.
+"""
+
+from repro.sim.trace import Tracer
+
+from common import benchmark_stats, publish_json
+
+_METRICS = {}
+
+
+def _record(name: str, benchmark, work_items: int) -> None:
+    stats = benchmark_stats(benchmark)
+    if not stats:  # --benchmark-disable: nothing measured
+        return
+    _METRICS[f"{name}_mean_s"] = stats["mean_s"]
+    _METRICS[f"{name}_min_s"] = stats["min_s"]
+    _METRICS[f"{name}_per_s"] = work_items / stats["mean_s"]
+    publish_json(
+        "trace",
+        _METRICS,
+        meta={"units": "per_s = work items (guard checks/emissions/lookups)"
+                       " per second of mean wall-clock"},
+        higher_is_better=[k for k in _METRICS if k.endswith("_per_s")],
+    )
+
+
+def test_disabled_guard_overhead(benchmark):
+    """The ``tracer is not None`` check untraced hot paths pay."""
+
+    class Host:
+        tracer = None
+
+    host = Host()
+
+    def run():
+        hits = 0
+        for _ in range(100_000):
+            if host.tracer is not None:
+                hits += 1
+        return hits
+
+    assert benchmark(run) == 0
+    _record("disabled_guard", benchmark, work_items=100_000)
+
+
+def test_emit_throughput(benchmark):
+    """Raw emission rate with representative detail kwargs."""
+
+    def run():
+        tracer = Tracer()
+        for i in range(20_000):
+            tracer.emit(float(i), "transfer.done", src="site00",
+                        dst="site01", size_mb=500.0, purpose="fetch",
+                        dataset=f"ds{i % 24}")
+        return len(tracer.records)
+
+    assert benchmark(run) == 20_000
+    _record("emit", benchmark, work_items=20_000)
+
+
+def test_filtered_emit_throughput(benchmark):
+    """Emission rate when a kinds filter rejects most records."""
+
+    def run():
+        tracer = Tracer(kinds=["job.finish"])
+        for i in range(20_000):
+            tracer.emit(float(i), "transfer.done", src="site00",
+                        dst="site01")
+        return len(tracer.records)
+
+    assert benchmark(run) == 0
+    _record("filtered_emit", benchmark, work_items=20_000)
+
+
+def test_of_kind_lookup(benchmark):
+    """Index-backed kind lookups against a populated tracer."""
+
+    tracer = Tracer()
+    kinds = ["job.submit", "job.finish", "transfer.start", "transfer.done"]
+    for i in range(20_000):
+        tracer.emit(float(i), kinds[i % 4], job=f"job{i}")
+
+    def run():
+        total = 0
+        for _ in range(1_000):
+            total += len(tracer.of_kind("transfer.done"))
+        return total
+
+    assert benchmark(run) == 1_000 * 5_000
+    _record("of_kind_lookup", benchmark, work_items=1_000)

@@ -257,6 +257,49 @@ def _parse_value(text: str):
     return text
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.trace import Tracer
+    from repro.trace import (
+        count_by_kind,
+        expand_kinds,
+        format_timelines,
+        read_jsonl,
+        trace_digest,
+        write_jsonl,
+    )
+
+    if args.action == "summarize":
+        records = read_jsonl(args.trace_file)
+        print(f"{len(records)} records from {args.trace_file} "
+              f"(digest {trace_digest(records)[:12]}…)")
+        for kind, count in count_by_kind(records).items():
+            print(f"  {kind:<24}{count:>8}")
+        print()
+        print(format_timelines(records, limit=args.limit))
+        return 0
+
+    kinds = (expand_kinds(args.trace_kinds)
+             if args.trace_kinds is not None else None)
+    tracer = Tracer(kinds=kinds)
+    config = _build_config(args)
+    metrics = run_single(config, args.es, args.ds, seed=args.seed,
+                         tracer=tracer)
+    print(f"{len(tracer.records)} records "
+          f"({args.es} + {args.ds}, seed {args.seed}, digest "
+          f"{trace_digest(tracer.records)[:12]}…)")
+    for kind, count in tracer.counts_by_kind().items():
+        print(f"  {kind:<24}{count:>8}")
+    if args.trace_out is not None:
+        lines = write_jsonl(tracer.records, args.trace_out)
+        print(f"wrote {lines} records to {args.trace_out}")
+    if args.summarize:
+        print()
+        print(format_timelines(tracer.records, limit=args.limit))
+    print(f"\nmakespan: {metrics.makespan_s:.1f} s, "
+          f"avg response: {metrics.avg_response_time_s:.1f} s")
+    return 0
+
+
 def _cmd_workload(args: argparse.Namespace) -> int:
     config = _build_config(args)
     workload = make_workload(config, seed=args.seed)
@@ -318,6 +361,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(p_sweep)
     _add_parallel_arguments(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one combination traced / summarize a trace")
+    trace_sub = p_trace.add_subparsers(dest="action", required=True)
+    p_trace_run = trace_sub.add_parser(
+        "run", help="run one combination with domain-event tracing on")
+    p_trace_run.add_argument("--es", default="JobDataPresent",
+                             choices=ALL_ES + ["JobAdaptive"])
+    p_trace_run.add_argument("--ds", default="DataRandom",
+                             choices=ALL_DS + ["DataBestClient"])
+    p_trace_run.add_argument("--trace-out", default=None, metavar="FILE",
+                             help="write the trace as JSONL")
+    p_trace_run.add_argument("--trace-kinds", nargs="+", default=None,
+                             metavar="KIND",
+                             help="only record these kinds/groups "
+                                  "(e.g. 'job transfer.done')")
+    p_trace_run.add_argument("--summarize", action="store_true",
+                             help="also print per-job timelines")
+    p_trace_run.add_argument("--limit", type=int, default=20,
+                             help="timelines to print with --summarize")
+    _add_config_arguments(p_trace_run)
+    p_trace_run.set_defaults(func=_cmd_trace)
+    p_trace_sum = trace_sub.add_parser(
+        "summarize", help="reconstruct per-job timelines from a JSONL trace")
+    p_trace_sum.add_argument("trace_file", help="JSONL trace path")
+    p_trace_sum.add_argument("--limit", type=int, default=20,
+                             help="timelines to print")
+    p_trace_sum.set_defaults(func=_cmd_trace)
 
     p_workload = sub.add_parser(
         "workload", help="generate a workload trace (JSON)")

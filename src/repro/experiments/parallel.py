@@ -39,7 +39,7 @@ import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.config import SimulationConfig
 from repro.metrics.collector import RunMetrics
@@ -55,14 +55,23 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 @dataclass(frozen=True)
 class RunSpec:
-    """Everything needed to reproduce one independent simulation run."""
+    """Everything needed to reproduce one independent simulation run.
+
+    ``trace=True`` makes the worker collect the run's domain-event stream
+    (optionally filtered to ``trace_kinds``) and return a
+    :class:`TracedRun` instead of bare :class:`RunMetrics`.  Emissions
+    never draw randomness, so the metrics of a traced run are
+    bitwise-identical to the untraced run of the same spec.
+    """
 
     config: SimulationConfig
     es_name: str
     ds_name: str
     seed: int
+    trace: bool = False
+    trace_kinds: Optional[Tuple[str, ...]] = None
 
-    def run(self) -> RunMetrics:
+    def run(self) -> Union[RunMetrics, "TracedRun"]:
         """Execute the run in the current process."""
         return execute_spec(self)
 
@@ -97,7 +106,21 @@ def _workload_for(config: SimulationConfig, seed: int):
     return make_workload(config, seed)
 
 
-def execute_spec(spec: RunSpec) -> RunMetrics:
+@dataclass
+class TracedRun:
+    """Result of a traced run: metrics plus the wire-form record stream.
+
+    ``records`` holds plain schema dicts (``{"v", "t", "k", "d"}``) rather
+    than :class:`~repro.sim.trace.TraceRecord` objects so the payload
+    pickles cheaply across process pools and feeds
+    :func:`repro.trace.jsonl.write_jsonl` directly.
+    """
+
+    metrics: RunMetrics
+    records: List[Dict[str, Any]]
+
+
+def execute_spec(spec: RunSpec) -> Union[RunMetrics, TracedRun]:
     """Worker entry point: run one spec to completion.
 
     Module-level (not a lambda/method) so process pools can pickle it
@@ -106,8 +129,17 @@ def execute_spec(spec: RunSpec) -> RunMetrics:
     from repro.experiments.runner import run_single
 
     workload = _workload_for(spec.config, spec.seed)
-    return run_single(spec.config, spec.es_name, spec.ds_name,
-                      workload=workload, seed=spec.seed)
+    if not spec.trace:
+        return run_single(spec.config, spec.es_name, spec.ds_name,
+                          workload=workload, seed=spec.seed)
+    from repro.sim.trace import Tracer
+    from repro.trace.schema import record_to_dict
+
+    tracer = Tracer(kinds=spec.trace_kinds)
+    metrics = run_single(spec.config, spec.es_name, spec.ds_name,
+                         workload=workload, seed=spec.seed, tracer=tracer)
+    return TracedRun(metrics=metrics,
+                     records=[record_to_dict(r) for r in tracer.records])
 
 
 class ResultCache:
@@ -218,7 +250,10 @@ class ParallelRunner:
 
         pending: Dict[RunSpec, List[int]] = {}
         for index, spec in enumerate(specs):
-            cached = self.cache.get(spec) if self.cache is not None else None
+            # Traced specs bypass the cache entirely: the cache stores bare
+            # RunMetrics, and a traced result must carry its record stream.
+            cached = (self.cache.get(spec)
+                      if self.cache is not None and not spec.trace else None)
             if cached is not None:
                 results[index] = cached
             else:
@@ -231,7 +266,7 @@ class ParallelRunner:
             else:
                 computed = [execute_spec(spec) for spec in ordered]
             for spec, metrics in zip(ordered, computed):
-                if self.cache is not None:
+                if self.cache is not None and not spec.trace:
                     self.cache.put(spec, metrics)
                 for index in pending[spec]:
                     results[index] = metrics

@@ -93,11 +93,15 @@ def build_grid(
     ds_name: str,
     workload: Workload,
     seed: Optional[int] = None,
+    tracer=None,
 ) -> Tuple[Simulator, DataGrid]:
     """Wire a ready-to-run grid for one algorithm combination.
 
     The workload must be fresh (jobs in CREATED state); pass
-    ``workload.fresh()`` when reusing one across runs.
+    ``workload.fresh()`` when reusing one across runs.  ``tracer`` (a
+    :class:`repro.sim.trace.Tracer`) turns on domain-event tracing;
+    emissions never draw randomness, so a traced run is bitwise-identical
+    to an untraced one.
     """
     streams = RandomStreams(config.seed if seed is None else seed)
     sim = Simulator()
@@ -140,6 +144,7 @@ def build_grid(
         fault_plan=fault_plan,
         fault_rng=(streams.stream("faults")
                    if fault_plan is not None else None),
+        tracer=tracer,
     )
     grid.place_initial_replicas(workload.initial_placement)
     for user, site in workload.user_sites.items():
@@ -153,13 +158,19 @@ def run_single(
     ds_name: str,
     workload: Optional[Workload] = None,
     seed: Optional[int] = None,
+    tracer=None,
 ) -> RunMetrics:
-    """Run one (ES, DS) combination to completion and return its metrics."""
+    """Run one (ES, DS) combination to completion and return its metrics.
+
+    Pass a :class:`repro.sim.trace.Tracer` as ``tracer`` to collect the
+    run's domain events (read them from ``tracer.records`` afterwards).
+    """
     if workload is None:
         workload = make_workload(config, seed)
     else:
         workload = workload.fresh()
-    sim, grid = build_grid(config, es_name, ds_name, workload, seed)
+    sim, grid = build_grid(config, es_name, ds_name, workload, seed,
+                           tracer=tracer)
     makespan = grid.run()
     return RunMetrics.from_grid(grid, makespan)
 

@@ -82,6 +82,9 @@ class FaultInjector:
         self.replicas_invalidated = 0
         #: Sites taken down (windows started), for reporting.
         self.outages_started = 0
+        #: Domain-event tracer, copied from the grid at :meth:`install`
+        #: (None = tracing off; one attribute check per fault action).
+        self.tracer = None
 
     # -- installation -----------------------------------------------------------
 
@@ -90,6 +93,7 @@ class FaultInjector:
         grid = self.grid
         grid.faults = self
         grid.datamover.faults = self
+        self.tracer = grid.tracer
         for site in grid.sites.values():
             site.faults = self
         for outage in self.plan.site_outages:
@@ -161,6 +165,9 @@ class FaultInjector:
         self.down.add(site)
         self._down_since[site] = self.sim.now
         self.outages_started += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "fault.site_down", site=site,
+                             permanent=permanent)
         self.grid.info.mark_site_down(site)
         if permanent:
             self._make_permanent(site)
@@ -180,6 +187,8 @@ class FaultInjector:
             return False
         self.down.discard(site)
         self._downtime_s[site] += self.sim.now - self._down_since.pop(site)
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "fault.site_up", site=site)
         self.grid.info.mark_site_up(site)
         waiters, self._recovery_waiters = self._recovery_waiters, []
         for event in waiters:
@@ -232,10 +241,16 @@ class FaultInjector:
         self._link_base.setdefault(link, link.capacity_mbps)
         factor = max(deg.factor, self.DEAD_LINK_FACTOR)
         link.capacity_mbps = self._link_base[link] * factor
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "fault.link_degrade",
+                             a=deg.a, b=deg.b, factor=deg.factor)
         self.grid.transfers.rebalance()
         if deg.end_s != float("inf"):
             yield self.sim.timeout(deg.end_s - deg.start_s)
             link.capacity_mbps = self._link_base[link]
+            if self.tracer is not None:
+                self.tracer.emit(self.sim.now, "fault.link_restore",
+                                 a=deg.a, b=deg.b)
             self.grid.transfers.rebalance()
 
     # -- transfer sabotage ----------------------------------------------------------
@@ -249,6 +264,11 @@ class FaultInjector:
         bottleneck = min(link.capacity_mbps for link in transfer.route)
         estimate = transfer.size_mb / bottleneck
         delay = self.rng.uniform(0.1, 0.9) * estimate
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "fault.transfer_kill",
+                             src=transfer.src, dst=transfer.dst,
+                             dataset=transfer.metadata.get("dataset"),
+                             after_s=delay)
         self.sim.process(self._abort_later(transfer, delay),
                          name="fault:transfer-kill")
 

@@ -41,6 +41,16 @@ class ReplicaCatalog:
         #: Cumulative counters for metrics.
         self.registrations = 0
         self.deregistrations = 0
+        #: Domain-event tracer + clock (None = tracing off).  The catalog
+        #: has no simulator reference of its own, so the grid hands one in
+        #: alongside the tracer via :meth:`set_tracer`.
+        self._tracer = None
+        self._sim = None
+
+    def set_tracer(self, tracer, sim) -> None:
+        """Wire a tracer (and the simulator supplying timestamps)."""
+        self._tracer = tracer
+        self._sim = sim
 
     def register(self, dataset_name: str, site: str,
                  size_mb: float = 0.0) -> None:
@@ -55,6 +65,10 @@ class ReplicaCatalog:
             sites.add(site)
             bisect.insort(
                 self._sorted_locations.setdefault(dataset_name, []), site)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    self._sim.now, "catalog.register", dataset=dataset_name,
+                    site=site, size_mb=size_mb, replicas=len(sites))
         self._site_index.setdefault(site, {})[dataset_name] = size_mb
         self.registrations += 1
 
@@ -69,6 +83,10 @@ class ReplicaCatalog:
             if held is not None:
                 held.pop(dataset_name, None)
             self.deregistrations += 1
+            if self._tracer is not None:
+                self._tracer.emit(
+                    self._sim.now, "catalog.deregister",
+                    dataset=dataset_name, site=site, replicas=len(sites))
 
     def locations(self, dataset_name: str) -> List[str]:
         """Sites currently holding the dataset (sorted for determinism)."""

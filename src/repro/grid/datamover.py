@@ -73,6 +73,8 @@ class DataMover:
         #: Fault injector, installed by the grid when a plan is active.
         #: ``None`` keeps every fetch on the exact fault-free code path.
         self.faults = None
+        #: Domain-event tracer (None = tracing off; one attribute check).
+        self.tracer = None
         #: Metrics (fault mode only): transfer attempts that failed or
         #: stalled, and retries that switched to an alternate replica.
         self.transfers_failed = 0
@@ -123,9 +125,12 @@ class DataMover:
         storage = self.storages[to_site]
         if dataset_name in storage or self.is_inflight(to_site, dataset_name):
             self.replications_skipped += 1
+            self._trace_replicate_skip(dataset_name, to_site,
+                                       "already-present-or-inflight")
             return 0.0
         if not storage.can_fit(dataset.size_mb):
             self.replications_skipped += 1
+            self._trace_replicate_skip(dataset_name, to_site, "no-space")
             return 0.0
         moved = yield self.sim.process(
             self._ensure(to_site, dataset_name, pin=False,
@@ -133,9 +138,21 @@ class DataMover:
                          best_effort=True))
         if moved > 0:
             self.replications_done += 1
+            if self.tracer is not None:
+                self.tracer.emit(self.sim.now, "replicate.done",
+                                 dataset=dataset_name, source=from_site,
+                                 site=to_site, size_mb=moved)
         else:
             self.replications_skipped += 1
+            self._trace_replicate_skip(dataset_name, to_site, "not-moved")
         return moved
+
+    def _trace_replicate_skip(self, dataset_name: str, to_site: str,
+                              reason: str) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "replicate.skip",
+                             dataset=dataset_name, site=to_site,
+                             reason=reason)
 
     #: How long a blocked (storage-full) fetch waits before re-checking.
     RETRY_INTERVAL_S = 30.0
@@ -154,6 +171,10 @@ class DataMover:
                 storage.touch(dataset_name, self.sim.now)
                 if pin:
                     storage.pin(dataset_name)
+                if self.tracer is not None:
+                    self.tracer.emit(self.sim.now, "fetch.hit", site=site,
+                                     dataset=dataset_name, purpose=purpose,
+                                     pin=pin)
                 return 0.0
             key = (site, dataset_name)
             inflight = self._inflight.get(key)
@@ -161,6 +182,9 @@ class DataMover:
                 # Join the existing transfer, then re-check (the file could
                 # in principle be evicted in the same instant by another
                 # arrival; the loop handles that by re-fetching).
+                if self.tracer is not None:
+                    self.tracer.emit(self.sim.now, "fetch.join", site=site,
+                                     dataset=dataset_name, purpose=purpose)
                 yield inflight
                 continue
             if not storage.can_fit(dataset.size_mb):
@@ -272,6 +296,11 @@ class DataMover:
                 return True
             self.transfers_failed += 1
             avoid.add(source)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.sim.now, "transfer.retry", dataset=dataset_name,
+                    site=site, source=source, attempt=attempt,
+                    retry=attempt <= plan.transfer_max_retries)
             if attempt > plan.transfer_max_retries:
                 if best_effort:
                     return False

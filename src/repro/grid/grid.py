@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
         ExternalScheduler,
         LocalScheduler,
     )
+    from repro.sim.trace import Tracer
 
 
 class DataGrid:
@@ -73,6 +74,11 @@ class DataGrid:
         #: plan-less grid behaves bitwise-identically to one built before
         #: the fault layer existed.
         self.faults = None
+        #: Domain-event tracer (``None`` = tracing off, the default).
+        #: Installed by :meth:`create`; every emission in the grid is gated
+        #: on this staying ``None`` so an untraced run pays one attribute
+        #: check and is bitwise-identical to a pre-tracing build.
+        self.tracer: Optional["Tracer"] = None
 
     # -- construction -----------------------------------------------------------
 
@@ -92,6 +98,7 @@ class DataGrid:
         allocator=None,
         fault_plan=None,
         fault_rng: Optional[random.Random] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> "DataGrid":
         """Build and wire a grid over ``topology``.
 
@@ -126,6 +133,13 @@ class DataGrid:
         grid = cls(sim, topology, transfers, catalog, datasets, storages,
                    sites, info, datamover, external_scheduler,
                    dataset_scheduler)
+        if tracer is not None:
+            grid.tracer = tracer
+            datamover.tracer = tracer
+            transfers.tracer = tracer
+            catalog.set_tracer(tracer, sim)
+            for site in sites.values():
+                site.tracer = tracer
         for site in sites.values():
             dataset_scheduler.attach(site, grid)
         if fault_plan is not None and not fault_plan.is_null:
@@ -189,6 +203,11 @@ class DataGrid:
         """
         job.advance(JobState.SUBMITTED, self.sim.now)
         self.submitted_jobs.append(job)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now, "job.submit", job=job.job_id, user=job.user,
+                origin=job.origin_site, inputs=list(job.input_files),
+                runtime_s=job.runtime_s)
         if self.faults is not None:
             return self.sim.process(
                 self._submit_with_recovery(job),
@@ -200,6 +219,9 @@ class DataGrid:
                 f"{site_name!r}")
         job.execution_site = site_name
         job.advance(JobState.DISPATCHED, self.sim.now)
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "job.dispatch", job=job.job_id,
+                             site=site_name)
         return self.sites[site_name].enqueue(job)
 
     def _submit_with_recovery(self, job: Job):
@@ -214,6 +236,7 @@ class DataGrid:
         """
         faults = self.faults
         plan = faults.plan
+        tracer = self.tracer
         while True:
             while not faults.any_site_up():
                 if faults.grid_lost:
@@ -221,6 +244,10 @@ class DataGrid:
                     # happen, so fail fast instead of waiting forever.
                     job.mark_failed("all sites permanently failed")
                     faults.jobs_failed += 1
+                    if tracer is not None:
+                        tracer.emit(self.sim.now, "job.fail",
+                                    job=job.job_id,
+                                    reason=job.failure_reason)
                     return job
                 yield faults.recovery_event()
             site_name = self.external_scheduler.select_site(job, self)
@@ -232,19 +259,32 @@ class DataGrid:
                 fallback = faults.fallback_site()
                 if fallback is None:
                     continue  # last site died under us; wait for recovery
+                if tracer is not None:
+                    tracer.emit(self.sim.now, "job.redirect", job=job.job_id,
+                                chosen=site_name, fallback=fallback)
                 site_name = fallback
                 faults.jobs_redirected += 1
             job.execution_site = site_name
             job.advance(JobState.DISPATCHED, self.sim.now)
+            if tracer is not None:
+                tracer.emit(self.sim.now, "job.dispatch", job=job.job_id,
+                            site=site_name, attempt=job.retries + 1)
             yield self.sites[site_name].enqueue(job)
             if job.state is JobState.COMPLETED:
                 return job
             if job.retries >= plan.job_max_retries:
                 job.mark_failed(job.failure_reason or "retries exhausted")
                 faults.jobs_failed += 1
+                if tracer is not None:
+                    tracer.emit(self.sim.now, "job.fail", job=job.job_id,
+                                reason=job.failure_reason)
                 return job
             job.reset_for_retry()
             faults.jobs_retried += 1
+            if tracer is not None:
+                tracer.emit(self.sim.now, "job.retry", job=job.job_id,
+                            retries=job.retries,
+                            reason=job.failure_reason)
             if plan.redispatch_delay_s > 0:
                 yield self.sim.timeout(plan.redispatch_delay_s)
 

@@ -84,6 +84,8 @@ class Site:
         #: Fault injector (None = fault-free; every hot path is gated on
         #: this staying None so a no-fault run is bitwise-identical).
         self.faults = None
+        #: Domain-event tracer (None = tracing off; one attribute check).
+        self.tracer = None
         #: Alive execution processes, tracked only in fault mode so
         #: :meth:`fail_site` can kill them.  An insertion-ordered dict, not
         #: a set: Process hashes by id, and interrupt order must not depend
@@ -109,6 +111,9 @@ class Site:
         """
         job.advance(JobState.QUEUED, self.sim.now)
         self.jobs_in_system += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "job.queue", job=job.job_id,
+                             site=self.name, waiting=self.load)
         # Start prefetching every input right away (unpinned, best-effort):
         # "the data transfer needed for a job starts while the job is still
         # in the processor queue".  The authoritative, pinned fetch happens
@@ -185,7 +190,12 @@ class Site:
                 raise ValueError(
                     f"{self.local_scheduler!r} picked invalid index "
                     f"{index} of {len(self._pending)} pending jobs")
-            _, grant = self._pending.pop(index)
+            entry, grant = self._pending.pop(index)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.sim.now, "ls.pick", ls=self.local_scheduler.name,
+                    site=self.name, job=entry.job.job_id,
+                    pending=len(self._pending) + 1)
             self._free_processors -= 1
             grant.succeed()
 
@@ -199,8 +209,15 @@ class Site:
             fetched_mb += yield from self._fetch_inputs(job, attempt)
             job.data_ready_at = self.sim.now
             job.fetched_mb = fetched_mb
+            if self.tracer is not None:
+                self.tracer.emit(self.sim.now, "job.data_ready",
+                                 job=job.job_id, site=self.name,
+                                 fetched_mb=fetched_mb)
 
             job.advance(JobState.RUNNING, self.sim.now)
+            if self.tracer is not None:
+                self.tracer.emit(self.sim.now, "job.start", job=job.job_id,
+                                 site=self.name, runtime_s=job.runtime_s)
             for fname in job.input_files:
                 self.storage.record_access(fname, self.sim.now)
             if attempt is not None:
@@ -232,6 +249,9 @@ class Site:
         job.advance(JobState.COMPLETED, self.sim.now)
         self.jobs_in_system -= 1
         self.jobs_completed += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "job.finish", job=job.job_id,
+                             site=self.name, fetched_mb=job.fetched_mb)
         for listener in self.completion_listeners:
             listener(job)
         return job
@@ -250,9 +270,16 @@ class Site:
             fetched_mb += yield from self._fetch_inputs(job, attempt)
             job.data_ready_at = self.sim.now
             job.fetched_mb = fetched_mb
+            if self.tracer is not None:
+                self.tracer.emit(self.sim.now, "job.data_ready",
+                                 job=job.job_id, site=self.name,
+                                 fetched_mb=fetched_mb)
 
             # 3. Compute.
             job.advance(JobState.RUNNING, self.sim.now)
+            if self.tracer is not None:
+                self.tracer.emit(self.sim.now, "job.start", job=job.job_id,
+                                 site=self.name, runtime_s=job.runtime_s)
             for fname in job.input_files:
                 self.storage.record_access(fname, self.sim.now)
             if attempt is not None:
@@ -284,6 +311,9 @@ class Site:
         job.advance(JobState.COMPLETED, self.sim.now)
         self.jobs_in_system -= 1
         self.jobs_completed += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "job.finish", job=job.job_id,
+                             site=self.name, fetched_mb=job.fetched_mb)
         for listener in self.completion_listeners:
             listener(job)
         return job

@@ -200,6 +200,8 @@ class TransferManager:
         self.on_start: List[Any] = []
         #: Transfers killed by :meth:`abort` (fault injection).
         self.n_aborted = 0
+        #: Domain-event tracer (None = tracing off; one attribute check).
+        self.tracer = None
 
     # -- public API ----------------------------------------------------------
 
@@ -220,12 +222,16 @@ class TransferManager:
         route = self.router.route(src, dst)
         transfer = Transfer(self.sim, src, dst, size_mb, route,
                             purpose, metadata, weight=weight)
+        if self.tracer is not None:
+            self._trace_transfer("transfer.start", transfer)
         if not route or size_mb == 0:
             transfer.remaining_mb = 0.0
             transfer.finished_at = self.sim.now
             self.completed.append(transfer)
             for observer in self.observers:
                 observer(transfer)
+            if self.tracer is not None:
+                self._trace_transfer("transfer.done", transfer, duration_s=0.0)
             transfer.done.succeed(transfer)
             return transfer
         for link in route:
@@ -257,6 +263,10 @@ class TransferManager:
             link.detach(transfer, now, carried)
         self.active.remove(transfer)
         self.n_aborted += 1
+        if self.tracer is not None:
+            self._trace_transfer("transfer.abort", transfer,
+                                 reason=reason or "aborted",
+                                 carried_mb=carried)
         transfer.done.succeed(transfer)
         self._rebalance()
         return True
@@ -335,10 +345,20 @@ class TransferManager:
                 self.completed.append(t)
                 for observer in self.observers:
                     observer(t)
+                if self.tracer is not None:
+                    self._trace_transfer("transfer.done", t,
+                                         duration_s=t.duration)
                 t.done.succeed(t)
             else:
                 still_active.append(t)
         self.active = still_active
+
+    def _trace_transfer(self, kind: str, transfer: Transfer,
+                        **extra: Any) -> None:
+        self.tracer.emit(
+            self.sim.now, kind, src=transfer.src, dst=transfer.dst,
+            size_mb=transfer.size_mb, purpose=transfer.purpose,
+            dataset=transfer.metadata.get("dataset"), **extra)
 
     # -- statistics ----------------------------------------------------------
 

@@ -32,6 +32,19 @@ class ExternalScheduler(abc.ABC):
     def select_site(self, job: "Job", grid: "DataGrid") -> str:
         """Return the name of the execution site for ``job``."""
 
+    def _trace_decision(self, grid: "DataGrid", job: "Job", site: str,
+                        **detail) -> None:
+        """Emit an ``es.decision`` record (caller checks ``grid.tracer``).
+
+        Subclasses call this after choosing ``site``, passing whatever
+        candidate/score detail they consulted.  The detail must be
+        computed only under a ``grid.tracer is not None`` guard so
+        untraced runs pay a single attribute check and never do the
+        bookkeeping work.
+        """
+        grid.tracer.emit(grid.sim.now, "es.decision", es=self.name,
+                         job=job.job_id, site=site, **detail)
+
     def __repr__(self) -> str:
         return f"<ES {self.name}>"
 

@@ -85,6 +85,7 @@ class _ReplicatingDatasetScheduler(DatasetScheduler):
 
     def _delete_idle(self, site: "Site", grid: "DataGrid") -> None:
         now = site.sim.now
+        tracer = grid.tracer
         for name in site.storage.idle_files(now, self.delete_idle_after_s):
             # Never delete the last replica in the grid, and leave files
             # some other site is currently pulling from us alone.
@@ -93,15 +94,26 @@ class _ReplicatingDatasetScheduler(DatasetScheduler):
             site.storage.remove(name)
             grid.catalog.deregister(name, site.name)
             self.deletions += 1
+            if tracer is not None:
+                tracer.emit(now, "ds.delete", ds=self.name, site=site.name,
+                            dataset=name)
 
     def _replicate_popular(self, site: "Site", grid: "DataGrid") -> None:
+        tracer = grid.tracer
         hot = [
-            name for name, count in sorted(site.storage.access_counts.items())
+            (name, count)
+            for name, count in sorted(site.storage.access_counts.items())
             if count >= self.popularity_threshold and name in site.storage
         ]
-        for name in hot:
+        for name, popularity in hot:
             target = self._pick_target(name, site, grid)
             site.storage.reset_popularity(name)
+            if tracer is not None:
+                tracer.emit(site.sim.now, "ds.decision", ds=self.name,
+                            site=site.name, dataset=name,
+                            popularity=popularity,
+                            threshold=self.popularity_threshold,
+                            target=target)
             if target is None:
                 continue
             process = grid.datamover.replicate(name, site.name, target)

@@ -34,7 +34,11 @@ class JobRandom(ExternalScheduler):
         self.rng = rng
 
     def select_site(self, job: "Job", grid: "DataGrid") -> str:
-        return self.rng.choice(grid.info.site_names)
+        site = self.rng.choice(grid.info.site_names)
+        if grid.tracer is not None:
+            self._trace_decision(grid, job, site,
+                                 candidates=list(grid.info.site_names))
+        return site
 
 
 class JobLeastLoaded(ExternalScheduler):
@@ -51,7 +55,10 @@ class JobLeastLoaded(ExternalScheduler):
         self.rng = rng
 
     def select_site(self, job: "Job", grid: "DataGrid") -> str:
-        return grid.info.least_loaded(rng=self.rng)
+        site = grid.info.least_loaded(rng=self.rng)
+        if grid.tracer is not None:
+            self._trace_decision(grid, job, site, scores=grid.info.loads())
+        return site
 
 
 class JobDataPresent(ExternalScheduler):
@@ -72,8 +79,17 @@ class JobDataPresent(ExternalScheduler):
     def select_site(self, job: "Job", grid: "DataGrid") -> str:
         candidates = grid.info.sites_with_all(job.input_files)
         if candidates:
-            return grid.info.least_loaded(candidates, rng=self.rng)
-        return self._most_bytes_present(job, grid)
+            site = grid.info.least_loaded(candidates, rng=self.rng)
+            if grid.tracer is not None:
+                self._trace_decision(
+                    grid, job, site, candidates=list(candidates),
+                    scores={c: grid.info.load(c) for c in candidates})
+            return site
+        site = self._most_bytes_present(job, grid)
+        if grid.tracer is not None:
+            self._trace_decision(grid, job, site, candidates=[],
+                                 fallback="most-bytes-present")
+        return site
 
     def _most_bytes_present(self, job: "Job", grid: "DataGrid") -> str:
         # The catalog's per-site byte index walks only the replicas of the
@@ -100,6 +116,8 @@ class JobLocal(ExternalScheduler):
     name = "JobLocal"
 
     def select_site(self, job: "Job", grid: "DataGrid") -> str:
+        if grid.tracer is not None:
+            self._trace_decision(grid, job, job.origin_site, reason="origin")
         return job.origin_site
 
 
@@ -121,4 +139,6 @@ class JobRoundRobin(ExternalScheduler):
         sites = grid.info.site_names
         site = sites[self._next % len(sites)]
         self._next += 1
+        if grid.tracer is not None:
+            self._trace_decision(grid, job, site, cursor=self._next - 1)
         return site

@@ -1,9 +1,10 @@
 """Lightweight event tracing for debugging and validation.
 
 Attach a :class:`Tracer` to a simulator to record every processed event, or
-use :func:`trace_calls` to log domain-level happenings (job dispatched,
-transfer started, replica created, ...).  Tracing is off by default and has
-zero cost when unused.
+use domain emissions (see :mod:`repro.trace`) to log domain-level
+happenings (job dispatched, transfer started, replica created, ...).
+Tracing is off by default and has zero cost when unused: every component
+holds ``tracer = None`` and the hot path pays a single attribute check.
 """
 
 from __future__ import annotations
@@ -25,15 +26,25 @@ class TraceRecord:
     detail: Dict[str, Any] = field(default_factory=dict)
 
     def __str__(self) -> str:
-        fields = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        # Sort detail keys so the rendering is stable regardless of
+        # emission order or hash randomization.
+        fields = " ".join(
+            f"{k}={self.detail[k]}" for k in sorted(self.detail))
         return f"[{self.time:12.3f}] {self.kind:<24} {fields}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-data view (time/kind/detail), e.g. for pickling."""
+        return {"time": self.time, "kind": self.kind,
+                "detail": dict(self.detail)}
 
 
 class Tracer:
     """Collects :class:`TraceRecord` entries, optionally filtered by kind.
 
     Domain modules call :meth:`emit` at interesting moments; the tracer can
-    also be attached to a simulator to see raw kernel events.
+    also be attached to a simulator to see raw kernel events.  A per-kind
+    index is maintained incrementally so :meth:`of_kind` never re-scans
+    the full record list.
     """
 
     def __init__(self, kinds: Optional[Tuple[str, ...]] = None,
@@ -43,6 +54,7 @@ class Tracer:
         self.records: List[TraceRecord] = []
         self.dropped = 0
         self._sinks: List[Callable[[TraceRecord], None]] = []
+        self._by_kind: Dict[str, List[TraceRecord]] = {}
 
     def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
         """Also forward every accepted record to ``sink`` (e.g. print)."""
@@ -57,6 +69,7 @@ class Tracer:
             return
         record = TraceRecord(time=time, kind=kind, detail=detail)
         self.records.append(record)
+        self._by_kind.setdefault(kind, []).append(record)
         for sink in self._sinks:
             sink(record)
 
@@ -69,14 +82,19 @@ class Tracer:
         sim.pre_event_hooks.append(hook)
 
     def of_kind(self, kind: str) -> List[TraceRecord]:
-        """All records of one kind, in time order."""
-        return [r for r in self.records if r.kind == kind]
+        """All records of one kind, in time order (indexed, no re-scan)."""
+        return list(self._by_kind.get(kind, ()))
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Number of recorded entries per kind (sorted by kind name)."""
+        return {kind: len(records)
+                for kind, records in sorted(self._by_kind.items())}
 
     def __len__(self) -> int:
         return len(self.records)
 
     def dump(self) -> str:
-        """Render the whole trace as text."""
+        """Render the whole trace as text (stable across interpreter runs)."""
         return "\n".join(str(r) for r in self.records)
 
 

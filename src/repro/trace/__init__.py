@@ -1,0 +1,68 @@
+"""Structured domain-event tracing for simulation runs.
+
+Built on the kernel :class:`~repro.sim.trace.Tracer`: the grid, sites,
+data mover, transfer manager, replica catalog, schedulers, and fault
+injector all emit schema'd records (see :mod:`repro.trace.schema`) when a
+tracer is wired in via ``DataGrid.create(..., tracer=...)`` — and pay a
+single ``is None`` attribute check when it is not.
+
+Sub-modules:
+
+* :mod:`repro.trace.schema` — versioned record schema + kinds taxonomy.
+* :mod:`repro.trace.jsonl` — canonical JSONL export/import.
+* :mod:`repro.trace.golden` — golden-trace digests and divergence diffs.
+* :mod:`repro.trace.summary` — per-job timeline reconstruction.
+* :mod:`repro.trace.crossval` — exact cross-validation against RunMetrics.
+"""
+
+from repro.sim.trace import NullTracer, TraceRecord, Tracer
+from repro.trace.crossval import TraceCounters, counters_from_trace, mismatches
+from repro.trace.golden import (
+    describe_divergence,
+    fingerprint,
+    first_divergence,
+    golden_config,
+    run_golden,
+    trace_digest,
+)
+from repro.trace.jsonl import dumps_record, read_jsonl, write_jsonl
+from repro.trace.schema import (
+    ALL_KINDS,
+    KIND_GROUPS,
+    SCHEMA_VERSION,
+    dict_to_record,
+    expand_kinds,
+    record_to_dict,
+)
+from repro.trace.summary import (
+    count_by_kind,
+    format_timelines,
+    job_timelines,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "KIND_GROUPS",
+    "NullTracer",
+    "SCHEMA_VERSION",
+    "TraceCounters",
+    "TraceRecord",
+    "Tracer",
+    "count_by_kind",
+    "counters_from_trace",
+    "describe_divergence",
+    "dict_to_record",
+    "dumps_record",
+    "expand_kinds",
+    "fingerprint",
+    "first_divergence",
+    "format_timelines",
+    "golden_config",
+    "job_timelines",
+    "mismatches",
+    "read_jsonl",
+    "record_to_dict",
+    "run_golden",
+    "trace_digest",
+    "write_jsonl",
+]

@@ -1,0 +1,114 @@
+"""Cross-validation of :class:`~repro.metrics.collector.RunMetrics`
+against the trace stream.
+
+The metrics layer and the trace layer observe the same run through
+independent code paths; recomputing the headline counters from the trace
+and demanding *exact* agreement catches either layer silently drifting —
+a dropped emission, a double-counted transfer, a metrics field fed from
+the wrong source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Sequence
+
+from repro.metrics.collector import RunMetrics
+from repro.sim.trace import TraceRecord
+from repro.trace import schema
+
+
+@dataclass(frozen=True)
+class TraceCounters:
+    """Counters recomputed purely from a trace stream."""
+
+    jobs_completed: int
+    jobs_failed: int
+    jobs_retried: int
+    jobs_redirected: int
+    fetch_traffic_mb: float
+    replication_traffic_mb: float
+    replications_done: int
+    transfers_failed: int
+    failovers: int
+    outages: int
+
+
+def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
+    """Fold a record stream into :class:`TraceCounters`.
+
+    Traffic is summed in record order, which matches the completion order
+    the metrics layer sums in — so agreement is exact float equality, not
+    approximate.
+    """
+    jobs_completed = jobs_failed = jobs_retried = jobs_redirected = 0
+    fetch_mb = replication_mb = 0.0
+    replications_done = transfers_failed = failovers = outages = 0
+    for record in records:
+        kind = record.kind
+        if kind == schema.JOB_FINISH:
+            jobs_completed += 1
+        elif kind == schema.JOB_FAIL:
+            jobs_failed += 1
+        elif kind == schema.JOB_RETRY:
+            jobs_retried += 1
+        elif kind == schema.JOB_REDIRECT:
+            jobs_redirected += 1
+        elif kind == schema.TRANSFER_DONE:
+            purpose = record.detail.get("purpose")
+            if purpose == "job-fetch":
+                fetch_mb += record.detail["size_mb"]
+            elif purpose == "replication":
+                replication_mb += record.detail["size_mb"]
+        elif kind == schema.REPLICATE_DONE:
+            replications_done += 1
+        elif kind == schema.TRANSFER_RETRY:
+            transfers_failed += 1
+            if record.detail.get("retry"):
+                failovers += 1
+        elif kind == schema.FAULT_SITE_DOWN:
+            outages += 1
+    return TraceCounters(
+        jobs_completed=jobs_completed,
+        jobs_failed=jobs_failed,
+        jobs_retried=jobs_retried,
+        jobs_redirected=jobs_redirected,
+        fetch_traffic_mb=fetch_mb,
+        replication_traffic_mb=replication_mb,
+        replications_done=replications_done,
+        transfers_failed=transfers_failed,
+        failovers=failovers,
+        outages=outages,
+    )
+
+
+#: trace counter field → RunMetrics field it must equal exactly.
+_FIELD_MAP = {
+    "jobs_completed": "n_jobs",
+    "jobs_failed": "jobs_failed",
+    "jobs_retried": "jobs_retried",
+    "jobs_redirected": "jobs_redirected",
+    "fetch_traffic_mb": "fetch_traffic_mb",
+    "replication_traffic_mb": "replication_traffic_mb",
+    "replications_done": "replications_done",
+    "transfers_failed": "transfers_failed",
+    "failovers": "failovers",
+    "outages": "outages",
+}
+
+
+def mismatches(records: Sequence[TraceRecord],
+               metrics: RunMetrics) -> Dict[str, Any]:
+    """Every counter where trace and metrics disagree (empty = agreement).
+
+    Returns ``{field: (trace_value, metrics_value)}``; equality is exact
+    (integers and same-order float sums), never approximate.
+    """
+    counters = counters_from_trace(records)
+    out: Dict[str, Any] = {}
+    for trace_field, metrics_field in _FIELD_MAP.items():
+        trace_value = getattr(counters, trace_field)
+        metrics_value = getattr(metrics, metrics_field)
+        if trace_value != metrics_value:
+            out[metrics_field] = (trace_value, metrics_value)
+    return out

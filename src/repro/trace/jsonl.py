@@ -1,0 +1,70 @@
+"""JSONL import/export of trace records.
+
+One record per line, canonical form: keys sorted, no whitespace, ASCII
+only.  Canonicalization matters — the golden-trace digests hash exactly
+these bytes, and the determinism tests assert byte-identical files across
+worker counts, so the serialization must be a pure function of the record
+content (Python's ``repr``-based float formatting is deterministic).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any, Dict, Iterable, Iterator, List, Union
+
+from repro.sim.trace import TraceRecord
+from repro.trace.schema import dict_to_record, record_to_dict
+
+PathOrFile = Union[str, Path, IO[str]]
+
+
+def dumps_record(record: Union[TraceRecord, Dict[str, Any]]) -> str:
+    """One record as its canonical JSON line (no trailing newline)."""
+    if isinstance(record, TraceRecord):
+        record = record_to_dict(record)
+    return json.dumps(record, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
+def dumps(records: Iterable[Union[TraceRecord, Dict[str, Any]]]) -> str:
+    """A whole trace as JSONL text (one trailing newline when non-empty)."""
+    lines = [dumps_record(r) for r in records]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(records: Iterable[Union[TraceRecord, Dict[str, Any]]],
+                out: PathOrFile) -> int:
+    """Write records to a path or open text file; returns the line count."""
+    text_lines = [dumps_record(r) for r in records]
+    payload = "\n".join(text_lines) + ("\n" if text_lines else "")
+    if isinstance(out, (str, Path)):
+        Path(out).write_text(payload)
+    else:
+        out.write(payload)
+    return len(text_lines)
+
+
+def iter_jsonl(source: PathOrFile) -> Iterator[TraceRecord]:
+    """Stream records back from a JSONL path or open text file."""
+    if isinstance(source, (str, Path)):
+        lines = Path(source).read_text().splitlines()
+    else:
+        lines = source.read().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: not valid JSON: {exc}") from None
+        try:
+            yield dict_to_record(data)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: {exc}") from None
+
+
+def read_jsonl(source: PathOrFile) -> List[TraceRecord]:
+    """All records from a JSONL path or open text file, in file order."""
+    return list(iter_jsonl(source))

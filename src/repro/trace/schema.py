@@ -1,0 +1,150 @@
+"""The versioned trace-record schema and kinds taxonomy.
+
+Every domain emission in the simulator uses a kind from this module, so
+consumers (JSONL export, golden digests, cross-validation, the ``repro
+trace`` CLI) can rely on a closed vocabulary.  The JSON wire format is::
+
+    {"v": 1, "t": <sim time>, "k": "<kind>", "d": {<detail>}}
+
+``v`` is :data:`SCHEMA_VERSION`; bump it whenever a kind is renamed, a
+detail field changes meaning, or the canonical serialization changes —
+golden digests mix the version in, so old baselines invalidate loudly
+instead of drifting silently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.sim.trace import TraceRecord
+
+#: Version of the record schema (mixed into golden digests).
+SCHEMA_VERSION = 1
+
+# ---- job lifecycle (spans reconstructed by repro.trace.summary) -----------
+JOB_SUBMIT = "job.submit"          #: user handed the job to the ES
+JOB_DISPATCH = "job.dispatch"      #: ES assigned an execution site
+JOB_QUEUE = "job.queue"            #: job arrived at the site queue
+JOB_DATA_READY = "job.data_ready"  #: all inputs local and pinned
+JOB_START = "job.start"            #: compute phase started
+JOB_FINISH = "job.finish"          #: job completed
+JOB_RETRY = "job.retry"            #: killed attempt rewound for re-dispatch
+JOB_REDIRECT = "job.redirect"      #: ES choice was down; rerouted
+JOB_FAIL = "job.fail"              #: retry budget exhausted; gave up
+
+# ---- scheduler decisions ---------------------------------------------------
+ES_DECISION = "es.decision"        #: site choice + per-candidate scores
+LS_PICK = "ls.pick"                #: dispatch-mode local scheduler pick
+DS_DECISION = "ds.decision"        #: replication trigger (popularity counts)
+DS_DELETE = "ds.delete"            #: idle-replica deletion
+
+# ---- data movement ---------------------------------------------------------
+FETCH_HIT = "fetch.hit"            #: dataset already local (no traffic)
+FETCH_JOIN = "fetch.join"          #: joined an in-flight transfer
+TRANSFER_START = "transfer.start"  #: bytes started crossing the network
+TRANSFER_DONE = "transfer.done"    #: last byte arrived
+TRANSFER_ABORT = "transfer.abort"  #: transfer killed mid-flight
+TRANSFER_RETRY = "transfer.retry"  #: fault-mode fetch retry / failover
+REPLICATE_SKIP = "replicate.skip"  #: DS push skipped (present/full/racing)
+REPLICATE_DONE = "replicate.done"  #: DS push landed a new replica
+
+# ---- replica catalog -------------------------------------------------------
+CATALOG_REGISTER = "catalog.register"
+CATALOG_DEREGISTER = "catalog.deregister"
+
+# ---- fault injection -------------------------------------------------------
+FAULT_SITE_DOWN = "fault.site_down"
+FAULT_SITE_UP = "fault.site_up"
+FAULT_LINK_DEGRADE = "fault.link_degrade"
+FAULT_LINK_RESTORE = "fault.link_restore"
+FAULT_TRANSFER_KILL = "fault.transfer_kill"
+
+# ---- kernel (opt-in via Tracer.attach_kernel) ------------------------------
+KERNEL_EVENT = "kernel.event"
+
+#: Every domain kind, grouped by prefix for CLI filtering.
+KIND_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "job": (JOB_SUBMIT, JOB_DISPATCH, JOB_QUEUE, JOB_DATA_READY, JOB_START,
+            JOB_FINISH, JOB_RETRY, JOB_REDIRECT, JOB_FAIL),
+    "es": (ES_DECISION,),
+    "ls": (LS_PICK,),
+    "ds": (DS_DECISION, DS_DELETE),
+    "fetch": (FETCH_HIT, FETCH_JOIN),
+    "transfer": (TRANSFER_START, TRANSFER_DONE, TRANSFER_ABORT,
+                 TRANSFER_RETRY),
+    "replicate": (REPLICATE_SKIP, REPLICATE_DONE),
+    "catalog": (CATALOG_REGISTER, CATALOG_DEREGISTER),
+    "fault": (FAULT_SITE_DOWN, FAULT_SITE_UP, FAULT_LINK_DEGRADE,
+              FAULT_LINK_RESTORE, FAULT_TRANSFER_KILL),
+    "kernel": (KERNEL_EVENT,),
+}
+
+#: Flat tuple of every known kind.
+ALL_KINDS: Tuple[str, ...] = tuple(
+    kind for kinds in KIND_GROUPS.values() for kind in kinds)
+
+
+def expand_kinds(names: Iterable[str]) -> Tuple[str, ...]:
+    """Resolve a mix of exact kinds and group prefixes to concrete kinds.
+
+    ``expand_kinds(["job", "transfer.done"])`` yields every ``job.*`` kind
+    plus ``transfer.done``.  Unknown names raise ``ValueError`` so typos in
+    ``--trace-kinds`` fail fast instead of silently filtering everything.
+    """
+    out = []
+    for name in names:
+        if name in KIND_GROUPS:
+            out.extend(KIND_GROUPS[name])
+        elif name in ALL_KINDS:
+            out.append(name)
+        else:
+            raise ValueError(
+                f"unknown trace kind {name!r}; known kinds: "
+                f"{sorted(ALL_KINDS)} and groups {sorted(KIND_GROUPS)}")
+    # Stable de-dup, preserving first-mention order.
+    seen = set()
+    unique = [k for k in out if not (k in seen or seen.add(k))]
+    return tuple(unique)
+
+
+def record_to_dict(record: TraceRecord) -> Dict[str, Any]:
+    """The JSON wire form of one record."""
+    return {"v": SCHEMA_VERSION, "t": record.time, "k": record.kind,
+            "d": dict(record.detail)}
+
+
+def dict_to_record(data: Dict[str, Any]) -> TraceRecord:
+    """Parse the JSON wire form back into a :class:`TraceRecord`.
+
+    Raises ``ValueError`` on malformed or wrong-version input.
+    """
+    validate_dict(data)
+    return TraceRecord(time=float(data["t"]), kind=data["k"],
+                       detail=dict(data["d"]))
+
+
+def validate_dict(data: Dict[str, Any],
+                  known_kinds_only: bool = False) -> None:
+    """Check one wire-form dict against the schema (raises ValueError)."""
+    if not isinstance(data, dict):
+        raise ValueError(f"trace record must be an object, got {data!r}")
+    missing = {"v", "t", "k", "d"} - set(data)
+    if missing:
+        raise ValueError(f"trace record missing fields {sorted(missing)}")
+    if data["v"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"trace record schema v{data['v']} != supported "
+            f"v{SCHEMA_VERSION}")
+    if not isinstance(data["t"], (int, float)):
+        raise ValueError(f"trace time must be numeric, got {data['t']!r}")
+    if not isinstance(data["k"], str):
+        raise ValueError(f"trace kind must be a string, got {data['k']!r}")
+    if not isinstance(data["d"], dict):
+        raise ValueError(f"trace detail must be an object, got {data['d']!r}")
+    if known_kinds_only and data["k"] not in ALL_KINDS:
+        raise ValueError(f"unknown trace kind {data['k']!r}")
+
+
+def job_id_of(record: TraceRecord) -> Optional[int]:
+    """The job id a record concerns, or None for non-job records."""
+    return record.detail.get("job")

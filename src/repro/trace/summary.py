@@ -1,0 +1,144 @@
+"""Per-job timeline reconstruction from a trace stream.
+
+The ``repro trace summarize`` view: fold the flat record stream back into
+one timeline per job (submit → dispatch → queue → data-ready → start →
+finish, plus retries/redirects under faults), with the derived waits the
+paper's §5.2 decomposition cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.trace import TraceRecord
+from repro.trace import schema
+
+
+@dataclass
+class JobTimeline:
+    """Reconstructed lifecycle of one job."""
+
+    job_id: int
+    events: List[TraceRecord] = field(default_factory=list)
+
+    def _first(self, kind: str) -> Optional[TraceRecord]:
+        for record in self.events:
+            if record.kind == kind:
+                return record
+        return None
+
+    def _last(self, kind: str) -> Optional[TraceRecord]:
+        found = None
+        for record in self.events:
+            if record.kind == kind:
+                found = record
+        return found
+
+    def time_of(self, kind: str) -> Optional[float]:
+        """Time of the first event of a kind (None if absent)."""
+        record = self._first(kind)
+        return record.time if record else None
+
+    @property
+    def site(self) -> Optional[str]:
+        record = self._last(schema.JOB_DISPATCH)
+        return record.detail.get("site") if record else None
+
+    @property
+    def retries(self) -> int:
+        return sum(1 for r in self.events if r.kind == schema.JOB_RETRY)
+
+    @property
+    def completed(self) -> bool:
+        return self._first(schema.JOB_FINISH) is not None
+
+    @property
+    def failed(self) -> bool:
+        return self._first(schema.JOB_FAIL) is not None
+
+    @property
+    def response_time(self) -> Optional[float]:
+        submit = self.time_of(schema.JOB_SUBMIT)
+        finish = self.time_of(schema.JOB_FINISH)
+        if submit is None or finish is None:
+            return None
+        return finish - submit
+
+    @property
+    def data_wait(self) -> Optional[float]:
+        """Data wait after the last (successful-attempt) queue entry."""
+        ready = self._last(schema.JOB_DATA_READY)
+        queued = self._last(schema.JOB_QUEUE)
+        if ready is None or queued is None:
+            return None
+        return ready.time - queued.time
+
+    @property
+    def compute_time(self) -> Optional[float]:
+        start = self._last(schema.JOB_START)
+        finish = self._first(schema.JOB_FINISH)
+        if start is None or finish is None:
+            return None
+        return finish.time - start.time
+
+
+def job_timelines(records: Sequence[TraceRecord]) -> Dict[int, JobTimeline]:
+    """Group job-lifecycle records by job id, in submission order."""
+    timelines: Dict[int, JobTimeline] = {}
+    for record in records:
+        job_id = schema.job_id_of(record)
+        if job_id is None:
+            continue
+        timeline = timelines.get(job_id)
+        if timeline is None:
+            timeline = timelines[job_id] = JobTimeline(job_id)
+        timeline.events.append(record)
+    return timelines
+
+
+def count_by_kind(records: Sequence[TraceRecord]) -> Dict[str, int]:
+    """Record counts per kind, sorted by kind name."""
+    counts: Dict[str, int] = {}
+    for record in records:
+        counts[record.kind] = counts.get(record.kind, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def _fmt(value: Optional[float]) -> str:
+    return f"{value:10.1f}" if value is not None else " " * 9 + "-"
+
+
+def format_timelines(records: Sequence[TraceRecord],
+                     limit: Optional[int] = None) -> str:
+    """Render per-job timelines plus a kind census as a text report."""
+    timelines = job_timelines(records)
+    lines = [
+        f"{len(records)} trace records, {len(timelines)} jobs",
+        "",
+        f"{'job':>6} {'site':<10} {'submit':>10} {'start':>10} "
+        f"{'finish':>10} {'response':>10} {'data wait':>10} "
+        f"{'retries':>8} status",
+    ]
+    shown = list(timelines.values())
+    truncated = 0
+    if limit is not None and len(shown) > limit:
+        truncated = len(shown) - limit
+        shown = shown[:limit]
+    for tl in shown:
+        status = "completed" if tl.completed else (
+            "FAILED" if tl.failed else "incomplete")
+        lines.append(
+            f"{tl.job_id:>6} {tl.site or '-':<10} "
+            f"{_fmt(tl.time_of(schema.JOB_SUBMIT))} "
+            f"{_fmt(tl.time_of(schema.JOB_START))} "
+            f"{_fmt(tl.time_of(schema.JOB_FINISH))} "
+            f"{_fmt(tl.response_time)} {_fmt(tl.data_wait)} "
+            f"{tl.retries:>8} {status}")
+    if truncated:
+        lines.append(f"… {truncated} more jobs (raise the limit to see all)")
+    lines.append("")
+    lines.append("records by kind:")
+    for kind, count in count_by_kind(records).items():
+        lines.append(f"  {kind:<24} {count:>8}")
+    return "\n".join(lines)

@@ -1,0 +1,8 @@
+"""Repo-wide pytest hooks."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden", action="store_true", default=False,
+        help="regenerate the golden trace digests under tests/trace/golden/ "
+             "instead of checking against them")

@@ -21,6 +21,8 @@ from repro import (
     run_matrix,
 )
 
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
+
 HOSTILE_PLAN = FaultPlan(
     # availability = MTBF / (MTBF + MTTR) = 0.7 -> ~30% downtime per site.
     site_mtbf_s=7_000.0,

@@ -67,6 +67,7 @@ class TestClaimsSmallScale:
                 assert jdp <= idle[(es, ds)] + 1.0
 
 
+@pytest.mark.slow
 class TestPaperScale:
     """Full Table-1 scale: all six §5.3/§5.4 claims."""
 
@@ -127,6 +128,7 @@ class TestPaperScale:
                 assert with_repl < idle[(es, ds)]
 
 
+@pytest.mark.slow
 class TestBandwidthSensitivity:
     """Figure 5 / claim C6 at paper scale."""
 

@@ -1,0 +1,76 @@
+"""Cross-validation: RunMetrics counters recomputed from the trace.
+
+The metrics collector and the trace layer observe the same run through
+independent code paths.  These tests demand *exact* agreement (integer
+equality and same-order float sums) between the two on every shared
+counter — in clean runs and under fault injection.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, SiteOutage
+from repro.experiments.runner import run_single
+from repro.sim.trace import Tracer
+from repro.trace.crossval import counters_from_trace, mismatches
+from repro.trace.golden import golden_config
+
+
+def _traced_run(config, es, ds):
+    tracer = Tracer()
+    metrics = run_single(config, es, ds, tracer=tracer)
+    return tracer.records, metrics
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("es,ds", [
+        ("JobRandom", "DataDoNothing"),
+        ("JobLeastLoaded", "DataRandom"),
+        ("JobDataPresent", "DataLeastLoaded"),
+        ("JobLocal", "DataRandom"),
+    ])
+    def test_trace_agrees_with_metrics(self, es, ds):
+        records, metrics = _traced_run(golden_config(), es, ds)
+        assert mismatches(records, metrics) == {}
+
+    def test_counters_reflect_the_run(self):
+        records, metrics = _traced_run(
+            golden_config(), "JobLeastLoaded", "DataRandom")
+        counters = counters_from_trace(records)
+        assert counters.jobs_completed == 50
+        assert counters.jobs_failed == 0
+        assert counters.outages == 0
+        # Same-order summation → exact float equality, not approximate.
+        assert counters.fetch_traffic_mb == metrics.fetch_traffic_mb
+        assert counters.replication_traffic_mb == \
+            metrics.replication_traffic_mb
+
+
+class TestFaultyRuns:
+    def _faulty_config(self):
+        plan = FaultPlan(
+            site_outages=(SiteOutage("site01", 300.0, 1800.0),
+                          SiteOutage("site03", 900.0, 2400.0)),
+            transfer_fail_prob=0.05,
+            seed=7,
+        )
+        return golden_config().with_(fault_plan=plan)
+
+    @pytest.mark.parametrize("es,ds", [
+        ("JobLeastLoaded", "DataDoNothing"),
+        ("JobDataPresent", "DataRandom"),
+    ])
+    def test_trace_agrees_with_metrics_under_faults(self, es, ds):
+        records, metrics = _traced_run(self._faulty_config(), es, ds)
+        assert mismatches(records, metrics) == {}
+
+    def test_fault_counters_are_exercised(self):
+        records, metrics = _traced_run(
+            self._faulty_config(), "JobLeastLoaded", "DataDoNothing")
+        counters = counters_from_trace(records)
+        assert counters.outages == 2
+        assert counters.outages == metrics.outages
+        # The outage windows overlap the run, so recovery machinery must
+        # actually fire — otherwise the fault kinds are untested.
+        assert counters.jobs_retried == metrics.jobs_retried
+        assert counters.failovers == metrics.failovers
+        assert counters.transfers_failed == metrics.transfers_failed

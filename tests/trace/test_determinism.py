@@ -1,0 +1,100 @@
+"""Tracing must never change, and must itself be, deterministic.
+
+Three contracts:
+
+* a traced run's metrics are identical to the untraced run of the same
+  seed (emissions draw no randomness and schedule no events);
+* the same spec traced twice yields byte-identical JSONL;
+* the parallel runner returns byte-identical traces at 1, 2, and 4
+  workers (results merged by input position, workloads regenerated in
+  the workers).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.parallel import ParallelRunner, RunSpec, TracedRun
+from repro.experiments.runner import run_single
+from repro.sim.trace import Tracer
+from repro.trace.golden import golden_config
+from repro.trace.jsonl import dumps
+from repro.trace.schema import expand_kinds
+
+
+class TestTracingIsPassive:
+    @pytest.mark.parametrize("es,ds", [
+        ("JobDataPresent", "DataRandom"),
+        ("JobRandom", "DataLeastLoaded"),
+    ])
+    def test_traced_metrics_equal_untraced_metrics(self, es, ds):
+        config = golden_config()
+        plain = run_single(config, es, ds)
+        traced = run_single(config, es, ds, tracer=Tracer())
+        assert dataclasses.asdict(plain) == dataclasses.asdict(traced)
+
+    def test_same_seed_yields_identical_jsonl(self):
+        config = golden_config()
+        payloads = []
+        for _ in range(2):
+            tracer = Tracer()
+            run_single(config, "JobLeastLoaded", "DataRandom", tracer=tracer)
+            payloads.append(dumps(tracer.records))
+        assert payloads[0] == payloads[1]
+
+
+class TestParallelDeterminism:
+    def _specs(self, trace_kinds=None):
+        config = golden_config()
+        return [
+            RunSpec(config, es, ds, seed, trace=True,
+                    trace_kinds=trace_kinds)
+            for es, ds, seed in [
+                ("JobDataPresent", "DataRandom", 0),
+                ("JobLeastLoaded", "DataDoNothing", 1),
+                ("JobRandom", "DataLeastLoaded", 2),
+                ("JobLocal", "DataRandom", 3),
+            ]
+        ]
+
+    def test_traced_runs_are_byte_identical_across_worker_counts(self):
+        baseline = None
+        for jobs in (1, 2, 4):
+            results = ParallelRunner(jobs=jobs).map(self._specs())
+            assert all(isinstance(r, TracedRun) for r in results)
+            payloads = [dumps(r.records) for r in results]
+            if baseline is None:
+                baseline = payloads
+            else:
+                assert payloads == baseline, (
+                    f"trace bytes differ at {jobs} workers")
+
+    def test_traced_specs_bypass_the_result_cache(self, tmp_path):
+        spec = self._specs()[0]
+        runner = ParallelRunner(jobs=1, cache_dir=tmp_path)
+        first = runner.map([spec])[0]
+        assert isinstance(first, TracedRun)
+        assert runner.cache.hits == 0
+        # Nothing was stored either: a traced result cannot round-trip
+        # through the metrics-only cache.
+        again = runner.map([spec])[0]
+        assert isinstance(again, TracedRun)
+        assert runner.cache.hits == 0
+        assert dumps(first.records) == dumps(again.records)
+
+        # The untraced twin of the spec still uses the cache normally.
+        plain = dataclasses.replace(spec, trace=False, trace_kinds=None)
+        runner.map([plain])
+        cached = runner.map([plain])[0]
+        assert runner.cache.hits == 1
+        assert dataclasses.asdict(cached) == dataclasses.asdict(first.metrics)
+
+    def test_kind_filtered_parallel_traces_match_serial(self):
+        kinds = expand_kinds(["job", "transfer"])
+        serial = ParallelRunner(jobs=1).map(self._specs(kinds))
+        pooled = ParallelRunner(jobs=2).map(self._specs(kinds))
+        assert [dumps(r.records) for r in serial] == \
+            [dumps(r.records) for r in pooled]
+        assert all(
+            record["k"].split(".")[0] in ("job", "transfer")
+            for result in serial for record in result.records)

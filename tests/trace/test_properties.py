@@ -1,0 +1,114 @@
+"""Property-based well-formedness of trace streams.
+
+Hypothesis varies the seed and algorithm pair of a small traced run and
+checks structural invariants that must hold for *any* trace the simulator
+can produce:
+
+* timestamps never decrease (the kernel clock is monotone);
+* every job.start is preceded by a matching job.submit (and dispatch);
+* every job finishes or fails at most once;
+* transfer.done/abort events match an earlier transfer.start and never
+  outnumber the starts;
+* every record survives the wire-format round trip unchanged.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import run_single
+from repro.scheduling.registry import ALL_DS, ALL_ES
+from repro.sim.trace import Tracer
+from repro.trace import schema
+from repro.trace.jsonl import dumps_record
+
+_CONFIG = SimulationConfig.paper().scaled(0.02).with_(
+    popularity_threshold=2, ds_check_interval_s=120.0)
+
+_JOB_EVENTS_AFTER_SUBMIT = {
+    schema.JOB_DISPATCH, schema.JOB_QUEUE, schema.JOB_DATA_READY,
+    schema.JOB_START, schema.JOB_FINISH, schema.JOB_RETRY,
+    schema.JOB_REDIRECT, schema.JOB_FAIL,
+}
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10 ** 6),
+       es=st.sampled_from(ALL_ES),
+       ds=st.sampled_from(ALL_DS))
+def test_trace_well_formedness(seed, es, ds):
+    tracer = Tracer()
+    run_single(_CONFIG, es, ds, seed=seed, tracer=tracer)
+    records = tracer.records
+    assert records
+
+    # Monotone timestamps, known kinds, wire round-trip.
+    last_time = float("-inf")
+    for record in records:
+        assert record.time >= last_time, (
+            f"time went backwards at {record}")
+        last_time = record.time
+        assert record.kind in schema.ALL_KINDS
+        assert schema.dict_to_record(
+            schema.record_to_dict(record)) == record
+        # Canonical line is pure ASCII single-line JSON.
+        line = dumps_record(record)
+        assert "\n" not in line
+
+    # Job lifecycle ordering and multiplicity.
+    submitted, started, finished, failed = set(), set(), set(), set()
+    for record in records:
+        job = schema.job_id_of(record)
+        if job is None:
+            continue
+        if record.kind == schema.JOB_SUBMIT:
+            assert job not in submitted, f"job {job} submitted twice"
+            submitted.add(job)
+        elif record.kind in _JOB_EVENTS_AFTER_SUBMIT:
+            assert job in submitted, (
+                f"{record.kind} for job {job} before its submit")
+        if record.kind == schema.JOB_START:
+            started.add(job)
+        elif record.kind == schema.JOB_FINISH:
+            assert job in started, f"job {job} finished without starting"
+            assert job not in finished, f"job {job} finished twice"
+            finished.add(job)
+        elif record.kind == schema.JOB_FAIL:
+            assert job not in failed, f"job {job} failed twice"
+            failed.add(job)
+    assert finished | failed == submitted, (
+        "some submitted jobs neither finished nor failed in the trace")
+
+    # Transfer accounting: completions/aborts never outnumber starts, and
+    # a done/abort is only legal for a (src, dst, dataset) seen starting.
+    starts = {}
+    ends = 0
+    for record in records:
+        key = (record.detail.get("src"), record.detail.get("dst"),
+               record.detail.get("dataset"))
+        if record.kind == schema.TRANSFER_START:
+            starts[key] = starts.get(key, 0) + 1
+        elif record.kind in (schema.TRANSFER_DONE, schema.TRANSFER_ABORT):
+            assert starts.get(key, 0) > 0, (
+                f"{record.kind} without a matching start: {record}")
+            starts[key] -= 1
+            ends += 1
+    assert ends <= sum(
+        1 for r in records if r.kind == schema.TRANSFER_START)
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_kind_filter_is_a_pure_subset(seed):
+    """Filtering kinds must drop records, never reorder or invent them."""
+    full = Tracer()
+    run_single(_CONFIG, "JobLeastLoaded", "DataRandom", seed=seed,
+               tracer=full)
+    filtered = Tracer(kinds=schema.expand_kinds(["job"]))
+    run_single(_CONFIG, "JobLeastLoaded", "DataRandom", seed=seed,
+               tracer=filtered)
+    expected = [r for r in full.records
+                if r.kind in schema.KIND_GROUPS["job"]]
+    assert filtered.records == expected

@@ -1,0 +1,170 @@
+"""Unit tests for the trace schema, JSONL round-trip, and summary views."""
+
+import io
+
+import pytest
+
+from repro.sim.trace import NullTracer, TraceRecord, Tracer
+from repro.trace import jsonl, schema, summary
+
+
+class TestKinds:
+    def test_groups_cover_all_kinds(self):
+        flat = [k for kinds in schema.KIND_GROUPS.values() for k in kinds]
+        assert sorted(flat) == sorted(schema.ALL_KINDS)
+        assert len(set(flat)) == len(flat)
+
+    def test_every_kind_starts_with_its_group_prefix(self):
+        for group, kinds in schema.KIND_GROUPS.items():
+            for kind in kinds:
+                assert kind.split(".")[0] == group
+
+    def test_expand_group(self):
+        assert schema.expand_kinds(["job"]) == schema.KIND_GROUPS["job"]
+
+    def test_expand_exact_kind(self):
+        assert schema.expand_kinds(["transfer.done"]) == ("transfer.done",)
+
+    def test_expand_mixed_dedups_preserving_order(self):
+        out = schema.expand_kinds(["transfer.done", "transfer", "job.submit"])
+        assert out[0] == "transfer.done"
+        assert out.count("transfer.done") == 1
+        assert "job.submit" in out
+
+    def test_expand_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown trace kind"):
+            schema.expand_kinds(["job.submitt"])
+
+
+class TestWireForm:
+    def test_round_trip(self):
+        record = TraceRecord(12.5, "job.submit",
+                             {"job": 3, "inputs": ["f1", "f2"]})
+        back = schema.dict_to_record(schema.record_to_dict(record))
+        assert back == record
+
+    def test_wire_dict_shape(self):
+        data = schema.record_to_dict(TraceRecord(1.0, "job.queue", {"a": 1}))
+        assert data == {"v": schema.SCHEMA_VERSION, "t": 1.0,
+                        "k": "job.queue", "d": {"a": 1}}
+
+    @pytest.mark.parametrize("broken", [
+        [],                                        # not an object
+        {"t": 1.0, "k": "x", "d": {}},             # missing version
+        {"v": 99, "t": 1.0, "k": "x", "d": {}},    # future version
+        {"v": 1, "t": "soon", "k": "x", "d": {}},  # non-numeric time
+        {"v": 1, "t": 1.0, "k": 7, "d": {}},       # non-string kind
+        {"v": 1, "t": 1.0, "k": "x", "d": []},     # non-object detail
+    ])
+    def test_validate_rejects_malformed(self, broken):
+        with pytest.raises(ValueError):
+            schema.validate_dict(broken)
+
+    def test_job_id_of(self):
+        assert schema.job_id_of(TraceRecord(0.0, "job.start", {"job": 9})) == 9
+        assert schema.job_id_of(TraceRecord(0.0, "fault.site_up",
+                                            {"site": "s"})) is None
+
+
+class TestJsonl:
+    def test_canonical_line_sorts_keys(self):
+        line = jsonl.dumps_record(TraceRecord(1.0, "x", {"b": 2, "a": 1}))
+        assert line.index('"a"') < line.index('"b"')
+        assert " " not in line
+
+    def test_file_round_trip(self, tmp_path):
+        records = [TraceRecord(float(i), "job.queue", {"job": i})
+                   for i in range(5)]
+        path = tmp_path / "trace.jsonl"
+        assert jsonl.write_jsonl(records, path) == 5
+        assert jsonl.read_jsonl(path) == records
+
+    def test_accepts_wire_dicts_and_stream_objects(self):
+        record = TraceRecord(2.0, "job.start", {"job": 1})
+        buffer = io.StringIO()
+        jsonl.write_jsonl([schema.record_to_dict(record)], buffer)
+        assert jsonl.read_jsonl(io.StringIO(buffer.getvalue())) == [record]
+
+    def test_read_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(jsonl.dumps_record(
+            TraceRecord(0.0, "job.queue", {})) + "\nnot json\n")
+        with pytest.raises(ValueError, match="line 2"):
+            jsonl.read_jsonl(path)
+
+    def test_empty_trace_is_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert jsonl.write_jsonl([], path) == 0
+        assert path.read_text() == ""
+        assert jsonl.read_jsonl(path) == []
+
+
+class TestTracer:
+    def test_of_kind_uses_index_not_rescan(self):
+        tracer = Tracer()
+        for i in range(10):
+            tracer.emit(float(i), "a" if i % 2 else "b", i=i)
+        assert [r.detail["i"] for r in tracer.of_kind("a")] == [1, 3, 5, 7, 9]
+        assert tracer.counts_by_kind() == {"a": 5, "b": 5}
+        assert tracer.of_kind("missing") == []
+
+    def test_kind_filter_and_cap(self):
+        tracer = Tracer(kinds=("keep",), max_records=2)
+        tracer.emit(0.0, "drop")
+        tracer.emit(1.0, "keep")
+        tracer.emit(2.0, "keep")
+        tracer.emit(3.0, "keep")
+        assert len(tracer.records) == 2
+        assert tracer.dropped == 1
+
+    def test_str_sorts_detail_keys(self):
+        record = TraceRecord(1.0, "x", {"zeta": 1, "alpha": 2})
+        text = str(record)
+        assert text.index("alpha=2") < text.index("zeta=1")
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        tracer.emit(0.0, "job.submit", job=1)
+        assert len(tracer) == 0
+
+
+class TestSummary:
+    def _records(self):
+        return [
+            TraceRecord(0.0, schema.JOB_SUBMIT, {"job": 1, "user": "u0"}),
+            TraceRecord(0.0, schema.JOB_DISPATCH, {"job": 1, "site": "s0"}),
+            TraceRecord(0.0, schema.JOB_QUEUE, {"job": 1, "site": "s0"}),
+            TraceRecord(4.0, schema.JOB_DATA_READY, {"job": 1, "site": "s0"}),
+            TraceRecord(4.0, schema.JOB_START, {"job": 1, "site": "s0"}),
+            TraceRecord(9.0, schema.JOB_FINISH, {"job": 1, "site": "s0"}),
+            TraceRecord(1.0, schema.FAULT_SITE_DOWN, {"site": "s1"}),
+        ]
+
+    def test_timeline_derivations(self):
+        timelines = summary.job_timelines(self._records())
+        assert list(timelines) == [1]
+        timeline = timelines[1]
+        assert timeline.site == "s0"
+        assert timeline.completed and not timeline.failed
+        assert timeline.retries == 0
+        assert timeline.response_time == 9.0
+        assert timeline.data_wait == 4.0
+        assert timeline.compute_time == 5.0
+
+    def test_format_timelines_renders(self):
+        text = summary.format_timelines(self._records())
+        assert "1 jobs" in text
+        assert "completed" in text
+        assert schema.JOB_FINISH in text
+
+    def test_format_timelines_limit(self):
+        records = []
+        for job in range(5):
+            records.append(TraceRecord(0.0, schema.JOB_SUBMIT, {"job": job}))
+        text = summary.format_timelines(records, limit=2)
+        assert "… 3 more jobs" in text
+
+    def test_count_by_kind_sorted(self):
+        counts = summary.count_by_kind(self._records())
+        assert list(counts) == sorted(counts)
+        assert counts[schema.JOB_SUBMIT] == 1
