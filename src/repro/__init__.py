@@ -37,8 +37,10 @@ from repro.experiments.runner import (
 )
 from repro.faults.plan import FaultPlan, LinkDegradation, SiteOutage
 from repro.grid.grid import DataGrid
+from repro.grid.staleness import InfoPolicy, StaleReplicaView
 from repro.metrics.collector import RunMetrics
 from repro.scheduling.registry import ALL_DS, ALL_ES, ALL_LS
+from repro.watchdog import InvariantViolation, Watchdog
 
 __version__ = "1.0.0"
 
@@ -48,10 +50,14 @@ __all__ = [
     "ALL_LS",
     "DataGrid",
     "FaultPlan",
+    "InfoPolicy",
+    "InvariantViolation",
     "LinkDegradation",
     "RunMetrics",
     "SimulationConfig",
     "SiteOutage",
+    "StaleReplicaView",
+    "Watchdog",
     "build_grid",
     "make_workload",
     "run_matrix",

@@ -65,6 +65,17 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--info-refresh", type=float, default=None,
                        metavar="SECONDS",
                        help="information-service staleness (0 = live)")
+    group.add_argument("--catalog-delay", type=float, default=None,
+                       metavar="SECONDS",
+                       help="replica-catalog propagation delay "
+                            "(0 = live catalog)")
+    group.add_argument("--info-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="serve last-known loads for stale-marked "
+                            "sites up to this long (0 = off)")
+    group.add_argument("--watchdog", default=None, choices=["on", "off"],
+                       help="runtime invariant watchdog (read-only "
+                            "checks; default off)")
     group.add_argument("--allocator", default=None,
                        choices=["equal-share", "max-min"])
     group.add_argument("--seed", type=int, default=0)
@@ -133,12 +144,16 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
         "inputs_per_job": "inputs_per_job",
         "output_fraction": "output_fraction",
         "info_refresh": "info_refresh_interval_s",
+        "catalog_delay": "catalog_delay_s",
+        "info_timeout": "info_timeout_s",
         "allocator": "allocator",
     }
     for arg_name, field in mapping.items():
         value = getattr(args, arg_name)
         if value is not None:
             overrides[field] = value
+    if args.watchdog is not None:
+        overrides["watchdog"] = args.watchdog == "on"
     if args.storage_gb is not None:
         overrides["storage_capacity_mb"] = args.storage_gb * 1000.0
     if overrides:
@@ -244,6 +259,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(result.table())
     best = result.best_value()
     print(f"\nbest {args.parameter} for response time: {best}")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.experiments.sensitivity import staleness_sensitivity
+
+    config = _build_config(args)
+    pairs = None
+    if args.pairs is not None:
+        pairs = []
+        for spec in args.pairs:
+            es_name, sep, ds_name = spec.partition("+")
+            if not sep or es_name not in ALL_ES or ds_name not in ALL_DS:
+                raise ValueError(
+                    f"bad pair {spec!r}; expected ES+DS like "
+                    f"JobDataPresent+DataLeastLoaded")
+            pairs.append((es_name, ds_name))
+    kwargs = {"pairs": tuple(pairs)} if pairs else {}
+    result = staleness_sensitivity(
+        config, delays=tuple(args.delays), seeds=tuple(args.seeds),
+        jobs=args.jobs, cache_dir=_cache_dir(args), **kwargs)
+    print(result.table())
+    print()
+    for es_name, ds_name in result.pairs:
+        print(f"worst-case response-time degradation for "
+              f"{es_name} + {ds_name}: "
+              f"{100 * (result.degradation(es_name, ds_name) - 1):.1f} %")
     return 0
 
 
@@ -361,6 +403,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(p_sweep)
     _add_parallel_arguments(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_sens = sub.add_parser(
+        "sensitivity",
+        help="staleness sweep: response time vs catalog delay")
+    p_sens.add_argument("--delays", type=float, nargs="+",
+                        default=[0.0, 60.0, 300.0, 900.0, 1800.0],
+                        metavar="SECONDS",
+                        help="catalog propagation delays to sweep")
+    p_sens.add_argument("--pairs", nargs="+", default=None,
+                        metavar="ES+DS",
+                        help="algorithm pairs, e.g. "
+                             "JobDataPresent+DataLeastLoaded "
+                             "(default: decoupled winner vs "
+                             "compute-only baseline)")
+    p_sens.add_argument("--seeds", type=int, nargs="+", default=[0])
+    _add_config_arguments(p_sens)
+    _add_parallel_arguments(p_sens)
+    p_sens.set_defaults(func=_cmd_sensitivity)
 
     p_trace = sub.add_parser(
         "trace", help="run one combination traced / summarize a trace")

@@ -89,6 +89,21 @@ class SimulationConfig:
     #: keeps JobLeastLoaded from beating JobLocal without replication.
     #: Set to 0 for a perfectly live oracle.
     info_refresh_interval_s: float = 300.0
+    #: Replica-catalog propagation delay (s).  0 = schedulers see the
+    #: live catalog (the paper's perfect oracle); > 0 routes their
+    #: replica queries through a bounded-staleness view that sees
+    #: registrations/evictions this many seconds late, enabling
+    #: misdirected-job detection and bounce recovery.
+    catalog_delay_s: float = 0.0
+    #: Info-query timeout fallback (s).  0 = off; > 0 lets a site marked
+    #: stale serve its last-known load for up to this long before the
+    #: service falls through to a fresh read.
+    info_timeout_s: float = 0.0
+    #: Runtime invariant watchdog (:mod:`repro.watchdog`).  Off by
+    #: default; the checks are read-only, so enabling it never changes a
+    #: run's results — it only turns silent conservation bugs into
+    #: immediate structured failures.
+    watchdog: bool = False
     #: Transfer rate allocator: "equal-share" (paper) or "max-min".
     allocator: str = "equal-share"
 
@@ -123,6 +138,12 @@ class SimulationConfig:
             raise ValueError(
                 "storage must exceed the largest dataset, otherwise no "
                 "site can ever cache a remote file")
+        if self.catalog_delay_s < 0:
+            raise ValueError(
+                f"catalog delay must be >= 0, got {self.catalog_delay_s!r}")
+        if self.info_timeout_s < 0:
+            raise ValueError(
+                f"info timeout must be >= 0, got {self.info_timeout_s!r}")
 
     # -- factories -------------------------------------------------------------
 

@@ -47,7 +47,9 @@ from repro.metrics.collector import RunMetrics
 #: Bump when RunMetrics or run semantics change, invalidating old entries.
 #: v2: fault-injection metrics added to RunMetrics; configs carry an
 #: optional FaultPlan.
-CACHE_VERSION = 2
+#: v3: stale-information metrics (misdirected/bounced/stale reads) added
+#: to RunMetrics; configs gain catalog-delay/info-timeout/watchdog knobs.
+CACHE_VERSION = 3
 
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.experiments.config import SimulationConfig
 from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.grid.grid import DataGrid
+from repro.grid.staleness import InfoPolicy
 from repro.grid.user import User
 from repro.metrics.collector import RunMetrics
 from repro.metrics.summary import MetricSummary, summarize
@@ -139,12 +140,17 @@ def build_grid(
         site_processors=site_processors,
         storage_capacity_mb=config.storage_capacity_mb,
         datamover_rng=streams.stream("datamover"),
-        info_refresh_interval_s=config.info_refresh_interval_s,
+        info_policy=InfoPolicy(
+            refresh_interval_s=config.info_refresh_interval_s,
+            catalog_delay_s=config.catalog_delay_s,
+            query_timeout_s=config.info_timeout_s,
+        ),
         allocator=_make_allocator(config),
         fault_plan=fault_plan,
         fault_rng=(streams.stream("faults")
                    if fault_plan is not None else None),
         tracer=tracer,
+        watchdog_interval_s=300.0 if config.watchdog else 0.0,
     )
     grid.place_initial_replicas(workload.initial_placement)
     for user, site in workload.user_sites.items():
@@ -172,6 +178,10 @@ def run_single(
     sim, grid = build_grid(config, es_name, ds_name, workload, seed,
                            tracer=tracer)
     makespan = grid.run()
+    if grid.watchdog is not None:
+        # One final audit at the finish line: the periodic loop may not
+        # land exactly on the makespan, and end-state bugs matter most.
+        grid.watchdog.check_now()
     return RunMetrics.from_grid(grid, makespan)
 
 

@@ -16,6 +16,7 @@ from repro.grid.grid import DataGrid
 from repro.grid.info import InformationService
 from repro.grid.job import Job, JobState
 from repro.grid.site import Site
+from repro.grid.staleness import InfoPolicy, StaleReplicaView
 from repro.grid.storage import StorageElement, StorageFullError
 from repro.grid.user import User
 
@@ -25,11 +26,13 @@ __all__ = [
     "DataMover",
     "Dataset",
     "DatasetCollection",
+    "InfoPolicy",
     "InformationService",
     "Job",
     "JobState",
     "ReplicaCatalog",
     "Site",
+    "StaleReplicaView",
     "StorageElement",
     "StorageFullError",
     "User",

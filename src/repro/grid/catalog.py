@@ -46,11 +46,26 @@ class ReplicaCatalog:
         #: alongside the tracer via :meth:`set_tracer`.
         self._tracer = None
         self._sim = None
+        #: Membership listeners, notified on every *actual* replica
+        #: addition/removal (idempotent re-registrations are not membership
+        #: changes).  The stale-view layer subscribes here; the list is
+        #: empty in ordinary builds so the hot path pays one truth test.
+        self._listeners: list = []
 
     def set_tracer(self, tracer, sim) -> None:
         """Wire a tracer (and the simulator supplying timestamps)."""
         self._tracer = tracer
         self._sim = sim
+
+    def add_listener(self, listener) -> None:
+        """Subscribe to membership changes.
+
+        ``listener.on_register(dataset, site, size_mb)`` is called when a
+        replica record appears and ``listener.on_deregister(dataset, site)``
+        when one disappears — synchronously, after this catalog's own
+        indices are updated.
+        """
+        self._listeners.append(listener)
 
     def register(self, dataset_name: str, site: str,
                  size_mb: float = 0.0) -> None:
@@ -69,6 +84,9 @@ class ReplicaCatalog:
                 self._tracer.emit(
                     self._sim.now, "catalog.register", dataset=dataset_name,
                     site=site, size_mb=size_mb, replicas=len(sites))
+            if self._listeners:
+                for listener in self._listeners:
+                    listener.on_register(dataset_name, site, size_mb)
         self._site_index.setdefault(site, {})[dataset_name] = size_mb
         self.registrations += 1
 
@@ -87,6 +105,9 @@ class ReplicaCatalog:
                 self._tracer.emit(
                     self._sim.now, "catalog.deregister",
                     dataset=dataset_name, site=site, replicas=len(sites))
+            if self._listeners:
+                for listener in self._listeners:
+                    listener.on_deregister(dataset_name, site)
 
     def locations(self, dataset_name: str) -> List[str]:
         """Sites currently holding the dataset (sorted for determinism)."""
@@ -103,6 +124,18 @@ class ReplicaCatalog:
     def replica_count(self, dataset_name: str) -> int:
         """Number of replicas of the dataset."""
         return len(self._locations.get(dataset_name, ()))
+
+    def replica_size_mb(self, dataset_name: str, site: str
+                        ) -> Optional[float]:
+        """Recorded size of the replica at ``site`` (None if absent)."""
+        return self._site_index.get(site, {}).get(dataset_name)
+
+    def replica_records(self) -> List[tuple]:
+        """Every ``(dataset, site, size_mb)`` record, sorted (snapshots)."""
+        return sorted(
+            (name, site, self._site_index.get(site, {}).get(name, 0.0))
+            for name, sites in self._locations.items()
+            for site in sites)
 
     def datasets_at(self, site: str) -> List[str]:
         """All datasets with a replica at ``site``."""

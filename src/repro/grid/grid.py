@@ -79,6 +79,9 @@ class DataGrid:
         #: on this staying ``None`` so an untraced run pays one attribute
         #: check and is bitwise-identical to a pre-tracing build.
         self.tracer: Optional["Tracer"] = None
+        #: Runtime invariant watchdog (``None`` = off, the default;
+        #: installed by :meth:`create` when ``watchdog_interval_s`` > 0).
+        self.watchdog = None
 
     # -- construction -----------------------------------------------------------
 
@@ -95,16 +98,23 @@ class DataGrid:
         storage_capacity_mb: float = float("inf"),
         datamover_rng: Optional[random.Random] = None,
         info_refresh_interval_s: float = 0.0,
+        info_policy=None,
         allocator=None,
         fault_plan=None,
         fault_rng: Optional[random.Random] = None,
         tracer: Optional["Tracer"] = None,
+        watchdog_interval_s: float = 0.0,
     ) -> "DataGrid":
         """Build and wire a grid over ``topology``.
 
         ``site_processors`` maps each site name to its processor count
         (paper: 2–5 per site).  Every site gets ``storage_capacity_mb`` of
-        LRU-managed storage.
+        LRU-managed storage.  ``info_policy`` (an
+        :class:`~repro.grid.staleness.InfoPolicy`) takes precedence over
+        the ``info_refresh_interval_s`` shorthand; a policy with a
+        positive catalog delay routes scheduler replica queries through a
+        stale view.  ``watchdog_interval_s`` > 0 installs the runtime
+        invariant watchdog (:mod:`repro.watchdog`) at that check period.
         """
         topology.validate()
         missing = set(topology.sites) - set(site_processors)
@@ -129,7 +139,8 @@ class DataGrid:
             sites[name] = Site(sim, name, compute, storages[name],
                                datamover, local_scheduler)
         info = InformationService(sim, sites, catalog,
-                                  refresh_interval_s=info_refresh_interval_s)
+                                  refresh_interval_s=info_refresh_interval_s,
+                                  policy=info_policy)
         grid = cls(sim, topology, transfers, catalog, datasets, storages,
                    sites, info, datamover, external_scheduler,
                    dataset_scheduler)
@@ -140,12 +151,18 @@ class DataGrid:
             catalog.set_tracer(tracer, sim)
             for site in sites.values():
                 site.tracer = tracer
+            if info.replica_view is not None:
+                info.replica_view.tracer = tracer
         for site in sites.values():
             dataset_scheduler.attach(site, grid)
         if fault_plan is not None and not fault_plan.is_null:
             from repro.faults.injector import FaultInjector
 
             FaultInjector(sim, grid, fault_plan, rng=fault_rng).install()
+        if watchdog_interval_s > 0:
+            from repro.watchdog import Watchdog
+
+            Watchdog(sim, grid, interval_s=watchdog_interval_s).install()
         return grid
 
     # -- data placement ----------------------------------------------------------
@@ -160,6 +177,10 @@ class DataGrid:
         dataset = self.datasets.get(dataset_name)
         self.storages[site].add(dataset, self.sim.now, pin=True)
         self.catalog.register(dataset_name, site, size_mb=dataset.size_mb)
+        if self.info.replica_view is not None:
+            # Pre-run placement is configuration, not runtime churn: the
+            # schedulers know the initial distribution from the start.
+            self.info.replica_view.sync_all()
 
     def place_initial_replicas(self, mapping: Dict[str, str],
                                headroom_mb: Optional[float] = None) -> None:
@@ -217,12 +238,62 @@ class DataGrid:
             raise ValueError(
                 f"{self.external_scheduler!r} chose unknown site "
                 f"{site_name!r}")
+        if self.info.replica_view is not None:
+            site_name = self._resolve_misdirection(job, site_name)
         job.execution_site = site_name
         job.advance(JobState.DISPATCHED, self.sim.now)
         if self.tracer is not None:
             self.tracer.emit(self.sim.now, "job.dispatch", job=job.job_id,
                              site=site_name)
         return self.sites[site_name].enqueue(job)
+
+    def _resolve_misdirection(self, job: Job, site_name: str) -> str:
+        """Detect and recover a dispatch aimed at a phantom replica.
+
+        Under a stale catalog view the ES may send a job to a site whose
+        promised replica was evicted (or never arrived).  The destination
+        notices the miss at hand-off: each promised input (one the stale
+        view locates there) is checked against the live catalog.  The
+        grid then either *bounces* the job back to the ES for one
+        re-dispatch — after reconciling the phantom records, so the
+        second choice is made against corrected information — or, once
+        the bounce budget is spent, lets the job proceed and fall back to
+        a remote fetch via the data mover.  Every hop is synchronous: no
+        simulated time passes, matching the model's zero-cost dispatch.
+        """
+        view = self.info.replica_view
+        budget = self.info.policy.bounce_budget
+        while True:
+            missing = [name for name in job.input_files
+                       if view.has_replica(name, site_name)
+                       and not self.catalog.has_replica(name, site_name)]
+            if not missing:
+                return site_name
+            view.misdirected_jobs += 1
+            if self.tracer is not None:
+                self.tracer.emit(self.sim.now, "job.misdirected",
+                                 job=job.job_id, site=site_name,
+                                 missing=missing)
+            for name in missing:
+                view.reconcile(name, site_name)
+            if job.bounces >= budget:
+                return site_name
+            candidate = self.external_scheduler.select_site(job, self)
+            if candidate not in self.sites:
+                raise ValueError(
+                    f"{self.external_scheduler!r} chose unknown site "
+                    f"{candidate!r}")
+            if self.faults is not None and not self.faults.is_up(candidate):
+                # Bouncing onto a dead site would trade one phantom for
+                # another; keep the original choice and fetch remotely.
+                return site_name
+            job.bounces += 1
+            view.bounced_jobs += 1
+            if self.tracer is not None:
+                self.tracer.emit(self.sim.now, "job.bounced",
+                                 job=job.job_id, origin=site_name,
+                                 site=candidate)
+            site_name = candidate
 
     def _submit_with_recovery(self, job: Job):
         """Dispatch loop under fault injection.
@@ -264,6 +335,8 @@ class DataGrid:
                                 chosen=site_name, fallback=fallback)
                 site_name = fallback
                 faults.jobs_redirected += 1
+            if self.info.replica_view is not None:
+                site_name = self._resolve_misdirection(job, site_name)
             job.execution_site = site_name
             job.advance(JobState.DISPATCHED, self.sim.now)
             if tracer is not None:

@@ -3,18 +3,33 @@
 Stand-in for the Globus MDS / Network Weather Service the paper cites as
 the source of "external information like load at a remote site or the
 location of a dataset".  Schedulers query this object rather than peeking
-at sites directly, which lets us optionally serve *stale* snapshots (a
-configurable refresh interval) to study sensitivity to information lag —
-an extension; the paper's results use live information.
+at sites directly, which lets us serve *stale* answers to study
+sensitivity to information lag (the paper's results use live information).
+
+Three staleness mechanisms, unified under one
+:class:`~repro.grid.staleness.InfoPolicy`:
+
+* **Load snapshots** (``refresh_interval_s``) — site loads are served
+  from a snapshot refreshed periodically, modelling MDS/NWS cache TTLs.
+* **Catalog propagation delay** (``catalog_delay_s``) — replica-location
+  queries are routed through a
+  :class:`~repro.grid.staleness.StaleReplicaView` that sees catalog
+  changes only after a fixed delay, so schedulers can chase phantom
+  replicas and miss fresh ones.
+* **Query timeout fallback** (``query_timeout_s``) — a site marked stale
+  (:meth:`mark_stale`) has its load served from the last-known value
+  until that record ages out, modelling an info query that times out and
+  falls back to cached data.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 import random
 
 from repro.grid.catalog import ReplicaCatalog
+from repro.grid.staleness import InfoPolicy, StaleReplicaView
 from repro.sim.core import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -34,7 +49,13 @@ class InformationService:
         The replica catalog.
     refresh_interval_s:
         0 (default) serves live values; > 0 serves snapshots refreshed
-        periodically, modelling MDS/NWS staleness.
+        periodically, modelling MDS/NWS staleness.  Shorthand for a
+        policy with only that knob set; ignored when ``policy`` is given.
+    policy:
+        Full information-quality policy.  A policy with
+        ``catalog_delay_s > 0`` additionally installs a
+        :class:`~repro.grid.staleness.StaleReplicaView` between the
+        schedulers and the catalog.
     """
 
     def __init__(
@@ -43,14 +64,18 @@ class InformationService:
         sites: Dict[str, "Site"],
         catalog: ReplicaCatalog,
         refresh_interval_s: float = 0.0,
+        policy: Optional[InfoPolicy] = None,
     ) -> None:
         if refresh_interval_s < 0:
             raise ValueError(
                 f"refresh interval must be >= 0, got {refresh_interval_s!r}")
+        if policy is None:
+            policy = InfoPolicy(refresh_interval_s=refresh_interval_s)
         self.sim = sim
         self.sites = sites
         self.catalog = catalog
-        self.refresh_interval_s = refresh_interval_s
+        self.policy = policy
+        self.refresh_interval_s = policy.refresh_interval_s
         # The site set is fixed once the grid is wired, and every external
         # scheduler consults site_names per job — sort once, not per call.
         self._site_names: List[str] = sorted(sites)
@@ -60,9 +85,21 @@ class InformationService:
         self._unavailable: Set[str] = set()
         self._available_names: List[str] = self._site_names
         self._snapshot: Optional[Dict[str, int]] = None
-        if refresh_interval_s > 0:
+        if self.refresh_interval_s > 0:
             self._snapshot = self._take_snapshot()
             sim.process(self._refresher(), name="info-refresher")
+        #: Delayed catalog mirror (None = live replica queries).
+        self.replica_view: Optional[StaleReplicaView] = None
+        if policy.catalog_delay_s > 0:
+            self.replica_view = StaleReplicaView(
+                sim, catalog, policy.catalog_delay_s)
+            catalog.add_listener(self.replica_view)
+        # Query-timeout fallback state: sites whose next load queries are
+        # served from the last-known value, and that value store.
+        self._stale_marked: Set[str] = set()
+        self._last_known: Dict[str, Tuple[int, float]] = {}
+        #: Load queries answered from a last-known (timed-out) value.
+        self.stale_load_reads = 0
 
     # -- staleness machinery ---------------------------------------------------
 
@@ -73,6 +110,24 @@ class InformationService:
         while True:
             yield self.sim.timeout(self.refresh_interval_s)
             self._snapshot = self._take_snapshot()
+
+    def mark_stale(self, site: str) -> None:
+        """Serve this site's load from the last-known value.
+
+        Models an information query that times out: until the cached
+        record ages past ``policy.query_timeout_s`` (or :meth:`refresh`
+        is called), load queries fall back to the last value observed.
+        No-op unless the policy enables the query-timeout fallback.
+        """
+        if site not in self.sites:
+            raise KeyError(f"unknown site {site!r}")
+        if self.policy.query_timeout_s > 0:
+            self._stale_marked.add(site)
+
+    def refresh(self, site: str) -> None:
+        """Drop the stale mark: the next load query reads fresh state."""
+        self._stale_marked.discard(site)
+        self._last_known.pop(site, None)
 
     # -- queries ----------------------------------------------------------------
 
@@ -87,6 +142,10 @@ class InformationService:
         identical all-sites list.
         """
         return self._available_names
+
+    def is_available(self, site: str) -> bool:
+        """Whether the site is currently advertised (not marked down)."""
+        return site not in self._unavailable
 
     def mark_site_down(self, site: str) -> None:
         """Hide a failed site from scheduler queries (fault injection)."""
@@ -109,31 +168,58 @@ class InformationService:
 
     def load(self, site: str) -> int:
         """The paper's load metric: jobs waiting to run at ``site``."""
+        if self._stale_marked and site in self._stale_marked:
+            entry = self._last_known.get(site)
+            if (entry is not None
+                    and self.sim.now - entry[1]
+                    <= self.policy.query_timeout_s):
+                self.stale_load_reads += 1
+                return entry[0]
+            # The cached record aged out (or never existed): the fallback
+            # is exhausted, so read fresh state below.
+            self._stale_marked.discard(site)
         if self._snapshot is not None:
             try:
-                return self._snapshot[site]
+                value = self._snapshot[site]
             except KeyError:
                 raise KeyError(f"unknown site {site!r}") from None
-        try:
-            return self.sites[site].load
-        except KeyError:
-            raise KeyError(f"unknown site {site!r}") from None
+        else:
+            try:
+                value = self.sites[site].load
+            except KeyError:
+                raise KeyError(f"unknown site {site!r}") from None
+        if self.policy.query_timeout_s > 0:
+            self._last_known[site] = (value, self.sim.now)
+        return value
 
     def loads(self) -> Dict[str, int]:
-        """Load of every site."""
-        if self._snapshot is not None:
-            return dict(self._snapshot)
-        return self._take_snapshot()
+        """Load of every *available* site.
+
+        Down sites are excluded even in snapshot mode: the snapshot may
+        predate an outage, but "this site is gone" is control-plane truth
+        the schedulers must never un-learn from a stale cache.
+        """
+        if not self._unavailable and not self._stale_marked:
+            if self._snapshot is not None:
+                return dict(self._snapshot)
+            return self._take_snapshot()
+        return {name: self.load(name) for name in self._available_names}
 
     def least_loaded(self, candidates: Optional[Iterable[str]] = None,
                      rng: Optional[random.Random] = None) -> str:
-        """The least-loaded site among ``candidates`` (default: all).
+        """The least-loaded *available* site among ``candidates``.
 
         Ties are broken uniformly at random when ``rng`` is given, else by
         site name — random tie-breaking avoids herd behaviour when many
-        sites are idle, which matters early in a run.
+        sites are idle, which matters early in a run.  Candidates marked
+        down are dropped even when the load snapshot still lists them.
         """
-        names = sorted(candidates) if candidates is not None else self.site_names
+        if candidates is not None:
+            names = sorted(candidates)
+            if self._unavailable:
+                names = [n for n in names if n not in self._unavailable]
+        else:
+            names = self.site_names
         if not names:
             raise ValueError("no candidate sites")
         best_load: Optional[int] = None
@@ -149,24 +235,51 @@ class InformationService:
             return rng.choice(best)
         return best[0]
 
+    # -- replica queries ---------------------------------------------------------
+
     def dataset_locations(self, dataset_name: str) -> List[str]:
-        """*Available* sites holding a replica of the dataset."""
-        locations = self.catalog.locations(dataset_name)
+        """*Available* sites believed to hold a replica of the dataset."""
+        if self.replica_view is not None:
+            locations = self.replica_view.locations(dataset_name)
+        else:
+            locations = self.catalog.locations(dataset_name)
         if self._unavailable:
             locations = [s for s in locations
                          if s not in self._unavailable]
         return locations
 
     def sites_with_all(self, dataset_names: Iterable[str]) -> List[str]:
-        """Available sites holding *all* given datasets (multi-input jobs)."""
+        """Available sites believed to hold *all* given datasets."""
         names = list(dataset_names)
         if not names:
             return self.site_names
-        result = set(self.catalog.location_set(names[0]))
+        source = (self.replica_view if self.replica_view is not None
+                  else self.catalog)
+        result = set(source.location_set(names[0]))
         for name in names[1:]:
             if not result:
                 break
-            result &= self.catalog.location_set(name)
+            result &= source.location_set(name)
         if self._unavailable:
             result -= self._unavailable
         return sorted(result)
+
+    def has_replica(self, dataset_name: str, site: str) -> bool:
+        """Whether the service believes ``site`` holds ``dataset_name``."""
+        if self.replica_view is not None:
+            return self.replica_view.has_replica(dataset_name, site)
+        return self.catalog.has_replica(dataset_name, site)
+
+    def replica_count(self, dataset_name: str) -> int:
+        """Believed number of replicas of the dataset."""
+        if self.replica_view is not None:
+            return self.replica_view.replica_count(dataset_name)
+        return self.catalog.replica_count(dataset_name)
+
+    def bytes_present_by_site(self, dataset_names: Iterable[str],
+                              sizes=None) -> Dict[str, float]:
+        """Believed MB of the named datasets present per site."""
+        if self.replica_view is not None:
+            return self.replica_view.bytes_present_by_site(
+                dataset_names, sizes=sizes)
+        return self.catalog.bytes_present_by_site(dataset_names, sizes=sizes)

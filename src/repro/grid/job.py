@@ -70,6 +70,13 @@ class Job:
     failure_reason: Optional[str] = None
     #: Execution attempts killed by faults and re-dispatched (0 = clean run).
     retries: int = 0
+    #: Misdirection bounces consumed (stale-info recovery; 0 = never
+    #: dispatched onto a phantom replica, or staleness off).
+    bounces: int = 0
+    #: Transient: the current attempt was killed and its site bookkeeping
+    #: unwound, but the recovery supervisor has not yet rewound the job.
+    #: Lets the invariant watchdog reconcile site job counts mid-recovery.
+    killed: bool = False
 
     def __post_init__(self) -> None:
         if self.runtime_s < 0:
@@ -105,6 +112,7 @@ class Job:
         the whole ordeal, including every failed attempt.
         """
         self.retries += 1
+        self.killed = False
         self.state = JobState.SUBMITTED
         self.execution_site = None
         self.dispatched_at = None
@@ -118,6 +126,7 @@ class Job:
         """Give up on the job permanently (fault recovery exhausted)."""
         self.state = JobState.FAILED
         self.completed_at = None
+        self.killed = False
         self.failure_reason = reason
 
     # -- derived metrics -------------------------------------------------------

@@ -348,6 +348,7 @@ class Site:
             attempt.fetch = None
             attempt.fetch_name = None
         self.jobs_in_system -= 1
+        job.killed = True
         job.failure_reason = str(err) or type(err).__name__
 
     def _settle_orphan_fetch(self, fetch: Process, fname: str) -> None:

@@ -73,6 +73,14 @@ class RunMetrics:
     #: Total site-seconds of unavailability over the horizon.
     site_downtime_s: float = 0.0
 
+    # Stale information (all zero when the catalog view is live).
+    #: Jobs dispatched to a site whose promised replica was not there.
+    misdirected_jobs: int = 0
+    #: Misdirected jobs bounced back to the ES for re-dispatch.
+    bounced_jobs: int = 0
+    #: Replica queries whose stale answer differed from the live catalog.
+    stale_reads: int = 0
+
     # Per-site detail (site name → value), for load-balance analysis.
     jobs_per_site: Dict[str, int] = field(default_factory=dict)
     idle_per_site: Dict[str, float] = field(default_factory=dict)
@@ -150,6 +158,7 @@ class RunMetrics:
         faults = grid.faults
         downtime = (faults.downtime_per_site(horizon)
                     if faults is not None else {})
+        view = grid.info.replica_view
 
         return cls(
             n_jobs=len(jobs),
@@ -182,6 +191,9 @@ class RunMetrics:
                 faults.replicas_invalidated if faults else 0),
             outages=faults.outages_started if faults else 0,
             site_downtime_s=sum(downtime.values()),
+            misdirected_jobs=view.misdirected_jobs if view else 0,
+            bounced_jobs=view.bounced_jobs if view else 0,
+            stale_reads=view.stale_reads if view else 0,
             jobs_per_site=jobs_per_site,
             idle_per_site={
                 name: site.compute.idle_fraction(horizon)

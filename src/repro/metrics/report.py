@@ -81,6 +81,13 @@ def format_run(metrics: RunMetrics, label: str = "run") -> str:
             f"  replica failovers:       {metrics.failovers}",
             f"  replicas invalidated:    {metrics.replicas_invalidated}",
         ]
+    if metrics.misdirected_jobs or metrics.bounced_jobs or metrics.stale_reads:
+        lines += [
+            "stale information:",
+            f"  stale replica reads:     {metrics.stale_reads}",
+            f"  jobs misdirected:        {metrics.misdirected_jobs}",
+            f"  jobs bounced to the ES:  {metrics.bounced_jobs}",
+        ]
     return "\n".join(lines)
 
 

@@ -88,7 +88,10 @@ class _ReplicatingDatasetScheduler(DatasetScheduler):
         tracer = grid.tracer
         for name in site.storage.idle_files(now, self.delete_idle_after_s):
             # Never delete the last replica in the grid, and leave files
-            # some other site is currently pulling from us alone.
+            # some other site is currently pulling from us alone.  This
+            # check deliberately uses the *live* catalog even under a
+            # stale view: deletion is irreversible, so it must never act
+            # on a phantom replica record.
             if grid.catalog.replica_count(name) <= 1:
                 continue
             site.storage.remove(name)
@@ -129,11 +132,22 @@ class _ReplicatingDatasetScheduler(DatasetScheduler):
 
     def _eligible(self, candidates: List[str], dataset_name: str,
                   site: "Site", grid: "DataGrid") -> List[str]:
-        """Filter out the source and sites that already hold the data."""
+        """Filter out the source and sites believed to hold the data.
+
+        The replica check goes through the information service, so under
+        a stale catalog view the DS works from the same delayed picture
+        the External Scheduler sees.  Phantom records are tolerated by
+        mechanism: replicating to a site that (unbeknownst to the view)
+        already holds the file is a no-cost local hit in the data mover,
+        and a phantom *presence* merely skips one replication round.
+        Down sites are excluded — pushing replicas at a dead site wastes
+        the check interval.
+        """
         return [
             c for c in candidates
             if c != site.name
-            and not grid.catalog.has_replica(dataset_name, c)
+            and grid.info.is_available(c)
+            and not grid.info.has_replica(dataset_name, c)
             and not grid.datamover.is_inflight(c, dataset_name)
         ]
 

@@ -92,10 +92,11 @@ class JobDataPresent(ExternalScheduler):
         return site
 
     def _most_bytes_present(self, job: "Job", grid: "DataGrid") -> str:
-        # The catalog's per-site byte index walks only the replicas of the
-        # job's own inputs — O(inputs × replicas) instead of the old
-        # O(sites × inputs) full-grid rescan.
-        present = grid.catalog.bytes_present_by_site(
+        # The per-site byte index walks only the replicas of the job's own
+        # inputs — O(inputs × replicas) instead of the old O(sites ×
+        # inputs) full-grid rescan.  Queried through the information
+        # service so a stale catalog view answers when one is configured.
+        present = grid.info.bytes_present_by_site(
             job.input_files,
             sizes={f: grid.datasets.get(f).size_mb
                    for f in job.input_files})
@@ -106,7 +107,12 @@ class JobDataPresent(ExternalScheduler):
         best_sites: List[str] = sorted(
             site for site, mb in present.items() if mb == best_bytes)
         if len(best_sites) > 1:
-            return grid.info.least_loaded(best_sites, rng=self.rng)
+            try:
+                return grid.info.least_loaded(best_sites, rng=self.rng)
+            except ValueError:
+                # Every tied site is marked down; hand the first back and
+                # let the fault-recovery redirect machinery resolve it.
+                return best_sites[0]
         return best_sites[0]
 
 

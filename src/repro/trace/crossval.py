@@ -32,6 +32,8 @@ class TraceCounters:
     transfers_failed: int
     failovers: int
     outages: int
+    misdirected_jobs: int
+    bounced_jobs: int
 
 
 def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
@@ -44,6 +46,7 @@ def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
     jobs_completed = jobs_failed = jobs_retried = jobs_redirected = 0
     fetch_mb = replication_mb = 0.0
     replications_done = transfers_failed = failovers = outages = 0
+    misdirected_jobs = bounced_jobs = 0
     for record in records:
         kind = record.kind
         if kind == schema.JOB_FINISH:
@@ -68,6 +71,10 @@ def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
                 failovers += 1
         elif kind == schema.FAULT_SITE_DOWN:
             outages += 1
+        elif kind == schema.JOB_MISDIRECTED:
+            misdirected_jobs += 1
+        elif kind == schema.JOB_BOUNCED:
+            bounced_jobs += 1
     return TraceCounters(
         jobs_completed=jobs_completed,
         jobs_failed=jobs_failed,
@@ -79,6 +86,8 @@ def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
         transfers_failed=transfers_failed,
         failovers=failovers,
         outages=outages,
+        misdirected_jobs=misdirected_jobs,
+        bounced_jobs=bounced_jobs,
     )
 
 
@@ -94,6 +103,8 @@ _FIELD_MAP = {
     "transfers_failed": "transfers_failed",
     "failovers": "failovers",
     "outages": "outages",
+    "misdirected_jobs": "misdirected_jobs",
+    "bounced_jobs": "bounced_jobs",
 }
 
 

@@ -31,6 +31,8 @@ JOB_FINISH = "job.finish"          #: job completed
 JOB_RETRY = "job.retry"            #: killed attempt rewound for re-dispatch
 JOB_REDIRECT = "job.redirect"      #: ES choice was down; rerouted
 JOB_FAIL = "job.fail"              #: retry budget exhausted; gave up
+JOB_MISDIRECTED = "job.misdirected"  #: promised replica missing at hand-off
+JOB_BOUNCED = "job.bounced"        #: misdirected job re-dispatched by the ES
 
 # ---- scheduler decisions ---------------------------------------------------
 ES_DECISION = "es.decision"        #: site choice + per-candidate scores
@@ -59,13 +61,20 @@ FAULT_LINK_DEGRADE = "fault.link_degrade"
 FAULT_LINK_RESTORE = "fault.link_restore"
 FAULT_TRANSFER_KILL = "fault.transfer_kill"
 
+# ---- stale information -----------------------------------------------------
+INFO_STALE_READ = "info.stale_read"  #: query answered differently from truth
+
+# ---- invariant watchdog ----------------------------------------------------
+WATCHDOG_CHECK = "watchdog.check"  #: one clean audit round completed
+
 # ---- kernel (opt-in via Tracer.attach_kernel) ------------------------------
 KERNEL_EVENT = "kernel.event"
 
 #: Every domain kind, grouped by prefix for CLI filtering.
 KIND_GROUPS: Dict[str, Tuple[str, ...]] = {
     "job": (JOB_SUBMIT, JOB_DISPATCH, JOB_QUEUE, JOB_DATA_READY, JOB_START,
-            JOB_FINISH, JOB_RETRY, JOB_REDIRECT, JOB_FAIL),
+            JOB_FINISH, JOB_RETRY, JOB_REDIRECT, JOB_FAIL, JOB_MISDIRECTED,
+            JOB_BOUNCED),
     "es": (ES_DECISION,),
     "ls": (LS_PICK,),
     "ds": (DS_DECISION, DS_DELETE),
@@ -76,6 +85,8 @@ KIND_GROUPS: Dict[str, Tuple[str, ...]] = {
     "catalog": (CATALOG_REGISTER, CATALOG_DEREGISTER),
     "fault": (FAULT_SITE_DOWN, FAULT_SITE_UP, FAULT_LINK_DEGRADE,
               FAULT_LINK_RESTORE, FAULT_TRANSFER_KILL),
+    "info": (INFO_STALE_READ,),
+    "watchdog": (WATCHDOG_CHECK,),
     "kernel": (KERNEL_EVENT,),
 }
 

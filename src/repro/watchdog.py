@@ -1,0 +1,258 @@
+"""Runtime invariant watchdog: conservation checks while the grid runs.
+
+Simulation bugs rarely announce themselves — a lost job or a storage
+accounting leak just shifts the metrics.  The :class:`Watchdog` is a
+read-only periodic process that audits the grid's global conservation
+invariants *mid-run* and raises a structured :class:`InvariantViolation`
+(with the offending trace context, when tracing is on) the moment one
+breaks, so a corruption is caught at its source instead of surfacing as a
+subtly wrong number thousands of events later.
+
+Invariants checked:
+
+* **jobs-conserved** — no job is lost between the External Scheduler,
+  the recovery supervisor, and the site queues: every site's
+  ``jobs_in_system`` sums to exactly the jobs currently queued/running
+  (accounting for attempts killed by faults but not yet rewound), and
+  per-site completion counters sum to the number of COMPLETED jobs.
+* **storage-accounting** — each site's incremental ``used_mb`` equals the
+  recomputed sum of its resident replica sizes and never exceeds
+  capacity.
+* **transfers-consistent** — no transfer is both completed and aborted;
+  finished transfers carry a timestamp and zero remaining bytes; active
+  ones carry neither.
+* **catalog-consistent** — the replica catalog and the sites' resident
+  file sets agree exactly (the catalog is updated synchronously with
+  storage, so any divergence is a wiring bug).
+* **stale-view-bounded** — when a
+  :class:`~repro.grid.staleness.StaleReplicaView` is installed, replaying
+  its pending updates reproduces the live catalog and nothing is delayed
+  beyond the configured staleness bound.
+
+The watchdog is **off by default** (a watchdog-less run is bitwise
+identical to a pre-watchdog build) and *always on in tests*: the test
+suite's grid fixtures and experiment helpers install it so every clean,
+faulty, and stale run in CI is audited.  Because every check is
+read-only, enabling it never changes a run's results — only its
+event count.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.grid.job import JobState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.grid import DataGrid
+    from repro.sim.core import Simulator
+
+#: Tolerance for float storage accounting (repeated add/subtract residue).
+_MB_EPSILON = 1e-6
+#: Trace records attached to a violation for context.
+_TRACE_TAIL = 10
+
+
+class InvariantViolation(AssertionError):
+    """A conservation invariant broke mid-run.
+
+    Attributes
+    ----------
+    invariant:
+        Which check failed (``jobs-conserved``, ``storage-accounting``,
+        ``transfers-consistent``, ``catalog-consistent``,
+        ``stale-view-bounded``).
+    time:
+        Simulated time of the failed check.
+    details:
+        Structured evidence (counts, site names, sizes).
+    trace_tail:
+        The last few domain-trace lines before the violation (empty when
+        tracing is off).
+    """
+
+    def __init__(self, invariant: str, message: str, time: float,
+                 details: Optional[Dict[str, Any]] = None,
+                 trace_tail: Optional[List[str]] = None) -> None:
+        self.invariant = invariant
+        self.time = time
+        self.details = details or {}
+        self.trace_tail = trace_tail or []
+        text = f"[t={time:.3f}] {invariant}: {message}"
+        if self.details:
+            evidence = ", ".join(
+                f"{k}={v!r}" for k, v in sorted(self.details.items()))
+            text += f" ({evidence})"
+        if self.trace_tail:
+            text += "\nrecent trace:\n" + "\n".join(
+                f"  {line}" for line in self.trace_tail)
+        super().__init__(text)
+
+
+class Watchdog:
+    """Periodic, read-only auditor of a wired grid's invariants.
+
+    Parameters
+    ----------
+    sim, grid:
+        The simulator and the fully wired grid to audit.
+    interval_s:
+        Check period in simulated seconds (default 300 — once per
+        Dataset Scheduler cycle at paper settings).
+    """
+
+    #: Names of every invariant this watchdog asserts.
+    INVARIANTS = ("jobs-conserved", "storage-accounting",
+                  "transfers-consistent", "catalog-consistent",
+                  "stale-view-bounded")
+
+    def __init__(self, sim: "Simulator", grid: "DataGrid",
+                 interval_s: float = 300.0) -> None:
+        if interval_s <= 0:
+            raise ValueError(
+                f"watchdog interval must be positive, got {interval_s!r}")
+        self.sim = sim
+        self.grid = grid
+        self.interval_s = interval_s
+        #: Completed check rounds (each round asserts every invariant).
+        self.checks_run = 0
+
+    def install(self) -> "Watchdog":
+        """Register on the grid and start the periodic check process."""
+        self.grid.watchdog = self
+        self.sim.process(self._loop(), name="watchdog")
+        return self
+
+    def _loop(self):
+        while True:
+            yield self.sim.timeout(self.interval_s)
+            self.check_now()
+
+    # -- checks -------------------------------------------------------------------
+
+    def check_now(self) -> None:
+        """Run every invariant check at the current instant."""
+        self._check_jobs()
+        self._check_storage()
+        self._check_transfers()
+        self._check_catalog()
+        self._check_stale_view()
+        self.checks_run += 1
+        tracer = self.grid.tracer
+        if tracer is not None:
+            tracer.emit(self.sim.now, "watchdog.check", n=self.checks_run)
+
+    def _fail(self, invariant: str, message: str, **details: Any) -> None:
+        tail: List[str] = []
+        tracer = self.grid.tracer
+        if tracer is not None and tracer.records:
+            tail = [str(r) for r in tracer.records[-_TRACE_TAIL:]]
+        raise InvariantViolation(invariant, message, time=self.sim.now,
+                                 details=details, trace_tail=tail)
+
+    def _check_jobs(self) -> None:
+        grid = self.grid
+        in_system = 0
+        by_site_completed = 0
+        for site in grid.sites.values():
+            if site.jobs_in_system < 0:
+                self._fail("jobs-conserved",
+                           f"site {site.name!r} has negative jobs_in_system",
+                           site=site.name, jobs_in_system=site.jobs_in_system)
+            in_system += site.jobs_in_system
+            by_site_completed += site.jobs_completed
+        expected_in_system = 0
+        completed = 0
+        for job in grid.submitted_jobs:
+            if job.state is JobState.COMPLETED:
+                completed += 1
+            elif (job.state in (JobState.QUEUED, JobState.RUNNING)
+                    and not job.killed):
+                expected_in_system += 1
+        if in_system != expected_in_system:
+            self._fail(
+                "jobs-conserved",
+                "site queues disagree with job states: "
+                f"sites hold {in_system} jobs, "
+                f"{expected_in_system} jobs are queued/running",
+                sites_in_system=in_system,
+                jobs_queued_or_running=expected_in_system)
+        if by_site_completed != completed:
+            self._fail(
+                "jobs-conserved",
+                f"sites counted {by_site_completed} completions but "
+                f"{completed} jobs are COMPLETED",
+                site_completions=by_site_completed, jobs_completed=completed)
+
+    def _check_storage(self) -> None:
+        for name, storage in self.grid.storages.items():
+            actual = sum(
+                entry.dataset.size_mb
+                for entry in storage._entries.values())
+            if abs(actual - storage.used_mb) > _MB_EPSILON:
+                self._fail(
+                    "storage-accounting",
+                    f"storage at {name!r} books {storage.used_mb:.6f} MB "
+                    f"but holds {actual:.6f} MB of files",
+                    site=name, used_mb=storage.used_mb, resident_mb=actual)
+            if storage.used_mb > storage.capacity_mb + _MB_EPSILON:
+                self._fail(
+                    "storage-accounting",
+                    f"storage at {name!r} exceeds capacity",
+                    site=name, used_mb=storage.used_mb,
+                    capacity_mb=storage.capacity_mb)
+
+    def _check_transfers(self) -> None:
+        manager = self.grid.transfers
+        for t in manager.completed:
+            if t.failed:
+                self._fail(
+                    "transfers-consistent",
+                    f"transfer {t.src}->{t.dst} is both completed and "
+                    "aborted", src=t.src, dst=t.dst, size_mb=t.size_mb)
+            if t.finished_at is None or t.remaining_mb > _MB_EPSILON:
+                self._fail(
+                    "transfers-consistent",
+                    f"completed transfer {t.src}->{t.dst} still has "
+                    f"{t.remaining_mb:.6f} MB outstanding",
+                    src=t.src, dst=t.dst, remaining_mb=t.remaining_mb)
+        for t in manager.active:
+            if t.finished_at is not None or t.failed:
+                self._fail(
+                    "transfers-consistent",
+                    f"active transfer {t.src}->{t.dst} is already "
+                    "finished or aborted", src=t.src, dst=t.dst,
+                    failed=t.failed, finished_at=t.finished_at)
+
+    def _check_catalog(self) -> None:
+        grid = self.grid
+        catalog = grid.catalog
+        for name, storage in grid.storages.items():
+            for fname in storage._entries:
+                if not catalog.has_replica(fname, name):
+                    self._fail(
+                        "catalog-consistent",
+                        f"{fname!r} is resident at {name!r} but the "
+                        "catalog has no record of it",
+                        site=name, dataset=fname)
+            for fname in catalog.datasets_at(name):
+                if fname not in storage._entries:
+                    self._fail(
+                        "catalog-consistent",
+                        f"catalog advertises {fname!r} at {name!r} but "
+                        "the file is not resident",
+                        site=name, dataset=fname)
+
+    def _check_stale_view(self) -> None:
+        view = self.grid.info.replica_view
+        if view is None:
+            return
+        problems = view.audit()
+        if problems:
+            self._fail("stale-view-bounded", "; ".join(problems),
+                       pending=len(view._pending))
+
+
+def attach(grid: "DataGrid", interval_s: float = 300.0) -> Watchdog:
+    """Install a watchdog on an already-wired grid (test convenience)."""
+    return Watchdog(grid.sim, grid, interval_s=interval_s).install()

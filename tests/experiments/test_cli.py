@@ -136,3 +136,50 @@ class TestWorkload:
         main(["workload", "--out", str(out_file), *SMALL, "--seed", "9"])
         workload = load_workload(out_file)
         assert workload.n_jobs == 300
+
+
+class TestStalenessKnobs:
+    def test_catalog_delay_flows_into_config(self, capsys):
+        assert main(["run", *SMALL, "--catalog-delay", "600",
+                     "--storage-gb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "stale replica reads" in out
+
+    def test_zero_delay_prints_no_staleness_block(self, capsys):
+        assert main(["run", *SMALL, "--catalog-delay", "0"]) == 0
+        assert "stale information" not in capsys.readouterr().out
+
+    def test_negative_delay_is_config_error(self, capsys):
+        assert main(["run", *SMALL, "--catalog-delay", "-5"]) == 2
+        assert "catalog delay" in capsys.readouterr().err
+
+    def test_info_timeout_accepted(self, capsys):
+        assert main(["run", *SMALL, "--info-timeout", "30"]) == 0
+
+    def test_watchdog_on_accepted(self, capsys):
+        assert main(["run", *SMALL, "--watchdog", "on"]) == 0
+
+    def test_watchdog_rejects_other_values(self):
+        with pytest.raises(SystemExit):
+            main(["run", *SMALL, "--watchdog", "maybe"])
+
+
+class TestSensitivity:
+    def test_sweep_prints_table_and_degradation(self, capsys):
+        assert main(["sensitivity", *SMALL, "--delays", "0", "300",
+                     "--pairs", "JobDataPresent+DataLeastLoaded"]) == 0
+        out = capsys.readouterr().out
+        assert "catalog-staleness sensitivity" in out
+        assert "misdirected" in out
+        assert "degradation for JobDataPresent + DataLeastLoaded" in out
+
+    def test_bad_pair_is_an_error(self, capsys):
+        assert main(["sensitivity", *SMALL, "--delays", "0",
+                     "--pairs", "JobMagic"]) == 2
+        assert "bad pair" in capsys.readouterr().err
+
+    def test_parallel_workers_accepted(self, capsys):
+        assert main(["sensitivity", *SMALL, "--delays", "0", "60",
+                     "--pairs", "JobLocal+DataDoNothing",
+                     "-j", "2"]) == 0
+        assert "sensitivity" in capsys.readouterr().out

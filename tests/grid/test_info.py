@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.grid import Job
+from repro.grid import InfoPolicy, Job
 from repro.grid.info import InformationService
 
 
@@ -112,3 +112,144 @@ class TestStaleness:
                                   refresh_interval_s=100.0)
         with pytest.raises(KeyError):
             info.load("nowhere")
+
+
+class TestAvailabilityFiltering:
+    """Down sites must vanish from every query, even from stale caches.
+
+    Regression tests: ``loads()`` used to return raw snapshot entries
+    (including sites already marked down) and ``least_loaded`` with
+    explicit candidates never consulted availability at all.
+    """
+
+    def test_loads_excludes_down_site_in_snapshot_mode(self, small_grid):
+        sim, grid = small_grid
+        info = InformationService(sim, grid.sites, grid.catalog,
+                                  refresh_interval_s=100.0)
+        info.mark_site_down("site01")
+        loads = info.loads()
+        assert "site01" not in loads
+        assert set(loads) == {"site00", "site02", "site03"}
+
+    def test_loads_excludes_down_site_in_live_mode(self, small_grid):
+        sim, grid = small_grid
+        grid.info.mark_site_down("site01")
+        assert "site01" not in grid.info.loads()
+
+    def test_least_loaded_skips_down_candidate(self, small_grid):
+        sim, grid = small_grid
+        info = InformationService(sim, grid.sites, grid.catalog,
+                                  refresh_interval_s=100.0)
+        info.mark_site_down("site00")
+        # site00 is the alphabetical tie-winner; down it must lose.
+        assert info.least_loaded(["site00", "site02"]) == "site02"
+
+    def test_least_loaded_all_candidates_down_raises(self, small_grid):
+        _, grid = small_grid
+        grid.info.mark_site_down("site00")
+        with pytest.raises(ValueError):
+            grid.info.least_loaded(["site00"])
+
+    def test_snapshot_survives_down_up_cycle(self, small_grid):
+        """mark_site_down/up with a periodic refresher in play.
+
+        The snapshot may be mid-interval when the outage toggles; the
+        availability filter must win while down, and recovery must serve
+        the (possibly stale) snapshot value again, not a half-updated
+        hybrid.
+        """
+        sim, grid = small_grid
+        info = InformationService(sim, grid.sites, grid.catalog,
+                                  refresh_interval_s=100.0)
+        for i in range(5):
+            grid.submit(Job(job_id=i, user="u", origin_site="site00",
+                            input_files=["d0"], runtime_s=10_000))
+        sim.run(until=150)  # snapshot refreshed at t=100: site00 load 3
+        assert info.load("site00") == 3
+        info.mark_site_down("site00")
+        assert "site00" not in info.loads()
+        assert "site00" not in info.site_names
+        assert not info.is_available("site00")
+        info.mark_site_up("site00")
+        assert info.is_available("site00")
+        assert info.loads()["site00"] == 3  # snapshot value, not a reset
+        assert info.site_names == sorted(grid.sites)
+
+    def test_mark_unknown_site_down_raises(self, small_grid):
+        _, grid = small_grid
+        with pytest.raises(KeyError):
+            grid.info.mark_site_down("nowhere")
+
+
+class TestQueryTimeoutFallback:
+    def make_info(self, sim, grid, timeout_s=50.0, refresh=0.0):
+        return InformationService(
+            sim, grid.sites, grid.catalog,
+            policy=InfoPolicy(refresh_interval_s=refresh,
+                              query_timeout_s=timeout_s))
+
+    def test_marked_site_serves_last_known(self, small_grid):
+        sim, grid = small_grid
+        info = self.make_info(sim, grid)
+        assert info.load("site00") == 0  # records last-known
+        for i in range(5):
+            grid.submit(Job(job_id=i, user="u", origin_site="site00",
+                            input_files=["d0"], runtime_s=10_000))
+        info.mark_stale("site00")
+        assert info.load("site00") == 0  # timed-out query, cached answer
+        assert info.stale_load_reads == 1
+        assert grid.sites["site00"].load == 3  # reality moved on
+
+    def test_fallback_expires_after_timeout(self, small_grid):
+        sim, grid = small_grid
+        info = self.make_info(sim, grid, timeout_s=50.0)
+        info.load("site00")
+        for i in range(5):
+            grid.submit(Job(job_id=i, user="u", origin_site="site00",
+                            input_files=["d0"], runtime_s=10_000))
+        info.mark_stale("site00")
+        sim.run(until=60.0)  # cached record is now older than the timeout
+        assert info.load("site00") == 3  # fell through to fresh state
+
+    def test_refresh_drops_the_mark(self, small_grid):
+        sim, grid = small_grid
+        info = self.make_info(sim, grid)
+        info.load("site00")
+        for i in range(5):
+            grid.submit(Job(job_id=i, user="u", origin_site="site00",
+                            input_files=["d0"], runtime_s=10_000))
+        info.mark_stale("site00")
+        info.refresh("site00")
+        assert info.load("site00") == 3
+        assert info.stale_load_reads == 0
+
+    def test_mark_without_history_reads_fresh(self, small_grid):
+        sim, grid = small_grid
+        info = self.make_info(sim, grid)
+        info.mark_stale("site02")  # no last-known value recorded yet
+        assert info.load("site02") == 0
+        assert info.stale_load_reads == 0
+
+    def test_mark_is_noop_when_policy_disables_timeout(self, small_grid):
+        sim, grid = small_grid
+        info = InformationService(sim, grid.sites, grid.catalog)
+        info.mark_stale("site00")
+        assert info._stale_marked == set()
+
+    def test_mark_unknown_site_raises(self, small_grid):
+        sim, grid = small_grid
+        info = self.make_info(sim, grid)
+        with pytest.raises(KeyError):
+            info.mark_stale("nowhere")
+
+    def test_loads_consistent_with_marked_sites(self, small_grid):
+        sim, grid = small_grid
+        info = self.make_info(sim, grid)
+        info.load("site00")
+        for i in range(5):
+            grid.submit(Job(job_id=i, user="u", origin_site="site00",
+                            input_files=["d0"], runtime_s=10_000))
+        info.mark_stale("site00")
+        loads = info.loads()
+        assert loads["site00"] == 0  # served from the cached record
+        assert loads["site01"] == 0

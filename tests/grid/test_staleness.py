@@ -1,0 +1,225 @@
+"""Unit tests for InfoPolicy and the StaleReplicaView delayed mirror."""
+
+import pytest
+
+from repro.grid import InfoPolicy, ReplicaCatalog, StaleReplicaView
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+
+
+def make_view(delay=100.0):
+    sim = Simulator()
+    catalog = ReplicaCatalog()
+    view = StaleReplicaView(sim, catalog, delay)
+    catalog.add_listener(view)
+    return sim, catalog, view
+
+
+class TestInfoPolicy:
+    def test_defaults_are_live(self):
+        policy = InfoPolicy()
+        assert policy.is_live
+        assert policy.bounce_budget == 1
+
+    @pytest.mark.parametrize("field", [
+        "refresh_interval_s", "catalog_delay_s", "query_timeout_s",
+        "bounce_budget"])
+    def test_negative_values_rejected(self, field):
+        with pytest.raises(ValueError):
+            InfoPolicy(**{field: -1})
+
+    @pytest.mark.parametrize("changes", [
+        {"refresh_interval_s": 60.0},
+        {"catalog_delay_s": 30.0},
+        {"query_timeout_s": 10.0},
+    ])
+    def test_any_staleness_knob_breaks_liveness(self, changes):
+        assert not InfoPolicy(**changes).is_live
+
+    def test_zero_bounce_budget_is_still_live(self):
+        # The budget only matters once misdirections happen, which needs
+        # a catalog delay; on its own it does not make answers stale.
+        assert InfoPolicy(bounce_budget=0).is_live
+
+    def test_hashable_for_config_caching(self):
+        assert hash(InfoPolicy()) == hash(InfoPolicy())
+
+
+class TestConstruction:
+    def test_nonpositive_delay_rejected(self):
+        sim = Simulator()
+        catalog = ReplicaCatalog()
+        for delay in (0.0, -5.0):
+            with pytest.raises(ValueError):
+                StaleReplicaView(sim, catalog, delay)
+
+    def test_existing_records_visible_immediately(self):
+        sim = Simulator()
+        catalog = ReplicaCatalog()
+        catalog.register("d0", "site00", 500.0)
+        view = StaleReplicaView(sim, catalog, 100.0)
+        assert view.has_replica("d0", "site00")
+        assert view.locations("d0") == ["site00"]
+
+
+class TestDelayedVisibility:
+    def test_register_invisible_before_delay(self):
+        sim, catalog, view = make_view(delay=100.0)
+        catalog.register("d0", "site00", 500.0)
+        assert not view.has_replica("d0", "site00")
+        assert view.locations("d0") == []
+        assert view.replica_count("d0") == 0
+
+    def test_register_visible_after_delay(self):
+        sim, catalog, view = make_view(delay=100.0)
+        catalog.register("d0", "site00", 500.0)
+        sim.run(until=100.0)
+        assert view.has_replica("d0", "site00")
+        assert view.locations("d0") == ["site00"]
+
+    def test_deregister_leaves_phantom_until_delay(self):
+        sim, catalog, view = make_view(delay=100.0)
+        catalog.register("d0", "site00", 500.0)
+        view.sync_all()
+        catalog.deregister("d0", "site00")
+        assert view.has_replica("d0", "site00")  # phantom
+        assert not catalog.has_replica("d0", "site00")
+        sim.run(until=100.0)
+        assert not view.has_replica("d0", "site00")
+
+    def test_updates_apply_in_order(self):
+        sim, catalog, view = make_view(delay=50.0)
+        catalog.register("d0", "site00", 500.0)
+        catalog.deregister("d0", "site00")
+        catalog.register("d0", "site00", 500.0)
+        sim.run(until=50.0)
+        assert view.has_replica("d0", "site00")
+
+    def test_idempotent_reregistration_not_queued(self):
+        sim, catalog, view = make_view(delay=50.0)
+        catalog.register("d0", "site00", 500.0)
+        view.sync_all()
+        catalog.register("d0", "site00", 500.0)  # no membership change
+        assert view.pending_count() == 0
+
+    def test_pending_count_drains_with_time(self):
+        sim, catalog, view = make_view(delay=100.0)
+        catalog.register("d0", "site00", 500.0)
+        sim.run(until=10.0)
+        catalog.register("d1", "site01", 700.0)
+        assert view.pending_count() == 2
+        sim.run(until=100.0)
+        assert view.pending_count() == 1
+        sim.run(until=110.0)
+        assert view.pending_count() == 0
+
+    def test_bytes_present_by_site_uses_stale_state(self):
+        sim, catalog, view = make_view(delay=100.0)
+        catalog.register("d0", "site00", 500.0)
+        view.sync_all()
+        catalog.register("d0", "site01", 500.0)
+        present = view.bytes_present_by_site(["d0"])
+        assert present == {"site00": 500.0}
+        sim.run(until=100.0)
+        present = view.bytes_present_by_site(["d0"])
+        assert present == {"site00": 500.0, "site01": 500.0}
+
+    def test_location_set_matches_locations(self):
+        sim, catalog, view = make_view(delay=10.0)
+        catalog.register("d0", "site00", 500.0)
+        sim.run(until=10.0)
+        assert view.location_set("d0") == {"site00"}
+        assert view.location_set("unknown") == frozenset()
+
+
+class TestSyncAndReconcile:
+    def test_sync_all_applies_everything(self):
+        sim, catalog, view = make_view(delay=1000.0)
+        catalog.register("d0", "site00", 500.0)
+        catalog.register("d1", "site01", 700.0)
+        view.sync_all()
+        assert view.has_replica("d0", "site00")
+        assert view.has_replica("d1", "site01")
+        assert view.pending_count() == 0
+
+    def test_reconcile_purges_phantom(self):
+        sim, catalog, view = make_view(delay=100.0)
+        catalog.register("d0", "site00", 500.0)
+        view.sync_all()
+        catalog.deregister("d0", "site00")
+        view.reconcile("d0", "site00")
+        assert not view.has_replica("d0", "site00")
+        # The queued deregister was superseded; replaying it must not
+        # resurrect anything.
+        sim.run(until=100.0)
+        assert not view.has_replica("d0", "site00")
+        assert view.audit() == []
+
+    def test_reconcile_reveals_fresh_replica(self):
+        sim, catalog, view = make_view(delay=100.0)
+        catalog.register("d0", "site00", 500.0)  # pending, invisible
+        view.reconcile("d0", "site00")
+        assert view.has_replica("d0", "site00")
+        sim.run(until=100.0)
+        assert view.has_replica("d0", "site00")
+        assert view.audit() == []
+
+    def test_reconcile_leaves_other_pairs_pending(self):
+        sim, catalog, view = make_view(delay=100.0)
+        catalog.register("d0", "site00", 500.0)
+        catalog.register("d1", "site01", 700.0)
+        view.reconcile("d0", "site00")
+        assert view.has_replica("d0", "site00")
+        assert not view.has_replica("d1", "site01")  # still pending
+        sim.run(until=100.0)
+        assert view.has_replica("d1", "site01")
+
+
+class TestStaleReadAccounting:
+    def test_fresh_answer_not_counted(self):
+        sim, catalog, view = make_view(delay=100.0)
+        catalog.register("d0", "site00", 500.0)
+        view.sync_all()
+        view.locations("d0")
+        assert view.stale_reads == 0
+
+    def test_differing_answer_counted(self):
+        sim, catalog, view = make_view(delay=100.0)
+        catalog.register("d0", "site00", 500.0)  # invisible for 100 s
+        assert view.locations("d0") == []
+        assert view.stale_reads == 1
+
+    def test_stale_read_emits_trace_record(self):
+        sim, catalog, view = make_view(delay=100.0)
+        tracer = Tracer()
+        view.tracer = tracer
+        catalog.register("d0", "site00", 500.0)
+        view.has_replica("d0", "site00")
+        kinds = [r.kind for r in tracer.records]
+        assert kinds == ["info.stale_read"]
+
+
+class TestAudit:
+    def test_clean_view_audits_clean(self):
+        sim, catalog, view = make_view(delay=100.0)
+        catalog.register("d0", "site00", 500.0)
+        view.sync_all()
+        catalog.deregister("d0", "site00")
+        catalog.register("d0", "site01", 500.0)
+        assert view.audit() == []
+
+    def test_audit_detects_lost_update(self):
+        sim, catalog, view = make_view(delay=100.0)
+        catalog.register("d0", "site00", 500.0)
+        view._pending.clear()  # corrupt: drop the queued registration
+        problems = view.audit()
+        assert problems
+        assert "disagrees" in problems[0]
+
+    def test_audit_detects_overdelayed_update(self):
+        sim, catalog, view = make_view(delay=100.0)
+        catalog.register("d0", "site00", 500.0)
+        bad = view._pending[0]._replace(visible_at=1e9)
+        view._pending[0] = bad
+        problems = view.audit()
+        assert any("beyond the staleness bound" in p for p in problems)

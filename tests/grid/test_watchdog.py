@@ -1,0 +1,181 @@
+"""The runtime invariant watchdog: clean passes and seeded corruptions.
+
+Each corruption test breaks exactly one conservation law by hand and
+asserts the watchdog names that invariant — proving the checks are
+neither vacuous nor cross-wired.
+"""
+
+import types
+
+import pytest
+
+from repro import SimulationConfig, build_grid, make_workload
+from repro.sim.trace import Tracer
+from repro.watchdog import InvariantViolation, Watchdog, attach
+
+
+def small_run_grid(**config_changes):
+    config = SimulationConfig.paper().scaled(0.02).with_(**config_changes)
+    workload = make_workload(config, seed=0)
+    return build_grid(config, "JobDataPresent", "DataRandom", workload,
+                      seed=0)
+
+
+class TestConstruction:
+    def test_nonpositive_interval_rejected(self, small_grid):
+        sim, grid = small_grid
+        for interval in (0.0, -10.0):
+            with pytest.raises(ValueError):
+                Watchdog(sim, grid, interval_s=interval)
+
+    def test_attach_registers_on_grid(self, small_grid):
+        _, grid = small_grid
+        dog = attach(grid)
+        assert grid.watchdog is dog
+
+
+class TestCleanRuns:
+    def test_fresh_grid_passes_all_checks(self, small_grid):
+        _, grid = small_grid
+        dog = attach(grid)
+        dog.check_now()
+        assert dog.checks_run == 1
+
+    def test_clean_full_run_passes(self):
+        sim, grid = small_run_grid(watchdog=True)
+        grid.run()
+        assert grid.watchdog is not None
+        grid.watchdog.check_now()
+        assert grid.watchdog.checks_run > 1  # periodic loop fired mid-run
+
+    def test_faulty_full_run_passes(self):
+        from repro import FaultPlan, SiteOutage
+
+        plan = FaultPlan(
+            site_outages=(SiteOutage("site00", 500.0, 3_000.0),),
+            transfer_fail_prob=0.1, seed=1)
+        sim, grid = small_run_grid(watchdog=True, fault_plan=plan)
+        grid.run()
+        grid.watchdog.check_now()
+
+    def test_stale_full_run_passes(self):
+        sim, grid = small_run_grid(watchdog=True, catalog_delay_s=600.0)
+        grid.run()
+        grid.watchdog.check_now()
+
+    def test_check_emits_trace_record(self, small_grid):
+        _, grid = small_grid
+        grid.tracer = Tracer()
+        dog = attach(grid)
+        dog.check_now()
+        assert [r.kind for r in grid.tracer.records] == ["watchdog.check"]
+        assert grid.tracer.records[0].detail["n"] == 1
+
+
+class TestSeededCorruptions:
+    def expect_violation(self, grid, invariant):
+        with pytest.raises(InvariantViolation) as err:
+            grid.watchdog.check_now()
+        assert err.value.invariant == invariant
+        assert invariant in str(err.value)
+        return err.value
+
+    def test_lost_job_breaks_jobs_conserved(self, small_grid):
+        _, grid = small_grid
+        attach(grid)
+        grid.sites["site00"].jobs_in_system += 1
+        violation = self.expect_violation(grid, "jobs-conserved")
+        assert violation.details["sites_in_system"] == 1
+
+    def test_negative_queue_breaks_jobs_conserved(self, small_grid):
+        _, grid = small_grid
+        attach(grid)
+        grid.sites["site00"].jobs_in_system = -1
+        self.expect_violation(grid, "jobs-conserved")
+
+    def test_storage_leak_breaks_accounting(self, small_grid):
+        _, grid = small_grid
+        attach(grid)
+        grid.storages["site00"]._used_mb += 123.0
+        violation = self.expect_violation(grid, "storage-accounting")
+        assert violation.details["site"] == "site00"
+
+    def test_overfull_storage_detected(self, small_grid):
+        _, grid = small_grid
+        attach(grid)
+        # site02 holds d2 (books stay self-consistent); shrinking the
+        # capacity below occupancy trips the capacity clause.
+        storage = grid.storages["site02"]
+        storage.capacity_mb = storage.used_mb - 1.0
+        self.expect_violation(grid, "storage-accounting")
+
+    def test_aborted_completed_transfer_detected(self, small_grid):
+        _, grid = small_grid
+        attach(grid)
+        grid.transfers.completed.append(types.SimpleNamespace(
+            src="site00", dst="site01", size_mb=10.0, failed=True,
+            finished_at=5.0, remaining_mb=0.0))
+        self.expect_violation(grid, "transfers-consistent")
+
+    def test_unfinished_completed_transfer_detected(self, small_grid):
+        _, grid = small_grid
+        attach(grid)
+        grid.transfers.completed.append(types.SimpleNamespace(
+            src="site00", dst="site01", size_mb=10.0, failed=False,
+            finished_at=None, remaining_mb=4.0))
+        self.expect_violation(grid, "transfers-consistent")
+
+    def test_ghost_catalog_record_detected(self, small_grid):
+        _, grid = small_grid
+        attach(grid)
+        grid.catalog.register("d0", "site03", 500.0)  # nothing resident
+        self.expect_violation(grid, "catalog-consistent")
+
+    def test_unregistered_resident_file_detected(self, small_grid):
+        sim, grid = small_grid
+        attach(grid)
+        grid.catalog.deregister("d2", "site02")
+        self.expect_violation(grid, "catalog-consistent")
+
+    def test_corrupted_stale_view_detected(self):
+        sim, grid = small_run_grid(catalog_delay_s=600.0)
+        attach(grid)
+        grid.watchdog.check_now()  # sanity: clean before corruption
+        view = grid.info.replica_view
+        view._locations.setdefault("dataset0000", set()).add("ghost-site")
+        self.expect_violation(grid, "stale-view-bounded")
+
+
+class TestViolationReporting:
+    def test_message_carries_time_and_details(self, small_grid):
+        sim, grid = small_grid
+        attach(grid)
+        sim.run(until=42.0)
+        grid.sites["site00"].jobs_in_system += 1
+        with pytest.raises(InvariantViolation) as err:
+            grid.watchdog.check_now()
+        assert err.value.time == 42.0
+        assert "[t=42.000]" in str(err.value)
+
+    def test_trace_tail_attached_when_tracing(self, small_grid):
+        from repro.grid import Job
+
+        _, grid = small_grid
+        grid.tracer = Tracer()
+        for site in grid.sites.values():
+            site.tracer = grid.tracer
+        attach(grid)
+        grid.submit(Job(job_id=1, user="u", origin_site="site00",
+                        input_files=["d0"], runtime_s=10))
+        grid.storages["site00"]._used_mb += 1.0
+        with pytest.raises(InvariantViolation) as err:
+            grid.watchdog.check_now()
+        assert err.value.trace_tail
+        assert "recent trace" in str(err.value)
+
+    def test_periodic_loop_raises_mid_run(self, small_grid):
+        sim, grid = small_grid
+        attach(grid, interval_s=10.0)
+        grid.storages["site00"]._used_mb += 1.0
+        with pytest.raises(InvariantViolation):
+            sim.run(until=50.0)

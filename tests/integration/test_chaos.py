@@ -38,7 +38,7 @@ HOSTILE_PLAN = FaultPlan(
 @pytest.fixture(scope="module")
 def chaos_matrix():
     config = SimulationConfig.paper().scaled(0.15).with_(
-        fault_plan=HOSTILE_PLAN)
+        fault_plan=HOSTILE_PLAN, watchdog=True)
     return run_matrix(config, seeds=(0,))
 
 

@@ -16,7 +16,7 @@ from repro.metrics import RunMetrics
 def finished(request):
     es, ds = request.param
     config = SimulationConfig.paper().scaled(0.1).with_(
-        ds_check_interval_s=100.0)
+        ds_check_interval_s=100.0, watchdog=True)
     workload = make_workload(config, seed=0)
     sim, grid = build_grid(config, es, ds, workload, seed=0)
     makespan = grid.run()

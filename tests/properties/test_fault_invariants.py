@@ -67,7 +67,8 @@ def fault_plans(draw):
 
 def run_under_plan(plan, seed=0, es="JobDataPresent", ds="DataRandom"):
     """Run the small grid under a plan; returns (grid, eviction audit)."""
-    config = SimulationConfig.paper().scaled(0.02).with_(fault_plan=plan)
+    config = SimulationConfig.paper().scaled(0.02).with_(
+        fault_plan=plan, watchdog=True)
     workload = make_workload(config, seed=seed)
     sim, grid = build_grid(config, es, ds, workload, seed=seed)
     evicted_while_pinned = _audit_evictions(grid)
