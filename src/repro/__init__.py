@@ -37,6 +37,7 @@ from repro.experiments.runner import (
 )
 from repro.faults.plan import FaultPlan, LinkDegradation, SiteOutage
 from repro.grid.grid import DataGrid
+from repro.grid.overload import OverloadPolicy
 from repro.grid.staleness import InfoPolicy, StaleReplicaView
 from repro.metrics.collector import RunMetrics
 from repro.scheduling.registry import ALL_DS, ALL_ES, ALL_LS
@@ -53,6 +54,7 @@ __all__ = [
     "InfoPolicy",
     "InvariantViolation",
     "LinkDegradation",
+    "OverloadPolicy",
     "RunMetrics",
     "SimulationConfig",
     "SiteOutage",

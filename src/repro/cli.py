@@ -98,6 +98,38 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     faults.add_argument("--fault-seed", type=int, default=None,
                         help="seed for the stochastic fault stream "
                              "(default: the run seed)")
+    overload = parser.add_argument_group(
+        "overload protection (default: all off — unbounded queues, no "
+        "deadlines, no reservations; the paper's model)")
+    overload.add_argument("--queue-capacity", type=int, default=None,
+                          metavar="JOBS",
+                          help="per-site waiting-job bound (0 = unbounded); "
+                               "dispatches onto a full queue deflect, then "
+                               "shed")
+    overload.add_argument("--deflect-budget", type=int, default=None,
+                          metavar="N",
+                          help="deflections tolerated per dispatch before "
+                               "a job is shed (default 1)")
+    overload.add_argument("--job-deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="queue-wait deadline per job (0 = none); "
+                               "expired jobs leave the queue counted, "
+                               "never run")
+    overload.add_argument("--aging-factor", type=float, default=None,
+                          metavar="RATE",
+                          help="priority-aging rate for queue-reordering "
+                               "local schedulers (0 = off)")
+    overload.add_argument("--degraded-es", default=None, metavar="ES",
+                          help="External Scheduler used for deflection "
+                               "targets (default: least-loaded scan)")
+    overload.add_argument("--storage-reservations", default=None,
+                          choices=["on", "off"],
+                          help="route transfers through the storage "
+                               "reservation ledger (no overcommit)")
+    overload.add_argument("--arrival-rate", type=float, default=None,
+                          metavar="JOBS_PER_S",
+                          help="open-loop Poisson arrival rate replacing "
+                               "the closed-loop users (0 = closed loop)")
 
 
 def _build_fault_plan(args: argparse.Namespace):
@@ -147,6 +179,12 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
         "catalog_delay": "catalog_delay_s",
         "info_timeout": "info_timeout_s",
         "allocator": "allocator",
+        "queue_capacity": "queue_capacity",
+        "deflect_budget": "deflect_budget",
+        "job_deadline": "job_deadline_s",
+        "aging_factor": "aging_factor",
+        "degraded_es": "degraded_es",
+        "arrival_rate": "arrival_rate_per_s",
     }
     for arg_name, field in mapping.items():
         value = getattr(args, arg_name)
@@ -154,6 +192,8 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
             overrides[field] = value
     if args.watchdog is not None:
         overrides["watchdog"] = args.watchdog == "on"
+    if args.storage_reservations is not None:
+        overrides["storage_reservations"] = args.storage_reservations == "on"
     if args.storage_gb is not None:
         overrides["storage_capacity_mb"] = args.storage_gb * 1000.0
     if overrides:
@@ -262,21 +302,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_pairs(specs) -> Optional[tuple]:
+    """Parse --pairs entries like 'JobDataPresent+DataLeastLoaded'."""
+    if specs is None:
+        return None
+    pairs = []
+    for spec in specs:
+        es_name, sep, ds_name = spec.partition("+")
+        if not sep or es_name not in ALL_ES or ds_name not in ALL_DS:
+            raise ValueError(
+                f"bad pair {spec!r}; expected ES+DS like "
+                f"JobDataPresent+DataLeastLoaded")
+        pairs.append((es_name, ds_name))
+    return tuple(pairs)
+
+
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
-    from repro.experiments.sensitivity import staleness_sensitivity
+    from repro.experiments.sensitivity import (
+        overload_sweep,
+        staleness_sensitivity,
+    )
 
     config = _build_config(args)
-    pairs = None
-    if args.pairs is not None:
-        pairs = []
-        for spec in args.pairs:
-            es_name, sep, ds_name = spec.partition("+")
-            if not sep or es_name not in ALL_ES or ds_name not in ALL_DS:
-                raise ValueError(
-                    f"bad pair {spec!r}; expected ES+DS like "
-                    f"JobDataPresent+DataLeastLoaded")
-            pairs.append((es_name, ds_name))
-    kwargs = {"pairs": tuple(pairs)} if pairs else {}
+    pairs = _parse_pairs(args.pairs)
+    kwargs = {"pairs": pairs} if pairs else {}
+    if args.mode == "overload-sweep":
+        result = overload_sweep(
+            config, rates=tuple(args.rates),
+            capacities=tuple(args.capacities), seeds=tuple(args.seeds),
+            jobs=args.jobs, cache_dir=_cache_dir(args), **kwargs)
+        print(result.table())
+        return 0
     result = staleness_sensitivity(
         config, delays=tuple(args.delays), seeds=tuple(args.seeds),
         jobs=args.jobs, cache_dir=_cache_dir(args), **kwargs)
@@ -406,11 +462,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sens = sub.add_parser(
         "sensitivity",
-        help="staleness sweep: response time vs catalog delay")
+        help="degradation sweeps: catalog staleness or offered overload")
+    p_sens.add_argument("mode", nargs="?",
+                        choices=["staleness-sweep", "overload-sweep"],
+                        default="staleness-sweep",
+                        help="staleness-sweep: response time vs catalog "
+                             "delay (default); overload-sweep: arrival "
+                             "rate x queue capacity degradation table")
     p_sens.add_argument("--delays", type=float, nargs="+",
                         default=[0.0, 60.0, 300.0, 900.0, 1800.0],
                         metavar="SECONDS",
-                        help="catalog propagation delays to sweep")
+                        help="catalog propagation delays to sweep "
+                             "(staleness-sweep)")
+    p_sens.add_argument("--rates", type=float, nargs="+",
+                        default=[0.02, 0.05, 0.1, 0.2],
+                        metavar="JOBS_PER_S",
+                        help="open-loop arrival rates to sweep "
+                             "(overload-sweep)")
+    p_sens.add_argument("--capacities", type=int, nargs="+",
+                        default=[4, 16], metavar="JOBS",
+                        help="per-site queue capacities to sweep "
+                             "(overload-sweep)")
     p_sens.add_argument("--pairs", nargs="+", default=None,
                         metavar="ES+DS",
                         help="algorithm pairs, e.g. "

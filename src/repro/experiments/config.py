@@ -115,6 +115,26 @@ class SimulationConfig:
     #: runner's cache keys and stay reproducible at any worker count.
     fault_plan: Optional[FaultPlan] = None
 
+    # ---- Overload protection ---------------------------------------------------
+    #: Per-site waiting-job capacity (0 = unbounded queues, the paper's
+    #: model).  A dispatch onto a full queue is deflected, then shed.
+    queue_capacity: int = 0
+    #: Deflections tolerated per dispatch before a job is shed.
+    deflect_budget: int = 1
+    #: Queue-wait deadline per job in seconds (0 = none).
+    job_deadline_s: float = 0.0
+    #: Priority-aging rate for queue-reordering local schedulers (0 = off).
+    aging_factor: float = 0.0
+    #: Degraded-mode External Scheduler name ("" = least-loaded scan).
+    degraded_es: str = ""
+    #: Route data-mover transfers through the storage reservation ledger.
+    storage_reservations: bool = False
+    #: Open-loop Poisson arrival rate, jobs/s (0 = the paper's
+    #: closed-loop users).  > 0 replaces sequential per-user submission
+    #: with one grid-wide arrival stream at this rate — the offered-load
+    #: axis of the overload sweep.
+    arrival_rate_per_s: float = 0.0
+
     # ---- Replication seed ----------------------------------------------------
     seed: int = 0
 
@@ -144,6 +164,22 @@ class SimulationConfig:
         if self.info_timeout_s < 0:
             raise ValueError(
                 f"info timeout must be >= 0, got {self.info_timeout_s!r}")
+        if self.queue_capacity < 0:
+            raise ValueError(
+                f"queue capacity must be >= 0, got {self.queue_capacity!r}")
+        if self.deflect_budget < 0:
+            raise ValueError(
+                f"deflect budget must be >= 0, got {self.deflect_budget!r}")
+        if self.job_deadline_s < 0:
+            raise ValueError(
+                f"job deadline must be >= 0, got {self.job_deadline_s!r}")
+        if self.aging_factor < 0:
+            raise ValueError(
+                f"aging factor must be >= 0, got {self.aging_factor!r}")
+        if self.arrival_rate_per_s < 0:
+            raise ValueError(
+                f"arrival rate must be >= 0, "
+                f"got {self.arrival_rate_per_s!r}")
 
     # -- factories -------------------------------------------------------------
 

@@ -49,7 +49,10 @@ from repro.metrics.collector import RunMetrics
 #: optional FaultPlan.
 #: v3: stale-information metrics (misdirected/bounced/stale reads) added
 #: to RunMetrics; configs gain catalog-delay/info-timeout/watchdog knobs.
-CACHE_VERSION = 3
+#: v4: overload metrics (shed/expired/deflected, peaks) added to
+#: RunMetrics; configs gain queue-capacity/deadline/aging/reservation/
+#: arrival-rate knobs.
+CACHE_VERSION = 4
 
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"

@@ -16,7 +16,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.config import SimulationConfig
 from repro.experiments.parallel import ParallelRunner, RunSpec
+from repro.grid.arrivals import OpenArrivalProcess
 from repro.grid.grid import DataGrid
+from repro.grid.overload import OverloadPolicy
 from repro.grid.staleness import InfoPolicy
 from repro.grid.user import User
 from repro.metrics.collector import RunMetrics
@@ -130,6 +132,18 @@ def build_grid(
     fault_plan = config.fault_plan
     if fault_plan is not None and fault_plan.is_null:
         fault_plan = None
+    # Same contract for the "overload" stream: a null policy is dropped
+    # entirely so default configs take the exact pre-overload paths.
+    overload_policy = OverloadPolicy(
+        queue_capacity=config.queue_capacity,
+        deflect_budget=config.deflect_budget,
+        job_deadline_s=config.job_deadline_s,
+        aging_factor=config.aging_factor,
+        degraded_es=config.degraded_es,
+        storage_reservations=config.storage_reservations,
+    )
+    if overload_policy.is_null:
+        overload_policy = None
     grid = DataGrid.create(
         sim=sim,
         topology=topology,
@@ -151,10 +165,27 @@ def build_grid(
                    if fault_plan is not None else None),
         tracer=tracer,
         watchdog_interval_s=300.0 if config.watchdog else 0.0,
+        overload_policy=overload_policy,
+        overload_rng=(streams.stream("overload")
+                      if overload_policy is not None else None),
     )
     grid.place_initial_replicas(workload.initial_placement)
-    for user, site in workload.user_sites.items():
-        grid.add_user(User(sim, user, site, workload.user_jobs[user], grid))
+    if config.arrival_rate_per_s > 0:
+        # Open-loop mode: one grid-wide Poisson arrival stream replaces
+        # the closed-loop users.  Jobs keep their generated origin sites;
+        # the flattened order is by job id, so the stream is independent
+        # of dict iteration and identical at any worker count.
+        all_jobs = sorted(
+            (job for jobs in workload.user_jobs.values() for job in jobs),
+            key=lambda job: job.job_id)
+        grid.arrivals = OpenArrivalProcess(
+            sim, grid, config.arrival_rate_per_s,
+            lambda i: all_jobs[i], len(all_jobs),
+            rng=streams.stream("arrivals"))
+    else:
+        for user, site in workload.user_sites.items():
+            grid.add_user(
+                User(sim, user, site, workload.user_jobs[user], grid))
     return sim, grid
 
 

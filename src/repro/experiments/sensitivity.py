@@ -1,12 +1,21 @@
-"""Staleness-sensitivity experiment: where does decoupling's win degrade?
+"""Sensitivity experiments: where do the paper's findings degrade?
 
 The paper evaluates every algorithm pair under *perfect* global
-information.  :func:`staleness_sensitivity` re-runs chosen (ES, DS) pairs
-across a range of replica-catalog propagation delays (the
-:class:`~repro.grid.staleness.StaleReplicaView` bounded-staleness model)
-and tabulates response time next to the misdirection/bounce counters, so
-one table answers: at what delay does ``JobDataPresent``'s data-local
-advantage stop paying for the jobs it sends to the wrong site?
+information and load the grid can absorb.  Two sweeps probe past those
+assumptions:
+
+* :func:`staleness_sensitivity` re-runs chosen (ES, DS) pairs across a
+  range of replica-catalog propagation delays (the
+  :class:`~repro.grid.staleness.StaleReplicaView` bounded-staleness
+  model) and tabulates response time next to the misdirection/bounce
+  counters, so one table answers: at what delay does
+  ``JobDataPresent``'s data-local advantage stop paying for the jobs it
+  sends to the wrong site?
+* :func:`overload_sweep` drives chosen pairs with an open-loop Poisson
+  arrival stream across an arrival-rate × queue-capacity grid (the
+  :class:`~repro.grid.overload.OverloadPolicy` saturation protections)
+  and tabulates the degradation counters, locating the saturation knee
+  per scheduler pair.
 
 Every cell is a full seed-replicated run through the
 :class:`~repro.experiments.parallel.ParallelRunner`, so results are
@@ -129,4 +138,137 @@ def staleness_sensitivity(
             result.runs[(es_name, ds_name, delay)] = metrics[
                 index:index + len(seeds)]
             index += len(seeds)
+    return result
+
+
+# ---- overload sweep ---------------------------------------------------------
+
+#: Default offered-load grid, jobs/s.  At test scales the low end is
+#: comfortably sub-critical and the high end is far past saturation; real
+#: studies should pick rates around their configuration's service rate.
+DEFAULT_RATES: Tuple[float, ...] = (0.02, 0.05, 0.1, 0.2)
+
+#: Default per-site queue capacities (jobs waiting).
+DEFAULT_CAPACITIES: Tuple[int, ...] = (4, 16)
+
+
+@dataclass
+class OverloadSweepResult:
+    """Results of one overload sweep over (pair × rate × capacity × seed)."""
+
+    rates: Tuple[float, ...]
+    capacities: Tuple[int, ...]
+    pairs: Tuple[Tuple[str, str], ...]
+    seeds: Tuple[int, ...]
+    #: (es, ds, rate, capacity) → per-seed metrics.
+    runs: Dict[Tuple[str, str, float, int], List[RunMetrics]] = (
+        field(default_factory=dict))
+
+    def summary(self, es_name: str, ds_name: str, rate: float,
+                capacity: int, metric: str) -> MetricSummary:
+        """Cross-seed summary of one metric at one sweep cell."""
+        return MetricSummary.of([
+            float(getattr(m, metric))
+            for m in self.runs[(es_name, ds_name, rate, capacity)]])
+
+    def series(self, es_name: str, ds_name: str, capacity: int,
+               metric: str) -> List[float]:
+        """Mean of ``metric`` for one pair/capacity at each rate."""
+        return [
+            self.summary(es_name, ds_name, rate, capacity, metric).mean
+            for rate in self.rates]
+
+    def knee(self, es_name: str, ds_name: str, capacity: int,
+             factor: float = 2.0) -> Optional[float]:
+        """The saturation knee: the first swept arrival rate whose mean
+        response time exceeds ``factor`` × the lowest-rate response.
+        ``None`` = the pair absorbed every swept rate.
+        """
+        series = self.series(es_name, ds_name, capacity,
+                             "avg_response_time_s")
+        baseline = series[0]
+        if baseline <= 0:
+            return None
+        for rate, value in zip(self.rates, series):
+            if value > factor * baseline:
+                return rate
+        return None
+
+    def table(self) -> str:
+        """ASCII degradation table: one row per (pair, rate, capacity)."""
+        lines = [
+            f"overload sweep ({len(self.seeds)} seed(s))",
+            f"{'pair':<34}{'rate/s':>8}{'cap':>5}{'response (s)':>14}"
+            f"{'shed':>6}{'expired':>8}{'deflected':>10}{'peak q':>7}",
+        ]
+        for es_name, ds_name in self.pairs:
+            for capacity in self.capacities:
+                for rate in self.rates:
+                    cell = lambda m: self.summary(  # noqa: E731
+                        es_name, ds_name, rate, capacity, m).mean
+                    label = f"{es_name} + {ds_name}"
+                    lines.append(
+                        f"{label:<34}{rate:>8g}{capacity:>5d}"
+                        f"{cell('avg_response_time_s'):>14.1f}"
+                        f"{cell('jobs_shed'):>6.1f}"
+                        f"{cell('jobs_expired'):>8.1f}"
+                        f"{cell('jobs_deflected'):>10.1f}"
+                        f"{cell('peak_queue_depth'):>7.1f}")
+                knee = self.knee(es_name, ds_name, capacity)
+                lines.append(
+                    f"  knee (2x response) at capacity {capacity}: "
+                    + (f"{knee:g} jobs/s" if knee is not None
+                       else "not reached"))
+        return "\n".join(lines)
+
+
+def overload_sweep(
+    config: SimulationConfig,
+    rates: Sequence[float] = DEFAULT_RATES,
+    capacities: Sequence[int] = DEFAULT_CAPACITIES,
+    pairs: Sequence[Tuple[str, str]] = DEFAULT_PAIRS,
+    seeds: Sequence[int] = (0,),
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> OverloadSweepResult:
+    """Sweep open-loop arrival rate × queue capacity for each pair.
+
+    Each cell replaces the paper's closed-loop users with a Poisson
+    stream at the given rate and bounds every site queue at the given
+    capacity (0 = unbounded, the graceful-degradation control).  The
+    workload depends only on the seed, so cells along the rate axis are
+    paired comparisons.  Other overload knobs (deadline, reservations,
+    degraded ES) are taken from ``config`` unchanged.
+    """
+    if not rates:
+        raise ValueError("no arrival rates given")
+    if not capacities:
+        raise ValueError("no queue capacities given")
+    if not pairs:
+        raise ValueError("no algorithm pairs given")
+    result = OverloadSweepResult(
+        rates=tuple(float(r) for r in rates),
+        capacities=tuple(int(c) for c in capacities),
+        pairs=tuple(pairs),
+        seeds=tuple(seeds),
+    )
+    seeds = tuple(seeds)
+    specs = [
+        RunSpec(
+            config.with_(arrival_rate_per_s=rate, queue_capacity=capacity),
+            es_name, ds_name, seed)
+        for es_name, ds_name in result.pairs
+        for rate in result.rates
+        for capacity in result.capacities
+        for seed in seeds
+    ]
+    runner = ParallelRunner(jobs=jobs, cache_dir=cache_dir)
+    metrics = runner.map(specs)
+    index = 0
+    for es_name, ds_name in result.pairs:
+        for rate in result.rates:
+            for capacity in result.capacities:
+                result.runs[(es_name, ds_name, rate, capacity)] = metrics[
+                    index:index + len(seeds)]
+                index += len(seeds)
     return result

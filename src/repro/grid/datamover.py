@@ -38,6 +38,19 @@ class DataUnavailableError(Exception):
     """No replica of a required dataset exists anywhere in the grid."""
 
 
+class RemoteReadMB(float):
+    """MB moved by a degraded *remote read*.
+
+    Overload mode: when a pinned fetch cannot reserve storage for
+    ``remote_read_after`` retry rounds, the bytes are streamed to the job
+    without being stored.  The traffic is real (it is a plain float for
+    every accounting purpose) but the file was never added or pinned, so
+    the site must not unpin it afterwards — hence the distinct type.
+    """
+
+    __slots__ = ()
+
+
 class DataMover:
     """Moves datasets between sites over the contended network.
 
@@ -79,6 +92,15 @@ class DataMover:
         #: stalled, and retries that switched to an alternate replica.
         self.transfers_failed = 0
         self.failovers = 0
+        #: Overload policy + shared saturation counters, installed by the
+        #: grid when an :class:`~repro.grid.overload.OverloadPolicy` is
+        #: active.  ``None`` keeps every fetch on the exact pre-overload
+        #: code path (no reservations, no remote reads).
+        self.overload = None
+        self.overload_stats = None
+        #: Replication pushes skipped because the target raised
+        #: :class:`StorageFullError` mid-push (satellite metric).
+        self.replications_skipped_full = 0
 
     # -- public API ----------------------------------------------------------
 
@@ -132,10 +154,19 @@ class DataMover:
             self.replications_skipped += 1
             self._trace_replicate_skip(dataset_name, to_site, "no-space")
             return 0.0
-        moved = yield self.sim.process(
-            self._ensure(to_site, dataset_name, pin=False,
-                         purpose="replication", preferred_source=from_site,
-                         best_effort=True))
+        try:
+            moved = yield self.sim.process(
+                self._ensure(to_site, dataset_name, pin=False,
+                             purpose="replication",
+                             preferred_source=from_site, best_effort=True))
+        except StorageFullError:
+            # An aggressive fault/eviction interleaving can pin the target
+            # solid between the can_fit pre-check and the landing.  Skip
+            # the push instead of letting the error kill the DS loop.
+            self.replications_skipped += 1
+            self.replications_skipped_full += 1
+            self._trace_replicate_skip(dataset_name, to_site, "storage-full")
+            return 0.0
         if moved > 0:
             self.replications_done += 1
             if self.tracer is not None:
@@ -165,6 +196,8 @@ class DataMover:
                 preferred_source: Optional[str], best_effort: bool = False):
         dataset = self.datasets.get(dataset_name)
         storage = self.storages[site]
+        reservations = (self.overload is not None
+                        and self.overload.storage_reservations)
         retries = 0
         while True:
             if dataset_name in storage:
@@ -187,7 +220,30 @@ class DataMover:
                                      dataset=dataset_name, purpose=purpose)
                 yield inflight
                 continue
-            if not storage.can_fit(dataset.size_mb):
+            if reservations:
+                # Reserve space *before* the bytes fly: concurrent inbound
+                # transfers each hold their own promise, so they can never
+                # jointly overcommit the element (the latent can_fit race).
+                if not storage.reserve(dataset, self.sim.now):
+                    if best_effort:
+                        return 0.0
+                    retries += 1
+                    if (pin and self.overload.remote_read_after > 0
+                            and retries >= self.overload.remote_read_after):
+                        # Storage is too pinned to promise space; degrade
+                        # to streaming the bytes past the cache.
+                        moved = yield from self._remote_read(
+                            site, dataset, dataset_name, purpose,
+                            preferred_source)
+                        return moved
+                    if retries > self.MAX_RETRIES:
+                        raise StorageFullError(
+                            f"fetch of {dataset_name!r} to {site!r} starved:"
+                            f" storage permanently too pinned "
+                            f"(capacity {storage.capacity_mb} MB)")
+                    yield self.sim.timeout(self.RETRY_INTERVAL_S)
+                    continue
+            elif not storage.can_fit(dataset.size_mb):
                 # Pinned files block eviction.  Pins are bounded (one input
                 # set per processor + the primary copies), so waiting works
                 # unless the configuration is fundamentally too small.
@@ -217,28 +273,66 @@ class DataMover:
                         preferred_source, best_effort)
                     if not delivered:
                         return 0.0
-                # Space may have been pinned away while the bytes were in
-                # flight; retry the landing rather than dropping the data.
-                while True:
-                    try:
-                        storage.add(dataset, self.sim.now, pin=False)
-                        break
-                    except StorageFullError:
-                        if best_effort:
-                            return dataset.size_mb  # traffic was spent
-                        retries += 1
-                        if retries > self.MAX_RETRIES:
-                            raise
-                        yield self.sim.timeout(self.RETRY_INTERVAL_S)
+                if reservations:
+                    # The reservation guarantees the landing fits — no
+                    # retry loop, no eviction, no StorageFullError.
+                    storage.commit_reservation(dataset, self.sim.now)
+                else:
+                    # Space may have been pinned away while the bytes were
+                    # in flight; retry the landing rather than dropping
+                    # the data.
+                    while True:
+                        try:
+                            storage.add(dataset, self.sim.now, pin=False)
+                            break
+                        except StorageFullError:
+                            if best_effort:
+                                return dataset.size_mb  # traffic was spent
+                            retries += 1
+                            if retries > self.MAX_RETRIES:
+                                raise
+                            yield self.sim.timeout(self.RETRY_INTERVAL_S)
                 self.catalog.register(dataset_name, site,
                                       size_mb=dataset.size_mb)
             finally:
+                if reservations:
+                    # No-op after commit; on abort/failover/kill paths it
+                    # returns the promised space to the element.
+                    storage.release_reservation(dataset_name)
                 self._inflight.pop(key, None)
                 if not arrival.triggered:
                     arrival.succeed()
             if pin:
                 storage.pin(dataset_name)
             return dataset.size_mb
+
+    def _remote_read(self, site: str, dataset, dataset_name: str,
+                     purpose: str, preferred_source: Optional[str]):
+        """Stream a dataset's bytes to a job without storing them.
+
+        The degraded endpoint of a pinned fetch into a too-pinned element:
+        the traffic is paid, nothing lands, nothing is pinned, and the
+        catalog is untouched.  Returns :class:`RemoteReadMB`.
+        """
+        if self.faults is None:
+            source = self._pick_source(site, dataset_name, preferred_source)
+            transfer = self.transfers.start(
+                source, site, dataset.size_mb, purpose=purpose,
+                metadata={"dataset": dataset_name, "remote_read": True})
+            yield transfer.done
+        else:
+            delivered = yield from self._fetch_with_faults(
+                site, dataset, dataset_name, purpose, preferred_source,
+                best_effort=False)
+            if not delivered:  # pragma: no cover - defensive
+                return 0.0
+        if self.overload_stats is not None:
+            self.overload_stats.remote_reads += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "fetch.remote", site=site,
+                             dataset=dataset_name, purpose=purpose,
+                             size_mb=dataset.size_mb)
+        return RemoteReadMB(dataset.size_mb)
 
     def _fetch_with_faults(self, site: str, dataset, dataset_name: str,
                            purpose: str, preferred_source: Optional[str],

@@ -82,6 +82,18 @@ class DataGrid:
         #: Runtime invariant watchdog (``None`` = off, the default;
         #: installed by :meth:`create` when ``watchdog_interval_s`` > 0).
         self.watchdog = None
+        #: Overload policy + shared saturation counters (``None`` = off,
+        #: the default; installed by :meth:`create` for a non-null
+        #: :class:`~repro.grid.overload.OverloadPolicy`).  Every overload
+        #: branch is gated on this staying ``None`` so a policy-less grid
+        #: behaves bitwise-identically to a pre-overload build.
+        self.overload = None
+        self.overload_stats = None
+        #: Last-resort External Scheduler (degraded mode), or ``None``.
+        self._degraded_es = None
+        #: Open-loop arrival stream (``None`` = the paper's closed-loop
+        #: users).  When set, :meth:`run` drives this instead of users.
+        self.arrivals = None
 
     # -- construction -----------------------------------------------------------
 
@@ -104,6 +116,8 @@ class DataGrid:
         fault_rng: Optional[random.Random] = None,
         tracer: Optional["Tracer"] = None,
         watchdog_interval_s: float = 0.0,
+        overload_policy=None,
+        overload_rng: Optional[random.Random] = None,
     ) -> "DataGrid":
         """Build and wire a grid over ``topology``.
 
@@ -115,6 +129,11 @@ class DataGrid:
         positive catalog delay routes scheduler replica queries through a
         stale view.  ``watchdog_interval_s`` > 0 installs the runtime
         invariant watchdog (:mod:`repro.watchdog`) at that check period.
+        A non-null ``overload_policy``
+        (:class:`~repro.grid.overload.OverloadPolicy`) arms the saturation
+        protections — bounded queues, storage reservations, deadlines,
+        degraded-mode placement; ``overload_rng`` seeds its (optional)
+        degraded External Scheduler.
         """
         topology.validate()
         missing = set(topology.sites) - set(site_processors)
@@ -159,6 +178,22 @@ class DataGrid:
             from repro.faults.injector import FaultInjector
 
             FaultInjector(sim, grid, fault_plan, rng=fault_rng).install()
+        if overload_policy is not None and not overload_policy.is_null:
+            from repro.grid.overload import SaturationStats
+            from repro.scheduling.registry import make_external_scheduler
+
+            stats = SaturationStats()
+            grid.overload = overload_policy
+            grid.overload_stats = stats
+            if overload_policy.degraded_es:
+                grid._degraded_es = make_external_scheduler(
+                    overload_policy.degraded_es,
+                    overload_rng or random.Random(0))
+            datamover.overload = overload_policy
+            datamover.overload_stats = stats
+            for site in sites.values():
+                site.overload = overload_policy
+                site.overload_stats = stats
         if watchdog_interval_s > 0:
             from repro.watchdog import Watchdog
 
@@ -233,19 +268,121 @@ class DataGrid:
             return self.sim.process(
                 self._submit_with_recovery(job),
                 name=f"supervise:job{job.job_id}")
-        site_name = self.external_scheduler.select_site(job, self)
-        if site_name not in self.sites:
-            raise ValueError(
-                f"{self.external_scheduler!r} chose unknown site "
-                f"{site_name!r}")
+        site_name = self._select_site(job)
         if self.info.replica_view is not None:
             site_name = self._resolve_misdirection(job, site_name)
+        if self.overload is not None and self.overload.queue_capacity > 0:
+            resolved = self._resolve_saturation(job, site_name)
+            if resolved is None:
+                self._mark_shed(job)
+                return self.sim.process(self._shed_process(job),
+                                        name=f"shed:job{job.job_id}")
+            site_name = resolved
         job.execution_site = site_name
         job.advance(JobState.DISPATCHED, self.sim.now)
         if self.tracer is not None:
             self.tracer.emit(self.sim.now, "job.dispatch", job=job.job_id,
                              site=site_name)
         return self.sites[site_name].enqueue(job)
+
+    def _select_site(self, job: Job) -> str:
+        """Ask the primary ES for a site, with degraded-mode fallback.
+
+        Without an overload policy this is exactly the old select + guard
+        sequence.  With one, a primary that *wedges* (raises ``ValueError``
+        because it found no candidate) is answered by the degraded
+        selector over the up sites instead of killing the submission.
+        """
+        if self.overload is None:
+            site_name = self.external_scheduler.select_site(job, self)
+        else:
+            try:
+                site_name = self.external_scheduler.select_site(job, self)
+            except ValueError:
+                candidates = [
+                    name for name in sorted(self.sites)
+                    if self.faults is None or self.faults.is_up(name)]
+                if not candidates:
+                    raise
+                return self._degraded_select(job, candidates)
+        if site_name not in self.sites:
+            raise ValueError(
+                f"{self.external_scheduler!r} chose unknown site "
+                f"{site_name!r}")
+        return site_name
+
+    def _resolve_saturation(self, job: Job,
+                            site_name: str) -> Optional[str]:
+        """Deflect a job aimed at a full queue; ``None`` = shed it.
+
+        Each loop iteration spends one unit of the deflect budget and
+        re-places the job over the *unsaturated* up sites, so the loop
+        always terminates: either the chosen site has room, no site has
+        room (shed), or the budget runs out (shed).
+        """
+        policy = self.overload
+        cap = policy.queue_capacity
+        while self.sites[site_name].load >= cap:
+            candidates = [
+                name for name, site in sorted(self.sites.items())
+                if site.load < cap
+                and (self.faults is None or self.faults.is_up(name))]
+            if not candidates or job.deflections >= policy.deflect_budget:
+                return None
+            job.deflections += 1
+            self.overload_stats.jobs_deflected += 1
+            target = self._degraded_select(job, candidates)
+            if self.tracer is not None:
+                self.tracer.emit(self.sim.now, "job.deflected",
+                                 job=job.job_id, origin=site_name,
+                                 site=target, deflections=job.deflections)
+            site_name = target
+        return site_name
+
+    def _degraded_select(self, job: Job, candidates: List[str]) -> str:
+        """Place a job with the last-resort selector.
+
+        Tries the configured degraded ES first; if it is absent, wedges
+        too, or picks outside ``candidates``, falls back to the
+        deterministic least-loaded (then lexicographic) scan.
+        """
+        self.overload_stats.degraded_dispatches += 1
+        choice = None
+        if self._degraded_es is not None:
+            try:
+                pick = self._degraded_es.select_site(job, self)
+            except ValueError:
+                pick = None
+            if pick in candidates:
+                choice = pick
+        if choice is None:
+            choice = min(candidates, key=lambda s: (self.sites[s].load, s))
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now, "es.degraded", job=job.job_id, site=choice,
+                es=self.overload.degraded_es or "least-loaded")
+        return choice
+
+    def _mark_shed(self, job: Job) -> None:
+        """Terminal admission refusal: account, never silently drop."""
+        job.mark_shed(
+            f"queues saturated (capacity {self.overload.queue_capacity}, "
+            f"{job.deflections} deflections)")
+        self.overload_stats.jobs_shed += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "job.shed", job=job.job_id,
+                             deflections=job.deflections)
+
+    @staticmethod
+    def _shed_process(job: Job):
+        """An already-finished execution process for a shed job.
+
+        Returning before the first yield is legal for the kernel; callers
+        waiting on the submission see it complete immediately with the
+        (terminal) job as its value.
+        """
+        return job
+        yield  # pragma: no cover - unreachable; makes this a generator
 
     def _resolve_misdirection(self, job: Job, site_name: str) -> str:
         """Detect and recover a dispatch aimed at a phantom replica.
@@ -321,11 +458,7 @@ class DataGrid:
                                     reason=job.failure_reason)
                     return job
                 yield faults.recovery_event()
-            site_name = self.external_scheduler.select_site(job, self)
-            if site_name not in self.sites:
-                raise ValueError(
-                    f"{self.external_scheduler!r} chose unknown site "
-                    f"{site_name!r}")
+            site_name = self._select_site(job)
             if not faults.is_up(site_name):
                 fallback = faults.fallback_site()
                 if fallback is None:
@@ -337,13 +470,22 @@ class DataGrid:
                 faults.jobs_redirected += 1
             if self.info.replica_view is not None:
                 site_name = self._resolve_misdirection(job, site_name)
+            if (self.overload is not None
+                    and self.overload.queue_capacity > 0):
+                resolved = self._resolve_saturation(job, site_name)
+                if resolved is None:
+                    self._mark_shed(job)
+                    return job
+                site_name = resolved
             job.execution_site = site_name
             job.advance(JobState.DISPATCHED, self.sim.now)
             if tracer is not None:
                 tracer.emit(self.sim.now, "job.dispatch", job=job.job_id,
                             site=site_name, attempt=job.retries + 1)
             yield self.sites[site_name].enqueue(job)
-            if job.state is JobState.COMPLETED:
+            if job.state in (JobState.COMPLETED, JobState.EXPIRED):
+                # Expiry, like completion, is terminal: the deadline
+                # already accounted the job — retrying would double it.
                 return job
             if job.retries >= plan.job_max_retries:
                 job.mark_failed(job.failure_reason or "retries exhausted")
@@ -374,6 +516,11 @@ class DataGrid:
         are infinite); time stops advancing once the last *triggering*
         activity completes because we stop at the all-users event.
         """
+        if self.arrivals is not None:
+            # Open-loop mode: the arrival driver completes when the last
+            # submitted job finishes (or is shed/expired/failed).
+            self.sim.run(until=self.arrivals.start())
+            return self.sim.now
         if not self.users:
             raise ValueError("no users added to the grid")
         processes = [user.start() for user in self.users]
@@ -393,6 +540,17 @@ class DataGrid:
     def failed_jobs(self) -> List[Job]:
         """Jobs given up on by fault recovery (empty in fault-free runs)."""
         return [j for j in self.submitted_jobs if j.state is JobState.FAILED]
+
+    @property
+    def shed_jobs(self) -> List[Job]:
+        """Jobs refused admission under overload (empty without a policy)."""
+        return [j for j in self.submitted_jobs if j.state is JobState.SHED]
+
+    @property
+    def expired_jobs(self) -> List[Job]:
+        """Jobs whose queue deadline passed (empty without a policy)."""
+        return [j for j in self.submitted_jobs
+                if j.state is JobState.EXPIRED]
 
     @property
     def total_processors(self) -> int:

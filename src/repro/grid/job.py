@@ -26,6 +26,8 @@ class JobState(enum.Enum):
     RUNNING = "running"            #: compute phase in progress
     COMPLETED = "completed"        #: done
     FAILED = "failed"              #: could not run (e.g. unsatisfiable data)
+    SHED = "shed"                  #: refused admission (queues saturated)
+    EXPIRED = "expired"            #: queue deadline passed before running
 
 
 _ORDER = list(JobState)
@@ -73,6 +75,12 @@ class Job:
     #: Misdirection bounces consumed (stale-info recovery; 0 = never
     #: dispatched onto a phantom replica, or staleness off).
     bounces: int = 0
+    #: Saturation deflections consumed (overload backpressure; 0 = never
+    #: aimed at a full queue, or bounded queues off).
+    deflections: int = 0
+    #: Per-job queue-deadline override (seconds); ``None`` = use the
+    #: grid's :class:`~repro.grid.overload.OverloadPolicy` deadline.
+    deadline_s: Optional[float] = None
     #: Transient: the current attempt was killed and its site bookkeeping
     #: unwound, but the recovery supervisor has not yet rewound the job.
     #: Lets the invariant watchdog reconcile site job counts mid-recovery.
@@ -113,6 +121,7 @@ class Job:
         """
         self.retries += 1
         self.killed = False
+        self.deflections = 0
         self.state = JobState.SUBMITTED
         self.execution_site = None
         self.dispatched_at = None
@@ -125,6 +134,24 @@ class Job:
     def mark_failed(self, reason: str) -> None:
         """Give up on the job permanently (fault recovery exhausted)."""
         self.state = JobState.FAILED
+        self.completed_at = None
+        self.killed = False
+        self.failure_reason = reason
+
+    def mark_shed(self, reason: str) -> None:
+        """Refuse the job at admission (every candidate queue full).
+
+        Terminal, like :meth:`mark_failed`: a shed job is accounted,
+        traced, and never silently dropped — but it will not run.
+        """
+        self.state = JobState.SHED
+        self.completed_at = None
+        self.killed = False
+        self.failure_reason = reason
+
+    def mark_expired(self, reason: str) -> None:
+        """End the job because its queue deadline passed (terminal)."""
+        self.state = JobState.EXPIRED
         self.completed_at = None
         self.killed = False
         self.failure_reason = reason

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.grid.compute import ComputeElement
-from repro.grid.datamover import DataMover, DataUnavailableError
+from repro.grid.datamover import DataMover, DataUnavailableError, RemoteReadMB
 from repro.grid.job import Job, JobState
 from repro.grid.storage import StorageElement
 from repro.sim.core import Simulator
@@ -91,6 +91,15 @@ class Site:
         #: a set: Process hashes by id, and interrupt order must not depend
         #: on memory layout or a run stops being reproducible.
         self._alive: Dict[Process, None] = {}
+        #: Overload policy + shared saturation counters, installed by the
+        #: grid when an :class:`~repro.grid.overload.OverloadPolicy` is
+        #: active.  ``None`` keeps execution on the exact pre-overload
+        #: code paths (no deadlines, no aging, unpin-by-input-list).
+        self.overload = None
+        self.overload_stats = None
+        #: High-water mark of the waiting-job count (metrics; tracked
+        #: unconditionally — max() never changes behaviour).
+        self.peak_queue_depth = 0
 
     def __repr__(self) -> str:
         return (f"<Site {self.name} load={self.load} "
@@ -125,12 +134,23 @@ class Site:
             for fname in job.input_files
         ]
         if self.local_scheduler.dispatches:
-            return self._enqueue_dispatched(job, prefetches)
+            process = self._enqueue_dispatched(job, prefetches)
+            self._note_queue_depth()
+            return process
         # Issue the processor request synchronously so the site's load (the
         # paper's "jobs waiting to run") reflects this job immediately —
         # schedulers polling the information service in the same instant
         # must see it.
         priority = self.local_scheduler.priority(job)
+        if (priority is not None and self.overload is not None
+                and self.overload.aging_factor > 0):
+            # Linear starvation aging, folded into a constant key: credit
+            # grows uniformly with wait time for everyone, so the pairwise
+            # order of two queued jobs is fixed once both are enqueued —
+            # equivalent to `base - factor*(now - enqueued_at)` aging, but
+            # with zero re-sorting.  Later arrivals pay a growing penalty,
+            # so an old large job cannot be overtaken forever.
+            priority += int(self.overload.aging_factor * self.sim.now * 1000)
         if priority is None:
             request = self.compute.acquire()
         else:
@@ -141,7 +161,34 @@ class Site:
             name=f"job{job.job_id}@{self.name}")
         if attempt is not None:
             self._track(process)
+        self._note_queue_depth()
         return process
+
+    def _note_queue_depth(self) -> None:
+        depth = self.load
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
+
+    def _deadline_of(self, job: Job) -> float:
+        """The job's queue deadline in seconds (0 = none)."""
+        if self.overload is None:
+            return 0.0
+        if job.deadline_s is not None:
+            return job.deadline_s
+        return self.overload.job_deadline_s
+
+    def _expire(self, job: Job, deadline: float) -> None:
+        """Terminal queue-deadline expiry: count, trace, account."""
+        self.jobs_in_system -= 1
+        job.mark_expired(
+            f"queue deadline ({deadline:g} s) exceeded at {self.name!r}")
+        if self.overload_stats is not None:
+            self.overload_stats.jobs_expired += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now, "job.expired", job=job.job_id, site=self.name,
+                deadline_s=deadline,
+                waited_s=self.sim.now - (job.queued_at or 0.0))
 
     def _track(self, process: Process) -> None:
         self._alive[process] = None
@@ -173,7 +220,7 @@ class Site:
         ready.callbacks.append(lambda _ev: self._try_dispatch())
         attempt = _Attempt() if self.faults is not None else None
         process = self.sim.process(
-            self._execute_dispatched(job, grant, ready, attempt),
+            self._execute_dispatched(job, grant, ready, attempt, entry),
             name=f"job{job.job_id}@{self.name}")
         if attempt is not None:
             self._track(process)
@@ -199,14 +246,33 @@ class Site:
             self._free_processors -= 1
             grant.succeed()
 
-    def _execute_dispatched(self, job: Job, grant, ready, attempt=None):
+    def _execute_dispatched(self, job: Job, grant, ready, attempt=None,
+                            entry=None):
+        pinned = [] if self.overload is not None else None
         try:
-            yield grant
+            deadline = self._deadline_of(job)
+            if deadline > 0:
+                # Race the grant against the queue deadline.  A tie at the
+                # same instant goes to execution (the grant has already
+                # triggered when we wake).
+                expiry = self.sim.timeout(deadline)
+                yield self.sim.any_of([grant, expiry])
+                if not grant.triggered:
+                    # Withdraw from the pending queue by identity so
+                    # _try_dispatch can never grant the dead entry.
+                    for index, (pending_entry, _g) in enumerate(self._pending):
+                        if pending_entry is entry:
+                            del self._pending[index]
+                            break
+                    self._expire(job, deadline)
+                    return job
+            else:
+                yield grant
             job.processor_at = self.sim.now
 
             prefetched = yield ready
             fetched_mb = sum(prefetched.values())
-            fetched_mb += yield from self._fetch_inputs(job, attempt)
+            fetched_mb += yield from self._fetch_inputs(job, attempt, pinned)
             job.data_ready_at = self.sim.now
             job.fetched_mb = fetched_mb
             if self.tracer is not None:
@@ -219,7 +285,10 @@ class Site:
                 self.tracer.emit(self.sim.now, "job.start", job=job.job_id,
                                  site=self.name, runtime_s=job.runtime_s)
             for fname in job.input_files:
-                self.storage.record_access(fname, self.sim.now)
+                # Under overload a remote-read input was never stored, so
+                # there is nothing to touch or count.
+                if self.overload is None or fname in self.storage:
+                    self.storage.record_access(fname, self.sim.now)
             if attempt is not None:
                 attempt.computing = True
             self.compute.compute_started()
@@ -244,7 +313,7 @@ class Site:
 
         self._free_processors += 1
         self._try_dispatch()
-        for fname in job.input_files:
+        for fname in (job.input_files if pinned is None else pinned):
             self.storage.unpin(fname)
         job.advance(JobState.COMPLETED, self.sim.now)
         self.jobs_in_system -= 1
@@ -257,9 +326,23 @@ class Site:
         return job
 
     def _execute(self, job: Job, request, prefetches, attempt=None):
+        pinned = [] if self.overload is not None else None
         try:
-            # 1. Wait for a processor, in LS-decided order.
-            yield request
+            # 1. Wait for a processor, in LS-decided order — racing the
+            #    queue deadline when one is set.  A tie at the same
+            #    instant goes to execution.
+            deadline = self._deadline_of(job)
+            if deadline > 0:
+                expiry = self.sim.timeout(deadline)
+                yield self.sim.any_of([request, expiry])
+                if not request.triggered:
+                    # Releasing an ungranted request cancels it, so the
+                    # processor can never be granted to the dead job.
+                    self.compute.release(request)
+                    self._expire(job, deadline)
+                    return job
+            else:
+                yield request
             job.processor_at = self.sim.now
 
             # 2. Hold the processor until the input data is local and
@@ -267,7 +350,7 @@ class Site:
             #    in flight) and this is instantaneous.
             prefetched = yield self.sim.all_of(prefetches)
             fetched_mb = sum(prefetched.values())
-            fetched_mb += yield from self._fetch_inputs(job, attempt)
+            fetched_mb += yield from self._fetch_inputs(job, attempt, pinned)
             job.data_ready_at = self.sim.now
             job.fetched_mb = fetched_mb
             if self.tracer is not None:
@@ -281,7 +364,10 @@ class Site:
                 self.tracer.emit(self.sim.now, "job.start", job=job.job_id,
                                  site=self.name, runtime_s=job.runtime_s)
             for fname in job.input_files:
-                self.storage.record_access(fname, self.sim.now)
+                # Under overload a remote-read input was never stored, so
+                # there is nothing to touch or count.
+                if self.overload is None or fname in self.storage:
+                    self.storage.record_access(fname, self.sim.now)
             if attempt is not None:
                 attempt.computing = True
             self.compute.compute_started()
@@ -306,7 +392,7 @@ class Site:
 
         # 5. Clean up.
         self.compute.release(request)
-        for fname in job.input_files:
+        for fname in (job.input_files if pinned is None else pinned):
             self.storage.unpin(fname)
         job.advance(JobState.COMPLETED, self.sim.now)
         self.jobs_in_system -= 1
@@ -318,21 +404,33 @@ class Site:
             listener(job)
         return job
 
-    def _fetch_inputs(self, job: Job, attempt):
-        """Pin every input locally; fault mode tracks the in-flight fetch."""
+    def _fetch_inputs(self, job: Job, attempt, pinned=None):
+        """Pin every input locally; fault mode tracks the in-flight fetch.
+
+        ``pinned`` (overload mode) collects the names actually pinned:
+        a fetch degraded to a remote read (:class:`RemoteReadMB`) stored
+        and pinned nothing, so completion must not unpin it.
+        """
         fetched_mb = 0.0
         for fname in job.input_files:
             if attempt is None:
-                fetched_mb += yield self.datamover.ensure_local(
+                moved = yield self.datamover.ensure_local(
                     self.name, fname, pin=True)
+                fetched_mb += moved
+                if pinned is not None and not isinstance(moved, RemoteReadMB):
+                    pinned.append(fname)
                 continue
             attempt.fetch = self.datamover.ensure_local(
                 self.name, fname, pin=True)
             attempt.fetch_name = fname
-            fetched_mb += yield attempt.fetch
+            moved = yield attempt.fetch
+            fetched_mb += moved
             attempt.fetch = None
             attempt.fetch_name = None
-            attempt.pinned.append(fname)
+            if not isinstance(moved, RemoteReadMB):
+                attempt.pinned.append(fname)
+                if pinned is not None:
+                    pinned.append(fname)
         return fetched_mb
 
     def _unwind(self, job: Job, attempt, err) -> None:
@@ -362,12 +460,14 @@ class Site:
 
         def settle(event) -> None:
             if event.ok:
-                storage.unpin(fname)
+                # A remote read pinned nothing; there is nothing to undo.
+                if not isinstance(event.value, RemoteReadMB):
+                    storage.unpin(fname)
             else:
                 event.defuse()
 
         if fetch.processed:
-            if fetch.ok:
+            if fetch.ok and not isinstance(fetch.value, RemoteReadMB):
                 storage.unpin(fname)
         else:
             fetch.callbacks.append(settle)

@@ -5,6 +5,14 @@ which case it is cached and managed using LRU. A cached dataset is then
 available to the grid as a replica."  Files that a running (or queued) job
 needs are *pinned* and never evicted; eviction notifies a callback so the
 replica catalog stays consistent.
+
+Inbound transfers can additionally *reserve* space before their bytes
+arrive (:meth:`StorageElement.reserve` / :meth:`release_reservation`):
+reserved MB is unavailable to every other add or reservation, so two
+concurrent transfers into a nearly-full element can never overcommit
+capacity.  The reservation ledger maintains ``used + reserved <=
+capacity`` at all times; with no reservations outstanding every method
+behaves exactly as it did before the ledger existed.
 """
 
 from __future__ import annotations
@@ -56,11 +64,18 @@ class StorageElement:
         self.on_evict = on_evict
         self._entries: Dict[str, _Entry] = {}
         self._used_mb = 0.0
+        #: Space promised to in-flight transfers (dataset name -> MB).
+        self._reservations: Dict[str, float] = {}
+        self._reserved_mb = 0.0
         #: Cumulative number of evictions (metrics).
         self.evictions = 0
         #: Per-dataset local access counts (the Dataset Scheduler's
         #: popularity signal; reset by the DS after replication).
         self.access_counts: Dict[str, int] = {}
+        #: High-water marks (metrics; tracked unconditionally — reads and
+        #: max() never change behaviour).
+        self.peak_used_mb = 0.0
+        self.peak_reserved_mb = 0.0
 
     def __repr__(self) -> str:
         return (f"<StorageElement {self.site} {self._used_mb:.0f}"
@@ -75,8 +90,17 @@ class StorageElement:
 
     @property
     def free_mb(self) -> float:
-        """MB available without eviction."""
+        """MB available without eviction (ignoring reservations)."""
         return self.capacity_mb - self._used_mb
+
+    @property
+    def reserved_mb(self) -> float:
+        """MB promised to in-flight transfers."""
+        return self._reserved_mb
+
+    def is_reserved(self, name: str) -> bool:
+        """Whether an inbound transfer holds a reservation for the file."""
+        return name in self._reservations
 
     def __contains__(self, name: str) -> bool:
         return name in self._entries
@@ -113,6 +137,10 @@ class StorageElement:
             if pin:
                 self.pin(dataset.name)
             return
+        # A landing file absorbs its own hold: the reservation promised
+        # exactly this space, so converting it to residence can never
+        # double-book (a resident file needs no reservation).
+        self.release_reservation(dataset.name)
         if dataset.size_mb > self.capacity_mb:
             raise StorageFullError(
                 f"{dataset.name!r} ({dataset.size_mb} MB) exceeds total "
@@ -123,6 +151,8 @@ class StorageElement:
             entry.pins = 1
         self._entries[dataset.name] = entry
         self._used_mb += dataset.size_mb
+        if self._used_mb > self.peak_used_mb:
+            self.peak_used_mb = self._used_mb
 
     def touch(self, name: str, now: float) -> None:
         """Record an access (refreshes LRU position)."""
@@ -188,15 +218,73 @@ class StorageElement:
         )
 
     def can_fit(self, size_mb: float) -> bool:
-        """Whether ``size_mb`` could be stored after legal evictions."""
-        if size_mb <= self.free_mb:
+        """Whether ``size_mb`` could be stored after legal evictions.
+
+        Reserved space counts as occupied: a fit promised to an in-flight
+        transfer is never promised twice.
+        """
+        available = self.free_mb - self._reserved_mb
+        if size_mb <= available:
             return True
         evictable = sum(
             e.dataset.size_mb for e in self._entries.values() if e.pins == 0)
-        return size_mb <= self.free_mb + evictable
+        return size_mb <= available + evictable
+
+    # -- reservations --------------------------------------------------------
+
+    def reserve(self, dataset: Dataset, now: float) -> bool:
+        """Set space aside for an inbound transfer of ``dataset``.
+
+        Evicts unpinned files (LRU-first) if needed so that ``used +
+        reserved + size <= capacity`` afterwards.  Returns ``False`` —
+        never raises — when pinned files and other reservations make
+        that impossible, so callers can wait or degrade.  Reserving a
+        name that is already reserved or already resident is a no-op
+        returning ``True``.  Pair with :meth:`release_reservation`.
+        """
+        if dataset.name in self._reservations or dataset.name in self._entries:
+            return True
+        size = dataset.size_mb
+        if size > self.capacity_mb or not self.can_fit(size):
+            return False
+        self._make_room(size)
+        self._reservations[dataset.name] = size
+        self._reserved_mb += size
+        if self._reserved_mb > self.peak_reserved_mb:
+            self.peak_reserved_mb = self._reserved_mb
+        return True
+
+    def release_reservation(self, name: str) -> None:
+        """Drop a reservation (transfer landed, aborted, or failed over).
+
+        Tolerates unknown names so abort paths can release
+        unconditionally.
+        """
+        size = self._reservations.pop(name, None)
+        if size is None:
+            return
+        self._reserved_mb -= size
+        if not self._reservations:
+            # Same zero-residue rule as ``_release``: no outstanding
+            # reservations means exactly nothing is reserved.
+            self._reserved_mb = 0.0
+
+    def commit_reservation(self, dataset: Dataset, now: float,
+                           pin: bool = False) -> None:
+        """Land a reserved transfer: release the hold, store the file.
+
+        Because every add and reservation since :meth:`reserve` kept
+        ``used + reserved <= capacity`` with this hold included, the add
+        is guaranteed to fit without even evicting.
+        """
+        self.release_reservation(dataset.name)
+        self.add(dataset, now, pin=pin)
 
     def _make_room(self, size_mb: float) -> None:
-        if size_mb <= self.free_mb:
+        # Reserved space is spoken for: eviction must clear enough for
+        # this add *and* every outstanding reservation.
+        available = self.free_mb - self._reserved_mb
+        if size_mb <= available:
             return
         # Check feasibility *before* evicting anything: a failed add must
         # be atomic — evicting victims and then raising would silently
@@ -206,7 +294,7 @@ class StorageElement:
             key=lambda e: e.last_access,
         )
         evictable_mb = sum(e.dataset.size_mb for e in victims)
-        if size_mb > self.free_mb + evictable_mb:
+        if size_mb > available + evictable_mb:
             pinned_mb = sum(
                 e.dataset.size_mb for e in self._entries.values()
                 if e.pins > 0)
@@ -215,7 +303,7 @@ class StorageElement:
                 f"{pinned_mb:.0f} MB pinned of {self.capacity_mb} MB capacity")
         # Evict unpinned files, least-recently-used first.
         for entry in victims:
-            if size_mb <= self.free_mb:
+            if size_mb <= self.free_mb - self._reserved_mb:
                 break
             del self._entries[entry.dataset.name]
             self.access_counts.pop(entry.dataset.name, None)

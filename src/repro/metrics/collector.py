@@ -81,6 +81,26 @@ class RunMetrics:
     #: Replica queries whose stale answer differed from the live catalog.
     stale_reads: int = 0
 
+    # Overload & degradation (all zero without an overload policy).
+    #: Jobs refused admission (queues saturated, deflect budget spent).
+    jobs_shed: int = 0
+    #: Jobs whose queue wait exceeded the deadline.
+    jobs_expired: int = 0
+    #: Deflection events (a job may be deflected more than once).
+    jobs_deflected: int = 0
+    #: Placements decided by the degraded-mode fallback selector.
+    degraded_dispatches: int = 0
+    #: Pinned fetches degraded to streaming reads (nothing stored).
+    remote_reads: int = 0
+    #: Replication pushes skipped on a mid-push StorageFullError.
+    replications_skipped_full: int = 0
+    #: Largest waiting-job count any site ever reached.
+    peak_queue_depth: int = 0
+    #: Largest used-MB any storage element ever booked.
+    peak_storage_used_mb: float = 0.0
+    #: Largest reserved-MB any storage element ever promised.
+    peak_storage_reserved_mb: float = 0.0
+
     # Per-site detail (site name → value), for load-balance analysis.
     jobs_per_site: Dict[str, int] = field(default_factory=dict)
     idle_per_site: Dict[str, float] = field(default_factory=dict)
@@ -129,10 +149,14 @@ class RunMetrics:
         if not jobs:
             raise ValueError("no completed jobs; did the grid run?")
         failed = grid.failed_jobs
-        # A job may legitimately end FAILED under fault injection; only
-        # *unaccounted* jobs (neither completed nor failed) mean the run
-        # stopped mid-flight and the averages would be biased.
-        incomplete = len(grid.submitted_jobs) - len(jobs) - len(failed)
+        shed = grid.shed_jobs
+        expired = grid.expired_jobs
+        # A job may legitimately end FAILED under fault injection, or
+        # SHED/EXPIRED under an overload policy; only *unaccounted* jobs
+        # (none of those and not completed) mean the run stopped
+        # mid-flight and the averages would be biased.
+        incomplete = (len(grid.submitted_jobs) - len(jobs) - len(failed)
+                      - len(shed) - len(expired))
         if incomplete:
             raise ValueError(
                 f"{incomplete} submitted jobs never completed; "
@@ -194,6 +218,22 @@ class RunMetrics:
             misdirected_jobs=view.misdirected_jobs if view else 0,
             bounced_jobs=view.bounced_jobs if view else 0,
             stale_reads=view.stale_reads if view else 0,
+            jobs_shed=len(shed),
+            jobs_expired=len(expired),
+            jobs_deflected=(grid.overload_stats.jobs_deflected
+                            if grid.overload_stats else 0),
+            degraded_dispatches=(grid.overload_stats.degraded_dispatches
+                                 if grid.overload_stats else 0),
+            remote_reads=(grid.overload_stats.remote_reads
+                          if grid.overload_stats else 0),
+            replications_skipped_full=(
+                grid.datamover.replications_skipped_full),
+            peak_queue_depth=max(
+                s.peak_queue_depth for s in grid.sites.values()),
+            peak_storage_used_mb=max(
+                s.peak_used_mb for s in grid.storages.values()),
+            peak_storage_reserved_mb=max(
+                s.peak_reserved_mb for s in grid.storages.values()),
             jobs_per_site=jobs_per_site,
             idle_per_site={
                 name: site.compute.idle_fraction(horizon)

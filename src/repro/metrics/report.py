@@ -88,6 +88,24 @@ def format_run(metrics: RunMetrics, label: str = "run") -> str:
             f"  jobs misdirected:        {metrics.misdirected_jobs}",
             f"  jobs bounced to the ES:  {metrics.bounced_jobs}",
         ]
+    if (metrics.jobs_shed or metrics.jobs_expired or metrics.jobs_deflected
+            or metrics.degraded_dispatches or metrics.remote_reads
+            or metrics.replications_skipped_full):
+        lines += [
+            "overload & degradation:",
+            f"  jobs shed/expired:       {metrics.jobs_shed}"
+            f"/{metrics.jobs_expired}",
+            f"  jobs deflected:          {metrics.jobs_deflected}",
+            f"  degraded dispatches:     {metrics.degraded_dispatches}",
+            f"  remote reads:            {metrics.remote_reads}",
+            f"  replications skipped (full): "
+            f"{metrics.replications_skipped_full}",
+            f"  peak queue depth:        {metrics.peak_queue_depth}",
+            f"  peak storage used:       {metrics.peak_storage_used_mb:,.0f}"
+            " MB",
+            f"  peak storage reserved:   "
+            f"{metrics.peak_storage_reserved_mb:,.0f} MB",
+        ]
     return "\n".join(lines)
 
 

@@ -34,6 +34,9 @@ class TraceCounters:
     outages: int
     misdirected_jobs: int
     bounced_jobs: int
+    jobs_shed: int
+    jobs_deflected: int
+    jobs_expired: int
 
 
 def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
@@ -47,6 +50,7 @@ def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
     fetch_mb = replication_mb = 0.0
     replications_done = transfers_failed = failovers = outages = 0
     misdirected_jobs = bounced_jobs = 0
+    jobs_shed = jobs_deflected = jobs_expired = 0
     for record in records:
         kind = record.kind
         if kind == schema.JOB_FINISH:
@@ -75,6 +79,12 @@ def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
             misdirected_jobs += 1
         elif kind == schema.JOB_BOUNCED:
             bounced_jobs += 1
+        elif kind == schema.JOB_SHED:
+            jobs_shed += 1
+        elif kind == schema.JOB_DEFLECTED:
+            jobs_deflected += 1
+        elif kind == schema.JOB_EXPIRED:
+            jobs_expired += 1
     return TraceCounters(
         jobs_completed=jobs_completed,
         jobs_failed=jobs_failed,
@@ -88,6 +98,9 @@ def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
         outages=outages,
         misdirected_jobs=misdirected_jobs,
         bounced_jobs=bounced_jobs,
+        jobs_shed=jobs_shed,
+        jobs_deflected=jobs_deflected,
+        jobs_expired=jobs_expired,
     )
 
 
@@ -105,6 +118,9 @@ _FIELD_MAP = {
     "outages": "outages",
     "misdirected_jobs": "misdirected_jobs",
     "bounced_jobs": "bounced_jobs",
+    "jobs_shed": "jobs_shed",
+    "jobs_deflected": "jobs_deflected",
+    "jobs_expired": "jobs_expired",
 }
 
 

@@ -33,9 +33,13 @@ JOB_REDIRECT = "job.redirect"      #: ES choice was down; rerouted
 JOB_FAIL = "job.fail"              #: retry budget exhausted; gave up
 JOB_MISDIRECTED = "job.misdirected"  #: promised replica missing at hand-off
 JOB_BOUNCED = "job.bounced"        #: misdirected job re-dispatched by the ES
+JOB_SHED = "job.shed"              #: refused admission (queues saturated)
+JOB_DEFLECTED = "job.deflected"    #: aimed at a full queue; re-placed
+JOB_EXPIRED = "job.expired"        #: queue deadline passed before running
 
 # ---- scheduler decisions ---------------------------------------------------
 ES_DECISION = "es.decision"        #: site choice + per-candidate scores
+ES_DEGRADED = "es.degraded"        #: placement fell back to degraded mode
 LS_PICK = "ls.pick"                #: dispatch-mode local scheduler pick
 DS_DECISION = "ds.decision"        #: replication trigger (popularity counts)
 DS_DELETE = "ds.delete"            #: idle-replica deletion
@@ -43,6 +47,7 @@ DS_DELETE = "ds.delete"            #: idle-replica deletion
 # ---- data movement ---------------------------------------------------------
 FETCH_HIT = "fetch.hit"            #: dataset already local (no traffic)
 FETCH_JOIN = "fetch.join"          #: joined an in-flight transfer
+FETCH_REMOTE = "fetch.remote"      #: degraded to a streaming remote read
 TRANSFER_START = "transfer.start"  #: bytes started crossing the network
 TRANSFER_DONE = "transfer.done"    #: last byte arrived
 TRANSFER_ABORT = "transfer.abort"  #: transfer killed mid-flight
@@ -74,11 +79,11 @@ KERNEL_EVENT = "kernel.event"
 KIND_GROUPS: Dict[str, Tuple[str, ...]] = {
     "job": (JOB_SUBMIT, JOB_DISPATCH, JOB_QUEUE, JOB_DATA_READY, JOB_START,
             JOB_FINISH, JOB_RETRY, JOB_REDIRECT, JOB_FAIL, JOB_MISDIRECTED,
-            JOB_BOUNCED),
-    "es": (ES_DECISION,),
+            JOB_BOUNCED, JOB_SHED, JOB_DEFLECTED, JOB_EXPIRED),
+    "es": (ES_DECISION, ES_DEGRADED),
     "ls": (LS_PICK,),
     "ds": (DS_DECISION, DS_DELETE),
-    "fetch": (FETCH_HIT, FETCH_JOIN),
+    "fetch": (FETCH_HIT, FETCH_JOIN, FETCH_REMOTE),
     "transfer": (TRANSFER_START, TRANSFER_DONE, TRANSFER_ABORT,
                  TRANSFER_RETRY),
     "replicate": (REPLICATE_SKIP, REPLICATE_DONE),

@@ -28,6 +28,14 @@ Invariants checked:
   :class:`~repro.grid.staleness.StaleReplicaView` is installed, replaying
   its pending updates reproduces the live catalog and nothing is delayed
   beyond the configured staleness bound.
+* **queue-bounded** — with an overload policy's ``queue_capacity`` set,
+  no site's waiting-job count exceeds it and no job has consumed more
+  deflections than the budget allows.
+* **no-overcommit** — each storage element's reservation ledger sums to
+  its booked ``reserved_mb`` and ``used + reserved`` never exceeds
+  capacity (trivially true without reservations).
+* **no-starvation** — with a queue deadline set, no job still waits in a
+  queue beyond its deadline (the expiry machinery must have fired).
 
 The watchdog is **off by default** (a watchdog-less run is bitwise
 identical to a pre-watchdog build) and *always on in tests*: the test
@@ -61,7 +69,8 @@ class InvariantViolation(AssertionError):
     invariant:
         Which check failed (``jobs-conserved``, ``storage-accounting``,
         ``transfers-consistent``, ``catalog-consistent``,
-        ``stale-view-bounded``).
+        ``stale-view-bounded``, ``queue-bounded``, ``no-overcommit``,
+        ``no-starvation``).
     time:
         Simulated time of the failed check.
     details:
@@ -104,7 +113,8 @@ class Watchdog:
     #: Names of every invariant this watchdog asserts.
     INVARIANTS = ("jobs-conserved", "storage-accounting",
                   "transfers-consistent", "catalog-consistent",
-                  "stale-view-bounded")
+                  "stale-view-bounded", "queue-bounded", "no-overcommit",
+                  "no-starvation")
 
     def __init__(self, sim: "Simulator", grid: "DataGrid",
                  interval_s: float = 300.0) -> None:
@@ -137,6 +147,9 @@ class Watchdog:
         self._check_transfers()
         self._check_catalog()
         self._check_stale_view()
+        self._check_queue_bounds()
+        self._check_overcommit()
+        self._check_starvation()
         self.checks_run += 1
         tracer = self.grid.tracer
         if tracer is not None:
@@ -251,6 +264,69 @@ class Watchdog:
         if problems:
             self._fail("stale-view-bounded", "; ".join(problems),
                        pending=len(view._pending))
+
+    def _check_queue_bounds(self) -> None:
+        policy = self.grid.overload
+        if policy is None or policy.queue_capacity == 0:
+            return
+        cap = policy.queue_capacity
+        for site in self.grid.sites.values():
+            if site.load > cap:
+                self._fail(
+                    "queue-bounded",
+                    f"site {site.name!r} holds {site.load} waiting jobs, "
+                    f"capacity is {cap}",
+                    site=site.name, load=site.load, capacity=cap)
+        for job in self.grid.submitted_jobs:
+            if job.deflections > policy.deflect_budget:
+                self._fail(
+                    "queue-bounded",
+                    f"job {job.job_id} consumed {job.deflections} "
+                    f"deflections of a budget of {policy.deflect_budget}",
+                    job=job.job_id, deflections=job.deflections,
+                    budget=policy.deflect_budget)
+
+    def _check_overcommit(self) -> None:
+        for name, storage in self.grid.storages.items():
+            booked = sum(storage._reservations.values())
+            if abs(booked - storage.reserved_mb) > _MB_EPSILON:
+                self._fail(
+                    "no-overcommit",
+                    f"storage at {name!r} books {storage.reserved_mb:.6f} "
+                    f"MB reserved but its ledger sums to {booked:.6f} MB",
+                    site=name, reserved_mb=storage.reserved_mb,
+                    ledger_mb=booked)
+            total = storage.used_mb + storage.reserved_mb
+            if total > storage.capacity_mb + _MB_EPSILON:
+                self._fail(
+                    "no-overcommit",
+                    f"storage at {name!r} overcommitted: used + reserved "
+                    f"exceeds capacity",
+                    site=name, used_mb=storage.used_mb,
+                    reserved_mb=storage.reserved_mb,
+                    capacity_mb=storage.capacity_mb)
+
+    def _check_starvation(self) -> None:
+        policy = self.grid.overload
+        if policy is None:
+            return
+        now = self.sim.now
+        for job in self.grid.submitted_jobs:
+            deadline = (job.deadline_s if job.deadline_s is not None
+                        else policy.job_deadline_s)
+            if deadline <= 0:
+                continue
+            if (job.state is JobState.QUEUED and job.processor_at is None
+                    and not job.killed and job.queued_at is not None
+                    and now - job.queued_at > deadline + _MB_EPSILON):
+                self._fail(
+                    "no-starvation",
+                    f"job {job.job_id} has waited "
+                    f"{now - job.queued_at:.3f} s in the queue at "
+                    f"{job.execution_site!r}, past its {deadline:g} s "
+                    "deadline",
+                    job=job.job_id, waited_s=now - job.queued_at,
+                    deadline_s=deadline)
 
 
 def attach(grid: "DataGrid", interval_s: float = 300.0) -> Watchdog:

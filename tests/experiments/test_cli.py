@@ -183,3 +183,63 @@ class TestSensitivity:
                      "--pairs", "JobLocal+DataDoNothing",
                      "-j", "2"]) == 0
         assert "sensitivity" in capsys.readouterr().out
+
+
+class TestOverloadKnobs:
+    def test_saturated_run_prints_degradation_block(self, capsys):
+        assert main(["run", *SMALL, "--arrival-rate", "0.3",
+                     "--queue-capacity", "4", "--deflect-budget", "2",
+                     "--job-deadline", "4000",
+                     "--storage-reservations", "on",
+                     "--watchdog", "on"]) == 0
+        out = capsys.readouterr().out
+        assert "overload & degradation" in out
+        assert "jobs shed" in out
+
+    def test_default_run_prints_no_degradation_block(self, capsys):
+        assert main(["run", *SMALL]) == 0
+        assert "overload & degradation" not in capsys.readouterr().out
+
+    def test_negative_capacity_is_config_error(self, capsys):
+        assert main(["run", *SMALL, "--queue-capacity", "-1"]) == 2
+        assert "queue capacity" in capsys.readouterr().err
+
+    def test_degraded_es_accepted(self, capsys):
+        assert main(["run", *SMALL, "--queue-capacity", "8",
+                     "--degraded-es", "JobRandom"]) == 0
+
+    def test_unknown_degraded_es_is_config_error(self, capsys):
+        assert main(["run", *SMALL, "--degraded-es", "JobMagic"]) == 2
+
+    def test_aging_factor_accepted(self, capsys):
+        assert main(["run", *SMALL, "--aging-factor", "0.01"]) == 0
+
+    def test_reservations_reject_other_values(self):
+        with pytest.raises(SystemExit):
+            main(["run", *SMALL, "--storage-reservations", "maybe"])
+
+
+class TestOverloadSweepCommand:
+    def test_sweep_prints_degradation_table(self, capsys):
+        assert main(["sensitivity", "overload-sweep", *SMALL,
+                     "--rates", "0.005", "0.3", "--capacities", "4",
+                     "--pairs", "JobDataPresent+DataRandom"]) == 0
+        out = capsys.readouterr().out
+        assert "overload sweep" in out
+        assert "shed" in out
+        assert "knee" in out
+
+    def test_default_mode_is_still_staleness(self, capsys):
+        assert main(["sensitivity", *SMALL, "--delays", "0",
+                     "--pairs", "JobLocal+DataDoNothing"]) == 0
+        assert "catalog-staleness sensitivity" in capsys.readouterr().out
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sensitivity", "load-shedding-sweep", *SMALL])
+
+    def test_parallel_workers_accepted(self, capsys):
+        assert main(["sensitivity", "overload-sweep", *SMALL,
+                     "--rates", "0.005", "--capacities", "4",
+                     "--pairs", "JobLocal+DataDoNothing", "-j", "2"]) == 0
+        assert "overload sweep" in capsys.readouterr().out

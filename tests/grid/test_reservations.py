@@ -1,0 +1,252 @@
+"""Storage reservations: the ledger API and the closed overcommit race.
+
+The latent race: two concurrent inbound transfers both pass ``can_fit``
+against the same free space, both fly, and the loser either thrashes the
+LRU cache or wedges in the landing retry loop.  The reservation API makes
+the promise explicit — reserved MB is unavailable to every other add or
+reservation — so the second transfer is refused *before* its bytes move.
+"""
+
+import random
+
+import pytest
+
+from repro.grid import Dataset, DatasetCollection, DataGrid, StorageElement
+from repro.grid.overload import OverloadPolicy
+from repro.network import Topology
+from repro.scheduling import DataDoNothing, FIFOLocalScheduler, JobLocal
+from repro.sim import Simulator
+
+
+def ds(name, size=100):
+    return Dataset(name, size)
+
+
+class TestReserve:
+    def test_reserve_books_space(self):
+        st = StorageElement("s", 1000)
+        assert st.reserve(ds("a", 600), now=0)
+        assert st.reserved_mb == 600
+        assert st.is_reserved("a")
+        assert "a" not in st  # nothing resident yet
+
+    def test_reserved_space_counts_as_occupied(self):
+        st = StorageElement("s", 1000)
+        st.reserve(ds("a", 600), now=0)
+        assert not st.can_fit(600)
+        assert st.can_fit(400)
+
+    def test_reserve_refused_when_space_is_promised(self):
+        st = StorageElement("s", 1000)
+        assert st.reserve(ds("a", 600), now=0)
+        assert not st.reserve(ds("b", 600), now=0)
+        assert st.reserved_mb == 600  # refused reservation booked nothing
+
+    def test_reserve_is_idempotent(self):
+        st = StorageElement("s", 1000)
+        assert st.reserve(ds("a", 600), now=0)
+        assert st.reserve(ds("a", 600), now=1)
+        assert st.reserved_mb == 600
+
+    def test_reserve_of_resident_file_is_a_noop(self):
+        st = StorageElement("s", 1000)
+        st.add(ds("a", 600), now=0)
+        assert st.reserve(ds("a", 600), now=1)
+        assert st.reserved_mb == 0
+
+    def test_reserve_evicts_lru_to_make_room(self):
+        st = StorageElement("s", 1000)
+        st.add(ds("old", 800), now=0)
+        assert st.reserve(ds("new", 600), now=1)
+        assert "old" not in st
+        assert st.evictions == 1
+
+    def test_reserve_refused_by_pinned_files(self):
+        st = StorageElement("s", 1000)
+        st.add(ds("pinned", 800), now=0, pin=True)
+        assert not st.reserve(ds("new", 600), now=1)
+        assert "pinned" in st  # a refused reservation evicts nothing
+
+    def test_oversized_reservation_refused(self):
+        st = StorageElement("s", 1000)
+        assert not st.reserve(ds("huge", 2000), now=0)
+
+
+class TestReleaseAndCommit:
+    def test_release_returns_the_space(self):
+        st = StorageElement("s", 1000)
+        st.reserve(ds("a", 600), now=0)
+        st.release_reservation("a")
+        assert st.reserved_mb == 0
+        assert not st.is_reserved("a")
+        assert st.can_fit(1000)
+
+    def test_release_tolerates_unknown_names(self):
+        st = StorageElement("s", 1000)
+        st.release_reservation("ghost")  # abort paths release blindly
+        assert st.reserved_mb == 0
+
+    def test_empty_ledger_has_zero_residue(self):
+        st = StorageElement("s", 1000)
+        for i, size in enumerate([0.1, 0.2, 0.7]):
+            st.reserve(ds(f"f{i}", size), now=i)
+        for i in range(3):
+            st.release_reservation(f"f{i}")
+        assert st.reserved_mb == 0.0
+
+    def test_commit_lands_the_file_and_drops_the_hold(self):
+        st = StorageElement("s", 1000)
+        st.reserve(ds("a", 600), now=0)
+        st.commit_reservation(ds("a", 600), now=5)
+        assert "a" in st
+        assert st.used_mb == 600
+        assert st.reserved_mb == 0
+
+    def test_commit_can_pin(self):
+        st = StorageElement("s", 1000)
+        st.reserve(ds("a", 600), now=0)
+        st.commit_reservation(ds("a", 600), now=5, pin=True)
+        assert st.is_pinned("a")
+
+    def test_commit_never_needs_eviction(self):
+        # Fill the rest of the element after reserving: the invariant
+        # used + reserved <= capacity held throughout, so the commit
+        # lands without touching the other resident file.
+        st = StorageElement("s", 1000)
+        st.reserve(ds("a", 600), now=0)
+        st.add(ds("b", 400), now=1)
+        st.commit_reservation(ds("a", 600), now=2)
+        assert "a" in st and "b" in st
+        assert st.evictions == 0
+
+    def test_peaks_track_high_water_marks(self):
+        st = StorageElement("s", 1000)
+        st.reserve(ds("a", 600), now=0)
+        st.commit_reservation(ds("a", 600), now=1)
+        st.remove("a")
+        assert st.peak_reserved_mb == 600
+        assert st.peak_used_mb == 600
+        assert st.used_mb == 0
+
+
+class TestOvercommitRaceRegression:
+    """The satellite fix: concurrent can_fit checks can no longer both win."""
+
+    def test_can_fit_race_is_closed(self):
+        st = StorageElement("s", 1000)
+        # Without reservations, both transfers would pass this check
+        # against the same 1000 free MB — the latent race.
+        assert st.can_fit(600)
+        assert st.can_fit(600)
+        # With the ledger, the first promise excludes the second.
+        assert st.reserve(ds("a", 600), now=0)
+        assert not st.can_fit(600)
+        assert not st.reserve(ds("b", 600), now=0)
+
+    def test_interleaved_adds_and_reserves_never_overcommit(self):
+        st = StorageElement("s", 1000)
+        assert st.reserve(ds("a", 400), now=0)
+        st.add(ds("c", 500), now=1, pin=True)
+        assert not st.reserve(ds("b", 200), now=2)  # 400 + 500 + 200 > 1000
+        assert st.reserve(ds("d", 100), now=3)
+        st.commit_reservation(ds("a", 400), now=4)
+        assert st.used_mb + st.reserved_mb <= st.capacity_mb
+
+
+def _instrument_no_overcommit(storage):
+    """Record the worst used+reserved the element ever books."""
+    peak = {"mb": 0.0}
+    original_add = storage.add
+    original_reserve = storage.reserve
+
+    def note():
+        total = storage.used_mb + storage.reserved_mb
+        if total > peak["mb"]:
+            peak["mb"] = total
+
+    def add(dataset, now, pin=False):
+        original_add(dataset, now, pin=pin)
+        note()
+
+    def reserve(dataset, now):
+        ok = original_reserve(dataset, now)
+        note()
+        return ok
+
+    storage.add = add
+    storage.reserve = reserve
+    return peak
+
+
+class TestDataMoverReservations:
+    """End-to-end: reservations keep concurrent fetches honest."""
+
+    def make_grid(self, policy):
+        sim = Simulator()
+        topology = Topology.star(3, 10.0)
+        datasets = DatasetCollection([
+            Dataset("a", 600),
+            Dataset("b", 600),
+        ])
+        grid = DataGrid.create(
+            sim=sim,
+            topology=topology,
+            datasets=datasets,
+            external_scheduler=JobLocal(),
+            local_scheduler=FIFOLocalScheduler(),
+            dataset_scheduler=DataDoNothing(),
+            site_processors={name: 2 for name in topology.sites},
+            storage_capacity_mb=1000,
+            datamover_rng=random.Random(0),
+            overload_policy=policy,
+        )
+        grid.place_initial_replica("a", "site01")
+        grid.place_initial_replica("b", "site02")
+        return sim, grid
+
+    def test_concurrent_fetches_into_tight_storage_stay_bounded(self):
+        # Two simultaneous 600 MB pinned fetches into a 1000 MB element:
+        # without the ledger both pass can_fit and both fly.  With it,
+        # the second transfer is refused space until the first job is
+        # done and its input evictable; used + reserved never exceeds
+        # capacity at any instant.
+        policy = OverloadPolicy(storage_reservations=True,
+                                remote_read_after=0)
+        sim, grid = self.make_grid(policy)
+        peak = _instrument_no_overcommit(grid.storages["site00"])
+        fetch_a = grid.datamover.ensure_local("site00", "a", pin=True)
+        fetch_b = grid.datamover.ensure_local("site00", "b", pin=True)
+        sim.run(until=fetch_a)
+        grid.storages["site00"].unpin("a")  # the "job" finished
+        sim.run(until=fetch_b)
+        assert peak["mb"] <= 1000 + 1e-6
+        storage = grid.storages["site00"]
+        assert "b" in storage
+        assert storage.reserved_mb == 0  # every hold released
+        assert storage.used_mb <= storage.capacity_mb
+
+    def test_reservation_released_when_fetch_is_killed(self):
+        policy = OverloadPolicy(storage_reservations=True)
+        sim, grid = self.make_grid(policy)
+        storage = grid.storages["site00"]
+        fetch = grid.datamover.ensure_local("site00", "a", pin=True)
+        # Let the transfer start (reservation booked, bytes in flight).
+        sim.run(until=sim.timeout(1.0))
+        assert storage.reserved_mb == 600
+        fetch.callbacks.append(lambda ev: ev.defuse())
+        fetch.interrupt("test abort")
+        sim.run()
+        assert storage.reserved_mb == 0
+        assert not storage.is_reserved("a")
+
+    def test_best_effort_fetch_gives_up_instead_of_waiting(self):
+        policy = OverloadPolicy(storage_reservations=True)
+        sim, grid = self.make_grid(policy)
+        storage = grid.storages["site00"]
+        filler = Dataset("filler", 1000)
+        grid.datasets.add(filler)
+        storage.add(filler, now=0.0, pin=True)
+        moved = grid.datamover.ensure_local("site00", "a", pin=False,
+                                            best_effort=True)
+        assert sim.run(until=moved) == 0.0
+        assert storage.reserved_mb == 0

@@ -74,3 +74,34 @@ class TestFaultyRuns:
         assert counters.jobs_retried == metrics.jobs_retried
         assert counters.failovers == metrics.failovers
         assert counters.transfers_failed == metrics.transfers_failed
+
+
+class TestOverloadedRuns:
+    def _overloaded_config(self):
+        return golden_config().with_(
+            queue_capacity=2,
+            deflect_budget=1,
+            job_deadline_s=2_000.0,
+            storage_reservations=True,
+            arrival_rate_per_s=0.3,
+        )
+
+    @pytest.mark.parametrize("es,ds", [
+        ("JobLeastLoaded", "DataDoNothing"),
+        ("JobDataPresent", "DataRandom"),
+    ])
+    def test_trace_agrees_with_metrics_under_overload(self, es, ds):
+        records, metrics = _traced_run(self._overloaded_config(), es, ds)
+        assert mismatches(records, metrics) == {}
+
+    def test_degradation_counters_are_exercised(self):
+        records, metrics = _traced_run(
+            self._overloaded_config(), "JobLeastLoaded", "DataDoNothing")
+        counters = counters_from_trace(records)
+        # The stream is well past the service rate: the shed/expiry
+        # trace kinds must actually fire for the agreement to mean
+        # anything.
+        assert counters.jobs_shed + counters.jobs_expired > 0
+        assert counters.jobs_shed == metrics.jobs_shed
+        assert counters.jobs_deflected == metrics.jobs_deflected
+        assert counters.jobs_expired == metrics.jobs_expired
