@@ -9,6 +9,19 @@ Besides the pytest-benchmark tables, the measured numbers accumulate into
 — the committed performance baseline that ``benchmarks/compare.py`` diffs
 across checkouts.  Each test re-publishes the accumulated record, so a
 partial run updates only the metrics it measured.
+
+Methodology note: the headline ``*_per_s`` throughputs divide the work
+count by the *best* round (``min_s``), not the mean.  Shared CI runners
+see preemption spikes of 100 ms and worse, which inflate a mean by
+integer factors while leaving the minimum — the run with the least
+interference, i.e. the closest estimate of the code's actual cost —
+almost untouched (the same reasoning behind ``timeit``'s use of the best
+of N).  Both ``mean_s`` and ``min_s`` are still published per metric, so
+the record keeps the noise visible instead of hiding it.
+
+Run with ``--benchmark-disable-gc`` (as CI does): a collector pause
+inside a round measures the allocator's history, not the kernel —
+``timeit`` disables GC for the same reason.
 """
 
 from repro.sim import Resource, Simulator
@@ -27,12 +40,13 @@ def _record(name: str, benchmark, work_items: int) -> None:
         return
     _METRICS[f"{name}_mean_s"] = stats["mean_s"]
     _METRICS[f"{name}_min_s"] = stats["min_s"]
-    _METRICS[f"{name}_per_s"] = work_items / stats["mean_s"]
+    _METRICS[f"{name}_per_s"] = work_items / stats["min_s"]
     publish_json(
         "kernel",
         _METRICS,
         meta={"units": "per_s = work items (events/processes/acquisitions)"
-                       " per second of mean wall-clock"},
+                       " per second of best-round (min_s) wall-clock; "
+                       "see module docstring for why not the mean"},
         higher_is_better=[k for k in _METRICS if k.endswith("_per_s")],
         top_level="BENCH_kernel.json",
     )

@@ -67,10 +67,12 @@ def compare(baseline: dict, current: dict,
         lines.append(f"{name:<{width}}  {old:>14.6g} -> {new:>14.6g}  "
                      f"{change:>+8.1%}  {arrow}")
         if regressed:
+            overshoot = (-change if better else change) - threshold
             regressions.append(
                 f"{name}: {old:.6g} -> {new:.6g} "
                 f"({change:+.1%}, {'higher' if better else 'lower'} "
-                "is better)")
+                f"is better; exceeds the {threshold:.0%} gate "
+                f"by {overshoot:.1%})")
     for name in sorted(set(old_metrics) ^ set(new_metrics)):
         side = "baseline" if name in old_metrics else "current"
         lines.append(f"{name:<{width}}  (only in {side})")
@@ -100,10 +102,14 @@ def main(argv=None) -> int:
     for line in lines:
         print(line)
     if regressions:
-        print(f"\n{len(regressions)} regression(s) > "
-              f"{args.threshold:.0%}:")
+        # Name every breaching metric explicitly, on stdout for the
+        # rendered report and on stderr so CI log scrapers and humans
+        # skimming a failed job see exactly which gate tripped.
+        print(f"\n{len(regressions)} metric(s) breached the "
+              f"{args.threshold:.0%} regression gate:")
         for regression in regressions:
-            print(f"  {regression}")
+            print(f"  BREACH {regression}")
+            print(f"BREACH {regression}", file=sys.stderr)
         return 1
     print("\nno regressions")
     return 0

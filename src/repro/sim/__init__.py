@@ -13,6 +13,8 @@ small, deterministic, process-based discrete-event engine:
   and containers used to model compute elements and storage.
 * :mod:`~repro.sim.rng` — named, independently-seeded random substreams so
   that every run is exactly reproducible.
+* :mod:`~repro.sim.reference` — a naive oracle kernel used by the
+  differential test harness (never in production runs).
 
 The engine is intentionally SimPy-like: processes are ordinary generator
 functions, and the kernel guarantees a total, deterministic order of event

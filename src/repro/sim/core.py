@@ -5,13 +5,44 @@ order, where ``sequence`` is a monotonically increasing insertion counter.
 Two runs with the same seed and the same code therefore produce identical
 event orderings — the property the paper relies on when replicating each
 experiment under three seeds ("we found no significant variation").
+
+Hot-path design (the full story is in ``docs/architecture.md``):
+
+* **Pre-bound dispatch.**  ``run()`` binds one of two drain loops when it
+  starts: a bare loop when ``pre_event_hooks`` is empty (the default) and
+  an instrumented loop when hooks are attached.  A kernel whose
+  tracing/fault/overload instrumentation is disabled therefore pays
+  *nothing* per event for the features it is not using — not even an
+  empty-list iteration.  :attr:`Simulator.dispatch_plan` reports which
+  loop the next ``run()`` will bind.
+* **Bucketed calendar queue.**  Events live in FIFO deques keyed by
+  distinct ``(time, priority)`` pairs; a heap orders the keys.  Appending
+  in trigger order makes deque position the insertion-sequence tiebreak,
+  so the contract holds with no stored counter and the heap pays one
+  push/pop per *distinct key* instead of per event.
+* **Batched same-timestamp delivery.**  The drain loops pop a key once,
+  store the clock once, and deliver the whole bucket, re-checking the
+  heap head per event only for preemption (an urgent same-time event
+  scheduled by a callback must still cut ahead).
+* **Inlined scheduling.**  The event primitives (``events.py``) and the
+  process bootstrap/finish (``process.py``) append straight into the
+  buckets; :meth:`schedule` remains the validated public entry point.
+* **Event free-list.**  Process-start bootstrap events are the one event
+  class the kernel can prove is unreferenced after processing (created
+  internally, exactly one callback, never exposed), so they are recycled
+  through :attr:`Simulator._free_events` instead of reallocated for each
+  of the millions of short-lived processes a campaign spawns.
+
+Behavioural equivalence with the pre-optimization kernel is locked down by
+``tests/sim/test_differential.py`` (naive reference kernel) and the golden
+trace digests under ``tests/trace/golden/``.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
-from itertools import count
-from typing import Any, Callable, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.errors import SimulationError, StopSimulation
 from repro.sim.events import (
@@ -25,7 +56,8 @@ from repro.sim.process import Process, ProcessGenerator
 
 Infinity = float("inf")
 
-QueueItem = Tuple[float, int, int, Event]
+#: A bucket key: ``(time, priority)``.  Events sharing a key are FIFO.
+BucketKey = Tuple[float, int]
 
 
 class Simulator:
@@ -43,14 +75,30 @@ class Simulator:
     5.0
     """
 
+    __slots__ = ("_now", "_buckets", "_keyheap", "_active_process",
+                 "pre_event_hooks", "_free_events")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: List[QueueItem] = []
-        self._seq = count()
+        #: Bucketed calendar queue: each distinct ``(time, priority)`` key
+        #: maps to a FIFO deque of events.  Insertion order within a bucket
+        #: *is* the global sequence-number tiebreak — events are appended in
+        #: trigger order — so the (time, priority, sequence) contract holds
+        #: without storing a counter, and the heap shrinks from one entry
+        #: per event to one entry per distinct key.  Invariant outside a
+        #: drain step: a key is on ``_keyheap`` iff its bucket exists (and
+        #: buckets are never empty).
+        self._buckets: Dict[BucketKey, Deque[Event]] = {}
+        self._keyheap: List[BucketKey] = []
         self._active_process: Optional[Process] = None
         #: Optional hooks called as ``hook(sim, event)`` just before each
-        #: event's callbacks run; used by :mod:`repro.sim.trace`.
+        #: event's callbacks run; used by :mod:`repro.sim.trace`.  Attach
+        #: them *before* calling :meth:`run` — the run loop is bound once,
+        #: at entry, based on whether any hooks are present.
         self.pre_event_hooks: List[Callable[["Simulator", Event], None]] = []
+        #: Free-list of recycled process-bootstrap events (see module
+        #: docstring).  Only :class:`~repro.sim.process.Process` touches it.
+        self._free_events: List[Event] = []
 
     # -- introspection -------------------------------------------------------
 
@@ -64,12 +112,23 @@ class Simulator:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def dispatch_plan(self) -> str:
+        """Which drain loop the next :meth:`run` will bind.
+
+        ``"fast"`` — no hooks attached: the bare loop with zero per-event
+        instrumentation cost.  ``"hooked"`` — at least one
+        ``pre_event_hooks`` entry: the instrumented loop that calls every
+        hook before each event's callbacks.
+        """
+        return "hooked" if self.pre_event_hooks else "fast"
+
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if queue is empty)."""
-        return self._queue[0][0] if self._queue else Infinity
+        return self._keyheap[0][0] if self._keyheap else Infinity
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return sum(len(bucket) for bucket in self._buckets.values())
 
     # -- event factories ------------------------------------------------------
 
@@ -78,8 +137,28 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires after ``delay`` simulated seconds."""
-        return Timeout(self, delay, value)
+        """Create an event that fires after ``delay`` simulated seconds.
+
+        Timeouts dominate event traffic, so construction is fully inlined
+        here (one Python call per timeout, mirroring
+        ``Timeout.__init__``).
+        """
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        ev = Timeout.__new__(Timeout)
+        ev.sim = self
+        ev.callbacks = []
+        ev._value = value
+        ev._ok = True
+        ev._defused = False
+        ev.delay = delay
+        key = (self._now + delay, PRIORITY_NORMAL)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = bucket = deque()
+            heappush(self._keyheap, key)
+        bucket.append(ev)
+        return ev
 
     def process(self, generator: ProcessGenerator,
                 name: Optional[str] = None) -> Process:
@@ -101,11 +180,19 @@ class Simulator:
         """Put a triggered event on the queue ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {event!r} in the past")
-        heappush(self._queue, (self._now + delay, priority,
-                               next(self._seq), event))
+        key = (self._now + delay, priority)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = bucket = deque()
+            heappush(self._keyheap, key)
+        bucket.append(event)
 
     def step(self) -> None:
         """Process the single next event.
+
+        This is the one-event-at-a-time entry point (used by tests and
+        :meth:`run_until_empty`); :meth:`run` uses batched drain loops with
+        identical semantics.
 
         Raises
         ------
@@ -116,10 +203,16 @@ class Simulator:
             (defusing) it — typically an unhandled exception inside a
             process nobody waits on.
         """
-        try:
-            self._now, _, _, event = heappop(self._queue)
-        except IndexError:
-            raise SimulationError("no scheduled events left") from None
+        keyheap = self._keyheap
+        if not keyheap:
+            raise SimulationError("no scheduled events left")
+        key = keyheap[0]
+        bucket = self._buckets[key]
+        event = bucket.popleft()
+        if not bucket:
+            heappop(keyheap)
+            del self._buckets[key]
+        self._now = key[0]
 
         for hook in self.pre_event_hooks:
             hook(self, event)
@@ -137,6 +230,95 @@ class Simulator:
             raise SimulationError(  # pragma: no cover - fail() type-checks
                 f"failed event with non-exception value {exc!r}")
 
+    # -- drain loops (pre-bound dispatch) -------------------------------------
+
+    def _drain_fast(self) -> None:
+        """Drain the queue with zero instrumentation cost per event.
+
+        Bound by :meth:`run` when no ``pre_event_hooks`` are attached.
+        Events sharing a ``(time, priority)`` bucket are delivered in one
+        batch: the clock is stored once per bucket and the inner loop
+        drains the FIFO deque, re-checking the key heap only for
+        *preemption* — an urgent event scheduled at the current time by a
+        callback must still run before the rest of the batch.
+        """
+        keyheap = self._keyheap
+        buckets = self._buckets
+        pop = heappop
+        push = heappush
+        while keyheap:
+            key = pop(keyheap)
+            self._now = key[0]
+            bucket = buckets[key]
+            # The finally clause restores the key/bucket invariant even if
+            # a callback stops the run or an unhandled failure propagates,
+            # so a later run() continues from a consistent queue.
+            try:
+                while bucket:
+                    event = bucket.popleft()
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+                    elif callbacks is None:  # pragma: no cover
+                        raise SimulationError(f"{event!r} was scheduled twice")
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        if isinstance(exc, BaseException):
+                            raise exc
+                        raise SimulationError(  # pragma: no cover
+                            f"failed event with non-exception value {exc!r}")
+                    if keyheap and keyheap[0] < key:
+                        break
+            finally:
+                if bucket:
+                    push(keyheap, key)
+                else:
+                    del buckets[key]
+
+    def _drain_hooked(self) -> None:
+        """Drain loop with ``pre_event_hooks`` instrumentation.
+
+        Identical event semantics to :meth:`_drain_fast`; every attached
+        hook runs before each event's callbacks, exactly as in
+        :meth:`step`.
+        """
+        keyheap = self._keyheap
+        buckets = self._buckets
+        pop = heappop
+        push = heappush
+        hooks = self.pre_event_hooks
+        while keyheap:
+            key = pop(keyheap)
+            self._now = key[0]
+            bucket = buckets[key]
+            try:
+                while bucket:
+                    event = bucket.popleft()
+                    for hook in hooks:
+                        hook(self, event)
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+                    elif callbacks is None:  # pragma: no cover
+                        raise SimulationError(f"{event!r} was scheduled twice")
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        if isinstance(exc, BaseException):
+                            raise exc
+                        raise SimulationError(  # pragma: no cover
+                            f"failed event with non-exception value {exc!r}")
+                    if keyheap and keyheap[0] < key:
+                        break
+            finally:
+                if bucket:
+                    push(keyheap, key)
+                else:
+                    del buckets[key]
+
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
 
@@ -148,15 +330,13 @@ class Simulator:
             an :class:`Event` — run until that event is processed and return
             its value (raising its exception if it failed).
         """
-        stop_event: Optional[Event] = None
         if until is not None:
             if isinstance(until, Event):
-                stop_event = until
-                if stop_event.processed:
-                    if stop_event.ok:
-                        return stop_event.value
-                    raise stop_event.value
-                stop_event.callbacks.append(_StopCallback())
+                if until.processed:
+                    if until.ok:
+                        return until.value
+                    raise until.value
+                until.callbacks.append(_StopCallback())
             else:
                 horizon = float(until)
                 if horizon < self._now:
@@ -170,8 +350,12 @@ class Simulator:
                 stop_event.callbacks.append(_StopCallback())
 
         try:
-            while self._queue:
-                self.step()
+            # Dispatch is bound once per run: disabled instrumentation has
+            # zero per-event cost on the fast loop.
+            if self.pre_event_hooks:
+                self._drain_hooked()
+            else:
+                self._drain_fast()
         except StopSimulation as stop:
             return stop.value
 
@@ -187,7 +371,7 @@ class Simulator:
         ``max_events`` guards against runaway simulations in tests.
         """
         processed = 0
-        while self._queue:
+        while self._keyheap:
             self.step()
             processed += 1
             if max_events is not None and processed >= max_events:

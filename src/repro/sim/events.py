@@ -4,10 +4,21 @@ An :class:`Event` is a one-shot occurrence.  It starts *pending*, is
 *triggered* exactly once (either ``succeed`` or ``fail``), gets scheduled on
 the simulator's queue, and is finally *processed* when the event loop invokes
 its callbacks.  Processes wait on events by ``yield``-ing them.
+
+Hot-path note: triggering appends directly into the simulator's bucketed
+queue (a FIFO deque per distinct ``(time, priority)`` key) instead of
+going through :meth:`Simulator.schedule`.  Append order within a bucket
+*is* the insertion-sequence tiebreak of the kernel's determinism contract
+— every push site must keep the key layout and append discipline exactly
+in sync with :mod:`repro.sim.core` (the differential suite in
+``tests/sim/test_differential.py`` cross-checks this against a naive
+reference kernel).
 """
 
 from __future__ import annotations
 
+from collections import deque
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 from repro.sim.errors import EventAlreadyTriggered
@@ -94,7 +105,13 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.sim.schedule(self)
+        sim = self.sim
+        key = (sim._now, PRIORITY_NORMAL)
+        bucket = sim._buckets.get(key)
+        if bucket is None:
+            sim._buckets[key] = bucket = deque()
+            heappush(sim._keyheap, key)
+        bucket.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -109,7 +126,13 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.sim.schedule(self)
+        sim = self.sim
+        key = (sim._now, PRIORITY_NORMAL)
+        bucket = sim._buckets.get(key)
+        if bucket is None:
+            sim._buckets[key] = bucket = deque()
+            heappush(sim._keyheap, key)
+        bucket.append(self)
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -121,7 +144,13 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} has already been triggered")
         self._ok = event._ok
         self._value = event._value
-        self.sim.schedule(self)
+        sim = self.sim
+        key = (sim._now, PRIORITY_NORMAL)
+        bucket = sim._buckets.get(key)
+        if bucket is None:
+            sim._buckets[key] = bucket = deque()
+            heappush(sim._keyheap, key)
+        bucket.append(self)
 
 
 class Timeout(Event):
@@ -137,11 +166,20 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        # Timeouts dominate event traffic, so the Event/heap bookkeeping is
+        # inlined here: one constructor call, one heap push.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        key = (sim._now + delay, PRIORITY_NORMAL)
+        bucket = sim._buckets.get(key)
+        if bucket is None:
+            sim._buckets[key] = bucket = deque()
+            heappush(sim._keyheap, key)
+        bucket.append(self)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r}>"
@@ -165,12 +203,13 @@ class Condition(Event):
             if event.sim is not sim:
                 raise ValueError("cannot mix events from different simulators")
         # Register on the next tick so that already-processed events count.
+        on_sub = self._on_sub_event
         for event in self._events:
-            if event.processed:
-                self._on_sub_event(event)
+            if event.callbacks is None:
+                on_sub(event)
             else:
-                event.callbacks.append(self._on_sub_event)
-        if not self._events and not self.triggered:
+                event.callbacks.append(on_sub)
+        if not self._events and self._value is PENDING:
             self.succeed({})
 
     @staticmethod
@@ -179,11 +218,11 @@ class Condition(Event):
         raise NotImplementedError
 
     def _on_sub_event(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
-        if not event.ok:
-            event.defuse()
-            self.fail(event.value)
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
             return
         self._count += 1
         if self.evaluate(self._events, self._count):
@@ -193,9 +232,9 @@ class Condition(Event):
         # Only *processed* sub-events count: a Timeout is triggered from
         # birth, but its occurrence is the moment it is processed.
         return {
-            event: event.value
+            event: event._value
             for event in self._events
-            if event.processed and event.ok
+            if event.callbacks is None and event._ok
         }
 
 

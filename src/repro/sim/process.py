@@ -5,14 +5,27 @@ resumes it with the event's value (or throws the event's exception / an
 :class:`~repro.sim.errors.Interrupt` into it).  The :class:`Process` object
 is itself an :class:`~repro.sim.events.Event` that triggers when the
 generator finishes, so processes can wait on each other.
+
+Hot-path note: starting a process schedules a *bootstrap event* at the
+current time with urgent priority.  Bootstrap events are created
+internally, carry exactly one callback, and are never exposed, so they are
+the one event class the kernel can prove is unreferenced once processed —
+:meth:`Process._start` recycles them through the simulator's free-list
+(``sim._free_events``) instead of allocating a fresh event per process.
+The recycle happens *before* the generator is resumed, so a nested
+``sim.process(...)`` inside the generator body may immediately reuse the
+event object; ``_resume`` reads the event's outcome before handing control
+to user code, which makes that aliasing safe.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.sim.errors import Interrupt, SimulationError
-from repro.sim.events import PENDING, PRIORITY_URGENT, Event
+from repro.sim.events import PENDING, PRIORITY_NORMAL, PRIORITY_URGENT, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
@@ -21,7 +34,12 @@ ProcessGenerator = Generator[Event, Any, Any]
 
 
 class Initialize(Event):
-    """Internal event that starts a freshly created process."""
+    """A process-start bootstrap event.
+
+    Kept for introspection/compatibility; the hot path in
+    :class:`Process.__init__` builds bootstrap events from the simulator's
+    free-list instead of instantiating this class.
+    """
 
     __slots__ = ()
 
@@ -46,7 +64,7 @@ class Process(Event):
         Optional label used in ``repr`` and error messages.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "_name", "_resume_cb")
 
     def __init__(
         self,
@@ -58,15 +76,47 @@ class Process(Event):
             raise TypeError(
                 f"{generator!r} is not a generator; did you forget to call "
                 "the process function?")
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self._generator = generator
-        self.name = name or getattr(generator, "__name__", "process")
+        # Name resolution is deferred to the ``name`` property — most
+        # processes are never printed, so don't pay getattr per spawn.
+        self._name = name
         #: The event this process is currently waiting on (None if running).
         self._target: Optional[Event] = None
-        Initialize(sim, self)
+        #: Cached bound method — registered as the callback on every event
+        #: this process waits on, so build the bound object once instead of
+        #: once per wait.
+        self._resume_cb = self._resume
+        # Bootstrap: schedule the first resumption at the current time with
+        # urgent priority, reusing a free-listed event when one is available.
+        pool = sim._free_events
+        if pool:
+            start = pool.pop()
+        else:
+            start = Event.__new__(Event)
+            start.sim = sim
+            start._ok = True
+            start._defused = False
+        start._value = None
+        start.callbacks = [self._start]
+        key = (sim._now, PRIORITY_URGENT)
+        bucket = sim._buckets.get(key)
+        if bucket is None:
+            sim._buckets[key] = bucket = deque()
+            heappush(sim._keyheap, key)
+        bucket.append(start)
 
     def __repr__(self) -> str:
         return f"<Process {self.name!r} {'done' if self.triggered else 'alive'}>"
+
+    @property
+    def name(self) -> str:
+        """Label used in ``repr`` and error messages (lazily resolved)."""
+        return self._name or getattr(self._generator, "__name__", "process")
 
     @property
     def is_alive(self) -> bool:
@@ -96,17 +146,32 @@ class Process(Event):
         event._ok = False
         event._value = Interrupt(cause)
         event._defused = True
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._resume_cb)
         self.sim.schedule(event, priority=PRIORITY_URGENT)
         # Detach from the old target so its trigger no longer resumes us.
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._target = None
 
     # -- kernel interface ----------------------------------------------------
+
+    def _start(self, event: Event) -> None:
+        """First resumption: recycle the bootstrap event, then run.
+
+        The recycle must happen before :meth:`_resume` so that a nested
+        process spawn inside the generator body can reuse the object
+        (otherwise the same event could end up both on the heap and in the
+        free-list).  ``_resume`` reads the event's outcome before user code
+        runs, so the early recycle is safe.
+        """
+        # Bootstrap events always carry (_ok=True, _defused=False,
+        # _value=None); processing only cleared `callbacks`, which the
+        # acquire site in __init__ resets.  Recycle as-is.
+        self.sim._free_events.append(event)
+        self._resume(event)
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
@@ -158,23 +223,29 @@ class Process(Event):
                     event._value = bad
                     event._defused = True
                     continue
-                if target.processed:
-                    # Already done: loop immediately without going through
-                    # the queue (same semantics, less overhead).
+                if target.callbacks is None:
+                    # Already processed: loop immediately without going
+                    # through the queue (same semantics, less overhead).
                     event = target
                     continue
-                target.callbacks.append(self._resume)
+                target.callbacks.append(self._resume_cb)
                 self._target = target
                 return
         finally:
             self.sim._active_process = None
 
     def _finish(self, ok: bool, value: Any) -> None:
+        # Inlined succeed()/fail() minus the already-triggered guard — the
+        # kernel calls _finish exactly once, when the generator exits.  A
+        # failed, never-waited-on, undefused process still crashes the loop
+        # (see Simulator._drain_fast), so errors are never swallowed.
         self._target = None
-        if ok:
-            self.succeed(value)
-        else:
-            # If nobody ever waits on this process, the kernel raises the
-            # exception out of ``Simulator.step`` (undefused failed event),
-            # so errors are never silently swallowed.
-            self.fail(value)
+        self._ok = ok
+        self._value = value
+        sim = self.sim
+        key = (sim._now, PRIORITY_NORMAL)
+        bucket = sim._buckets.get(key)
+        if bucket is None:
+            sim._buckets[key] = bucket = deque()
+            heappush(sim._keyheap, key)
+        bucket.append(self)

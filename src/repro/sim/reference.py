@@ -1,0 +1,115 @@
+"""A deliberately naive reference kernel for differential testing.
+
+:class:`ReferenceSimulator` re-derives the event order from the semantic
+contract alone — *events are processed in (time, priority, insertion)
+order* — using none of the production kernel's machinery: no key heap, no
+batched delivery, no pre-bound dispatch, no free-list recycling.  Every
+step scans the live buckets with ``min()`` and delivers exactly one event
+with the per-event semantics of :meth:`Simulator.step`.
+
+It exists so that ``tests/sim/test_differential.py`` can replay canonical
+workloads through both kernels and require identical recorded schedules.
+The production drain loops make several non-obvious claims (batching is
+ordering-neutral, preemption re-checks are sufficient, recycled bootstrap
+events never alias) — the oracle checks all of them at once, because any
+violation shows up as a diverging schedule.
+
+The oracle is O(distinct keys) per event and therefore slow; never use it
+outside tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.core import Simulator, _StopCallback
+from repro.sim.errors import SimulationError, StopSimulation
+from repro.sim.events import Event
+
+
+class ReferenceSimulator(Simulator):
+    """Drop-in :class:`Simulator` with a naive, unoptimized drain.
+
+    Push sites are shared with the production kernel (events append
+    themselves to ``(time, priority)`` buckets in trigger order), but the
+    *pop* side is re-derived: ``min()`` over live bucket keys instead of
+    the heap, one event per step, hooks honored on every event.  The key
+    heap is intentionally ignored — stale keys accumulate there and are
+    discarded, so the oracle's ordering decisions are independent of the
+    production kernel's heap bookkeeping.
+    """
+
+    __slots__ = ()
+
+    def peek(self) -> float:
+        return min(self._buckets)[0] if self._buckets else float("inf")
+
+    def step(self) -> None:
+        buckets = self._buckets
+        if not buckets:
+            raise SimulationError("no scheduled events left")
+        key = min(buckets)
+        bucket = buckets[key]
+        event = bucket.popleft()
+        if not bucket:
+            del buckets[key]
+        self._now = key[0]
+
+        for hook in self.pre_event_hooks:
+            hook(self, event)
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - double-processing guard
+            raise SimulationError(f"{event!r} was scheduled twice")
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SimulationError(  # pragma: no cover - fail() type-checks
+                f"failed event with non-exception value {exc!r}")
+
+    def run(self, until: Any = None) -> Any:
+        if until is not None:
+            if isinstance(until, Event):
+                if until.processed:
+                    if until.ok:
+                        return until.value
+                    raise until.value
+                until.callbacks.append(_StopCallback())
+            else:
+                horizon = float(until)
+                if horizon < self._now:
+                    raise SimulationError(
+                        f"run(until={horizon}) is in the past "
+                        f"(now={self._now})")
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                self.schedule(stop_event, delay=horizon - self._now,
+                              priority=-1)
+                stop_event.callbacks.append(_StopCallback())
+
+        try:
+            while self._buckets:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if until is not None and isinstance(until, Event):
+            if not until.triggered:
+                raise SimulationError(
+                    f"run() finished with {until!r} still untriggered")
+        return None
+
+    def run_until_empty(self, max_events: Any = None) -> int:
+        processed = 0
+        while self._buckets:
+            self.step()
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} (possible livelock)")
+        return processed

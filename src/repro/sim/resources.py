@@ -8,20 +8,31 @@
   (used for incoming-job queues).
 * :class:`Container` — a continuous quantity with bounded capacity (used for
   storage-space accounting when modelling quota-limited storage elements).
+
+Cancellation is *lazy*: withdrawing a request marks it cancelled in place
+(O(1)) instead of removing it from the wait structure (O(n) for the FIFO
+deque, O(n log n) for the priority heap's old rebuild).  Grant loops skip
+tombstones as they surface.  ``queued`` counts live requests only, so the
+external view is unchanged; the property suite in
+``tests/sim/test_queue_properties.py`` locks the equivalence down under
+random cancel/reschedule interleavings.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from collections import deque
-from itertools import count
 from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional
 
-from repro.sim.errors import SimulationError
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
+
+#: Request lifecycle states (slot ``_qstate`` on :class:`Request`).
+_WAITING = 0
+_GRANTED = 1
+_CANCELLED = 2
 
 
 class Request(Event):
@@ -36,12 +47,13 @@ class Request(Event):
             ... hold the resource ...
     """
 
-    __slots__ = ("resource", "key")
+    __slots__ = ("resource", "key", "_qstate")
 
     def __init__(self, resource: "Resource", key: Any = None) -> None:
         super().__init__(resource.sim)
         self.resource = resource
         self.key = key
+        self._qstate = _WAITING
 
     def __enter__(self) -> "Request":
         return self
@@ -50,7 +62,11 @@ class Request(Event):
         self.resource.release(self)
 
     def cancel(self) -> None:
-        """Withdraw an ungranted request (no-op if already granted)."""
+        """Withdraw an ungranted request (no-op if already granted).
+
+        Idempotent: cancelling twice, or cancelling after the grant, has
+        no further effect.
+        """
         self.resource._cancel(self)
 
 
@@ -61,6 +77,8 @@ class Resource:
     ``Resource`` whose capacity is the processor count.
     """
 
+    __slots__ = ("sim", "_capacity", "users", "queue", "_n_cancelled")
+
     def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity!r}")
@@ -68,10 +86,12 @@ class Resource:
         self._capacity = int(capacity)
         self.users: List[Request] = []
         self.queue: Deque[Request] = deque()
+        #: Tombstoned (cancelled but not yet popped) requests in ``queue``.
+        self._n_cancelled = 0
 
     def __repr__(self) -> str:
         return (f"<{type(self).__name__} {len(self.users)}/{self._capacity} "
-                f"used, {len(self.queue)} queued>")
+                f"used, {self.queued} queued>")
 
     @property
     def capacity(self) -> int:
@@ -85,8 +105,8 @@ class Resource:
 
     @property
     def queued(self) -> int:
-        """Number of requests waiting for a slot."""
-        return len(self.queue)
+        """Number of live requests waiting for a slot."""
+        return len(self.queue) - self._n_cancelled
 
     def request(self) -> Request:
         """Claim a slot; the returned event fires when granted."""
@@ -106,19 +126,22 @@ class Resource:
         self._grant()
 
     def _cancel(self, request: Request) -> None:
-        try:
-            self.queue.remove(request)
-        except ValueError:
-            pass
+        # Lazy deletion: tombstone in place, skip at grant time.
+        if request._qstate == _WAITING:
+            request._qstate = _CANCELLED
+            self._n_cancelled += 1
 
     def _grant(self) -> None:
-        while self.queue and len(self.users) < self._capacity:
-            req = self._pop_next()
-            self.users.append(req)
+        users = self.users
+        queue = self.queue
+        while queue and len(users) < self._capacity:
+            req = queue.popleft()
+            if req._qstate == _CANCELLED:
+                self._n_cancelled -= 1
+                continue
+            req._qstate = _GRANTED
+            users.append(req)
             req.succeed()
-
-    def _pop_next(self) -> Request:
-        return self.queue.popleft()
 
 
 class PriorityResource(Resource):
@@ -127,33 +150,35 @@ class PriorityResource(Resource):
     Lower priority values are granted first; ties break FIFO.
     """
 
+    __slots__ = ("_heap", "_seq")
+
     def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
         super().__init__(sim, capacity)
         self._heap: List[Any] = []
-        self._seq = count()
+        self._seq = 0
 
     @property
     def queued(self) -> int:
-        return len(self._heap)
+        return len(self._heap) - self._n_cancelled
 
     def request(self, priority: int = 0) -> Request:  # type: ignore[override]
         req = Request(self, key=priority)
-        heapq.heappush(self._heap, (priority, next(self._seq), req))
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (priority, seq, req))
         self._grant()
         return req
 
-    def _cancel(self, request: Request) -> None:
-        self._heap = [item for item in self._heap if item[2] is not request]
-        heapq.heapify(self._heap)
-
     def _grant(self) -> None:
-        while self._heap and len(self.users) < self._capacity:
-            _, _, req = heapq.heappop(self._heap)
-            self.users.append(req)
+        users = self.users
+        heap = self._heap
+        while heap and len(users) < self._capacity:
+            req = heappop(heap)[2]
+            if req._qstate == _CANCELLED:
+                self._n_cancelled -= 1
+                continue
+            req._qstate = _GRANTED
+            users.append(req)
             req.succeed()
-
-    def _pop_next(self) -> Request:  # pragma: no cover - unused via heap
-        raise NotImplementedError
 
 
 class StorePut(Event):
@@ -183,6 +208,8 @@ class Store:
     Site job queues are Stores: the local scheduler ``get``s the next job,
     users/external schedulers ``put`` jobs in.
     """
+
+    __slots__ = ("sim", "capacity", "items", "_putters", "_getters")
 
     def __init__(self, sim: "Simulator",
                  capacity: float = float("inf")) -> None:
@@ -224,7 +251,9 @@ class Store:
                 self.items.append(put.item)
                 put.succeed()
                 progressed = True
-            # Serve getters (possibly filtered).
+            # Serve getters (possibly filtered).  succeed() only schedules
+            # the event — callbacks cannot mutate the deque reentrantly —
+            # but iterate over a snapshot because we remove served getters.
             for get in list(self._getters):
                 match_index: Optional[int] = None
                 if get.filter is None:
@@ -247,6 +276,8 @@ class Container:
     Used for storage-space accounting where transfers reserve space before
     the bytes arrive.
     """
+
+    __slots__ = ("sim", "capacity", "_level", "_putters", "_getters")
 
     def __init__(self, sim: "Simulator", capacity: float,
                  init: float = 0.0) -> None:

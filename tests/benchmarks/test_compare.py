@@ -1,0 +1,133 @@
+"""Unit tests for the benchmark differ (``benchmarks/compare.py``).
+
+The differ guards the nightly perf gate, so it gets the same treatment
+as product code: direction inference, threshold edges, breach naming,
+exit codes, and malformed-input handling are all pinned here.  The
+module lives outside the package tree, so it is loaded by file path.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_COMPARE_PATH = (Path(__file__).resolve().parents[2]
+                 / "benchmarks" / "compare.py")
+
+spec = importlib.util.spec_from_file_location("bench_compare", _COMPARE_PATH)
+compare_mod = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(compare_mod)
+
+
+def _record(metrics, higher=()):
+    return {"metrics": metrics, "higher_is_better": list(higher)}
+
+
+def _write(tmp_path, name, record):
+    path = tmp_path / name
+    path.write_text(json.dumps(record))
+    return str(path)
+
+
+class TestDirectionInference:
+    def test_record_annotation_wins(self):
+        rec = _record({"weird_metric": 1.0}, higher=["weird_metric"])
+        assert compare_mod.higher_is_better("weird_metric", rec)
+
+    @pytest.mark.parametrize("name,expected", [
+        ("event_throughput_per_s", True),
+        ("kernel_speedup", True),
+        ("locality_gain", True),
+        ("process_churn_mean_s", False),
+        ("bytes_moved_mb", False),
+        ("idle_fraction", False),
+    ])
+    def test_name_heuristic(self, name, expected):
+        assert compare_mod.higher_is_better(name, _record({})) is expected
+
+    def test_parametrized_names_use_base(self):
+        assert compare_mod.higher_is_better(
+            "throughput_per_s[JobRandom]", _record({}))
+
+
+class TestCompare:
+    def test_no_change_is_clean(self):
+        lines, regressions = compare_mod.compare(
+            _record({"a_per_s": 100.0}), _record({"a_per_s": 100.0}), 0.10)
+        assert regressions == []
+        assert any("a_per_s" in line for line in lines)
+
+    def test_drop_within_threshold_passes(self):
+        _, regressions = compare_mod.compare(
+            _record({"a_per_s": 100.0}), _record({"a_per_s": 91.0}), 0.10)
+        assert regressions == []
+
+    def test_drop_beyond_threshold_is_named(self):
+        _, regressions = compare_mod.compare(
+            _record({"a_per_s": 100.0, "b_per_s": 100.0}),
+            _record({"a_per_s": 80.0, "b_per_s": 99.0}), 0.10)
+        assert len(regressions) == 1
+        assert regressions[0].startswith("a_per_s:")
+        assert "exceeds the 10% gate" in regressions[0]
+
+    def test_lower_is_better_metrics_regress_upward(self):
+        _, regressions = compare_mod.compare(
+            _record({"mean_s": 1.0}), _record({"mean_s": 1.5}), 0.10)
+        assert len(regressions) == 1
+        assert "lower is better" in regressions[0]
+
+    def test_improvement_never_regresses(self):
+        _, regressions = compare_mod.compare(
+            _record({"a_per_s": 100.0, "mean_s": 1.0}),
+            _record({"a_per_s": 500.0, "mean_s": 0.1}), 0.10)
+        assert regressions == []
+
+    def test_zero_baseline_handled(self):
+        lines, regressions = compare_mod.compare(
+            _record({"mean_s": 0.0}), _record({"mean_s": 0.0}), 0.10)
+        assert regressions == []
+
+    def test_disjoint_metrics_reported_not_compared(self):
+        lines, regressions = compare_mod.compare(
+            _record({"only_old": 1.0}), _record({"only_new": 2.0}), 0.10)
+        assert regressions == []
+        assert any("only in baseline" in line for line in lines)
+        assert any("only in current" in line for line in lines)
+
+
+class TestMain:
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _record({"a_per_s": 100.0}))
+        cur = _write(tmp_path, "cur.json", _record({"a_per_s": 101.0}))
+        assert compare_mod.main([base, cur]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_exit_one_names_breached_metric(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json",
+                      _record({"a_per_s": 100.0, "b_per_s": 50.0}))
+        cur = _write(tmp_path, "cur.json",
+                     _record({"a_per_s": 50.0, "b_per_s": 50.0}))
+        assert compare_mod.main([base, cur]) == 1
+        captured = capsys.readouterr()
+        assert "BREACH a_per_s:" in captured.out
+        assert "BREACH a_per_s:" in captured.err
+        assert "b_per_s:" not in captured.err
+
+    def test_custom_threshold(self, tmp_path):
+        base = _write(tmp_path, "base.json", _record({"a_per_s": 100.0}))
+        cur = _write(tmp_path, "cur.json", _record({"a_per_s": 80.0}))
+        assert compare_mod.main([base, cur]) == 1
+        assert compare_mod.main([base, cur, "--threshold", "0.30"]) == 0
+
+    def test_exit_two_on_missing_file(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _record({"a_per_s": 1.0}))
+        assert compare_mod.main([base, str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_exit_two_on_malformed_record(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _record({"a_per_s": 1.0}))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"not-metrics": {}}))
+        assert compare_mod.main([base, str(bad)]) == 2
+        assert "missing 'metrics'" in capsys.readouterr().err

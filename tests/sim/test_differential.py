@@ -1,0 +1,335 @@
+"""Differential harness: production kernel vs. the naive reference oracle.
+
+Every workload below is a *recorded-schedule equivalence* check: the same
+canonical workload runs once on the optimized :class:`Simulator` (batched
+buckets, pre-bound dispatch, free-listed bootstraps) and once on
+:class:`ReferenceSimulator` (one ``min()``-scan per event), and the traces
+— ``(time, label)`` pairs recorded from *inside* the simulation — must be
+identical element for element.
+
+Recording happens at user level (process bodies and event callbacks), not
+via ``pre_event_hooks``, so the production kernel exercises its fast
+no-hook drain.  ``test_hooked_path_matches_reference`` repeats the pile
+with a hook attached to cover the instrumented drain too.
+
+The workloads deliberately pile up the cases where the optimizations
+could bend ordering: colliding timestamps, urgent/normal priority mixes,
+nested spawns reusing recycled bootstrap events, interrupts that preempt
+a same-time batch, and lazy-deleted resource cancellations.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import (
+    Container,
+    Interrupt,
+    PriorityResource,
+    Resource,
+    Simulator,
+    Store,
+)
+from repro.sim.reference import ReferenceSimulator
+
+
+# -- canonical workloads ------------------------------------------------------
+#
+# Each takes a freshly built simulator, runs it to completion, and returns
+# the recorded schedule.  Determinism within one kernel is a given (no
+# wall-clock, seeded RNG only); the point is equality *across* kernels.
+
+
+def timeout_storm(sim):
+    """Colliding timestamps and values; callbacks record delivery order."""
+    trace = []
+    for i in range(200):
+        ev = sim.timeout(i % 7, value=i)
+        ev.callbacks.append(
+            lambda event, i=i: trace.append((sim.now, "timeout", i)))
+    sim.run()
+    return trace
+
+
+def nested_spawns(sim):
+    """Processes spawning processes at the same instant (free-list reuse)."""
+    trace = []
+
+    def child(ident, depth):
+        trace.append((sim.now, "child-start", ident, depth))
+        if depth < 3:
+            sim.process(child(ident, depth + 1))
+        yield sim.timeout(depth % 2)
+        trace.append((sim.now, "child-end", ident, depth))
+
+    def parent(ident):
+        trace.append((sim.now, "parent", ident))
+        sim.process(child(ident, 0))
+        yield sim.timeout(0)
+        sim.process(child(ident + 100, 0))
+
+    for i in range(20):
+        sim.process(parent(i))
+    sim.run()
+    return trace
+
+
+def interrupt_storm(sim):
+    """Interrupts landing inside a same-time batch (preemption path)."""
+    trace = []
+    sleepers = []
+
+    def sleeper(ident):
+        try:
+            yield sim.timeout(50)
+            trace.append((sim.now, "slept", ident))
+        except Interrupt as interrupt:
+            trace.append((sim.now, "interrupted", ident, interrupt.cause))
+            yield sim.timeout(1)
+            trace.append((sim.now, "recovered", ident))
+
+    def interrupter():
+        yield sim.timeout(5)
+        for i, proc in enumerate(sleepers):
+            if i % 3 != 2:
+                proc.interrupt(cause=i)
+        trace.append((sim.now, "interrupts-sent"))
+
+    for i in range(15):
+        sleepers.append(sim.process(sleeper(i)))
+    sim.process(interrupter())
+    sim.run()
+    return trace
+
+
+def resource_contention_with_cancels(sim):
+    """FIFO resource under load, with a cancel wave (lazy deletion)."""
+    trace = []
+    res = Resource(sim, capacity=3)
+    held = []
+
+    def worker(ident):
+        req = res.request()
+        held.append((ident, req))
+        yield req
+        trace.append((sim.now, "granted", ident))
+        yield sim.timeout(2)
+        res.release(req)
+        trace.append((sim.now, "released", ident))
+
+    def canceller():
+        yield sim.timeout(3)
+        for ident, req in held:
+            if ident % 4 == 1 and not req.triggered:
+                req.cancel()
+                req.cancel()  # idempotent
+                trace.append((sim.now, "cancelled", ident))
+
+    for i in range(24):
+        sim.process(worker(i))
+    sim.process(canceller())
+    sim.run()
+    trace.append(("final-queued", res.queued, res.count))
+    return trace
+
+
+def priority_resource_traffic(sim):
+    """Priority grants with ties, plus cancellations inside the heap."""
+    trace = []
+    res = PriorityResource(sim, capacity=2)
+
+    def worker(ident, prio, hold):
+        req = res.request(priority=prio)
+        yield req
+        trace.append((sim.now, "granted", ident, prio))
+        yield sim.timeout(hold)
+        res.release(req)
+
+    def late_canceller():
+        req = res.request(priority=-5)
+        yield sim.timeout(0)
+        if not req.triggered:
+            req.cancel()
+            trace.append((sim.now, "cancelled-urgent"))
+        else:
+            res.release(req)
+            trace.append((sim.now, "urgent-held"))
+
+    rng = random.Random(7)
+    for i in range(30):
+        sim.process(worker(i, rng.randrange(-2, 3), 1 + i % 3))
+    sim.process(late_canceller())
+    sim.run()
+    return trace
+
+
+def store_and_container_traffic(sim):
+    """Blocking puts/gets with filters and a quota container."""
+    trace = []
+    store = Store(sim, capacity=4)
+    quota = Container(sim, capacity=10.0, init=5.0)
+
+    def producer(ident):
+        for n in range(5):
+            yield store.put((ident, n))
+            trace.append((sim.now, "put", ident, n))
+            yield sim.timeout(1)
+
+    def consumer(ident, wanted):
+        for _ in range(5):
+            item = yield store.get(
+                lambda it, w=wanted: it[0] % 2 == w)
+            trace.append((sim.now, "got", ident, item))
+            yield quota.get(1.0)
+            yield sim.timeout(2)
+            yield quota.put(1.0)
+
+    for i in range(4):
+        sim.process(producer(i))
+    sim.process(consumer("even", 0))
+    sim.process(consumer("odd", 1))
+    sim.run()
+    trace.append(("final-level", quota.level, len(store.items)))
+    return trace
+
+
+def condition_fanin(sim):
+    """AllOf/AnyOf over colliding timeouts, including pre-processed ones."""
+    trace = []
+
+    def waiter():
+        early = sim.timeout(0)
+        yield sim.timeout(1)  # `early` is processed by now
+        events = [sim.timeout(i % 4, value=i) for i in range(30)]
+        got = yield sim.all_of(events + [early])
+        trace.append((sim.now, "all", len(got)))
+        first = yield sim.any_of([sim.timeout(3, "slow"),
+                                  sim.timeout(1, "fast")])
+        trace.append((sim.now, "any", sorted(first.values())))
+
+    sim.process(waiter())
+    sim.run()
+    return trace
+
+
+def seeded_random_mix(sim):
+    """A seeded blend of every primitive, 60 actors deep."""
+    trace = []
+    rng = random.Random(42)
+    res = Resource(sim, capacity=5)
+    store = Store(sim)
+
+    def actor(ident):
+        for step in range(rng.randrange(1, 5)):
+            roll = rng.random()
+            if roll < 0.4:
+                yield sim.timeout(rng.randrange(0, 5))
+            elif roll < 0.7:
+                with res.request() as req:
+                    yield req
+                    yield sim.timeout(1)
+            elif roll < 0.85:
+                store.put((ident, step))
+            elif store.items:
+                item = yield store.get()
+                trace.append((sim.now, "drained", ident, item))
+            trace.append((sim.now, "step", ident, step))
+
+    for i in range(60):
+        sim.process(actor(i))
+    sim.run()
+    return trace
+
+
+WORKLOADS = [
+    timeout_storm,
+    nested_spawns,
+    interrupt_storm,
+    resource_contention_with_cancels,
+    priority_resource_traffic,
+    store_and_container_traffic,
+    condition_fanin,
+    seeded_random_mix,
+]
+
+
+# -- the differential checks --------------------------------------------------
+
+
+@pytest.mark.parametrize("workload", WORKLOADS,
+                         ids=lambda w: w.__name__)
+def test_fast_path_matches_reference(workload):
+    fast = workload(Simulator())
+    oracle = workload(ReferenceSimulator())
+    assert fast == oracle
+
+
+@pytest.mark.parametrize("workload", WORKLOADS,
+                         ids=lambda w: w.__name__)
+def test_hooked_path_matches_reference(workload):
+    sim = Simulator()
+    hook_count = [0]
+    sim.pre_event_hooks.append(
+        lambda s, e: hook_count.__setitem__(0, hook_count[0] + 1))
+    assert sim.dispatch_plan == "hooked"
+    hooked = workload(sim)
+    oracle = workload(ReferenceSimulator())
+    assert hooked == oracle
+    assert hook_count[0] > 0
+
+
+@pytest.mark.parametrize("workload", WORKLOADS,
+                         ids=lambda w: w.__name__)
+def test_stepwise_drain_matches_reference(workload):
+    """run_until_empty (per-event step loop) agrees with the oracle too."""
+
+    class StepSimulator(Simulator):
+        __slots__ = ()
+
+        def run(self, until=None):
+            assert until is None, "workloads here run to exhaustion"
+            self.run_until_empty()
+
+    stepped = workload(StepSimulator())
+    oracle = workload(ReferenceSimulator())
+    assert stepped == oracle
+
+
+def test_run_until_horizon_matches_reference():
+    """Partial drains (run(until=t), then continue) stay equivalent."""
+
+    def staged(sim):
+        trace = []
+
+        def ticker(ident, period):
+            while True:
+                yield sim.timeout(period)
+                trace.append((sim.now, "tick", ident))
+
+        for i, period in enumerate((1, 2, 3)):
+            sim.process(ticker(i, period))
+        sim.run(until=5)
+        trace.append(("pause", sim.now))
+        sim.run(until=9)
+        trace.append(("end", sim.now))
+        return trace
+
+    assert staged(Simulator()) == staged(ReferenceSimulator())
+
+
+def test_process_return_values_match_reference():
+    def compute(sim):
+        def inner():
+            yield sim.timeout(2)
+            return "inner-done"
+
+        def outer():
+            value = yield sim.process(inner())
+            yield sim.timeout(1)
+            return ("outer", value, sim.now)
+
+        proc = sim.process(outer())
+        sim.run()
+        return proc.value
+
+    assert compute(Simulator()) == compute(ReferenceSimulator())

@@ -1,0 +1,299 @@
+"""Property tests for the kernel's queues.
+
+Three structures are pinned down under randomized interleavings:
+
+* the simulator's bucketed calendar queue — total processing order must
+  equal the semantic ``(time, priority, insertion)`` sort, with FIFO
+  stability inside every same-``(time, priority)`` batch;
+* the :class:`Resource` FIFO queue with lazy-deleted cancellations;
+* the :class:`PriorityResource` heap with lazy-deleted cancellations —
+  including the raw heap invariant while tombstones are in flight.
+
+Each resource test drives the real implementation and a deliberately
+naive model (eager-deletion lists) through the same operation sequence
+and compares observable behavior: who got granted, in what order, and
+how many live waiters remain.
+"""
+
+from heapq import heappush
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import PriorityResource, Resource, Simulator
+from repro.sim.events import Event
+
+# Delays/priorities are drawn tiny so collisions — the interesting case —
+# are the norm, not the exception.
+_delays = st.integers(min_value=0, max_value=3)
+_priorities = st.sampled_from([-1, 0, 1, 2])
+
+
+# -- bucketed calendar queue ------------------------------------------------
+
+
+@given(st.lists(st.tuples(_delays, _priorities), min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_processing_order_is_the_semantic_sort(entries):
+    """Delivery order == stable sort by (time, priority, insertion)."""
+    sim = Simulator()
+    order = []
+    expected = []
+    for ident, (delay, priority) in enumerate(entries):
+        ev = Event(sim)
+        ev._ok = True
+        ev._value = None
+        ev.callbacks.append(
+            lambda event, ident=ident: order.append(ident))
+        sim.schedule(ev, delay=delay, priority=priority)
+        expected.append((float(delay), priority, ident))
+    sim.run()
+    expected.sort()  # stable: insertion index is the final tiebreak
+    assert order == [ident for _, _, ident in expected]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=500),
+                min_size=1, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_fifo_within_a_timestamp_batch(idents):
+    """Events sharing (time, priority) come out in insertion order."""
+    sim = Simulator()
+    seen = []
+    for ident in idents:
+        ev = sim.timeout(1.0, value=ident)
+        ev.callbacks.append(lambda event: seen.append(event.value))
+    sim.run()
+    assert seen == idents
+
+
+@given(st.lists(st.tuples(_delays, _delays), min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_midrun_scheduling_keeps_global_order(pairs):
+    """Events scheduled from callbacks still land in semantic order."""
+    sim = Simulator()
+    times = []
+    for first, extra in pairs:
+        ev = sim.timeout(first)
+        ev.callbacks.append(
+            lambda event, extra=extra: sim.timeout(extra).callbacks.append(
+                lambda inner: times.append(sim.now)))
+        ev.callbacks.append(lambda event: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)
+
+
+# -- FIFO resource with lazy deletion ---------------------------------------
+
+# An operation stream: ("request",) | ("cancel", i) | ("release", i)
+_ops = st.lists(
+    st.one_of(
+        st.just(("request",)),
+        st.tuples(st.just("cancel"), st.integers(0, 39)),
+        st.tuples(st.just("release"), st.integers(0, 39)),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+class _ModelResource:
+    """Eager-deletion oracle for Resource semantics."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.users = []
+        self.waiting = []
+        self.granted_order = []
+
+    def request(self, ident):
+        self.waiting.append(ident)
+        self._grant()
+
+    def cancel(self, ident):
+        if ident in self.waiting:
+            self.waiting.remove(ident)
+
+    def release(self, ident):
+        if ident in self.users:
+            self.users.remove(ident)
+            self._grant()
+        else:
+            self.cancel(ident)
+
+    def _grant(self):
+        while self.waiting and len(self.users) < self.capacity:
+            ident = self.waiting.pop(0)
+            self.users.append(ident)
+            self.granted_order.append(ident)
+
+
+@given(ops=_ops, capacity=st.integers(1, 4))
+@settings(max_examples=80, deadline=None)
+def test_resource_matches_eager_deletion_model(ops, capacity):
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    model = _ModelResource(capacity)
+    requests = []
+    granted_order = []
+
+    def watch(ident, req):
+        req.callbacks.append(
+            lambda event, ident=ident: granted_order.append(ident))
+
+    for op in ops:
+        if op[0] == "request":
+            ident = len(requests)
+            req = res.request()
+            watch(ident, req)
+            requests.append(req)
+            model.request(ident)
+        elif op[0] == "cancel" and op[1] < len(requests):
+            requests[op[1]].cancel()
+            model.cancel(op[1])
+        elif op[0] == "release" and op[1] < len(requests):
+            res.release(requests[op[1]])
+            model.release(op[1])
+        # Grants fire as events; deliver them before the next operation so
+        # the model (which grants synchronously) stays in lockstep.
+        sim.run()
+        assert res.queued == len(model.waiting)
+        assert res.count == len(model.users)
+    assert granted_order == model.granted_order
+
+
+@given(ops=_ops, capacity=st.integers(1, 4))
+@settings(max_examples=50, deadline=None)
+def test_cancellation_is_idempotent(ops, capacity):
+    """Applying every cancel twice changes nothing observable."""
+
+    def run(double_cancel):
+        sim = Simulator()
+        res = Resource(sim, capacity=capacity)
+        requests = []
+        order = []
+        for op in ops:
+            if op[0] == "request":
+                ident = len(requests)
+                req = res.request()
+                req.callbacks.append(
+                    lambda event, ident=ident: order.append(ident))
+                requests.append(req)
+            elif op[0] == "cancel" and op[1] < len(requests):
+                requests[op[1]].cancel()
+                if double_cancel:
+                    requests[op[1]].cancel()
+            elif op[0] == "release" and op[1] < len(requests):
+                res.release(requests[op[1]])
+            sim.run()
+        return order, res.queued, res.count
+
+    assert run(False) == run(True)
+
+
+# -- priority resource: model equivalence and heap invariant ----------------
+
+_prio_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("request"), _priorities),
+        st.tuples(st.just("cancel"), st.integers(0, 39)),
+        st.tuples(st.just("release"), st.integers(0, 39)),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+def _heap_ok(heap):
+    return all(heap[(i - 1) >> 1] <= heap[i] for i in range(1, len(heap)))
+
+
+@given(ops=_prio_ops, capacity=st.integers(1, 3))
+@settings(max_examples=80, deadline=None)
+def test_priority_resource_matches_sorted_model(ops, capacity):
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=capacity)
+    requests = []
+    granted_order = []
+
+    # Model: waiting list of (priority, arrival) kept sorted on demand.
+    model_waiting = []
+    model_users = []
+    model_granted = []
+
+    def model_grant():
+        while model_waiting and len(model_users) < capacity:
+            model_waiting.sort()
+            prio, arrival = model_waiting.pop(0)
+            model_users.append(arrival)
+            model_granted.append(arrival)
+
+    for op in ops:
+        if op[0] == "request":
+            ident = len(requests)
+            req = res.request(priority=op[1])
+            req.callbacks.append(
+                lambda event, ident=ident: granted_order.append(ident))
+            requests.append(req)
+            model_waiting.append((op[1], ident))
+            model_grant()
+        elif op[0] == "cancel" and op[1] < len(requests):
+            requests[op[1]].cancel()
+            model_waiting[:] = [w for w in model_waiting if w[1] != op[1]]
+        elif op[0] == "release" and op[1] < len(requests):
+            res.release(requests[op[1]])
+            if op[1] in model_users:
+                model_users.remove(op[1])
+                model_grant()
+            else:
+                model_waiting[:] = [w for w in model_waiting
+                                    if w[1] != op[1]]
+        sim.run()
+        # Heap invariant must hold even with tombstones in flight.
+        assert _heap_ok(res._heap)
+        assert res.queued == len(model_waiting)
+        assert res.count == len(model_users)
+    assert granted_order == model_granted
+
+
+@given(st.lists(st.tuples(_priorities, st.booleans()),
+                min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_lazy_deletion_heap_invariant_under_interleaving(plan):
+    """Push/cancel/pop interleavings never corrupt the waiter heap."""
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    blocker = res.request(priority=-10)  # hold the only slot
+    sim.run()
+    assert blocker.triggered
+    live = []
+    for priority, cancel_it in plan:
+        req = res.request(priority=priority)
+        if cancel_it:
+            req.cancel()
+            req.cancel()
+        else:
+            live.append((priority, req))
+        assert _heap_ok(res._heap)
+        assert res.queued == len(live)
+    # Releasing the blocker grants the live waiters in priority order.
+    res.release(blocker)
+    sim.run()
+    granted = [req for _, req in live if req.triggered]
+    assert len(granted) == min(1, len(live))
+    if live:
+        # The grant goes to the smallest priority (ties: earliest arrival).
+        assert granted[0].key == min(p for p, _ in live)
+
+
+def test_heap_helper_rejects_corruption():
+    """Sanity-check the invariant checker itself."""
+    good, bad = [], []
+    for entry in [(3, 1), (1, 2), (2, 3)]:
+        heappush(good, entry)
+    bad = [(3, 1), (1, 2), (2, 3)]  # raw list, not heapified
+    assert _heap_ok(good)
+    assert not _heap_ok(bad)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])
