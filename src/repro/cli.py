@@ -130,6 +130,19 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                           metavar="JOBS_PER_S",
                           help="open-loop Poisson arrival rate replacing "
                                "the closed-loop users (0 = closed loop)")
+    dag = parser.add_argument_group(
+        "DAG workloads (default: none — the paper's independent jobs)")
+    dag.add_argument("--dag-shape", default=None,
+                     choices=["none", "chain", "diamond", "fanout",
+                              "mapreduce"],
+                     help="wire each user's jobs into dependency motifs; "
+                          "jobs are released as their parents complete")
+    dag.add_argument("--dag-width", type=int, default=None, metavar="N",
+                     help="fan-out / map count for shapes that have one "
+                          "(default 3)")
+    dag.add_argument("--bulk", default=None, choices=["on", "off"],
+                     help="place each released batch group-at-a-time by "
+                          "input-set signature (needs a DAG shape)")
 
 
 def _build_fault_plan(args: argparse.Namespace):
@@ -185,6 +198,8 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
         "aging_factor": "aging_factor",
         "degraded_es": "degraded_es",
         "arrival_rate": "arrival_rate_per_s",
+        "dag_shape": "dag_shape",
+        "dag_width": "dag_width",
     }
     for arg_name, field in mapping.items():
         value = getattr(args, arg_name)
@@ -194,6 +209,8 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
         overrides["watchdog"] = args.watchdog == "on"
     if args.storage_reservations is not None:
         overrides["storage_reservations"] = args.storage_reservations == "on"
+    if args.bulk is not None:
+        overrides["bulk_submission"] = args.bulk == "on"
     if args.storage_gb is not None:
         overrides["storage_capacity_mb"] = args.storage_gb * 1000.0
     if overrides:
@@ -252,6 +269,33 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     print(format_matrix(
         "Figure 4: average idle time of processors (%)",
         result.metric_matrix("idle_percent"), ALL_ES, ALL_DS))
+    return 0
+
+
+def _cmd_dag(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    if config.dag_shape == "none":
+        # The campaign is about dependencies; default to the diamond
+        # motif unless the user picked a shape explicitly.
+        config = config.with_(dag_shape="diamond")
+    result = run_matrix(config, seeds=tuple(args.seeds),
+                        jobs=args.jobs, cache_dir=_cache_dir(args))
+    bulk = "on" if config.bulk_submission else "off"
+    print(f"DAG campaign: shape={config.dag_shape} "
+          f"width={config.dag_width} bulk={bulk} "
+          f"seeds={list(args.seeds)}")
+    print()
+    print(format_matrix(
+        "Average response time per job (seconds)",
+        result.metric_matrix("avg_response_time_s"), ALL_ES, ALL_DS))
+    print()
+    print(format_matrix(
+        "Average data transferred per job (MB)",
+        result.metric_matrix("avg_data_transferred_mb"), ALL_ES, ALL_DS))
+    print()
+    print(format_matrix(
+        "Jobs completed",
+        result.metric_matrix("n_jobs"), ALL_ES, ALL_DS))
     return 0
 
 
@@ -435,6 +479,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(p_matrix)
     _add_parallel_arguments(p_matrix)
     p_matrix.set_defaults(func=_cmd_matrix)
+
+    p_dag = sub.add_parser(
+        "dag", help="run the full ES x DS sweep on a DAG workload")
+    p_dag.add_argument("--seeds", type=int, nargs="+", default=[0])
+    _add_config_arguments(p_dag)
+    _add_parallel_arguments(p_dag)
+    p_dag.set_defaults(func=_cmd_dag)
 
     p_figure = sub.add_parser("figure", help="reproduce one paper figure")
     p_figure.add_argument("which", choices=["2", "3a", "3b", "4", "5"])

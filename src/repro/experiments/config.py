@@ -135,6 +135,19 @@ class SimulationConfig:
     #: axis of the overload sweep.
     arrival_rate_per_s: float = 0.0
 
+    # ---- DAG workloads ---------------------------------------------------------
+    #: Dependency motif wired over each user's job list ("none" = the
+    #: paper's independent jobs; "chain", "diamond", "fanout",
+    #: "mapreduce" — see :mod:`repro.workload.dag`).  Non-"none" replaces
+    #: per-user sequential submission with the dependency-release driver.
+    dag_shape: str = "none"
+    #: Fan-out / map count for the shapes that have one.
+    dag_width: int = 3
+    #: Place each released DAG batch group-at-a-time by input-set
+    #: signature (DIANA-style bulk scheduling) instead of job-by-job.
+    #: Requires a DAG shape.
+    bulk_submission: bool = False
+
     # ---- Replication seed ----------------------------------------------------
     seed: int = 0
 
@@ -180,6 +193,23 @@ class SimulationConfig:
             raise ValueError(
                 f"arrival rate must be >= 0, "
                 f"got {self.arrival_rate_per_s!r}")
+        from repro.workload.dag import DAG_SHAPES
+        if self.dag_shape not in DAG_SHAPES:
+            raise ValueError(
+                f"unknown DAG shape {self.dag_shape!r}; expected one of "
+                f"{DAG_SHAPES}")
+        if self.dag_width < 1:
+            raise ValueError(
+                f"DAG width must be >= 1, got {self.dag_width!r}")
+        if self.bulk_submission and self.dag_shape == "none":
+            raise ValueError(
+                "bulk submission requires a DAG shape (batches are the "
+                "unit of bulk placement)")
+        if self.dag_shape != "none" and self.arrival_rate_per_s > 0:
+            raise ValueError(
+                "DAG workloads are incompatible with open-loop arrivals: "
+                "release order is driven by dependencies, not a Poisson "
+                "stream")
 
     # -- factories -------------------------------------------------------------
 

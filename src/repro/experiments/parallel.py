@@ -52,7 +52,8 @@ from repro.metrics.collector import RunMetrics
 #: v4: overload metrics (shed/expired/deflected, peaks) added to
 #: RunMetrics; configs gain queue-capacity/deadline/aging/reservation/
 #: arrival-rate knobs.
-CACHE_VERSION = 4
+#: v5: configs gain DAG-workload knobs (dag-shape/dag-width/bulk).
+CACHE_VERSION = 5
 
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"

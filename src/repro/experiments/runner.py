@@ -34,6 +34,7 @@ from repro.scheduling.registry import (
 )
 from repro.sim.core import Simulator
 from repro.sim.rng import RandomStreams
+from repro.workload.dag import DagDriver
 from repro.workload.generator import Workload, WorkloadGenerator
 from repro.workload.popularity import make_popularity_model
 
@@ -86,6 +87,8 @@ def make_workload(config: SimulationConfig,
         max_size_mb=config.max_dataset_mb,
         inputs_per_job=config.inputs_per_job,
         output_fraction=config.output_fraction,
+        dag_shape=config.dag_shape,
+        dag_width=config.dag_width,
     )
     return generator.generate()
 
@@ -170,7 +173,18 @@ def build_grid(
                       if overload_policy is not None else None),
     )
     grid.place_initial_replicas(workload.initial_placement)
-    if config.arrival_rate_per_s > 0:
+    if config.dag_shape != "none":
+        # DAG mode: the dependency-release driver replaces both the
+        # closed-loop users and open arrivals.  The flattened job list is
+        # ordered by job id, so release batches — and therefore the whole
+        # run — are independent of dict iteration order and identical at
+        # any worker count and through cache replay.
+        all_jobs = sorted(
+            (job for jobs in workload.user_jobs.values() for job in jobs),
+            key=lambda job: job.job_id)
+        grid.dag = DagDriver(sim, grid, all_jobs,
+                             bulk=config.bulk_submission)
+    elif config.arrival_rate_per_s > 0:
         # Open-loop mode: one grid-wide Poisson arrival stream replaces
         # the closed-loop users.  Jobs keep their generated origin sites;
         # the flattened order is by job id, so the stream is independent

@@ -15,6 +15,12 @@ from repro.grid.files import Dataset, DatasetCollection
 from repro.grid.grid import DataGrid
 from repro.grid.info import InformationService
 from repro.grid.job import Job, JobState
+from repro.grid.lifecycle import (
+    TRANSITIONS,
+    IllegalTransition,
+    LifecycleGuardError,
+    TransitionEngine,
+)
 from repro.grid.site import Site
 from repro.grid.staleness import InfoPolicy, StaleReplicaView
 from repro.grid.storage import StorageElement, StorageFullError
@@ -26,11 +32,15 @@ __all__ = [
     "DataMover",
     "Dataset",
     "DatasetCollection",
+    "IllegalTransition",
     "InfoPolicy",
     "InformationService",
     "Job",
     "JobState",
+    "LifecycleGuardError",
     "ReplicaCatalog",
+    "TRANSITIONS",
+    "TransitionEngine",
     "Site",
     "StaleReplicaView",
     "StorageElement",

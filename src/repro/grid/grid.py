@@ -17,6 +17,7 @@ from repro.grid.datamover import DataMover
 from repro.grid.files import DatasetCollection
 from repro.grid.info import InformationService
 from repro.grid.job import Job, JobState
+from repro.grid.lifecycle import TransitionEngine
 from repro.grid.site import Site
 from repro.grid.storage import StorageElement
 from repro.grid.user import User
@@ -68,6 +69,14 @@ class DataGrid:
         self.users: List[User] = []
         #: Every job ever submitted, in submission order.
         self.submitted_jobs: List[Job] = []
+        #: The single authority for job state changes: every component of
+        #: this grid (submission, sites, supervisor, overload/staleness
+        #: recovery) drives jobs through this engine — never by mutating
+        #: ``job.state`` directly.  Sites share the grid's engine so the
+        #: per-state counts cover the whole system.
+        self.lifecycle = TransitionEngine(sim)
+        for site in sites.values():
+            site.lifecycle = self.lifecycle
         #: Fault injector (``None`` in fault-free runs; installed by
         #: :meth:`create` when a non-null plan is given).  Every fault
         #: branch in the hot path is gated on this staying ``None`` so a
@@ -94,6 +103,9 @@ class DataGrid:
         #: Open-loop arrival stream (``None`` = the paper's closed-loop
         #: users).  When set, :meth:`run` drives this instead of users.
         self.arrivals = None
+        #: DAG workload driver (``None`` = no inter-job dependencies).
+        #: When set, :meth:`run` drives this instead of users/arrivals.
+        self.dag = None
 
     # -- construction -----------------------------------------------------------
 
@@ -165,6 +177,7 @@ class DataGrid:
                    dataset_scheduler)
         if tracer is not None:
             grid.tracer = tracer
+            grid.lifecycle.tracer = tracer
             datamover.tracer = tracer
             transfers.tracer = tracer
             catalog.set_tracer(tracer, sim)
@@ -194,6 +207,11 @@ class DataGrid:
             for site in sites.values():
                 site.overload = overload_policy
                 site.overload_stats = stats
+            # With a queue deadline armed, the engine's start edge
+            # enforces no-starvation as a transition guard.
+            grid.lifecycle.deadline_of = (
+                lambda job: (job.deadline_s if job.deadline_s is not None
+                             else overload_policy.job_deadline_s))
         if watchdog_interval_s > 0:
             from repro.watchdog import Watchdog
 
@@ -249,26 +267,28 @@ class DataGrid:
 
     # -- operation ----------------------------------------------------------------
 
-    def submit(self, job: Job) -> Process:
+    def submit(self, job: Job, site_hint: Optional[str] = None) -> Process:
         """Submit a job: ES picks the site, the site executes it.
 
         Returns the execution process (triggers with the job when done).
         Under a fault plan the returned process is a recovery supervisor
         that re-dispatches the job when an outage kills it, so callers
         (users) still simply wait for one process per job.
+
+        ``site_hint`` (bulk submission) bypasses the ES for the initial
+        placement — the job still passes misdirection and saturation
+        resolution, so a hinted job can end up elsewhere.
         """
-        job.advance(JobState.SUBMITTED, self.sim.now)
+        self.lifecycle.submit(job)
         self.submitted_jobs.append(job)
-        if self.tracer is not None:
-            self.tracer.emit(
-                self.sim.now, "job.submit", job=job.job_id, user=job.user,
-                origin=job.origin_site, inputs=list(job.input_files),
-                runtime_s=job.runtime_s)
         if self.faults is not None:
             return self.sim.process(
-                self._submit_with_recovery(job),
+                self._submit_with_recovery(job, site_hint),
                 name=f"supervise:job{job.job_id}")
-        site_name = self._select_site(job)
+        if site_hint is not None and site_hint in self.sites:
+            site_name = site_hint
+        else:
+            site_name = self._select_site(job)
         if self.info.replica_view is not None:
             site_name = self._resolve_misdirection(job, site_name)
         if self.overload is not None and self.overload.queue_capacity > 0:
@@ -278,12 +298,42 @@ class DataGrid:
                 return self.sim.process(self._shed_process(job),
                                         name=f"shed:job{job.job_id}")
             site_name = resolved
-        job.execution_site = site_name
-        job.advance(JobState.DISPATCHED, self.sim.now)
-        if self.tracer is not None:
-            self.tracer.emit(self.sim.now, "job.dispatch", job=job.job_id,
-                             site=site_name)
+        self.lifecycle.dispatch(job, site_name)
         return self.sites[site_name].enqueue(job)
+
+    def submit_bulk(self, jobs: List[Job]) -> List[Process]:
+        """Submit a batch with batch-level placement (DIANA-style).
+
+        Jobs sharing an input-set signature are placed together: the
+        first member of each group is placed by the External Scheduler as
+        usual, and the rest are hinted to the site it landed on — one ES
+        decision per group instead of one per job.  Under a fault plan
+        placement is asynchronous, so hints are skipped and every member
+        is placed individually by its recovery supervisor.
+
+        Returns one execution process per job, in input order.
+        """
+        procs: List[Process] = []
+        leaders: Dict[tuple, Optional[str]] = {}
+        for job in jobs:
+            signature = tuple(sorted(set(job.input_files)))
+            procs.append(self.submit(job, site_hint=leaders.get(signature)))
+            if signature not in leaders and self.faults is None:
+                # A shed leader records None: followers fall back to
+                # individual ES placement rather than piling onto the
+                # saturated choice.
+                leaders[signature] = job.execution_site
+        return procs
+
+    def abandon(self, job: Job, reason: str) -> None:
+        """Fail a WAITING job whose dependency ended badly (DAG cascade).
+
+        The job never reaches the External Scheduler but is accounted and
+        traced like any other permanent failure, so conservation checks
+        and metrics see it.
+        """
+        self.submitted_jobs.append(job)
+        self.lifecycle.abandon(job, reason)
 
     def _select_site(self, job: Job) -> str:
         """Ask the primary ES for a site, with degraded-mode fallback.
@@ -329,13 +379,9 @@ class DataGrid:
                 and (self.faults is None or self.faults.is_up(name))]
             if not candidates or job.deflections >= policy.deflect_budget:
                 return None
-            job.deflections += 1
             self.overload_stats.jobs_deflected += 1
             target = self._degraded_select(job, candidates)
-            if self.tracer is not None:
-                self.tracer.emit(self.sim.now, "job.deflected",
-                                 job=job.job_id, origin=site_name,
-                                 site=target, deflections=job.deflections)
+            self.lifecycle.deflect(job, origin=site_name, site=target)
             site_name = target
         return site_name
 
@@ -365,13 +411,11 @@ class DataGrid:
 
     def _mark_shed(self, job: Job) -> None:
         """Terminal admission refusal: account, never silently drop."""
-        job.mark_shed(
+        self.lifecycle.shed(
+            job,
             f"queues saturated (capacity {self.overload.queue_capacity}, "
             f"{job.deflections} deflections)")
         self.overload_stats.jobs_shed += 1
-        if self.tracer is not None:
-            self.tracer.emit(self.sim.now, "job.shed", job=job.job_id,
-                             deflections=job.deflections)
 
     @staticmethod
     def _shed_process(job: Job):
@@ -407,10 +451,7 @@ class DataGrid:
             if not missing:
                 return site_name
             view.misdirected_jobs += 1
-            if self.tracer is not None:
-                self.tracer.emit(self.sim.now, "job.misdirected",
-                                 job=job.job_id, site=site_name,
-                                 missing=missing)
+            self.lifecycle.misdirected(job, site_name, missing)
             for name in missing:
                 view.reconcile(name, site_name)
             if job.bounces >= budget:
@@ -424,48 +465,46 @@ class DataGrid:
                 # Bouncing onto a dead site would trade one phantom for
                 # another; keep the original choice and fetch remotely.
                 return site_name
-            job.bounces += 1
             view.bounced_jobs += 1
-            if self.tracer is not None:
-                self.tracer.emit(self.sim.now, "job.bounced",
-                                 job=job.job_id, origin=site_name,
-                                 site=candidate)
+            self.lifecycle.bounce(job, origin=site_name, site=candidate)
             site_name = candidate
 
-    def _submit_with_recovery(self, job: Job):
+    def _submit_with_recovery(self, job: Job,
+                              site_hint: Optional[str] = None):
         """Dispatch loop under fault injection.
 
         Each iteration: wait until some site is up, place the job (with a
         deterministic fallback if the ES's choice is down), and wait for
         the execution attempt.  A killed attempt comes back with the job
-        not COMPLETED; the job is rewound and re-dispatched after the
+        in RETRYING; the job is rewound and re-dispatched after the
         plan's redispatch delay, until it completes or exhausts its retry
-        budget and is accounted FAILED.
+        budget and is accounted FAILED.  A ``site_hint`` (bulk
+        submission) is honoured for the first attempt only, and only
+        while the hinted site is up.
         """
         faults = self.faults
         plan = faults.plan
-        tracer = self.tracer
         while True:
             while not faults.any_site_up():
                 if faults.grid_lost:
                     # Every site is permanently dead: recovery can never
                     # happen, so fail fast instead of waiting forever.
-                    job.mark_failed("all sites permanently failed")
+                    self.lifecycle.fail(job, "all sites permanently failed")
                     faults.jobs_failed += 1
-                    if tracer is not None:
-                        tracer.emit(self.sim.now, "job.fail",
-                                    job=job.job_id,
-                                    reason=job.failure_reason)
                     return job
                 yield faults.recovery_event()
-            site_name = self._select_site(job)
+            if (site_hint is not None and site_hint in self.sites
+                    and faults.is_up(site_hint)):
+                site_name = site_hint
+            else:
+                site_name = self._select_site(job)
+            site_hint = None
             if not faults.is_up(site_name):
                 fallback = faults.fallback_site()
                 if fallback is None:
                     continue  # last site died under us; wait for recovery
-                if tracer is not None:
-                    tracer.emit(self.sim.now, "job.redirect", job=job.job_id,
-                                chosen=site_name, fallback=fallback)
+                self.lifecycle.redirect(job, chosen=site_name,
+                                        fallback=fallback)
                 site_name = fallback
                 faults.jobs_redirected += 1
             if self.info.replica_view is not None:
@@ -477,29 +516,20 @@ class DataGrid:
                     self._mark_shed(job)
                     return job
                 site_name = resolved
-            job.execution_site = site_name
-            job.advance(JobState.DISPATCHED, self.sim.now)
-            if tracer is not None:
-                tracer.emit(self.sim.now, "job.dispatch", job=job.job_id,
-                            site=site_name, attempt=job.retries + 1)
+            self.lifecycle.dispatch(job, site_name,
+                                    attempt=job.retries + 1)
             yield self.sites[site_name].enqueue(job)
-            if job.state in (JobState.COMPLETED, JobState.EXPIRED):
+            if job.state in (JobState.DONE, JobState.EXPIRED):
                 # Expiry, like completion, is terminal: the deadline
                 # already accounted the job — retrying would double it.
                 return job
             if job.retries >= plan.job_max_retries:
-                job.mark_failed(job.failure_reason or "retries exhausted")
+                self.lifecycle.fail(
+                    job, job.failure_reason or "retries exhausted")
                 faults.jobs_failed += 1
-                if tracer is not None:
-                    tracer.emit(self.sim.now, "job.fail", job=job.job_id,
-                                reason=job.failure_reason)
                 return job
-            job.reset_for_retry()
+            self.lifecycle.retry(job)
             faults.jobs_retried += 1
-            if tracer is not None:
-                tracer.emit(self.sim.now, "job.retry", job=job.job_id,
-                            retries=job.retries,
-                            reason=job.failure_reason)
             if plan.redispatch_delay_s > 0:
                 yield self.sim.timeout(plan.redispatch_delay_s)
 
@@ -516,6 +546,11 @@ class DataGrid:
         are infinite); time stops advancing once the last *triggering*
         activity completes because we stop at the all-users event.
         """
+        if self.dag is not None:
+            # DAG mode: the driver releases jobs as their parents finish
+            # and completes once every job settled.
+            self.sim.run(until=self.dag.start())
+            return self.sim.now
         if self.arrivals is not None:
             # Open-loop mode: the arrival driver completes when the last
             # submitted job finishes (or is shed/expired/failed).

@@ -7,30 +7,25 @@ timestamp so the metrics layer can decompose response time into queue,
 transfer, and compute components exactly as §5.2 defines:
 
     completion time = max(queue time, data transfer time) + compute time
+
+The state machine itself — the :class:`JobState` enum, the declared
+transition table, and the :class:`~repro.grid.lifecycle.TransitionEngine`
+that grids drive jobs through — lives in :mod:`repro.grid.lifecycle`.
+The helpers here (:meth:`Job.advance`, ``mark_*``) are thin validated
+wrappers over the same table for unit-level use; a wired grid never
+mutates ``job.state`` except through its engine.
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-
-class JobState(enum.Enum):
-    """Lifecycle states, in order."""
-
-    CREATED = "created"            #: generated, not yet submitted
-    SUBMITTED = "submitted"        #: handed to the External Scheduler
-    DISPATCHED = "dispatched"      #: ES picked an execution site
-    QUEUED = "queued"              #: waiting at the site (data fetch started)
-    RUNNING = "running"            #: compute phase in progress
-    COMPLETED = "completed"        #: done
-    FAILED = "failed"              #: could not run (e.g. unsatisfiable data)
-    SHED = "shed"                  #: refused admission (queues saturated)
-    EXPIRED = "expired"            #: queue deadline passed before running
-
-
-_ORDER = list(JobState)
+from repro.grid.lifecycle import (  # noqa: F401  (re-exported)
+    IllegalTransition,
+    JobState,
+    apply_transition,
+)
 
 
 @dataclass
@@ -45,6 +40,10 @@ class Job:
     * ``execution_site`` — where the ES sent it.
     * ``fetched_mb`` — MB of input that had to cross the network for this
       specific job (0 if the input was already present).
+    * ``depends_on`` — job ids that must complete before this job may be
+      submitted (empty = independent, the paper's workload).  DAG
+      workloads are released waiting → ready by the
+      :class:`~repro.workload.dag.DagDriver` as parents finish.
     """
 
     job_id: int
@@ -52,7 +51,7 @@ class Job:
     origin_site: str
     input_files: List[str]
     runtime_s: float
-    state: JobState = JobState.CREATED
+    state: JobState = JobState.WAITING
     execution_site: Optional[str] = None
     fetched_mb: float = 0.0
     #: Size of the file the job writes on completion (0 = no output —
@@ -60,6 +59,8 @@ class Job:
     #: compared to input, we ignore output costs").  Outputs are written
     #: to the execution site's storage, never transferred.
     output_size_mb: float = 0.0
+    #: Parent job ids (inter-job dependencies; empty = the paper's model).
+    depends_on: List[int] = field(default_factory=list)
 
     # Lifecycle timestamps (simulated seconds; None until reached).
     submitted_at: Optional[float] = None
@@ -81,10 +82,6 @@ class Job:
     #: Per-job queue-deadline override (seconds); ``None`` = use the
     #: grid's :class:`~repro.grid.overload.OverloadPolicy` deadline.
     deadline_s: Optional[float] = None
-    #: Transient: the current attempt was killed and its site bookkeeping
-    #: unwound, but the recovery supervisor has not yet rewound the job.
-    #: Lets the invariant watchdog reconcile site job counts mid-recovery.
-    killed: bool = False
 
     def __post_init__(self) -> None:
         if self.runtime_s < 0:
@@ -93,68 +90,47 @@ class Job:
             raise ValueError(f"job {self.job_id}: needs at least one input")
         if self.output_size_mb < 0:
             raise ValueError(f"job {self.job_id}: negative output size")
+        if self.job_id in self.depends_on:
+            raise ValueError(f"job {self.job_id}: depends on itself")
+
+    @property
+    def killed(self) -> bool:
+        """The current attempt was killed and unwound, but the recovery
+        supervisor has not yet rewound the job (= state RETRYING)."""
+        return self.state is JobState.RETRYING
 
     def advance(self, state: JobState, now: float) -> None:
-        """Move to ``state`` (monotonically forward) and timestamp it."""
-        if _ORDER.index(state) < _ORDER.index(self.state):
-            raise ValueError(
-                f"job {self.job_id}: cannot go {self.state.value} -> "
-                f"{state.value}")
-        self.state = state
-        attr = {
-            JobState.SUBMITTED: "submitted_at",
-            JobState.DISPATCHED: "dispatched_at",
-            JobState.QUEUED: "queued_at",
-            JobState.RUNNING: "started_at",
-            JobState.COMPLETED: "completed_at",
-        }.get(state)
-        if attr is not None:
-            setattr(self, attr, now)
+        """Move to ``state`` along a declared edge and timestamp it.
 
-    def reset_for_retry(self) -> None:
-        """Rewind a killed execution attempt back to SUBMITTED.
-
-        The only sanctioned exception to the monotone :meth:`advance`
-        order: fault recovery re-dispatches the job as if the ES had just
-        received it.  ``submitted_at`` is preserved so response time spans
-        the whole ordeal, including every failed attempt.
+        Raises :class:`~repro.grid.lifecycle.IllegalTransition` (a
+        ``ValueError``) for any edge the transition table does not
+        declare — including every backwards move.
         """
-        self.retries += 1
-        self.killed = False
-        self.deflections = 0
-        self.state = JobState.SUBMITTED
-        self.execution_site = None
-        self.dispatched_at = None
-        self.queued_at = None
-        self.data_ready_at = None
-        self.processor_at = None
-        self.started_at = None
-        self.fetched_mb = 0.0
+        apply_transition(self, state, now)
 
-    def mark_failed(self, reason: str) -> None:
+    def reset_for_retry(self, now: float = 0.0) -> None:
+        """Rewind a killed (RETRYING) execution attempt back to READY.
+
+        ``submitted_at`` is preserved so response time spans the whole
+        ordeal, including every failed attempt.
+        """
+        apply_transition(self, JobState.READY, now)
+
+    def mark_failed(self, reason: str, now: float = 0.0) -> None:
         """Give up on the job permanently (fault recovery exhausted)."""
-        self.state = JobState.FAILED
-        self.completed_at = None
-        self.killed = False
-        self.failure_reason = reason
+        apply_transition(self, JobState.FAILED, now, reason=reason)
 
-    def mark_shed(self, reason: str) -> None:
+    def mark_shed(self, reason: str, now: float = 0.0) -> None:
         """Refuse the job at admission (every candidate queue full).
 
         Terminal, like :meth:`mark_failed`: a shed job is accounted,
         traced, and never silently dropped — but it will not run.
         """
-        self.state = JobState.SHED
-        self.completed_at = None
-        self.killed = False
-        self.failure_reason = reason
+        apply_transition(self, JobState.SHED, now, reason=reason)
 
-    def mark_expired(self, reason: str) -> None:
+    def mark_expired(self, reason: str, now: float = 0.0) -> None:
         """End the job because its queue deadline passed (terminal)."""
-        self.state = JobState.EXPIRED
-        self.completed_at = None
-        self.killed = False
-        self.failure_reason = reason
+        apply_transition(self, JobState.EXPIRED, now, reason=reason)
 
     # -- derived metrics -------------------------------------------------------
 

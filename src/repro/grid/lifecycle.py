@@ -1,0 +1,452 @@
+"""The explicit job-lifecycle transition engine.
+
+Every job in the grid moves through the states below, and **only** along
+the edges declared in :data:`TRANSITIONS`.  The :class:`TransitionEngine`
+is the single authority for state changes: it validates each edge,
+applies the edge's field effects (timestamps, retry rewinds, failure
+reasons), maintains O(1) per-state bookkeeping (counts and id-sets that
+replace the old scattered flags), runs transition guards (the watchdog's
+jobs-conserved and no-starvation invariants, folded into the hot path),
+and emits the corresponding domain-trace record — so trace emission can
+never drift from the state machine that produced it.
+
+State diagram (see ``docs/architecture.md`` for the rendered table)::
+
+                         re-place (bounce/deflect/redirect)
+                              +----+
+                              v    |
+    waiting ---submit---> ready ---+--dispatch--> dispatched
+       |                   |  \\                       |
+       |                   |   +--shed--> SHED      enqueue
+     abandon              fail                         v
+       |                   |        +--expire---- fetching ---kill---+
+       v                   v        v                  |             |
+     FAILED <---fail--- retrying    EXPIRED          start           |
+                           ^                           v             |
+                           |                        running ---------+
+                         retry                         |
+                       (back to ready)               finish
+                                                       v
+                                                      DONE
+
+Terminal states (``done``, ``failed``, ``shed``, ``expired``) are
+absorbing: no outgoing edges, enforced by the table itself.  An edge not
+in the table raises :class:`IllegalTransition` with the job id, the
+attempted edge, and the simulated time.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.job import Job
+    from repro.sim.core import Simulator
+    from repro.sim.trace import Tracer
+
+
+class JobState(enum.Enum):
+    """Lifecycle states.
+
+    The first ten members are the canonical state set; the trailing names
+    are aliases kept for the pre-engine vocabulary (``CREATED`` /
+    ``SUBMITTED`` / ``QUEUED`` / ``COMPLETED``) so existing call sites and
+    tests keep working — aliases are identical objects, not copies.
+    """
+
+    WAITING = "waiting"        #: generated; parents (if any) not done yet
+    READY = "ready"            #: handed to the External Scheduler
+    DISPATCHED = "dispatched"  #: ES picked an execution site
+    FETCHING = "fetching"      #: at the site: queued, input fetch started
+    RUNNING = "running"        #: compute phase in progress
+    DONE = "done"              #: completed (terminal)
+    RETRYING = "retrying"      #: attempt killed; awaiting supervisor rewind
+    FAILED = "failed"          #: given up permanently (terminal)
+    SHED = "shed"              #: refused admission (terminal)
+    EXPIRED = "expired"        #: queue deadline passed (terminal)
+
+    # -- legacy aliases (same members, old names) --------------------------
+    CREATED = "waiting"
+    SUBMITTED = "ready"
+    QUEUED = "fetching"
+    COMPLETED = "done"
+
+
+#: Every legal edge, ``(src, dst) -> edge name``.  The engine refuses
+#: anything else; terminal states are absorbing because they simply have
+#: no outgoing entries.
+TRANSITIONS: Dict[Tuple[JobState, JobState], str] = {
+    (JobState.WAITING, JobState.READY): "submit",
+    # A WAITING job whose parent ended badly is failed without ever
+    # reaching the External Scheduler (DAG cascade).
+    (JobState.WAITING, JobState.FAILED): "abandon",
+    # Placement churn (misdirection bounce, saturation deflection, fault
+    # redirect) re-places a job that is still with the ES: a self-edge.
+    (JobState.READY, JobState.READY): "re-place",
+    (JobState.READY, JobState.DISPATCHED): "dispatch",
+    (JobState.READY, JobState.SHED): "shed",
+    (JobState.READY, JobState.FAILED): "fail",
+    (JobState.DISPATCHED, JobState.FETCHING): "enqueue",
+    (JobState.FETCHING, JobState.RUNNING): "start",
+    (JobState.FETCHING, JobState.EXPIRED): "expire",
+    (JobState.FETCHING, JobState.RETRYING): "kill",
+    (JobState.RUNNING, JobState.DONE): "finish",
+    (JobState.RUNNING, JobState.RETRYING): "kill",
+    (JobState.RETRYING, JobState.READY): "retry",
+    (JobState.RETRYING, JobState.FAILED): "fail",
+}
+
+#: States with no outgoing edges (derived, so it can never go stale).
+TERMINAL_STATES: Tuple[JobState, ...] = tuple(
+    state for state in JobState
+    if not any(src is state for src, _ in TRANSITIONS))
+
+#: Timestamp field stamped on *entering* a state (READY is special-cased:
+#: ``submitted_at`` is only stamped on first submission, not on retry).
+_ENTRY_TIMESTAMP = {
+    JobState.DISPATCHED: "dispatched_at",
+    JobState.FETCHING: "queued_at",
+    JobState.RUNNING: "started_at",
+    JobState.DONE: "completed_at",
+}
+
+_FAILURE_STATES = (JobState.FAILED, JobState.SHED, JobState.EXPIRED)
+
+#: Tolerance for float time comparisons in guards (matches the watchdog).
+_EPSILON = 1e-6
+
+
+class IllegalTransition(ValueError):
+    """An edge not declared in :data:`TRANSITIONS` was attempted.
+
+    Attributes
+    ----------
+    job_id:
+        The job whose transition was refused.
+    src, dst:
+        The attempted edge (:class:`JobState` pair).
+    time:
+        Simulated time of the attempt.
+    """
+
+    def __init__(self, job_id: int, src: JobState, dst: JobState,
+                 time: float) -> None:
+        self.job_id = job_id
+        self.src = src
+        self.dst = dst
+        self.time = time
+        super().__init__(
+            f"job {job_id}: illegal transition "
+            f"{src.value} -> {dst.value} at t={time:.3f}")
+
+
+class LifecycleGuardError(AssertionError):
+    """A transition guard (conservation / starvation) failed mid-edge."""
+
+
+def apply_transition(job: "Job", dst: JobState, now: float,
+                     reason: Optional[str] = None) -> str:
+    """Validate one edge on ``job`` and apply its field effects.
+
+    This is the engine-less core used by :meth:`Job.advance` and the
+    ``mark_*`` helpers; :class:`TransitionEngine` layers bookkeeping,
+    guards, hooks, and trace emission on top.  Returns the edge name.
+    """
+    src = job.state
+    edge = TRANSITIONS.get((src, dst))
+    if edge is None:
+        raise IllegalTransition(job.job_id, src, dst, now)
+    if dst is JobState.READY:
+        if src is JobState.RETRYING:
+            # Rewind a killed attempt as if the ES had just received the
+            # job.  ``submitted_at`` is preserved so response time spans
+            # the whole ordeal, including every failed attempt.
+            job.retries += 1
+            job.deflections = 0
+            job.execution_site = None
+            job.dispatched_at = None
+            job.queued_at = None
+            job.data_ready_at = None
+            job.processor_at = None
+            job.started_at = None
+            job.fetched_mb = 0.0
+        elif src is JobState.WAITING:
+            job.submitted_at = now
+        # READY -> READY re-placement carries no field effects.
+    elif dst in _FAILURE_STATES:
+        job.completed_at = None
+        if reason is not None:
+            job.failure_reason = reason
+    else:
+        attr = _ENTRY_TIMESTAMP.get(dst)
+        if attr is not None:
+            setattr(job, attr, now)
+        if dst is JobState.RETRYING and reason is not None:
+            job.failure_reason = reason
+    job.state = dst
+    return edge
+
+
+#: Called after every applied transition: ``hook(job, src, dst, edge, now)``.
+TransitionHook = Callable[["Job", JobState, JobState, str, float], None]
+
+
+class TransitionEngine:
+    """The single authority for job state changes in one grid.
+
+    Keeps O(1) per-state bookkeeping (``counts`` and ``by_state`` id-sets
+    over every registered job), applies each edge atomically with its
+    field effects, runs the built-in guards, invokes registered hooks, and
+    emits the edge's domain-trace record when a tracer is attached.
+
+    Jobs are registered lazily on their first transition (so standalone
+    sites and unit tests need no ceremony) or eagerly via :meth:`register`
+    (the DAG driver registers WAITING jobs up front so conservation counts
+    see them before release).
+    """
+
+    def __init__(self, sim: Optional["Simulator"] = None,
+                 tracer: Optional["Tracer"] = None) -> None:
+        self.sim = sim
+        self.tracer = tracer
+        self.counts: Dict[JobState, int] = {
+            state: 0 for state in JobState}
+        self.by_state: Dict[JobState, Set[int]] = {
+            state: set() for state in JobState}
+        self.jobs: Dict[int, "Job"] = {}
+        #: Transitions applied over the engine's lifetime.
+        self.transitions_applied = 0
+        #: Post-transition observers (``hook(job, src, dst, edge, now)``).
+        self.hooks: List[TransitionHook] = []
+        #: Optional queue-deadline oracle (seconds; 0/None = no deadline).
+        #: When set, the ``start`` edge enforces the no-starvation
+        #: invariant: a processor grant can never postdate the deadline.
+        self.deadline_of: Optional[Callable[["Job"], float]] = None
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now if self.sim is not None else 0.0
+
+    def register(self, job: "Job") -> None:
+        """Track ``job`` in its current state (idempotent per job id).
+
+        A *different* Job object reusing an already-registered id
+        supersedes the stale entry (grid runs assign unique ids; reuse
+        only happens when unit tests rebuild jobs against one grid).
+        """
+        jid = job.job_id
+        prev = self.jobs.get(jid)
+        if prev is job:
+            return
+        if prev is not None:
+            self.counts[prev.state] -= 1
+            self.by_state[prev.state].discard(jid)
+        self.jobs[jid] = job
+        self.counts[job.state] += 1
+        self.by_state[job.state].add(jid)
+
+    def jobs_in(self, state: JobState) -> List["Job"]:
+        """The registered jobs currently in ``state`` (sorted by id)."""
+        return [self.jobs[jid] for jid in sorted(self.by_state[state])]
+
+    # -- the core edge -----------------------------------------------------
+
+    def transition(self, job: "Job", dst: JobState,
+                   reason: Optional[str] = None) -> str:
+        """Move ``job`` along one declared edge; returns the edge name.
+
+        Raises :class:`IllegalTransition` for an undeclared edge and
+        :class:`LifecycleGuardError` when a built-in guard fails.
+        """
+        src = job.state
+        now = self.now
+        jid = job.job_id
+        if self.jobs.get(jid) is not job:
+            self.register(job)
+        edge = apply_transition(job, dst, now, reason)
+        if src is not dst:
+            self.counts[src] -= 1
+            self.by_state[src].discard(jid)
+            self.counts[dst] += 1
+            self.by_state[dst].add(jid)
+            if self.counts[src] < 0:
+                raise LifecycleGuardError(
+                    f"jobs-conserved: count for {src.value!r} went "
+                    f"negative on job {jid} ({src.value} -> {dst.value})")
+        self.transitions_applied += 1
+        if dst is JobState.RUNNING and self.deadline_of is not None:
+            self._guard_starvation(job, now)
+        if self.hooks:
+            for hook in self.hooks:
+                hook(job, src, dst, edge, now)
+        return edge
+
+    def _guard_starvation(self, job: "Job", now: float) -> None:
+        """No-starvation, enforced the instant a job starts computing:
+        the processor grant must have landed within the queue deadline."""
+        deadline = self.deadline_of(job)
+        if (deadline and deadline > 0
+                and job.queued_at is not None
+                and job.processor_at is not None
+                and job.processor_at - job.queued_at > deadline + _EPSILON):
+            raise LifecycleGuardError(
+                f"no-starvation: job {job.job_id} waited "
+                f"{job.processor_at - job.queued_at:.3f} s for a processor "
+                f"at {job.execution_site!r}, past its {deadline:g} s "
+                f"deadline (t={now:.3f})")
+
+    def audit(self) -> List[str]:
+        """Full O(jobs) recount of the incremental bookkeeping.
+
+        Returns a list of problems (empty = consistent); the watchdog
+        calls this periodically so a drifted counter is caught mid-run.
+        """
+        problems: List[str] = []
+        recount: Dict[JobState, int] = {state: 0 for state in JobState}
+        for jid, job in self.jobs.items():
+            recount[job.state] += 1
+            if jid not in self.by_state[job.state]:
+                problems.append(
+                    f"job {jid} is {job.state.value} but missing from "
+                    "its state set")
+        for state in JobState:
+            if recount[state] != self.counts[state]:
+                problems.append(
+                    f"count for {state.value!r} is {self.counts[state]}, "
+                    f"recount says {recount[state]}")
+        total = sum(self.counts.values())
+        if total != len(self.jobs):
+            problems.append(
+                f"state counts sum to {total} but {len(self.jobs)} jobs "
+                "are registered")
+        return problems
+
+    # -- typed edges (each owns its trace emission) ------------------------
+
+    def _emit(self, kind: str, **detail: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.now, kind, **detail)
+
+    def submit(self, job: "Job") -> None:
+        """WAITING -> READY: hand the job to the External Scheduler."""
+        self.transition(job, JobState.READY)
+        if self.tracer is not None:
+            detail: Dict[str, Any] = dict(
+                job=job.job_id, user=job.user, origin=job.origin_site,
+                inputs=list(job.input_files), runtime_s=job.runtime_s)
+            if job.depends_on:
+                detail["deps"] = list(job.depends_on)
+            self.tracer.emit(self.now, "job.submit", **detail)
+
+    def dispatch(self, job: "Job", site: str,
+                 attempt: Optional[int] = None) -> None:
+        """READY -> DISPATCHED: the ES committed to ``site``."""
+        job.execution_site = site
+        self.transition(job, JobState.DISPATCHED)
+        if self.tracer is not None:
+            if attempt is None:
+                self.tracer.emit(self.now, "job.dispatch", job=job.job_id,
+                                 site=site)
+            else:
+                self.tracer.emit(self.now, "job.dispatch", job=job.job_id,
+                                 site=site, attempt=attempt)
+
+    def enqueue(self, job: "Job", site: str, waiting: int) -> None:
+        """DISPATCHED -> FETCHING: arrived at the site, fetch starting."""
+        self.transition(job, JobState.FETCHING)
+        self._emit("job.queue", job=job.job_id, site=site, waiting=waiting)
+
+    def data_ready(self, job: "Job", site: str, fetched_mb: float) -> None:
+        """Record input-data availability (not a state change)."""
+        job.data_ready_at = self.now
+        job.fetched_mb = fetched_mb
+        self._emit("job.data_ready", job=job.job_id, site=site,
+                   fetched_mb=fetched_mb)
+
+    def start(self, job: "Job", site: str) -> None:
+        """FETCHING -> RUNNING: compute phase begins."""
+        self.transition(job, JobState.RUNNING)
+        self._emit("job.start", job=job.job_id, site=site,
+                   runtime_s=job.runtime_s)
+
+    def finish(self, job: "Job", site: str) -> None:
+        """RUNNING -> DONE: the job completed."""
+        self.transition(job, JobState.DONE)
+        self._emit("job.finish", job=job.job_id, site=site,
+                   fetched_mb=job.fetched_mb)
+
+    def expire(self, job: "Job", site: str, deadline_s: float) -> None:
+        """FETCHING -> EXPIRED: the queue deadline passed first."""
+        waited_s = self.now - (job.queued_at or 0.0)
+        self.transition(
+            job, JobState.EXPIRED,
+            reason=(f"queue deadline ({deadline_s:g} s) exceeded at "
+                    f"{site!r}"))
+        self._emit("job.expired", job=job.job_id, site=site,
+                   deadline_s=deadline_s, waited_s=waited_s)
+
+    def shed(self, job: "Job", reason: str) -> None:
+        """READY -> SHED: admission refused (every candidate queue full)."""
+        self.transition(job, JobState.SHED, reason=reason)
+        self._emit("job.shed", job=job.job_id, deflections=job.deflections)
+
+    def fail(self, job: "Job", reason: str) -> None:
+        """READY/RETRYING -> FAILED: give up on the job permanently."""
+        self.transition(job, JobState.FAILED, reason=reason)
+        self._emit("job.fail", job=job.job_id, reason=job.failure_reason)
+
+    def abandon(self, job: "Job", reason: str) -> None:
+        """WAITING -> FAILED: a dependency ended badly (DAG cascade)."""
+        self.transition(job, JobState.FAILED, reason=reason)
+        self._emit("job.fail", job=job.job_id, reason=job.failure_reason)
+
+    def kill(self, job: "Job", reason: str) -> None:
+        """FETCHING/RUNNING -> RETRYING: the attempt was killed.
+
+        Deliberately emits nothing — the supervisor's subsequent retry or
+        fail edge is the traced outcome, exactly as before the engine.
+        """
+        self.transition(job, JobState.RETRYING, reason=reason)
+
+    def retry(self, job: "Job") -> None:
+        """RETRYING -> READY: rewind a killed attempt for re-dispatch."""
+        self.transition(job, JobState.READY)
+        self._emit("job.retry", job=job.job_id, retries=job.retries,
+                   reason=job.failure_reason)
+
+    def bounce(self, job: "Job", origin: str, site: str) -> None:
+        """READY self-edge: misdirection recovery re-placed the job."""
+        job.bounces += 1
+        self.transition(job, JobState.READY)
+        self._emit("job.bounced", job=job.job_id, origin=origin, site=site)
+
+    def deflect(self, job: "Job", origin: str, site: str) -> None:
+        """READY self-edge: saturation backpressure re-placed the job."""
+        job.deflections += 1
+        self.transition(job, JobState.READY)
+        self._emit("job.deflected", job=job.job_id, origin=origin,
+                   site=site, deflections=job.deflections)
+
+    def redirect(self, job: "Job", chosen: str, fallback: str) -> None:
+        """READY self-edge: the ES's choice was down; a fallback stands in."""
+        self.transition(job, JobState.READY)
+        self._emit("job.redirect", job=job.job_id, chosen=chosen,
+                   fallback=fallback)
+
+    def misdirected(self, job: "Job", site: str,
+                    missing: List[str]) -> None:
+        """Record a dispatch aimed at phantom replicas (no state change)."""
+        self._emit("job.misdirected", job=job.job_id, site=site,
+                   missing=missing)

@@ -20,7 +20,8 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.grid.compute import ComputeElement
 from repro.grid.datamover import DataMover, DataUnavailableError, RemoteReadMB
-from repro.grid.job import Job, JobState
+from repro.grid.job import Job
+from repro.grid.lifecycle import TransitionEngine
 from repro.grid.storage import StorageElement
 from repro.sim.core import Simulator
 from repro.sim.errors import Interrupt
@@ -100,6 +101,11 @@ class Site:
         #: High-water mark of the waiting-job count (metrics; tracked
         #: unconditionally — max() never changes behaviour).
         self.peak_queue_depth = 0
+        #: The job-lifecycle engine this site drives jobs through.  A
+        #: grid-wired site shares its grid's engine (assigned by
+        #: :class:`~repro.grid.grid.DataGrid`); a standalone site gets a
+        #: private one so unit-level use needs no ceremony.
+        self.lifecycle = TransitionEngine(sim)
 
     def __repr__(self) -> str:
         return (f"<Site {self.name} load={self.load} "
@@ -118,11 +124,8 @@ class Site:
         The returned process triggers when the job completes (its value is
         the job), so users can wait for their sequential submissions.
         """
-        job.advance(JobState.QUEUED, self.sim.now)
         self.jobs_in_system += 1
-        if self.tracer is not None:
-            self.tracer.emit(self.sim.now, "job.queue", job=job.job_id,
-                             site=self.name, waiting=self.load)
+        self.lifecycle.enqueue(job, self.name, waiting=self.load)
         # Start prefetching every input right away (unpinned, best-effort):
         # "the data transfer needed for a job starts while the job is still
         # in the processor queue".  The authoritative, pinned fetch happens
@@ -180,15 +183,9 @@ class Site:
     def _expire(self, job: Job, deadline: float) -> None:
         """Terminal queue-deadline expiry: count, trace, account."""
         self.jobs_in_system -= 1
-        job.mark_expired(
-            f"queue deadline ({deadline:g} s) exceeded at {self.name!r}")
+        self.lifecycle.expire(job, self.name, deadline)
         if self.overload_stats is not None:
             self.overload_stats.jobs_expired += 1
-        if self.tracer is not None:
-            self.tracer.emit(
-                self.sim.now, "job.expired", job=job.job_id, site=self.name,
-                deadline_s=deadline,
-                waited_s=self.sim.now - (job.queued_at or 0.0))
 
     def _track(self, process: Process) -> None:
         self._alive[process] = None
@@ -273,17 +270,9 @@ class Site:
             prefetched = yield ready
             fetched_mb = sum(prefetched.values())
             fetched_mb += yield from self._fetch_inputs(job, attempt, pinned)
-            job.data_ready_at = self.sim.now
-            job.fetched_mb = fetched_mb
-            if self.tracer is not None:
-                self.tracer.emit(self.sim.now, "job.data_ready",
-                                 job=job.job_id, site=self.name,
-                                 fetched_mb=fetched_mb)
+            self.lifecycle.data_ready(job, self.name, fetched_mb)
 
-            job.advance(JobState.RUNNING, self.sim.now)
-            if self.tracer is not None:
-                self.tracer.emit(self.sim.now, "job.start", job=job.job_id,
-                                 site=self.name, runtime_s=job.runtime_s)
+            self.lifecycle.start(job, self.name)
             for fname in job.input_files:
                 # Under overload a remote-read input was never stored, so
                 # there is nothing to touch or count.
@@ -315,12 +304,9 @@ class Site:
         self._try_dispatch()
         for fname in (job.input_files if pinned is None else pinned):
             self.storage.unpin(fname)
-        job.advance(JobState.COMPLETED, self.sim.now)
+        self.lifecycle.finish(job, self.name)
         self.jobs_in_system -= 1
         self.jobs_completed += 1
-        if self.tracer is not None:
-            self.tracer.emit(self.sim.now, "job.finish", job=job.job_id,
-                             site=self.name, fetched_mb=job.fetched_mb)
         for listener in self.completion_listeners:
             listener(job)
         return job
@@ -351,18 +337,10 @@ class Site:
             prefetched = yield self.sim.all_of(prefetches)
             fetched_mb = sum(prefetched.values())
             fetched_mb += yield from self._fetch_inputs(job, attempt, pinned)
-            job.data_ready_at = self.sim.now
-            job.fetched_mb = fetched_mb
-            if self.tracer is not None:
-                self.tracer.emit(self.sim.now, "job.data_ready",
-                                 job=job.job_id, site=self.name,
-                                 fetched_mb=fetched_mb)
+            self.lifecycle.data_ready(job, self.name, fetched_mb)
 
             # 3. Compute.
-            job.advance(JobState.RUNNING, self.sim.now)
-            if self.tracer is not None:
-                self.tracer.emit(self.sim.now, "job.start", job=job.job_id,
-                                 site=self.name, runtime_s=job.runtime_s)
+            self.lifecycle.start(job, self.name)
             for fname in job.input_files:
                 # Under overload a remote-read input was never stored, so
                 # there is nothing to touch or count.
@@ -394,12 +372,9 @@ class Site:
         self.compute.release(request)
         for fname in (job.input_files if pinned is None else pinned):
             self.storage.unpin(fname)
-        job.advance(JobState.COMPLETED, self.sim.now)
+        self.lifecycle.finish(job, self.name)
         self.jobs_in_system -= 1
         self.jobs_completed += 1
-        if self.tracer is not None:
-            self.tracer.emit(self.sim.now, "job.finish", job=job.job_id,
-                             site=self.name, fetched_mb=job.fetched_mb)
         for listener in self.completion_listeners:
             listener(job)
         return job
@@ -446,8 +421,7 @@ class Site:
             attempt.fetch = None
             attempt.fetch_name = None
         self.jobs_in_system -= 1
-        job.killed = True
-        job.failure_reason = str(err) or type(err).__name__
+        self.lifecycle.kill(job, str(err) or type(err).__name__)
 
     def _settle_orphan_fetch(self, fetch: Process, fname: str) -> None:
         """Tie off a pinned fetch whose job was killed mid-wait.

@@ -11,7 +11,7 @@ the wrong source.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Sequence
+from typing import Any, Dict, List, Sequence
 
 from repro.metrics.collector import RunMetrics
 from repro.sim.trace import TraceRecord
@@ -139,3 +139,43 @@ def mismatches(records: Sequence[TraceRecord],
         if trace_value != metrics_value:
             out[metrics_field] = (trace_value, metrics_value)
     return out
+
+
+def dag_violations(records: Sequence[TraceRecord]) -> List[str]:
+    """Dependency-order violations observed in a trace (empty = clean).
+
+    Reconstructs the DAG from the ``deps`` field of ``job.submit``
+    records and checks, by record order, that no child is *dispatched*
+    before every parent's ``job.finish`` — the external observer's view
+    of the driver's release rule.  Parents that never finish must leave
+    their descendants undispatched (they are abandoned instead).
+    """
+    deps: Dict[int, List[int]] = {}
+    finished_at: Dict[int, int] = {}
+    dispatched_at: Dict[int, int] = {}
+    for index, record in enumerate(records):
+        kind = record.kind
+        if kind == schema.JOB_SUBMIT:
+            job_deps = record.detail.get("deps")
+            if job_deps:
+                deps[record.detail["job"]] = list(job_deps)
+        elif kind == schema.JOB_FINISH:
+            finished_at.setdefault(record.detail["job"], index)
+        elif kind == schema.JOB_DISPATCH:
+            dispatched_at.setdefault(record.detail["job"], index)
+    violations: List[str] = []
+    for child, parents in sorted(deps.items()):
+        child_index = dispatched_at.get(child)
+        if child_index is None:
+            continue  # never dispatched (e.g. abandoned) — trivially fine
+        for parent in parents:
+            parent_index = finished_at.get(parent)
+            if parent_index is None:
+                violations.append(
+                    f"job {child} dispatched but parent {parent} never "
+                    "finished")
+            elif parent_index > child_index:
+                violations.append(
+                    f"job {child} dispatched (record {child_index}) before "
+                    f"parent {parent} finished (record {parent_index})")
+    return violations

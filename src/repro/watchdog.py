@@ -12,9 +12,13 @@ Invariants checked:
 
 * **jobs-conserved** — no job is lost between the External Scheduler,
   the recovery supervisor, and the site queues: every site's
-  ``jobs_in_system`` sums to exactly the jobs currently queued/running
-  (accounting for attempts killed by faults but not yet rewound), and
-  per-site completion counters sum to the number of COMPLETED jobs.
+  ``jobs_in_system`` sums to exactly the
+  :class:`~repro.grid.lifecycle.TransitionEngine`'s FETCHING + RUNNING
+  counts (attempts killed by faults sit in RETRYING and are excluded),
+  per-site completion counters sum to the engine's DONE count, and the
+  engine's incremental per-state bookkeeping survives a full recount.
+  The cheap O(1) half of this invariant (no state count ever negative)
+  also runs inline on *every* transition as an engine guard.
 * **storage-accounting** — each site's incremental ``used_mb`` equals the
   recomputed sum of its resident replica sizes and never exceeds
   capacity.
@@ -165,6 +169,7 @@ class Watchdog:
 
     def _check_jobs(self) -> None:
         grid = self.grid
+        engine = grid.lifecycle
         in_system = 0
         by_site_completed = 0
         for site in grid.sites.values():
@@ -174,14 +179,18 @@ class Watchdog:
                            site=site.name, jobs_in_system=site.jobs_in_system)
             in_system += site.jobs_in_system
             by_site_completed += site.jobs_completed
-        expected_in_system = 0
-        completed = 0
-        for job in grid.submitted_jobs:
-            if job.state is JobState.COMPLETED:
-                completed += 1
-            elif (job.state in (JobState.QUEUED, JobState.RUNNING)
-                    and not job.killed):
-                expected_in_system += 1
+        # The engine's O(1) per-state counts replace the old full scan of
+        # submitted jobs; RETRYING (killed, not yet rewound) is its own
+        # state, so no ``killed`` flag bookkeeping is needed.
+        expected_in_system = (engine.counts[JobState.FETCHING]
+                              + engine.counts[JobState.RUNNING])
+        completed = engine.counts[JobState.DONE]
+        problems = engine.audit()
+        if problems:
+            self._fail("jobs-conserved",
+                       "lifecycle bookkeeping drifted: "
+                       + "; ".join(problems),
+                       registered_jobs=len(engine.jobs))
         if in_system != expected_in_system:
             self._fail(
                 "jobs-conserved",
@@ -311,13 +320,18 @@ class Watchdog:
         if policy is None:
             return
         now = self.sim.now
-        for job in self.grid.submitted_jobs:
+        engine = self.grid.lifecycle
+        # Only FETCHING jobs can starve in a queue, so scan the engine's
+        # per-state id-set instead of every job ever submitted.  (The
+        # engine additionally enforces this invariant on every ``start``
+        # edge via its deadline guard.)
+        for job_id in sorted(engine.by_state[JobState.FETCHING]):
+            job = engine.jobs[job_id]
             deadline = (job.deadline_s if job.deadline_s is not None
                         else policy.job_deadline_s)
             if deadline <= 0:
                 continue
-            if (job.state is JobState.QUEUED and job.processor_at is None
-                    and not job.killed and job.queued_at is not None
+            if (job.processor_at is None and job.queued_at is not None
                     and now - job.queued_at > deadline + _MB_EPSILON):
                 self._fail(
                     "no-starvation",

@@ -10,8 +10,10 @@ Reproduces §5.1 of the paper:
 * job output is ignored ("as job output is of negligible size as compared
   to input, we ignore output costs").
 
-Extensions (off by default): multi-input jobs and alternative popularity
-models, both flagged explicitly.
+Extensions (off by default): multi-input jobs, alternative popularity
+models, and DAG workloads (per-user ``depends_on`` chains/diamonds/
+fan-outs/map-reduces wired by :mod:`repro.workload.dag`), all flagged
+explicitly.
 """
 
 from __future__ import annotations
@@ -80,6 +82,7 @@ class Workload:
                         input_files=list(j.input_files),
                         runtime_s=j.runtime_s,
                         output_size_mb=j.output_size_mb,
+                        depends_on=list(j.depends_on),
                     )
                     for j in jobs
                 ]
@@ -123,6 +126,11 @@ class WorkloadGenerator:
         the paper ("we ignore output costs"); positive values enable the
         output-modelling extension — outputs are written to the execution
         site's storage but never transferred.
+    dag_shape, dag_width:
+        ``dag_shape`` other than ``"none"`` wires each user's job list
+        into dependency motifs (see :func:`repro.workload.dag.wire_shape`);
+        ``dag_width`` sets the fan-out/map count for the shapes that have
+        one.  Dependencies never cross users.
     """
 
     def __init__(
@@ -138,7 +146,17 @@ class WorkloadGenerator:
         max_size_mb: float = 2000.0,
         inputs_per_job: int = 1,
         output_fraction: float = 0.0,
+        dag_shape: str = "none",
+        dag_width: int = 3,
     ) -> None:
+        from repro.workload.dag import DAG_SHAPES
+
+        if dag_shape not in DAG_SHAPES:
+            raise ValueError(
+                f"unknown DAG shape {dag_shape!r}; expected one of "
+                f"{DAG_SHAPES}")
+        if dag_width < 1:
+            raise ValueError(f"DAG width must be >= 1, got {dag_width}")
         if n_users < 1:
             raise ValueError(f"need >= 1 user, got {n_users}")
         if n_jobs < n_users:
@@ -172,6 +190,8 @@ class WorkloadGenerator:
         self.max_size_mb = max_size_mb
         self.inputs_per_job = inputs_per_job
         self.output_fraction = output_fraction
+        self.dag_shape = dag_shape
+        self.dag_width = dag_width
 
     def generate(self) -> Workload:
         """Materialize a workload (datasets, placement, users, jobs)."""
@@ -210,6 +230,12 @@ class WorkloadGenerator:
                 ))
                 job_id += 1
             user_jobs[user] = jobs
+
+        if self.dag_shape != "none":
+            from repro.workload.dag import wire_shape
+
+            for jobs in user_jobs.values():
+                wire_shape(jobs, self.dag_shape, self.dag_width)
 
         return Workload(
             datasets=datasets,

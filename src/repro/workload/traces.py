@@ -30,18 +30,23 @@ def workload_to_dict(workload: Workload) -> Dict[str, Any]:
         "initial_placement": dict(workload.initial_placement),
         "user_sites": dict(workload.user_sites),
         "user_jobs": {
-            user: [
-                {
-                    "job_id": job.job_id,
-                    "input_files": list(job.input_files),
-                    "runtime_s": job.runtime_s,
-                    "output_size_mb": job.output_size_mb,
-                }
-                for job in jobs
-            ]
+            user: [_job_to_dict(job) for job in jobs]
             for user, jobs in workload.user_jobs.items()
         },
     }
+
+
+def _job_to_dict(job: Job) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "job_id": job.job_id,
+        "input_files": list(job.input_files),
+        "runtime_s": job.runtime_s,
+        "output_size_mb": job.output_size_mb,
+    }
+    # Only DAG workloads carry dependencies; plain traces stay byte-stable.
+    if job.depends_on:
+        entry["depends_on"] = list(job.depends_on)
+    return entry
 
 
 def workload_from_dict(data: Dict[str, Any]) -> Workload:
@@ -65,6 +70,7 @@ def workload_from_dict(data: Dict[str, Any]) -> Workload:
                 input_files=list(j["input_files"]),
                 runtime_s=j["runtime_s"],
                 output_size_mb=j.get("output_size_mb", 0.0),
+                depends_on=list(j.get("depends_on", [])),
             )
             for j in jobs
         ]

@@ -243,3 +243,35 @@ class TestOverloadSweepCommand:
                      "--rates", "0.005", "--capacities", "4",
                      "--pairs", "JobLocal+DataDoNothing", "-j", "2"]) == 0
         assert "overload sweep" in capsys.readouterr().out
+
+
+TINY_DAG = ["--users", "4", "--sites", "3", "--datasets", "8",
+            "--n-jobs", "16"]
+
+
+class TestDagCommand:
+    def test_campaign_defaults_to_diamond(self, capsys):
+        assert main(["dag", *TINY_DAG]) == 0
+        out = capsys.readouterr().out
+        assert "shape=diamond" in out
+        assert "Average response time per job" in out
+        assert "Jobs completed" in out
+
+    def test_explicit_shape_and_bulk(self, capsys):
+        assert main(["dag", *TINY_DAG, "--dag-shape", "mapreduce",
+                     "--dag-width", "2", "--bulk", "on"]) == 0
+        out = capsys.readouterr().out
+        assert "shape=mapreduce width=2 bulk=on" in out
+
+    def test_run_accepts_dag_knobs(self, capsys):
+        assert main(["run", *TINY_DAG, "--dag-shape", "chain"]) == 0
+        assert "jobs completed:            16" in capsys.readouterr().out
+
+    def test_bulk_without_shape_is_a_config_error(self, capsys):
+        assert main(["run", *TINY_DAG, "--bulk", "on"]) == 2
+        assert "bulk submission requires" in capsys.readouterr().err
+
+    def test_dag_with_arrivals_is_a_config_error(self, capsys):
+        assert main(["run", *TINY_DAG, "--dag-shape", "diamond",
+                     "--arrival-rate", "0.5"]) == 2
+        assert "incompatible" in capsys.readouterr().err

@@ -1,0 +1,247 @@
+"""DAG workloads: validation, shape wiring, release order, bulk placement.
+
+The integration tests run real campaigns and cross-validate dependency
+order two independent ways: from the job objects (child never dispatched
+before every parent completed) and from the trace stream
+(:func:`repro.trace.crossval.dag_violations`).
+"""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import build_grid, make_workload, run_matrix
+from repro.grid import JobState
+from repro.grid.job import Job
+from repro.sim.trace import Tracer
+from repro.trace.crossval import dag_violations, mismatches
+from repro.workload.dag import DagDriver, validate_dag, wire_shape
+
+
+def make_jobs(n, deps=None, input_file="d0"):
+    deps = deps or {}
+    return [
+        Job(job_id=i, user="u", origin_site="site00",
+            input_files=[input_file], runtime_s=10,
+            depends_on=list(deps.get(i, [])))
+        for i in range(n)
+    ]
+
+
+class TestValidateDag:
+    def test_topo_order_is_deterministic(self):
+        jobs = make_jobs(4, deps={3: [1, 2], 1: [0], 2: [0]})
+        assert validate_dag(jobs) == [0, 1, 2, 3]
+        assert validate_dag(list(reversed(jobs))) == [0, 1, 2, 3]
+
+    def test_cycle_rejected_with_clear_error(self):
+        jobs = make_jobs(3, deps={0: [2], 1: [0], 2: [1]})
+        with pytest.raises(ValueError, match="dependency cycle among jobs "
+                                             r"\[0, 1, 2\]"):
+            validate_dag(jobs)
+
+    def test_two_node_cycle_rejected(self):
+        jobs = make_jobs(4, deps={1: [2], 2: [1]})
+        with pytest.raises(ValueError, match="cycle"):
+            validate_dag(jobs)
+
+    def test_self_dependency_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="depends on itself"):
+            make_jobs(2, deps={1: [1]})
+
+    def test_unknown_parent_rejected(self):
+        jobs = make_jobs(2, deps={1: [99]})
+        with pytest.raises(ValueError, match="unknown job 99"):
+            validate_dag(jobs)
+
+    def test_duplicate_ids_rejected(self):
+        jobs = make_jobs(2) + make_jobs(1)
+        with pytest.raises(ValueError, match="duplicate job id 0"):
+            validate_dag(jobs)
+
+
+class TestWireShape:
+    def test_chain(self):
+        jobs = make_jobs(4)
+        wire_shape(jobs, "chain")
+        assert [j.depends_on for j in jobs] == [[], [0], [1], [2]]
+
+    def test_diamond_groups(self):
+        jobs = make_jobs(8)
+        wire_shape(jobs, "diamond")
+        assert [j.depends_on for j in jobs[:4]] == [[], [0], [0], [1, 2]]
+        assert [j.depends_on for j in jobs[4:]] == [[], [4], [4], [5, 6]]
+
+    def test_fanout(self):
+        jobs = make_jobs(5)
+        wire_shape(jobs, "fanout", width=3)
+        assert jobs[0].depends_on == []
+        assert all(j.depends_on == [0] for j in jobs[1:4])
+        assert jobs[4].depends_on == [1, 2, 3]
+
+    def test_mapreduce(self):
+        jobs = make_jobs(6)
+        wire_shape(jobs, "mapreduce", width=4)
+        assert all(j.depends_on == [] for j in jobs[:4])
+        assert all(j.depends_on == [0, 1, 2, 3] for j in jobs[4:])
+
+    def test_partial_final_group_runs_as_chain(self):
+        jobs = make_jobs(6)  # one diamond + 2 leftovers
+        wire_shape(jobs, "diamond")
+        assert jobs[4].depends_on == []
+        assert jobs[5].depends_on == [4]
+
+    def test_every_shape_is_acyclic(self):
+        for shape in ("chain", "diamond", "fanout", "mapreduce"):
+            jobs = make_jobs(11)
+            wire_shape(jobs, shape, width=3)
+            validate_dag(jobs)  # must not raise
+
+    def test_bad_shape_and_width_rejected(self):
+        with pytest.raises(ValueError, match="unknown DAG shape"):
+            wire_shape(make_jobs(3), "butterfly")
+        with pytest.raises(ValueError, match="width must be >= 1"):
+            wire_shape(make_jobs(3), "fanout", width=0)
+
+
+class TestConfigValidation:
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown DAG shape"):
+            SimulationConfig(dag_shape="butterfly")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError, match="width must be >= 1"):
+            SimulationConfig(dag_width=0)
+
+    def test_bulk_requires_a_shape(self):
+        with pytest.raises(ValueError, match="bulk submission requires"):
+            SimulationConfig(bulk_submission=True)
+        SimulationConfig(bulk_submission=True, dag_shape="chain")
+
+    def test_dag_incompatible_with_open_arrivals(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            SimulationConfig(dag_shape="diamond", arrival_rate_per_s=0.1)
+
+
+def dag_config(shape, n_jobs=24, **kw):
+    return SimulationConfig(
+        n_users=6, n_sites=4, n_datasets=10, n_jobs=n_jobs,
+        bandwidth_mbps=10.0, storage_capacity_mb=8000.0,
+        topology="star", dag_shape=shape, seed=0, **kw)
+
+
+def run_campaign(config, es="JobDataPresent", ds="DataRandom"):
+    workload = make_workload(config, config.seed)
+    tracer = Tracer()
+    sim, grid = build_grid(config, es, ds, workload, config.seed,
+                           tracer=tracer)
+    grid.run()
+    jobs = {job.job_id: job
+            for jobs in workload.user_jobs.values() for job in jobs}
+    return grid, tracer.records, jobs
+
+
+class TestCampaigns:
+    @pytest.mark.parametrize("shape", ["diamond", "mapreduce"])
+    def test_children_never_run_before_parents(self, shape):
+        config = dag_config(shape)
+        grid, records, jobs = run_campaign(config)
+        done = [j for j in jobs.values() if j.state is JobState.DONE]
+        assert len(done) == config.n_jobs
+        with_deps = [j for j in jobs.values() if j.depends_on]
+        assert with_deps, "shape wiring produced no dependencies"
+        for job in with_deps:
+            for parent_id in job.depends_on:
+                parent = jobs[parent_id]
+                assert job.dispatched_at >= parent.completed_at, (
+                    f"job {job.job_id} dispatched at {job.dispatched_at} "
+                    f"before parent {parent_id} completed at "
+                    f"{parent.completed_at}")
+        # Independent check straight from the trace stream.
+        assert dag_violations(records) == []
+
+    def test_release_happens_in_batches(self):
+        config = dag_config("diamond")
+        grid, _, _ = run_campaign(config)
+        # Diamonds release in (at least) source / middles / sink waves.
+        assert grid.dag.batches_submitted >= 3
+        assert grid.dag.jobs_abandoned == 0
+
+    def test_dependency_free_dag_run_matches_trace_counters(self):
+        from repro.metrics.collector import RunMetrics
+
+        config = dag_config("mapreduce", dag_width=4)
+        workload = make_workload(config, 0)
+        tracer = Tracer()
+        sim, grid = build_grid(config, "JobLeastLoaded", "DataLeastLoaded",
+                               workload, 0, tracer=tracer)
+        makespan = grid.run()
+        metrics = RunMetrics.from_grid(grid, makespan)
+        assert mismatches(tracer.records, metrics) == {}
+
+
+class TestBulkSubmission:
+    def test_same_signature_jobs_follow_the_leader(self, small_grid):
+        sim, grid = small_grid
+        # Five independent jobs over two input signatures; JobLocal would
+        # scatter them by origin, but bulk placement pins each signature
+        # group to its leader's site.
+        jobs = [
+            Job(job_id=i, user="u", origin_site=f"site0{i % 4}",
+                input_files=["d1"] if i < 3 else ["d2"], runtime_s=10)
+            for i in range(5)
+        ]
+        driver = DagDriver(sim, grid, jobs, bulk=True)
+        grid.dag = driver
+        grid.run()
+        assert all(j.state is JobState.DONE for j in jobs)
+        assert len({j.execution_site for j in jobs[:3]}) == 1
+        assert len({j.execution_site for j in jobs[3:]}) == 1
+        assert driver.batches_submitted == 1
+
+    def test_bulk_campaign_completes_and_respects_order(self):
+        config = dag_config("fanout", n_jobs=36, dag_width=4,
+                            bulk_submission=True)
+        grid, records, jobs = run_campaign(config, es="JobLeastLoaded")
+        assert all(j.state is JobState.DONE for j in jobs.values())
+        assert dag_violations(records) == []
+
+
+class TestCascadeAbandonment:
+    def test_shed_parent_abandons_descendants(self):
+        # 6 jobs per user = exactly one full fanout group each; the
+        # 24-job middle wave overwhelms capacity-1 queues.
+        config = dag_config("fanout", n_jobs=36, dag_width=4,
+                            queue_capacity=1, deflect_budget=0)
+        grid, records, jobs = run_campaign(config, es="JobLeastLoaded")
+        shed = [j for j in jobs.values() if j.state is JobState.SHED]
+        assert shed, "overload knobs did not shed any job"
+        assert grid.dag.jobs_abandoned > 0
+        # Every descendant of a shed job must be failed, never dispatched.
+        for job in jobs.values():
+            if any(jobs[p].state is not JobState.DONE
+                   for p in job.depends_on):
+                assert job.state is JobState.FAILED
+                assert job.dispatched_at is None
+                assert "dependency job" in job.failure_reason
+        # Everything is settled: done + shed + failed covers the workload.
+        by_state = {}
+        for job in jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        assert sum(by_state.values()) == config.n_jobs
+        assert set(by_state) <= {JobState.DONE, JobState.SHED,
+                                 JobState.FAILED}
+        assert dag_violations(records) == []
+
+
+class TestDeterminism:
+    def test_worker_count_and_cache_replay_invariance(self, tmp_path):
+        config = dag_config("diamond")
+        es_names = ("JobLocal", "JobDataPresent")
+        ds_names = ("DataDoNothing", "DataRandom")
+        serial = run_matrix(config, es_names, ds_names, seeds=(0,), jobs=1)
+        fanned = run_matrix(config, es_names, ds_names, seeds=(0,), jobs=2,
+                            cache_dir=tmp_path)
+        replayed = run_matrix(config, es_names, ds_names, seeds=(0,),
+                              jobs=1, cache_dir=tmp_path)
+        assert serial.runs == fanned.runs
+        assert serial.runs == replayed.runs

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.grid import Job, JobState
+from repro.grid import IllegalTransition, Job, JobState
 
 
 def make_job(**kw):
@@ -44,20 +44,29 @@ class TestLifecycle:
 
     def test_backwards_transition_rejected(self):
         job = make_job()
+        job.advance(JobState.SUBMITTED, 0.0)
+        job.advance(JobState.DISPATCHED, 0.5)
         job.advance(JobState.QUEUED, 1.0)
         with pytest.raises(ValueError):
             job.advance(JobState.SUBMITTED, 2.0)
 
-    def test_skipping_states_allowed_forward(self):
+    def test_skipping_states_rejected(self):
+        # The transition table declares every legal edge; skipping ahead
+        # (CREATED -> RUNNING) is not one of them.
         job = make_job()
-        job.advance(JobState.RUNNING, 5.0)  # states may be skipped
-        assert job.state is JobState.RUNNING
+        with pytest.raises(IllegalTransition) as excinfo:
+            job.advance(JobState.RUNNING, 5.0)
+        assert excinfo.value.job_id == job.job_id
+        assert excinfo.value.src is JobState.CREATED
+        assert excinfo.value.dst is JobState.RUNNING
+        assert job.state is JobState.CREATED
 
 
 class TestDerivedMetrics:
     def _completed_job(self):
         job = make_job()
         job.advance(JobState.SUBMITTED, 0.0)
+        job.advance(JobState.DISPATCHED, 1.0)
         job.advance(JobState.QUEUED, 1.0)
         job.processor_at = 50.0
         job.data_ready_at = 80.0

@@ -1,0 +1,90 @@
+"""Differential tests: the transition engine changes *nothing* observable.
+
+The engine refactor replaced scattered state flags with a central
+transition table — these tests pin down that engine-driven runs are
+bitwise-identical to the pre-refactor behaviour: all 12 committed golden
+digests still match byte-for-byte, trace-derived counters still agree
+exactly with the metrics layer, and running with the watchdog (which now
+audits through the engine) changes no result.
+
+No new trace kind was added by the refactor (DAG dependencies ride in
+the existing ``job.submit`` record, emitted only when present), so the
+golden regeneration flow needed no extension.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import run_single
+from repro.metrics.collector import RunMetrics
+from repro.scheduling.registry import ALL_DS, ALL_ES
+from repro.sim.trace import Tracer
+from repro.trace.crossval import mismatches
+from repro.trace.golden import (
+    describe_divergence,
+    fingerprint,
+    golden_config,
+)
+
+GOLDEN_PATH = (Path(__file__).parent.parent / "trace" / "golden"
+               / "digests.json")
+COMBOS = [(es, ds) for es in ALL_ES for ds in ALL_DS]
+
+# One traced engine-driven run per combo, shared across the test classes.
+_RUNS = {}
+
+
+def _traced_run(es, ds):
+    if (es, ds) not in _RUNS:
+        tracer = Tracer()
+        metrics = run_single(golden_config(), es, ds, tracer=tracer)
+        _RUNS[(es, ds)] = (tracer.records, metrics)
+    return _RUNS[(es, ds)]
+
+
+@pytest.fixture(scope="module")
+def golden_digests():
+    assert GOLDEN_PATH.exists(), (
+        "golden digests are not committed; the differential test has "
+        "no pre-refactor baseline to compare against")
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("es,ds", COMBOS,
+                         ids=[f"{es}-{ds}" for es, ds in COMBOS])
+def test_engine_reproduces_golden_digest(es, ds, golden_digests):
+    records, _ = _traced_run(es, ds)
+    fp = fingerprint(records)
+    stored = golden_digests[f"{es}/{ds}"]
+    assert (fp["digest"], fp["count"]) == (stored["digest"],
+                                           stored["count"]), \
+        describe_divergence(stored, records)
+
+
+@pytest.mark.parametrize("es,ds", COMBOS,
+                         ids=[f"{es}-{ds}" for es, ds in COMBOS])
+def test_trace_and_metrics_agree_exactly(es, ds):
+    records, metrics = _traced_run(es, ds)
+    assert mismatches(records, metrics) == {}
+
+
+@pytest.mark.parametrize("es,ds", [
+    ("JobDataPresent", "DataRandom"),
+    ("JobLeastLoaded", "DataLeastLoaded"),
+])
+def test_watchdog_run_is_bitwise_identical(es, ds):
+    """Engine-backed invariant auditing must stay read-only.
+
+    The watchdog adds its own ``watchdog.check`` heartbeat records;
+    every *domain* record — and every metric — must be unchanged.
+    """
+    records, metrics = _traced_run(es, ds)
+    tracer = Tracer()
+    watched = run_single(golden_config().with_(watchdog=True), es, ds,
+                         tracer=tracer)
+    domain = [r for r in tracer.records if r.kind != "watchdog.check"]
+    assert fingerprint(domain) == fingerprint(records)
+    for field in RunMetrics.__dataclass_fields__:
+        assert getattr(watched, field) == getattr(metrics, field), field

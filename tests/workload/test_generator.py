@@ -132,3 +132,35 @@ class TestWorkloadHelpers:
         assert fresh_job.job_id == job.job_id
         assert fresh_job.input_files == job.input_files
         assert fresh.datasets is wl.datasets  # immutable, shared
+
+
+class TestDagShapes:
+    def test_default_has_no_dependencies(self):
+        workload = make_generator().generate()
+        assert all(job.depends_on == []
+                   for jobs in workload.user_jobs.values() for job in jobs)
+
+    def test_shape_wires_each_user_independently(self):
+        workload = make_generator(dag_shape="diamond").generate()
+        for user, jobs in workload.user_jobs.items():
+            ids = {job.job_id for job in jobs}
+            deps = [d for job in jobs for d in job.depends_on]
+            assert deps, f"{user} got no dependencies"
+            assert set(deps) <= ids, "dependencies crossed users"
+
+    def test_fresh_copies_dependencies(self):
+        workload = make_generator(dag_shape="mapreduce").generate()
+        fresh = workload.fresh()
+        for user in workload.users:
+            for a, b in zip(workload.user_jobs[user],
+                            fresh.user_jobs[user]):
+                assert a.depends_on == b.depends_on
+                assert a.depends_on is not b.depends_on
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown DAG shape"):
+            make_generator(dag_shape="butterfly")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError, match="width must be >= 1"):
+            make_generator(dag_width=0)

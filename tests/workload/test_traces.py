@@ -68,3 +68,21 @@ class TestVersioning:
         del data["version"]
         with pytest.raises(ValueError, match="version"):
             workload_from_dict(data)
+
+
+class TestDagRoundTrip:
+    def test_plain_workloads_serialize_without_deps_key(self, workload):
+        data = workload_to_dict(workload)
+        for jobs in data["user_jobs"].values():
+            assert all("depends_on" not in j for j in jobs)
+
+    def test_dependencies_survive_the_round_trip(self):
+        workload = WorkloadGenerator(
+            n_users=6, n_datasets=10, n_jobs=30,
+            sites=["site00", "site01", "site02"],
+            rng=random.Random(0), dag_shape="diamond",
+        ).generate()
+        restored = workload_from_dict(workload_to_dict(workload))
+        for user in workload.users:
+            assert [j.depends_on for j in restored.user_jobs[user]] == \
+                [j.depends_on for j in workload.user_jobs[user]]
