@@ -98,6 +98,24 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     faults.add_argument("--fault-seed", type=int, default=None,
                         help="seed for the stochastic fault stream "
                              "(default: the run seed)")
+    faults.add_argument("--partition", action="append", default=None,
+                        metavar="SITES@START:END",
+                        help="network partition window, e.g. "
+                             "site00,site01@1800:3600 (end may be 'inf'; "
+                             "repeatable)")
+    faults.add_argument("--outage-group", action="append", default=None,
+                        metavar="SITES@START:END",
+                        help="rack-correlated outage: the listed sites "
+                             "fail and recover together (repeatable)")
+    faults.add_argument("--flap-sites", default=None, metavar="SITES",
+                        help="comma-separated sites that flap on their "
+                             "own fast MTBF/MTTR loop")
+    faults.add_argument("--flap-mtbf", type=float, default=None,
+                        metavar="SECONDS",
+                        help="mean up-time between flaps")
+    faults.add_argument("--flap-mttr", type=float, default=None,
+                        metavar="SECONDS",
+                        help="mean flap outage duration (default 60)")
     overload = parser.add_argument_group(
         "overload protection (default: all off — unbounded queues, no "
         "deadlines, no reservations; the paper's model)")
@@ -143,14 +161,64 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     dag.add_argument("--bulk", default=None, choices=["on", "off"],
                      help="place each released batch group-at-a-time by "
                           "input-set signature (needs a DAG shape)")
+    health = parser.add_argument_group(
+        "failure detection (default: all off — no heartbeats, no "
+        "breakers, no speculation; the paper's oracle model)")
+    health.add_argument("--heartbeat", type=float, default=None,
+                        metavar="SECONDS",
+                        help="heartbeat interval; > 0 installs the "
+                             "observed failure detector (0 = off)")
+    health.add_argument("--heartbeat-jitter", type=float, default=None,
+                        metavar="FRACTION",
+                        help="uniform jitter fraction on heartbeat "
+                             "spacing, in [0, 1)")
+    health.add_argument("--phi-threshold", type=float, default=None,
+                        metavar="PHI",
+                        help="suspect a site when the silence exceeds "
+                             "this multiple of its mean heartbeat "
+                             "spacing (default 3)")
+    health.add_argument("--probe-interval", type=float, default=None,
+                        metavar="SECONDS",
+                        help="base delay between recovery probes of a "
+                             "tripped site (default 30)")
+    health.add_argument("--observed-only", default=None,
+                        choices=["on", "off"],
+                        help="cut the oracle channel: schedulers learn "
+                             "of failures only through heartbeats and "
+                             "dispatch errors")
+    health.add_argument("--speculate-quantile", type=float, default=None,
+                        metavar="Q",
+                        help="straggler quantile in [0, 1); > 0 enables "
+                             "speculative backup execution (0 = off)")
+    health.add_argument("--speculate-multiplier", type=float, default=None,
+                        metavar="X",
+                        help="a job is a straggler once it runs this "
+                             "multiple of the quantile duration "
+                             "(default 2)")
+
+
+def _parse_window_spec(spec: str, flag: str):
+    """Parse a SITES@START:END spec into (sites, start_s, end_s)."""
+    sites_part, sep, window = spec.partition("@")
+    start_part, sep2, end_part = window.partition(":")
+    sites = tuple(s for s in sites_part.split(",") if s)
+    if not sep or not sep2 or not sites:
+        raise SystemExit(
+            f"bad {flag} spec {spec!r}; expected SITES@START:END like "
+            f"site00,site01@1800:3600")
+    end = (float("inf") if end_part.lower() in ("inf", "permanent")
+           else float(end_part))
+    return sites, float(start_part), end
 
 
 def _build_fault_plan(args: argparse.Namespace):
     """Compose the FaultPlan from --fault-plan plus scalar overrides."""
-    from repro.faults.plan import FaultPlan
+    from repro.faults.plan import FaultPlan, NetworkPartition, OutageGroup
 
     relevant = (args.fault_plan, args.site_mtbf, args.site_mttr,
-                args.link_drop_rate, args.fault_seed)
+                args.link_drop_rate, args.fault_seed, args.partition,
+                args.outage_group, args.flap_sites, args.flap_mtbf,
+                args.flap_mttr)
     if all(value is None for value in relevant):
         return None
     plan = (FaultPlan.load(args.fault_plan)
@@ -164,6 +232,26 @@ def _build_fault_plan(args: argparse.Namespace):
         overrides["transfer_fail_prob"] = args.link_drop_rate
     if args.fault_seed is not None:
         overrides["seed"] = args.fault_seed
+    if args.partition is not None:
+        extra = []
+        for spec in args.partition:
+            sites, start, end = _parse_window_spec(spec, "--partition")
+            extra.append(
+                NetworkPartition(sites=sites, start_s=start, end_s=end))
+        overrides["partitions"] = plan.partitions + tuple(extra)
+    if args.outage_group is not None:
+        extra = []
+        for spec in args.outage_group:
+            sites, start, end = _parse_window_spec(spec, "--outage-group")
+            extra.append(OutageGroup(sites=sites, start_s=start, end_s=end))
+        overrides["outage_groups"] = plan.outage_groups + tuple(extra)
+    if args.flap_sites is not None:
+        overrides["flap_sites"] = tuple(
+            s for s in args.flap_sites.split(",") if s)
+    if args.flap_mtbf is not None:
+        overrides["flap_mtbf_s"] = args.flap_mtbf
+    if args.flap_mttr is not None:
+        overrides["flap_mttr_s"] = args.flap_mttr
     if overrides:
         plan = plan.with_(**overrides)
     return plan
@@ -200,6 +288,12 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
         "arrival_rate": "arrival_rate_per_s",
         "dag_shape": "dag_shape",
         "dag_width": "dag_width",
+        "heartbeat": "health_heartbeat_s",
+        "heartbeat_jitter": "health_heartbeat_jitter",
+        "phi_threshold": "health_phi_threshold",
+        "probe_interval": "health_probe_interval_s",
+        "speculate_quantile": "speculate_quantile",
+        "speculate_multiplier": "speculate_multiplier",
     }
     for arg_name, field in mapping.items():
         value = getattr(args, arg_name)
@@ -207,6 +301,8 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
             overrides[field] = value
     if args.watchdog is not None:
         overrides["watchdog"] = args.watchdog == "on"
+    if args.observed_only is not None:
+        overrides["health_observed_only"] = args.observed_only == "on"
     if args.storage_reservations is not None:
         overrides["storage_reservations"] = args.storage_reservations == "on"
     if args.bulk is not None:
@@ -364,12 +460,34 @@ def _parse_pairs(specs) -> Optional[tuple]:
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from repro.experiments.sensitivity import (
         overload_sweep,
+        recovery_sweep,
         staleness_sensitivity,
     )
 
     config = _build_config(args)
     pairs = _parse_pairs(args.pairs)
     kwargs = {"pairs": pairs} if pairs else {}
+    if args.mode == "recovery-sweep":
+        partitioned = {"both": (False, True), "on": (True,),
+                       "off": (False,)}[args.partition_cells]
+        result = recovery_sweep(
+            config, thresholds=tuple(args.thresholds),
+            mtbfs=tuple(args.mtbfs), partitioned=partitioned,
+            seeds=tuple(args.seeds), jobs=args.jobs,
+            cache_dir=_cache_dir(args), **kwargs)
+        print(result.table())
+        print()
+        for es_name, ds_name in result.pairs:
+            for part in result.partitioned:
+                for mtbf in result.mtbfs:
+                    safe = result.safe_threshold(es_name, ds_name, mtbf,
+                                                 part)
+                    label = (f"{es_name} + {ds_name}, mtbf {mtbf:g}, "
+                             f"partition {'on' if part else 'off'}")
+                    print(f"lowest safe threshold (fp <= 5%) for {label}: "
+                          + (f"{safe:g}" if safe is not None
+                             else "none swept"))
+        return 0
     if args.mode == "overload-sweep":
         result = overload_sweep(
             config, rates=tuple(args.rates),
@@ -465,8 +583,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one algorithm combination")
     p_run.add_argument("--es", default="JobDataPresent",
-                       choices=ALL_ES + ["JobAdaptive"],
-                       help="external scheduler")
+                       choices=(ALL_ES + ["JobAdaptive"]
+                                + [f"{es}+Health" for es in ALL_ES]),
+                       help="external scheduler (+Health = circuit-"
+                            "breaker-aware variant)")
     p_run.add_argument("--ds", default="DataRandom",
                        choices=ALL_DS + ["DataBestClient"],
                        help="dataset scheduler")
@@ -513,13 +633,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sens = sub.add_parser(
         "sensitivity",
-        help="degradation sweeps: catalog staleness or offered overload")
+        help="degradation sweeps: catalog staleness, offered overload, "
+             "or failure detection/recovery")
     p_sens.add_argument("mode", nargs="?",
-                        choices=["staleness-sweep", "overload-sweep"],
+                        choices=["staleness-sweep", "overload-sweep",
+                                 "recovery-sweep"],
                         default="staleness-sweep",
                         help="staleness-sweep: response time vs catalog "
                              "delay (default); overload-sweep: arrival "
-                             "rate x queue capacity degradation table")
+                             "rate x queue capacity degradation table; "
+                             "recovery-sweep: detection threshold x MTBF "
+                             "x partition detector-quality table")
     p_sens.add_argument("--delays", type=float, nargs="+",
                         default=[0.0, 60.0, 300.0, 900.0, 1800.0],
                         metavar="SECONDS",
@@ -534,6 +658,19 @@ def build_parser() -> argparse.ArgumentParser:
                         default=[4, 16], metavar="JOBS",
                         help="per-site queue capacities to sweep "
                              "(overload-sweep)")
+    p_sens.add_argument("--thresholds", type=float, nargs="+",
+                        default=[2.0, 3.0, 6.0], metavar="PHI",
+                        help="phi suspicion thresholds to sweep "
+                             "(recovery-sweep)")
+    p_sens.add_argument("--mtbfs", type=float, nargs="+",
+                        default=[0.0, 3600.0, 14400.0], metavar="SECONDS",
+                        help="site MTBF values to sweep; 0 = no random "
+                             "failures (recovery-sweep)")
+    p_sens.add_argument("--partition-cells", default="both",
+                        choices=["both", "on", "off"],
+                        help="whether recovery-sweep cells include the "
+                             "canonical network partition (default: "
+                             "sweep both)")
     p_sens.add_argument("--pairs", nargs="+", default=None,
                         metavar="ES+DS",
                         help="algorithm pairs, e.g. "

@@ -135,6 +135,34 @@ class SimulationConfig:
     #: axis of the overload sweep.
     arrival_rate_per_s: float = 0.0
 
+    # ---- Observed failure detection (health layer) -----------------------------
+    #: Heartbeat interval for the failure detector (0 = health layer off
+    #: unless speculation is armed).  Sites emit heartbeats this often;
+    #: the detector raises suspicion after phi × the mean interval of
+    #: silence, opens the site's circuit breaker, and probes until it
+    #: can be re-admitted.
+    health_heartbeat_s: float = 0.0
+    #: Fractional heartbeat jitter in [0, 1) (drawn from the dedicated
+    #: "health" stream); nonzero jitter gives the detector a real
+    #: false-positive rate to measure.
+    health_heartbeat_jitter: float = 0.0
+    #: Suspicion threshold: silence / mean-interval ratio that trips the
+    #: detector.  Lower = faster detection, more false positives.
+    health_phi_threshold: float = 3.0
+    #: Base interval between half-open breaker probes (s).
+    health_probe_interval_s: float = 30.0
+    #: Observed-only mode: cut the oracle channel entirely — outages no
+    #: longer mark sites down in the information service; the detector
+    #: plus the breakers are the only failure knowledge the schedulers
+    #: get.  Requires heartbeats.
+    health_observed_only: bool = False
+    #: Straggler quantile for speculative backup execution (0 = off).
+    #: An attempt older than ``speculate_multiplier`` × this quantile of
+    #: completed durations gets one backup clone; first completion wins.
+    speculate_quantile: float = 0.0
+    #: Straggler threshold multiplier over the quantile duration.
+    speculate_multiplier: float = 2.0
+
     # ---- DAG workloads ---------------------------------------------------------
     #: Dependency motif wired over each user's job list ("none" = the
     #: paper's independent jobs; "chain", "diamond", "fanout",
@@ -210,6 +238,25 @@ class SimulationConfig:
                 "DAG workloads are incompatible with open-loop arrivals: "
                 "release order is driven by dependencies, not a Poisson "
                 "stream")
+        # Health-layer knob sanity; the full cross-field validation lives
+        # in HealthPolicy.__post_init__ (constructed by build_grid).
+        if self.health_heartbeat_s < 0:
+            raise ValueError(
+                f"heartbeat interval must be >= 0, "
+                f"got {self.health_heartbeat_s!r}")
+        if self.health_observed_only and self.health_heartbeat_s == 0:
+            raise ValueError(
+                "observed-only mode needs the heartbeat detector: set "
+                "health_heartbeat_s > 0")
+        if not 0.0 <= self.speculate_quantile < 1.0:
+            raise ValueError(
+                f"speculation quantile must be in [0, 1), "
+                f"got {self.speculate_quantile!r}")
+        if self.speculate_quantile > 0 and self.dag_shape != "none":
+            raise ValueError(
+                "speculative execution is incompatible with DAG "
+                "workloads: dependency release keys on the primary "
+                "attempt reaching DONE")
 
     # -- factories -------------------------------------------------------------
 

@@ -53,7 +53,10 @@ from repro.metrics.collector import RunMetrics
 #: RunMetrics; configs gain queue-capacity/deadline/aging/reservation/
 #: arrival-rate knobs.
 #: v5: configs gain DAG-workload knobs (dag-shape/dag-width/bulk).
-CACHE_VERSION = 5
+#: v6: observed-health metrics (suspicions/breakers/speculation) added
+#: to RunMetrics; configs gain health/speculation knobs and FaultPlan
+#: gains partitions/outage-groups/flapping.
+CACHE_VERSION = 6
 
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"

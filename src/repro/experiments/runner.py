@@ -18,6 +18,7 @@ from repro.experiments.config import SimulationConfig
 from repro.experiments.parallel import ParallelRunner, RunSpec
 from repro.grid.arrivals import OpenArrivalProcess
 from repro.grid.grid import DataGrid
+from repro.grid.health import HealthPolicy
 from repro.grid.overload import OverloadPolicy
 from repro.grid.staleness import InfoPolicy
 from repro.grid.user import User
@@ -147,6 +148,20 @@ def build_grid(
     )
     if overload_policy.is_null:
         overload_policy = None
+    # Same contract again for the "health" stream: a null policy is
+    # dropped, and the stream is drawn only when the layer is active.
+    health_policy = HealthPolicy(
+        heartbeat_interval_s=config.health_heartbeat_s,
+        heartbeat_jitter=config.health_heartbeat_jitter,
+        phi_threshold=config.health_phi_threshold,
+        probe_interval_s=config.health_probe_interval_s,
+        probe_backoff_cap_s=max(240.0, config.health_probe_interval_s),
+        observed_only=config.health_observed_only,
+        speculate_quantile=config.speculate_quantile,
+        speculate_multiplier=config.speculate_multiplier,
+    )
+    if health_policy.is_null:
+        health_policy = None
     grid = DataGrid.create(
         sim=sim,
         topology=topology,
@@ -171,6 +186,9 @@ def build_grid(
         overload_policy=overload_policy,
         overload_rng=(streams.stream("overload")
                       if overload_policy is not None else None),
+        health_policy=health_policy,
+        health_rng=(streams.stream("health")
+                    if health_policy is not None else None),
     )
     grid.place_initial_replicas(workload.initial_placement)
     if config.dag_shape != "none":

@@ -16,6 +16,12 @@ assumptions:
   :class:`~repro.grid.overload.OverloadPolicy` saturation protections)
   and tabulates the degradation counters, locating the saturation knee
   per scheduler pair.
+* :func:`recovery_sweep` runs chosen pairs with the observed failure
+  detector (:mod:`repro.grid.health`) across a detection-threshold ×
+  site-MTBF × partition grid and tabulates detection latency,
+  false-positive rate, wasted speculative work, and goodput — locating
+  the threshold below which the detector's false alarms cost more than
+  its fast detections save.
 
 Every cell is a full seed-replicated run through the
 :class:`~repro.experiments.parallel.ParallelRunner`, so results are
@@ -24,12 +30,14 @@ bitwise-identical at any worker count and cache-replayable.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.config import SimulationConfig
 from repro.experiments.parallel import ParallelRunner, RunSpec
+from repro.faults.plan import FaultPlan, NetworkPartition
 from repro.metrics.collector import RunMetrics
 from repro.metrics.summary import MetricSummary
 
@@ -271,4 +279,173 @@ def overload_sweep(
                 result.runs[(es_name, ds_name, rate, capacity)] = metrics[
                     index:index + len(seeds)]
                 index += len(seeds)
+    return result
+
+# ---- recovery sweep ---------------------------------------------------------
+
+#: Default phi-suspicion thresholds: hair-trigger, default, conservative.
+DEFAULT_THRESHOLDS: Tuple[float, ...] = (2.0, 3.0, 6.0)
+
+#: Default site-MTBF grid (seconds).  0 = no random failures, the
+#: false-positive control; the rest span frequent to occasional crashes
+#: at test scales.
+DEFAULT_MTBFS: Tuple[float, ...] = (0.0, 3600.0, 14400.0)
+
+
+def _partition_for(config: SimulationConfig, start_s: float,
+                   duration_s: float) -> NetworkPartition:
+    """The sweep's canonical partition: the first quarter of the sites
+    (at least one) cut off for one window."""
+    count = max(1, config.n_sites // 4)
+    sites = tuple(f"site{s:02d}" for s in range(count))
+    return NetworkPartition(sites=sites, start_s=start_s,
+                            end_s=start_s + duration_s)
+
+
+@dataclass
+class RecoverySweepResult:
+    """Results of one recovery sweep over
+    (pair × threshold × MTBF × partition × seed)."""
+
+    thresholds: Tuple[float, ...]
+    mtbfs: Tuple[float, ...]
+    partitioned: Tuple[bool, ...]
+    pairs: Tuple[Tuple[str, str], ...]
+    seeds: Tuple[int, ...]
+    #: (es, ds, threshold, mtbf, partitioned) → per-seed metrics.
+    runs: Dict[Tuple[str, str, float, float, bool], List[RunMetrics]] = (
+        field(default_factory=dict))
+
+    def summary(self, es_name: str, ds_name: str, threshold: float,
+                mtbf: float, part: bool, metric: str) -> MetricSummary:
+        """Cross-seed summary of one metric at one sweep cell."""
+        return MetricSummary.of([
+            float(getattr(m, metric))
+            for m in self.runs[(es_name, ds_name, threshold, mtbf, part)]])
+
+    def series(self, es_name: str, ds_name: str, mtbf: float, part: bool,
+               metric: str) -> List[float]:
+        """Mean of ``metric`` for one pair/MTBF/partition at each
+        threshold, in sweep order."""
+        return [
+            self.summary(es_name, ds_name, threshold, mtbf, part, metric).mean
+            for threshold in self.thresholds]
+
+    def safe_threshold(self, es_name: str, ds_name: str, mtbf: float,
+                       part: bool, max_fp_rate: float = 0.05
+                       ) -> Optional[float]:
+        """The lowest swept threshold whose false-positive rate stays at
+        or under ``max_fp_rate`` — i.e. the fastest detector setting that
+        is not crying wolf.  ``None`` = every swept threshold exceeded it.
+        """
+        for threshold in self.thresholds:
+            fp = self.summary(es_name, ds_name, threshold, mtbf, part,
+                              "false_positive_rate").mean
+            if fp <= max_fp_rate:
+                return threshold
+        return None
+
+    def table(self) -> str:
+        """ASCII table: one row per (pair, threshold, mtbf, partition)."""
+        lines = [
+            f"recovery sweep ({len(self.seeds)} seed(s))",
+            f"{'pair':<34}{'phi':>5}{'mtbf (s)':>10}{'part':>6}"
+            f"{'detect (s)':>12}{'fp rate':>9}{'wasted (s)':>12}"
+            f"{'goodput':>9}",
+        ]
+        for es_name, ds_name in self.pairs:
+            for part in self.partitioned:
+                for mtbf in self.mtbfs:
+                    for threshold in self.thresholds:
+                        cell = lambda m: self.summary(  # noqa: E731
+                            es_name, ds_name, threshold, mtbf, part, m).mean
+                        label = f"{es_name} + {ds_name}"
+                        lines.append(
+                            f"{label:<34}{threshold:>5g}{mtbf:>10g}"
+                            f"{'yes' if part else 'no':>6}"
+                            f"{cell('mean_detection_latency_s'):>12.1f}"
+                            f"{cell('false_positive_rate'):>9.3f}"
+                            f"{cell('speculative_wasted_s'):>12.1f}"
+                            f"{cell('goodput'):>9.3f}")
+        return "\n".join(lines)
+
+
+def recovery_sweep(
+    config: SimulationConfig,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+    mtbfs: Sequence[float] = DEFAULT_MTBFS,
+    partitioned: Sequence[bool] = (False, True),
+    pairs: Sequence[Tuple[str, str]] = DEFAULT_PAIRS,
+    seeds: Sequence[int] = (0,),
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    partition_start_s: float = 1800.0,
+    partition_duration_s: float = 1800.0,
+) -> RecoverySweepResult:
+    """Sweep the observed failure detector across a threshold × MTBF ×
+    partition grid for each (ES, DS) pair.
+
+    Every cell runs with heartbeats on (``config.health_heartbeat_s`` if
+    set, else 30 s) and the swept phi threshold; the fault plan is the
+    config's plan with ``site_mtbf_s`` overridden per cell and, in the
+    partitioned cells, one canonical partition added (the first quarter
+    of the sites, cut off for ``partition_duration_s`` starting at
+    ``partition_start_s``).  The workload depends only on the seed, so
+    cells along every axis are paired comparisons.
+    """
+    if not thresholds:
+        raise ValueError("no detection thresholds given")
+    if not mtbfs:
+        raise ValueError("no MTBF values given")
+    if not partitioned:
+        raise ValueError("no partition settings given")
+    if not pairs:
+        raise ValueError("no algorithm pairs given")
+    result = RecoverySweepResult(
+        thresholds=tuple(float(t) for t in thresholds),
+        mtbfs=tuple(float(m) for m in mtbfs),
+        partitioned=tuple(bool(p) for p in partitioned),
+        pairs=tuple(pairs),
+        seeds=tuple(seeds),
+    )
+    seeds = tuple(seeds)
+    heartbeat = (config.health_heartbeat_s
+                 if config.health_heartbeat_s > 0 else 30.0)
+    base_plan = config.fault_plan or FaultPlan()
+    partition = _partition_for(config, partition_start_s,
+                               partition_duration_s)
+
+    def cell_config(threshold: float, mtbf: float,
+                    part: bool) -> SimulationConfig:
+        plan = dataclasses.replace(
+            base_plan,
+            site_mtbf_s=mtbf,
+            partitions=(base_plan.partitions + (partition,)
+                        if part else base_plan.partitions),
+        )
+        return config.with_(
+            fault_plan=(plan if not plan.is_null else None),
+            health_heartbeat_s=heartbeat,
+            health_phi_threshold=threshold,
+        )
+
+    specs = [
+        RunSpec(cell_config(threshold, mtbf, part), es_name, ds_name, seed)
+        for es_name, ds_name in result.pairs
+        for part in result.partitioned
+        for mtbf in result.mtbfs
+        for threshold in result.thresholds
+        for seed in seeds
+    ]
+    runner = ParallelRunner(jobs=jobs, cache_dir=cache_dir)
+    metrics = runner.map(specs)
+    index = 0
+    for es_name, ds_name in result.pairs:
+        for part in result.partitioned:
+            for mtbf in result.mtbfs:
+                for threshold in result.thresholds:
+                    result.runs[
+                        (es_name, ds_name, threshold, mtbf, part)] = metrics[
+                        index:index + len(seeds)]
+                    index += len(seeds)
     return result

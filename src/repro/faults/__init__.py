@@ -1,21 +1,39 @@
 """repro.faults — deterministic fault injection and recovery.
 
 * :class:`~repro.faults.plan.FaultPlan` (+ :class:`SiteOutage`,
-  :class:`LinkDegradation`) — the declarative, seed-driven description of
-  what breaks during a run.
+  :class:`LinkDegradation`, :class:`NetworkPartition`,
+  :class:`OutageGroup`) — the declarative, seed-driven description of
+  what breaks during a run; :class:`FaultPlanError` rejects
+  ill-formed plans at construction time.
 * :class:`~repro.faults.injector.FaultInjector` — replays a plan against
-  a wired grid: site outages (scripted and MTBF-driven), link
-  degradation, transfer drops, and all the recovery accounting.
+  a wired grid: site outages (scripted, MTBF-driven, flapping, and
+  correlated groups), network partitions, link degradation, transfer
+  drops, and all the recovery accounting.
+* :class:`~repro.faults.backoff.BackoffPolicy` — the shared
+  exponential-backoff schedule used by the data mover, the recovery
+  supervisor, and the health layer's half-open probes.
 
 See docs/faults.md for the fault model and determinism guarantees.
 """
 
+from repro.faults.backoff import BackoffPolicy
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan, LinkDegradation, SiteOutage
+from repro.faults.plan import (
+    FaultPlan,
+    FaultPlanError,
+    LinkDegradation,
+    NetworkPartition,
+    OutageGroup,
+    SiteOutage,
+)
 
 __all__ = [
+    "BackoffPolicy",
     "FaultInjector",
     "FaultPlan",
+    "FaultPlanError",
     "LinkDegradation",
+    "NetworkPartition",
+    "OutageGroup",
     "SiteOutage",
 ]

@@ -1,0 +1,86 @@
+"""Seeded retry-backoff schedules shared by every recovery loop.
+
+Three subsystems wait between retry attempts — the
+:class:`~repro.grid.datamover.DataMover`'s transfer failover, the grid's
+job re-dispatch supervisor, and the health layer's half-open breaker
+prober — and they must all compute their delays the same way or the
+recovery story fragments into three subtly different formulas.  This
+module is that single formula:
+
+    ``delay(attempt) = min(base * factor ** (attempt - 1), cap)``
+
+optionally spread by seeded jitter (a uniform ±``jitter`` fraction drawn
+from a caller-supplied :class:`random.Random`), so synchronized retry
+herds can be broken *deterministically*: the same seed always yields the
+same jittered sequence, keeping faulty runs bitwise-reproducible at any
+worker count.
+
+With ``jitter = 0`` (the default) the schedule is exactly the historical
+``min(base * 2 ** (attempt - 1), cap)`` the data mover has always used,
+so adopting the helper changes no existing run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """One capped-exponential retry schedule.
+
+    Parameters
+    ----------
+    base_s:
+        Delay before the first retry (attempt 1).
+    cap_s:
+        Ceiling the schedule saturates at.  A constant delay is simply
+        ``BackoffPolicy(d, d)``.
+    factor:
+        Growth per attempt (2 = classic doubling).
+    jitter:
+        Fractional spread in ``[0, 1)``: each delay is scaled by a
+        uniform draw from ``[1 - jitter, 1 + jitter]``.  0 = none.
+    """
+
+    base_s: float
+    cap_s: float
+    factor: float = 2.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0:
+            raise ValueError(f"backoff base must be >= 0, got {self.base_s!r}")
+        if self.cap_s < self.base_s:
+            raise ValueError(
+                f"backoff cap ({self.cap_s!r}) must be >= base "
+                f"({self.base_s!r})")
+        if self.factor < 1.0:
+            raise ValueError(
+                f"backoff factor must be >= 1, got {self.factor!r}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(
+                f"backoff jitter must be in [0, 1), got {self.jitter!r}")
+
+    def delay(self, attempt: int,
+              rng: Optional[random.Random] = None) -> float:
+        """The wait before retry ``attempt`` (1-based).
+
+        ``rng`` is only consulted when :attr:`jitter` is non-zero, so a
+        jitter-free policy never perturbs a seeded stream.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt numbers are 1-based, got {attempt!r}")
+        value = min(self.base_s * self.factor ** (attempt - 1), self.cap_s)
+        if self.jitter > 0.0:
+            if rng is None:
+                raise ValueError("jittered backoff needs a seeded rng")
+            value *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return value
+
+    def schedule(self, attempts: int,
+                 rng: Optional[random.Random] = None) -> list:
+        """The first ``attempts`` delays as a list (test/reporting aid)."""
+        return [self.delay(i, rng) for i in range(1, attempts + 1)]

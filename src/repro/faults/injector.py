@@ -28,7 +28,13 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
-from repro.faults.plan import FaultPlan, LinkDegradation, SiteOutage
+from repro.faults.plan import (
+    FaultPlan,
+    LinkDegradation,
+    NetworkPartition,
+    OutageGroup,
+    SiteOutage,
+)
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -65,7 +71,11 @@ class FaultInjector:
         self.down: Set[str] = set()
         #: Sites that died permanently (never recover).
         self.dead: Set[str] = set()
+        #: Sites currently cut off by a network partition: computing, but
+        #: unreachable (no transfers in or out, no heartbeats observed).
+        self.partitioned: Set[str] = set()
         self._down_since: Dict[str, float] = {}
+        self._partitioned_since: Dict[str, float] = {}
         self._downtime_s: Dict[str, float] = {name: 0.0 for name in grid.sites}
         self._link_base: Dict[object, float] = {}
         self._recovery_waiters: List[Event] = []
@@ -112,13 +122,44 @@ class FaultInjector:
                     f"(site-to-hub in tiered topologies)") from None
             self.sim.process(self._scripted_degradation(deg, link),
                              name=f"fault:link:{deg.a}-{deg.b}")
+        for group in self.plan.outage_groups:
+            unknown = set(group.sites) - set(grid.sites)
+            if unknown:
+                raise ValueError(
+                    f"fault plan's outage group names unknown sites "
+                    f"{sorted(unknown)}")
+            self.sim.process(self._group_outage(group),
+                             name=f"fault:group:{group.sites[0]}")
+        for partition in self.plan.partitions:
+            unknown = set(partition.sites) - set(grid.sites)
+            if unknown:
+                raise ValueError(
+                    f"fault plan's partition names unknown sites "
+                    f"{sorted(unknown)}")
+            self.sim.process(self._partition_window(partition),
+                             name=f"fault:partition:{partition.sites[0]}")
         if self.plan.site_mtbf_s > 0:
             # Per-site sub-streams drawn in sorted order: deterministic and
             # independent of how the site processes later interleave.
             for name in sorted(grid.sites):
                 site_rng = random.Random(self.rng.randrange(2 ** 62))
-                self.sim.process(self._mtbf_loop(name, site_rng),
-                                 name=f"fault:mtbf:{name}")
+                self.sim.process(
+                    self._mtbf_loop(name, site_rng, self.plan.site_mtbf_s,
+                                    self.plan.site_mttr_s),
+                    name=f"fault:mtbf:{name}")
+        if self.plan.flap_mtbf_s > 0:
+            unknown = set(self.plan.flap_sites) - set(grid.sites)
+            if unknown:
+                raise ValueError(
+                    f"fault plan flaps unknown sites {sorted(unknown)}")
+            # Same sorted-substream discipline as the grid-wide loop, on a
+            # deliberately fast churn so the detector sees rapid up/down.
+            for name in sorted(self.plan.flap_sites):
+                site_rng = random.Random(self.rng.randrange(2 ** 62))
+                self.sim.process(
+                    self._mtbf_loop(name, site_rng, self.plan.flap_mtbf_s,
+                                    self.plan.flap_mttr_s),
+                    name=f"fault:flap:{name}")
         if self.plan.transfer_fail_prob > 0:
             grid.transfers.on_start.append(self._maybe_sabotage)
 
@@ -127,6 +168,29 @@ class FaultInjector:
     def is_up(self, site: str) -> bool:
         """Whether a site is currently available."""
         return site not in self.down
+
+    def is_reachable(self, site: str) -> bool:
+        """Whether a site is up *and* not cut off by a partition.
+
+        This is what an outside observer (heartbeat detector, probe,
+        dispatch hand-off) can actually distinguish: a partitioned site
+        is alive but looks exactly like a dead one from across the wire.
+        """
+        return site not in self.down and site not in self.partitioned
+
+    def unobservable_since(self, site: str) -> Optional[float]:
+        """When the site last became unreachable (None = reachable).
+
+        Accounting aid for the health layer's detection-latency metric;
+        never used to make scheduling decisions.
+        """
+        down = self._down_since.get(site)
+        cut = self._partitioned_since.get(site)
+        if down is None:
+            return cut
+        if cut is None:
+            return down
+        return min(down, cut)
 
     def any_site_up(self) -> bool:
         """Whether at least one site can accept work."""
@@ -143,6 +207,17 @@ class FaultInjector:
         self._recovery_waiters.append(event)
         return event
 
+    def wake_recovery_waiters(self, site: Optional[str]) -> None:
+        """Fire every parked :meth:`recovery_event` with ``site``.
+
+        Called on natural recovery (:meth:`bring_site_up`), on partition
+        heal, and by the health layer when a breaker re-admits a site in
+        observed mode — any of these can unblock a parked supervisor.
+        """
+        waiters, self._recovery_waiters = self._recovery_waiters, []
+        for event in waiters:
+            event.succeed(site)
+
     def fallback_site(self) -> Optional[str]:
         """Deterministic stand-in when the ES picks a down site.
 
@@ -151,7 +226,22 @@ class FaultInjector:
         """
         if not self.any_site_up():
             return None
-        return self.grid.info.least_loaded()
+        candidates = None
+        if self.partitioned:
+            # A partitioned site is advertised (it is alive, and in
+            # observed mode nothing marks it down) but a dispatch to it
+            # would just bounce again — fall back around the cut.
+            candidates = [name for name in self.grid.info.site_names
+                          if name not in self.partitioned]
+            if not candidates:
+                return None
+        try:
+            return self.grid.info.least_loaded(candidates)
+        except ValueError:
+            # Observed mode can quarantine every advertised site even
+            # while some are physically up; callers treat None as "park
+            # and wait for recovery".
+            return None
 
     # -- outage mechanics ---------------------------------------------------------
 
@@ -168,7 +258,8 @@ class FaultInjector:
         if self.tracer is not None:
             self.tracer.emit(self.sim.now, "fault.site_down", site=site,
                              permanent=permanent)
-        self.grid.info.mark_site_down(site)
+        if self._oracle_visible():
+            self.grid.info.mark_site_down(site)
         if permanent:
             self._make_permanent(site)
         # Kill everything the site was doing.
@@ -189,11 +280,22 @@ class FaultInjector:
         self._downtime_s[site] += self.sim.now - self._down_since.pop(site)
         if self.tracer is not None:
             self.tracer.emit(self.sim.now, "fault.site_up", site=site)
-        self.grid.info.mark_site_up(site)
-        waiters, self._recovery_waiters = self._recovery_waiters, []
-        for event in waiters:
-            event.succeed(site)
+        if self._oracle_visible():
+            self.grid.info.mark_site_up(site)
+        self.wake_recovery_waiters(site)
         return True
+
+    def _oracle_visible(self) -> bool:
+        """Whether outages propagate to the information service directly.
+
+        With an *observed-only* health policy the oracle channel is cut:
+        the information service learns about failure exclusively through
+        missed heartbeats and tripped breakers.  Permanent deaths still
+        invalidate the catalog (the disks really are gone — that is
+        physical state, not knowledge).
+        """
+        health = self.grid.health
+        return health is None or not health.policy.observed_only
 
     def _make_permanent(self, site: str) -> None:
         self.dead.add(site)
@@ -207,9 +309,7 @@ class FaultInjector:
             # Recovery is now impossible; wake parked dispatch supervisors
             # so they can observe it and fail their jobs instead of waiting
             # on a recovery that will never come.
-            waiters, self._recovery_waiters = self._recovery_waiters, []
-            for event in waiters:
-                event.succeed(None)
+            self.wake_recovery_waiters(None)
 
     def _scripted_outage(self, outage: SiteOutage):
         if outage.start_s > 0:
@@ -219,14 +319,27 @@ class FaultInjector:
             yield self.sim.timeout(outage.end_s - outage.start_s)
             self.bring_site_up(outage.site)
 
-    def _mtbf_loop(self, site: str, rng: random.Random):
+    def _mtbf_loop(self, site: str, rng: random.Random,
+                   mtbf_s: float, mttr_s: float):
         while True:
-            yield self.sim.timeout(rng.expovariate(1.0 / self.plan.site_mtbf_s))
+            yield self.sim.timeout(rng.expovariate(1.0 / mtbf_s))
             if site in self.down:  # scripted window already has it down
                 continue
             self.take_site_down(site)
-            yield self.sim.timeout(rng.expovariate(1.0 / self.plan.site_mttr_s))
+            yield self.sim.timeout(rng.expovariate(1.0 / mttr_s))
             self.bring_site_up(site)
+
+    def _group_outage(self, group: OutageGroup):
+        # Rack-correlated loss: the whole group drops at one instant, in
+        # declared order, and (if transient) recovers together.
+        if group.start_s > 0:
+            yield self.sim.timeout(group.start_s)
+        for site in group.sites:
+            self.take_site_down(site, permanent=group.permanent)
+        if not group.permanent:
+            yield self.sim.timeout(group.end_s - group.start_s)
+            for site in group.sites:
+                self.bring_site_up(site)
 
     # -- link mechanics -----------------------------------------------------------
 
@@ -252,6 +365,45 @@ class FaultInjector:
                 self.tracer.emit(self.sim.now, "fault.link_restore",
                                  a=deg.a, b=deg.b)
             self.grid.transfers.rebalance()
+
+    def _partition_window(self, partition: NetworkPartition):
+        # A partition is not an outage: the cut sites keep *computing*,
+        # but nothing crosses the boundary — transfers stall, heartbeats
+        # vanish, and only an observed detector can tell the difference.
+        if partition.start_s > 0:
+            yield self.sim.timeout(partition.start_s)
+        cut = set(partition.sites)
+        for site in partition.sites:
+            self.partitioned.add(site)
+            self._partitioned_since.setdefault(site, self.sim.now)
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "fault.partition",
+                             sites=list(partition.sites))
+        severed = []
+        for link in self.grid.topology.links:
+            if link.a in cut or link.b in cut:
+                self._link_base.setdefault(link, link.capacity_mbps)
+                link.capacity_mbps = (
+                    self._link_base[link] * self.DEAD_LINK_FACTOR)
+                severed.append(link)
+        transfers = self.grid.transfers
+        for transfer in [t for t in list(transfers.active)
+                         if t.src in cut or t.dst in cut]:
+            transfers.abort(transfer, reason="network partition")
+        transfers.rebalance()
+        yield self.sim.timeout(partition.end_s - partition.start_s)
+        for link in severed:
+            link.capacity_mbps = self._link_base[link]
+        for site in partition.sites:
+            self.partitioned.discard(site)
+            self._partitioned_since.pop(site, None)
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "fault.partition_heal",
+                             sites=list(partition.sites))
+        transfers.rebalance()
+        # The cut sites were never down, so no fault.site_up fires — wake
+        # parked supervisors ourselves so work resumes promptly.
+        self.wake_recovery_waiters(partition.sites[0])
 
     # -- transfer sabotage ----------------------------------------------------------
 

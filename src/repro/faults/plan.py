@@ -8,7 +8,7 @@ processes unchanged — a faulty run stays a pure function of
 ``(config, es, ds, seed)`` and is therefore bitwise-reproducible at any
 worker count.
 
-Two kinds of faults can be described:
+Three kinds of faults can be described:
 
 * **Scripted** — explicit :class:`SiteOutage` windows and
   :class:`LinkDegradation` schedules, replayed at exact simulated times.
@@ -16,6 +16,16 @@ Two kinds of faults can be described:
   probability, drawn from a dedicated seeded stream so they never perturb
   the workload or scheduler streams (common random numbers are preserved
   across algorithm variants).
+* **Correlated** — :class:`NetworkPartition` windows (a site set is cut
+  off from the rest of the grid while its jobs keep computing),
+  rack-style :class:`OutageGroup` windows (whole groups of sites fail
+  and recover together), and *flapping* (named sites churning on a much
+  faster MTBF/MTTR than the grid-wide loop) — the failure shapes a
+  heartbeat-driven detector (:mod:`repro.grid.health`) has to tell apart.
+
+Validation errors raise :class:`FaultPlanError` (a :class:`ValueError`
+subclass) carrying the offending field, so callers can distinguish a
+malformed plan from other configuration problems.
 
 The all-zero plan (``FaultPlan.none()`` or any plan whose :attr:`is_null`
 is true) installs nothing: the grid wires exactly as before and every
@@ -32,6 +42,20 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 #: JSON stand-in for ``float('inf')`` (strict-JSON friendly).
 _INF = float("inf")
+
+
+class FaultPlanError(ValueError):
+    """A fault plan failed validation.
+
+    Attributes
+    ----------
+    field:
+        The plan field (or sub-object field) the problem was found in.
+    """
+
+    def __init__(self, field: str, message: str) -> None:
+        self.field = field
+        super().__init__(f"{field}: {message}")
 
 
 def _coerce_end(value: Any) -> float:
@@ -61,9 +85,11 @@ class SiteOutage:
     def __post_init__(self) -> None:
         object.__setattr__(self, "end_s", _coerce_end(self.end_s))
         if self.start_s < 0:
-            raise ValueError(f"outage of {self.site!r} starts in the past")
+            raise FaultPlanError(
+                "site_outages", f"outage of {self.site!r} starts in the past")
         if self.end_s <= self.start_s:
-            raise ValueError(
+            raise FaultPlanError(
+                "site_outages",
                 f"outage of {self.site!r} ends ({self.end_s}) before it "
                 f"starts ({self.start_s})")
 
@@ -92,14 +118,94 @@ class LinkDegradation:
     def __post_init__(self) -> None:
         object.__setattr__(self, "end_s", _coerce_end(self.end_s))
         if self.start_s < 0:
-            raise ValueError(f"degradation of {self.a!r}-{self.b!r} starts "
-                             "in the past")
+            raise FaultPlanError(
+                "link_degradations",
+                f"degradation of {self.a!r}-{self.b!r} starts in the past")
         if self.end_s <= self.start_s:
-            raise ValueError(
+            raise FaultPlanError(
+                "link_degradations",
                 f"degradation of {self.a!r}-{self.b!r} ends before it starts")
         if not 0.0 <= self.factor < 1.0:
-            raise ValueError(
+            raise FaultPlanError(
+                "link_degradations",
                 f"degradation factor must be in [0, 1), got {self.factor!r}")
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """A window during which ``sites`` are cut off from the network.
+
+    A partition is not an outage: the listed sites keep *computing* and
+    their storage stays intact, but no bytes (and no heartbeats) cross
+    between them and the rest of the grid — every physical link incident
+    to a partitioned site is degraded to a vanishing capacity, so
+    transfers touching the set stall until the data mover's timeout
+    aborts them.  This is the failure shape that separates an observed
+    (heartbeat-driven) detector from oracle knowledge: the site is
+    *fine*, it just cannot be reached.
+    """
+
+    sites: Tuple[str, ...]
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sites", tuple(self.sites))
+        object.__setattr__(self, "end_s", _coerce_end(self.end_s))
+        if not self.sites:
+            raise FaultPlanError(
+                "partitions", "a partition must name at least one site")
+        if len(set(self.sites)) != len(self.sites):
+            raise FaultPlanError(
+                "partitions",
+                f"partition lists a site twice: {sorted(self.sites)}")
+        if self.start_s < 0:
+            raise FaultPlanError(
+                "partitions", "partition starts in the past")
+        if self.end_s <= self.start_s:
+            raise FaultPlanError(
+                "partitions",
+                f"partition ends ({self.end_s}) before it starts "
+                f"({self.start_s})")
+
+
+@dataclass(frozen=True)
+class OutageGroup:
+    """A rack-correlated outage: every listed site fails *together*.
+
+    Semantically equivalent to one :class:`SiteOutage` per member with
+    identical windows, but declared (and validated) as a correlated
+    group, and injected in one atomic sweep — the detector sees the
+    whole rack vanish at one instant.
+    """
+
+    sites: Tuple[str, ...]
+    start_s: float
+    end_s: float = _INF
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sites", tuple(self.sites))
+        object.__setattr__(self, "end_s", _coerce_end(self.end_s))
+        if not self.sites:
+            raise FaultPlanError(
+                "outage_groups", "an outage group must name at least one site")
+        if len(set(self.sites)) != len(self.sites):
+            raise FaultPlanError(
+                "outage_groups",
+                f"outage group lists a site twice: {sorted(self.sites)}")
+        if self.start_s < 0:
+            raise FaultPlanError(
+                "outage_groups", "outage group starts in the past")
+        if self.end_s <= self.start_s:
+            raise FaultPlanError(
+                "outage_groups",
+                f"outage group ends ({self.end_s}) before it starts "
+                f"({self.start_s})")
+
+    @property
+    def permanent(self) -> bool:
+        """Whether the whole group never recovers."""
+        return self.end_s == _INF
 
 
 @dataclass(frozen=True)
@@ -143,6 +249,17 @@ class FaultPlan:
     site_mttr_s: float = 1800.0
     seed: int = 0
 
+    # ---- correlated failures ----------------------------------------------
+    #: Network-partition windows (site sets cut off, compute unaffected).
+    partitions: Tuple[NetworkPartition, ...] = ()
+    #: Rack-correlated outage groups (whole site sets fail together).
+    outage_groups: Tuple[OutageGroup, ...] = ()
+    #: Sites that *flap*: churn on their own fast MTBF/MTTR loop in
+    #: addition to any grid-wide loop.  Empty = no flapping.
+    flap_sites: Tuple[str, ...] = ()
+    flap_mtbf_s: float = 0.0
+    flap_mttr_s: float = 60.0
+
     # ---- recovery policy ---------------------------------------------------
     transfer_max_retries: int = 6
     transfer_backoff_base_s: float = 10.0
@@ -162,21 +279,82 @@ class FaultPlan:
             self, "link_degradations",
             tuple(d if isinstance(d, LinkDegradation) else LinkDegradation(**d)
                   for d in self.link_degradations))
+        object.__setattr__(
+            self, "partitions",
+            tuple(p if isinstance(p, NetworkPartition) else NetworkPartition(**p)
+                  for p in self.partitions))
+        object.__setattr__(
+            self, "outage_groups",
+            tuple(g if isinstance(g, OutageGroup) else OutageGroup(**g)
+                  for g in self.outage_groups))
+        object.__setattr__(self, "flap_sites", tuple(self.flap_sites))
         if not 0.0 <= self.transfer_fail_prob <= 1.0:
-            raise ValueError(
-                f"transfer_fail_prob must be a probability, "
-                f"got {self.transfer_fail_prob!r}")
-        if self.site_mtbf_s < 0 or self.site_mttr_s <= 0:
-            raise ValueError("site MTBF must be >= 0 and MTTR > 0")
+            raise FaultPlanError(
+                "transfer_fail_prob",
+                f"must be a probability, got {self.transfer_fail_prob!r}")
+        if self.site_mtbf_s < 0:
+            raise FaultPlanError(
+                "site_mtbf_s", f"MTBF must be >= 0, got {self.site_mtbf_s!r}")
+        if self.site_mttr_s <= 0:
+            raise FaultPlanError(
+                "site_mttr_s", f"MTTR must be > 0, got {self.site_mttr_s!r}")
+        if self.flap_mtbf_s < 0:
+            raise FaultPlanError(
+                "flap_mtbf_s",
+                f"flap MTBF must be >= 0, got {self.flap_mtbf_s!r}")
+        if self.flap_mttr_s <= 0:
+            raise FaultPlanError(
+                "flap_mttr_s",
+                f"flap MTTR must be > 0, got {self.flap_mttr_s!r}")
+        if self.flap_sites and self.flap_mtbf_s == 0.0:
+            raise FaultPlanError(
+                "flap_sites",
+                "flap_sites named but flap_mtbf_s is 0 (flapping off)")
+        if len(set(self.flap_sites)) != len(self.flap_sites):
+            raise FaultPlanError(
+                "flap_sites",
+                f"a site is listed twice: {sorted(self.flap_sites)}")
         if self.transfer_max_retries < 0 or self.job_max_retries < 0:
-            raise ValueError("retry limits must be >= 0")
+            raise FaultPlanError(
+                "transfer_max_retries", "retry limits must be >= 0")
         if (self.transfer_backoff_base_s < 0
                 or self.transfer_backoff_cap_s < self.transfer_backoff_base_s):
-            raise ValueError("backoff cap must be >= backoff base >= 0")
+            raise FaultPlanError(
+                "transfer_backoff_base_s",
+                "backoff cap must be >= backoff base >= 0")
         if self.transfer_timeout_factor <= 0 or self.transfer_timeout_min_s <= 0:
-            raise ValueError("transfer timeout knobs must be positive")
+            raise FaultPlanError(
+                "transfer_timeout_factor",
+                "transfer timeout knobs must be positive")
         if self.redispatch_delay_s < 0:
-            raise ValueError("redispatch delay must be >= 0")
+            raise FaultPlanError(
+                "redispatch_delay_s", "redispatch delay must be >= 0")
+        self._check_overlaps()
+
+    def _check_overlaps(self) -> None:
+        """Reject overlapping outage windows for the same site.
+
+        Two down-windows covering the same site at the same instant are
+        ambiguous (whose end brings the site back?) and used to silently
+        misbehave.  Group-derived windows count: an :class:`OutageGroup`
+        is one window per member.
+        """
+        windows: Dict[str, list] = {}
+        for outage in self.site_outages:
+            windows.setdefault(outage.site, []).append(
+                (outage.start_s, outage.end_s, "site_outages"))
+        for group in self.outage_groups:
+            for site in group.sites:
+                windows.setdefault(site, []).append(
+                    (group.start_s, group.end_s, "outage_groups"))
+        for site, spans in windows.items():
+            spans.sort()
+            for (s1, e1, f1), (s2, e2, f2) in zip(spans, spans[1:]):
+                if s2 < e1:
+                    raise FaultPlanError(
+                        f1 if f1 == f2 else f"{f1}/{f2}",
+                        f"overlapping outage windows for {site!r}: "
+                        f"[{s1}, {e1}) and [{s2}, {e2})")
 
     # ---- queries -----------------------------------------------------------
 
@@ -186,7 +364,10 @@ class FaultPlan:
         return (not self.site_outages
                 and not self.link_degradations
                 and self.transfer_fail_prob == 0.0
-                and self.site_mtbf_s == 0.0)
+                and self.site_mtbf_s == 0.0
+                and not self.partitions
+                and not self.outage_groups
+                and self.flap_mtbf_s == 0.0)
 
     @classmethod
     def none(cls) -> "FaultPlan":
@@ -202,12 +383,13 @@ class FaultPlan:
     def to_json_dict(self) -> Dict[str, Any]:
         """A strict-JSON-safe dict (``inf`` becomes ``None``)."""
         out = dataclasses.asdict(self)
-        for outage in out["site_outages"]:
-            if outage["end_s"] == _INF:
-                outage["end_s"] = None
-        for deg in out["link_degradations"]:
-            if deg["end_s"] == _INF:
-                deg["end_s"] = None
+        for window in (out["site_outages"] + out["link_degradations"]
+                       + out["partitions"] + out["outage_groups"]):
+            if window["end_s"] == _INF:
+                window["end_s"] = None
+        for group in out["partitions"] + out["outage_groups"]:
+            group["sites"] = list(group["sites"])
+        out["flap_sites"] = list(out["flap_sites"])
         return out
 
     @classmethod

@@ -20,6 +20,7 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, AbstractSet, Dict, FrozenSet, Optional, Tuple
 
+from repro.faults.backoff import BackoffPolicy
 from repro.grid.catalog import ReplicaCatalog
 from repro.grid.files import DatasetCollection
 from repro.grid.storage import StorageElement, StorageFullError
@@ -101,6 +102,16 @@ class DataMover:
         #: Replication pushes skipped because the target raised
         #: :class:`StorageFullError` mid-push (satellite metric).
         self.replications_skipped_full = 0
+        #: Observed-health monitor (``None`` = off).  When installed,
+        #: successful fetches feed the link breakers (failures arrive
+        #: through the transfer manager's abort hook, never from here —
+        #: one channel, no double counting), open site breakers veto
+        #: replication targets, and open link breakers deprioritize
+        #: sources.
+        self.health = None
+        #: Lazily built shared-helper policy reproducing the plan's
+        #: capped exponential transfer backoff bit for bit.
+        self._transfer_backoff = None
 
     # -- public API ----------------------------------------------------------
 
@@ -149,6 +160,13 @@ class DataMover:
             self.replications_skipped += 1
             self._trace_replicate_skip(dataset_name, to_site,
                                        "already-present-or-inflight")
+            return 0.0
+        if (self.health is not None
+                and not self.health.allow_replication(to_site)):
+            # The Dataset Scheduler must not push replicas at a site the
+            # breaker currently quarantines.
+            self.replications_skipped += 1
+            self._trace_replicate_skip(dataset_name, to_site, "breaker-open")
             return 0.0
         if not storage.can_fit(dataset.size_mb):
             self.replications_skipped += 1
@@ -267,6 +285,8 @@ class DataMover:
                         source, site, dataset.size_mb, purpose=purpose,
                         metadata={"dataset": dataset_name})
                     yield transfer.done
+                    if self.health is not None:
+                        self.health.record_transfer_success(source, site)
                 else:
                     delivered = yield from self._fetch_with_faults(
                         site, dataset, dataset_name, purpose,
@@ -320,6 +340,8 @@ class DataMover:
                 source, site, dataset.size_mb, purpose=purpose,
                 metadata={"dataset": dataset_name, "remote_read": True})
             yield transfer.done
+            if self.health is not None:
+                self.health.record_transfer_success(source, site)
         else:
             delivered = yield from self._fetch_with_faults(
                 site, dataset, dataset_name, purpose, preferred_source,
@@ -371,6 +393,8 @@ class DataMover:
                 source, site, dataset.size_mb, purpose=purpose,
                 metadata={"dataset": dataset_name})
             if transfer.finished_at is not None and not transfer.failed:
+                if self.health is not None:
+                    self.health.record_transfer_success(source, site)
                 return True  # local / empty move completed instantly
             # Guard against stalls (dead links, source dying silently):
             # abort if the transfer exceeds a generous multiple of its
@@ -387,6 +411,8 @@ class DataMover:
             if transfer.finished_at is None:
                 self.transfers.abort(transfer, reason="stalled")
             if not transfer.failed:
+                if self.health is not None:
+                    self.health.record_transfer_success(source, site)
                 return True
             self.transfers_failed += 1
             avoid.add(source)
@@ -402,9 +428,11 @@ class DataMover:
                     f"fetch of {dataset_name!r} to {site!r} failed "
                     f"{attempt} times; giving up")
             self.failovers += 1
-            backoff = min(
-                plan.transfer_backoff_base_s * 2 ** (attempt - 1),
-                plan.transfer_backoff_cap_s)
+            if self._transfer_backoff is None:
+                self._transfer_backoff = BackoffPolicy(
+                    plan.transfer_backoff_base_s,
+                    plan.transfer_backoff_cap_s)
+            backoff = self._transfer_backoff.delay(attempt)
             if backoff > 0:
                 yield self.sim.timeout(backoff)
 
@@ -422,6 +450,14 @@ class DataMover:
                 fresh = [s for s in locations if s not in avoid]
                 if fresh:
                     locations = fresh
+        if self.health is not None:
+            # Open link breakers deprioritize, never ban: a source behind
+            # a flaky link is still used when it holds the only replica,
+            # and each success there closes the breaker again.
+            clear = [s for s in locations
+                     if not self.health.link_open(s, dest)]
+            if clear:
+                locations = clear
         if preferred is not None and preferred in locations:
             return preferred
         if not locations:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.faults.backoff import BackoffPolicy
 from repro.grid.catalog import ReplicaCatalog
 from repro.grid.compute import ComputeElement
 from repro.grid.datamover import DataMover
@@ -98,6 +99,12 @@ class DataGrid:
         #: behaves bitwise-identically to a pre-overload build.
         self.overload = None
         self.overload_stats = None
+        #: Observed-health layer (``None`` = off, the default; installed
+        #: by :meth:`create` for a non-null
+        #: :class:`~repro.grid.health.HealthPolicy`).  Every health branch
+        #: is gated on this staying ``None`` so a policy-less grid behaves
+        #: bitwise-identically to a pre-health build.
+        self.health = None
         #: Last-resort External Scheduler (degraded mode), or ``None``.
         self._degraded_es = None
         #: Open-loop arrival stream (``None`` = the paper's closed-loop
@@ -130,6 +137,8 @@ class DataGrid:
         watchdog_interval_s: float = 0.0,
         overload_policy=None,
         overload_rng: Optional[random.Random] = None,
+        health_policy=None,
+        health_rng: Optional[random.Random] = None,
     ) -> "DataGrid":
         """Build and wire a grid over ``topology``.
 
@@ -145,7 +154,11 @@ class DataGrid:
         (:class:`~repro.grid.overload.OverloadPolicy`) arms the saturation
         protections — bounded queues, storage reservations, deadlines,
         degraded-mode placement; ``overload_rng`` seeds its (optional)
-        degraded External Scheduler.
+        degraded External Scheduler.  A non-null ``health_policy``
+        (:class:`~repro.grid.health.HealthPolicy`) installs the observed
+        failure-detection layer — heartbeats, circuit breakers, and
+        speculative backup execution; ``health_rng`` seeds its heartbeat
+        jitter and probe streams.
         """
         topology.validate()
         missing = set(topology.sites) - set(site_processors)
@@ -212,6 +225,11 @@ class DataGrid:
             grid.lifecycle.deadline_of = (
                 lambda job: (job.deadline_s if job.deadline_s is not None
                              else overload_policy.job_deadline_s))
+        if health_policy is not None and not health_policy.is_null:
+            from repro.grid.health import HealthMonitor
+
+            HealthMonitor(sim, grid, health_policy,
+                          rng=health_rng).install()
         if watchdog_interval_s > 0:
             from repro.watchdog import Watchdog
 
@@ -344,16 +362,34 @@ class DataGrid:
         selector over the up sites instead of killing the submission.
         """
         if self.overload is None:
-            site_name = self.external_scheduler.select_site(job, self)
+            try:
+                site_name = self.external_scheduler.select_site(job, self)
+            except ValueError:
+                if self.health is None or self.faults is not None:
+                    raise
+                # Every site is detector-hidden (false positives can do
+                # this in a fault-free run): place least-loaded over the
+                # physical sites rather than wedging the submission.
+                site_name = min(sorted(self.sites),
+                                key=lambda s: (self.sites[s].load, s))
         else:
             try:
                 site_name = self.external_scheduler.select_site(job, self)
             except ValueError:
+                # Observed mode must not consult the fault oracle here;
+                # the breakers are the only site-health knowledge.
+                observed = (self.health is not None
+                            and self.health.policy.observed_only)
                 candidates = [
                     name for name in sorted(self.sites)
-                    if self.faults is None or self.faults.is_up(name)]
+                    if (self.faults is None or observed
+                        or self.faults.is_up(name))
+                    and (self.health is None or self.health.allows(name))]
                 if not candidates:
-                    raise
+                    if self.health is not None and self.faults is None:
+                        candidates = sorted(self.sites)
+                    else:
+                        raise
                 return self._degraded_select(job, candidates)
         if site_name not in self.sites:
             raise ValueError(
@@ -376,7 +412,8 @@ class DataGrid:
             candidates = [
                 name for name, site in sorted(self.sites.items())
                 if site.load < cap
-                and (self.faults is None or self.faults.is_up(name))]
+                and (self.faults is None or self.faults.is_up(name))
+                and (self.health is None or self.health.allows(name))]
             if not candidates or job.deflections >= policy.deflect_budget:
                 return None
             self.overload_stats.jobs_deflected += 1
@@ -465,6 +502,10 @@ class DataGrid:
                 # Bouncing onto a dead site would trade one phantom for
                 # another; keep the original choice and fetch remotely.
                 return site_name
+            if self.health is not None and not self.health.allows(candidate):
+                # Same logic through the observed channel: the breaker
+                # says the candidate is unhealthy.
+                return site_name
             view.bounced_jobs += 1
             self.lifecycle.bounce(job, origin=site_name, site=candidate)
             site_name = candidate
@@ -484,8 +525,16 @@ class DataGrid:
         """
         faults = self.faults
         plan = faults.plan
+        redispatch = (BackoffPolicy(plan.redispatch_delay_s,
+                                    plan.redispatch_delay_s)
+                      if plan.redispatch_delay_s > 0 else None)
         while True:
-            while not faults.any_site_up():
+            if job.state is JobState.SPECULATED:
+                # The race was settled while this attempt sat in retry
+                # backoff or parked: the backup clone carried the
+                # logical job, and the health layer conceded this one.
+                return job
+            if not faults.any_site_up():
                 if faults.grid_lost:
                     # Every site is permanently dead: recovery can never
                     # happen, so fail fast instead of waiting forever.
@@ -493,20 +542,46 @@ class DataGrid:
                     faults.jobs_failed += 1
                     return job
                 yield faults.recovery_event()
+                continue
             if (site_hint is not None and site_hint in self.sites
                     and faults.is_up(site_hint)):
                 site_name = site_hint
             else:
-                site_name = self._select_site(job)
+                try:
+                    site_name = self._select_site(job)
+                except ValueError:
+                    if self.health is None:
+                        raise
+                    # Every site is hidden from the schedulers (detector
+                    # suspicion, possibly wrongly).  Park until a probe
+                    # re-admits one or the oracle channel recovers.
+                    yield faults.recovery_event()
+                    continue
             site_hint = None
-            if not faults.is_up(site_name):
+            # Hand-off check.  In oracle mode an unreachable choice is
+            # redirected at most once (the fallback consults the already
+            # filtered information service); in observed mode the bounce
+            # itself is the observation — it trips the site's breaker —
+            # and a job that runs out of distinct fallbacks parks until
+            # something is re-admitted.
+            tried = set()
+            while not faults.is_reachable(site_name):
+                if (self.health is not None
+                        and self.health.policy.observed_only):
+                    self.health.record_dispatch_failure(site_name)
+                tried.add(site_name)
                 fallback = faults.fallback_site()
-                if fallback is None:
-                    continue  # last site died under us; wait for recovery
+                if fallback is None or fallback in tried:
+                    site_name = None
+                    break
                 self.lifecycle.redirect(job, chosen=site_name,
                                         fallback=fallback)
                 site_name = fallback
                 faults.jobs_redirected += 1
+            if site_name is None:
+                if faults.any_site_up():
+                    yield faults.recovery_event()
+                continue  # wait for recovery / re-admission
             if self.info.replica_view is not None:
                 site_name = self._resolve_misdirection(job, site_name)
             if (self.overload is not None
@@ -519,19 +594,31 @@ class DataGrid:
             self.lifecycle.dispatch(job, site_name,
                                     attempt=job.retries + 1)
             yield self.sites[site_name].enqueue(job)
-            if job.state in (JobState.DONE, JobState.EXPIRED):
+            if job.state in (JobState.DONE, JobState.EXPIRED,
+                             JobState.SPECULATED):
                 # Expiry, like completion, is terminal: the deadline
                 # already accounted the job — retrying would double it.
+                # SPECULATED means this attempt lost a speculation race:
+                # the logical job completed through its backup clone.
                 return job
             if job.retries >= plan.job_max_retries:
+                if (self.health is not None
+                        and self.health.retire_dead_attempt(job)):
+                    # Out of budget, but a speculation partner is live
+                    # (or already DONE): the partner's outcome is the
+                    # logical job's outcome, so this attempt concedes
+                    # instead of booking a failure.
+                    return job
                 self.lifecycle.fail(
                     job, job.failure_reason or "retries exhausted")
                 faults.jobs_failed += 1
                 return job
             self.lifecycle.retry(job)
             faults.jobs_retried += 1
-            if plan.redispatch_delay_s > 0:
-                yield self.sim.timeout(plan.redispatch_delay_s)
+            if redispatch is not None:
+                # Routed through the shared backoff helper; with base ==
+                # cap this is the plan's constant delay, bit for bit.
+                yield self.sim.timeout(redispatch.delay(job.retries))
 
     def add_user(self, user: User) -> None:
         """Register a user (started by :meth:`run`)."""
@@ -586,6 +673,13 @@ class DataGrid:
         """Jobs whose queue deadline passed (empty without a policy)."""
         return [j for j in self.submitted_jobs
                 if j.state is JobState.EXPIRED]
+
+    @property
+    def speculated_jobs(self) -> List[Job]:
+        """Attempts that lost a speculation race (terminal; the logical
+        job completed through the other attempt)."""
+        return [j for j in self.submitted_jobs
+                if j.state is JobState.SPECULATED]
 
     @property
     def total_processors(self) -> int:

@@ -83,6 +83,13 @@ class InformationService:
         # queries.  When the set is empty (always, in fault-free runs) the
         # original cached list is served unchanged.
         self._unavailable: Set[str] = set()
+        # Observed health: sites the failure detector currently suspects
+        # (breaker open/half-open).  Kept separate from ``_unavailable``
+        # because the two channels have different owners — the fault
+        # oracle vs. the detector — and clear independently.
+        self._suspected: Set[str] = set()
+        # Union of both hide channels; the only set query paths consult.
+        self._hidden: Set[str] = set()
         self._available_names: List[str] = self._site_names
         self._snapshot: Optional[Dict[str, int]] = None
         if self.refresh_interval_s > 0:
@@ -147,24 +154,44 @@ class InformationService:
         """Whether the site is currently advertised (not marked down)."""
         return site not in self._unavailable
 
+    def is_suspected(self, site: str) -> bool:
+        """Whether the failure detector currently hides this site."""
+        return site in self._suspected
+
+    def _recompute_available(self) -> None:
+        self._hidden = self._unavailable | self._suspected
+        if self._hidden:
+            self._available_names = [
+                name for name in self._site_names
+                if name not in self._hidden]
+        else:
+            # Restore the shared cached list so fault-free (and fully
+            # recovered) grids serve the identical all-sites object.
+            self._available_names = self._site_names
+
     def mark_site_down(self, site: str) -> None:
         """Hide a failed site from scheduler queries (fault injection)."""
         if site not in self.sites:
             raise KeyError(f"unknown site {site!r}")
         self._unavailable.add(site)
-        self._available_names = [
-            name for name in self._site_names
-            if name not in self._unavailable]
+        self._recompute_available()
 
     def mark_site_up(self, site: str) -> None:
         """Re-advertise a recovered site."""
         self._unavailable.discard(site)
-        if self._unavailable:
-            self._available_names = [
-                name for name in self._site_names
-                if name not in self._unavailable]
-        else:
-            self._available_names = self._site_names
+        self._recompute_available()
+
+    def mark_site_suspect(self, site: str) -> None:
+        """Hide a detector-suspected site (observed health, breaker open)."""
+        if site not in self.sites:
+            raise KeyError(f"unknown site {site!r}")
+        self._suspected.add(site)
+        self._recompute_available()
+
+    def clear_site_suspect(self, site: str) -> None:
+        """Re-advertise a site whose breaker closed again."""
+        self._suspected.discard(site)
+        self._recompute_available()
 
     def load(self, site: str) -> int:
         """The paper's load metric: jobs waiting to run at ``site``."""
@@ -199,7 +226,7 @@ class InformationService:
         predate an outage, but "this site is gone" is control-plane truth
         the schedulers must never un-learn from a stale cache.
         """
-        if not self._unavailable and not self._stale_marked:
+        if not self._hidden and not self._stale_marked:
             if self._snapshot is not None:
                 return dict(self._snapshot)
             return self._take_snapshot()
@@ -216,8 +243,8 @@ class InformationService:
         """
         if candidates is not None:
             names = sorted(candidates)
-            if self._unavailable:
-                names = [n for n in names if n not in self._unavailable]
+            if self._hidden:
+                names = [n for n in names if n not in self._hidden]
         else:
             names = self.site_names
         if not names:
@@ -243,9 +270,9 @@ class InformationService:
             locations = self.replica_view.locations(dataset_name)
         else:
             locations = self.catalog.locations(dataset_name)
-        if self._unavailable:
+        if self._hidden:
             locations = [s for s in locations
-                         if s not in self._unavailable]
+                         if s not in self._hidden]
         return locations
 
     def sites_with_all(self, dataset_names: Iterable[str]) -> List[str]:
@@ -260,8 +287,8 @@ class InformationService:
             if not result:
                 break
             result &= source.location_set(name)
-        if self._unavailable:
-            result -= self._unavailable
+        if self._hidden:
+            result -= self._hidden
         return sorted(result)
 
     def has_replica(self, dataset_name: str, site: str) -> bool:

@@ -82,6 +82,10 @@ class Job:
     #: Per-job queue-deadline override (seconds); ``None`` = use the
     #: grid's :class:`~repro.grid.overload.OverloadPolicy` deadline.
     deadline_s: Optional[float] = None
+    #: For a speculative backup attempt: the primary job's id.  ``None``
+    #: for every ordinary job (and for primaries themselves); backups are
+    #: cloned by the health layer's straggler manager.
+    speculative_of: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.runtime_s < 0:

@@ -29,10 +29,15 @@ State diagram (see ``docs/architecture.md`` for the rendered table)::
                                                        v
                                                       DONE
 
-Terminal states (``done``, ``failed``, ``shed``, ``expired``) are
-absorbing: no outgoing edges, enforced by the table itself.  An edge not
-in the table raises :class:`IllegalTransition` with the job id, the
-attempted edge, and the simulated time.
+Speculative backup execution (the health layer) adds one more terminal
+state: ``fetching``/``running`` --preempt--> ``SPECULATED`` retires the
+losing attempt of a speculation race, so exactly one attempt per logical
+job ever reaches ``DONE``.
+
+Terminal states (``done``, ``failed``, ``shed``, ``expired``,
+``speculated``) are absorbing: no outgoing edges, enforced by the table
+itself.  An edge not in the table raises :class:`IllegalTransition` with
+the job id, the attempted edge, and the simulated time.
 """
 
 from __future__ import annotations
@@ -74,6 +79,7 @@ class JobState(enum.Enum):
     FAILED = "failed"          #: given up permanently (terminal)
     SHED = "shed"              #: refused admission (terminal)
     EXPIRED = "expired"        #: queue deadline passed (terminal)
+    SPECULATED = "speculated"  #: lost a speculative race (terminal)
 
     # -- legacy aliases (same members, old names) --------------------------
     CREATED = "waiting"
@@ -102,8 +108,21 @@ TRANSITIONS: Dict[Tuple[JobState, JobState], str] = {
     (JobState.FETCHING, JobState.RETRYING): "kill",
     (JobState.RUNNING, JobState.DONE): "finish",
     (JobState.RUNNING, JobState.RETRYING): "kill",
+    # Speculative backup execution: when two attempts of one logical job
+    # race, the loser — primary or backup, fetching or mid-compute — is
+    # preempted into the absorbing SPECULATED state, so exactly one DONE
+    # exists per logical job and conservation counts still balance.
+    (JobState.FETCHING, JobState.SPECULATED): "preempt",
+    (JobState.RUNNING, JobState.SPECULATED): "preempt",
     (JobState.RETRYING, JobState.READY): "retry",
     (JobState.RETRYING, JobState.FAILED): "fail",
+    # An attempt in a speculation pair that can no longer win — dead for
+    # good (budget exhausted, unretryable backup) with a live partner,
+    # or mid-retry (READY in backoff/parked) when the partner completes
+    # — concedes the race instead of failing: the logical job is not
+    # failed, the other attempt's outcome is its outcome.
+    (JobState.RETRYING, JobState.SPECULATED): "concede",
+    (JobState.READY, JobState.SPECULATED): "concede",
 }
 
 #: States with no outgoing edges (derived, so it can never go stale).
@@ -120,7 +139,8 @@ _ENTRY_TIMESTAMP = {
     JobState.DONE: "completed_at",
 }
 
-_FAILURE_STATES = (JobState.FAILED, JobState.SHED, JobState.EXPIRED)
+_FAILURE_STATES = (JobState.FAILED, JobState.SHED, JobState.EXPIRED,
+                   JobState.SPECULATED)
 
 #: Tolerance for float time comparisons in guards (matches the watchdog).
 _EPSILON = 1e-6
@@ -419,6 +439,32 @@ class TransitionEngine:
         fail edge is the traced outcome, exactly as before the engine.
         """
         self.transition(job, JobState.RETRYING, reason=reason)
+
+    def preempt(self, job: "Job", site: str, reason: str) -> None:
+        """FETCHING/RUNNING -> SPECULATED: lost a speculation race.
+
+        The surviving attempt's ``finish`` carries the logical job's
+        completion; the loser is retired here so it is never retried and
+        never double-counted as DONE.
+        """
+        self.transition(job, JobState.SPECULATED, reason=reason)
+        self._emit("job.preempted_loser", job=job.job_id, site=site,
+                   primary=job.speculative_of or job.job_id,
+                   reason=reason)
+
+    def concede(self, job: "Job", reason: str) -> None:
+        """RETRYING -> SPECULATED: a dead attempt concedes the race.
+
+        Used when one attempt of a speculation pair is permanently out
+        (retry budget gone, or an unretryable backup was killed) while
+        its partner is still live or already DONE: the partner carries
+        the logical job, so this attempt must not count as a failure.
+        """
+        self.transition(job, JobState.SPECULATED, reason=reason)
+        self._emit("job.preempted_loser", job=job.job_id,
+                   site=job.execution_site or "",
+                   primary=job.speculative_of or job.job_id,
+                   reason=reason)
 
     def retry(self, job: "Job") -> None:
         """RETRYING -> READY: rewind a killed attempt for re-dispatch."""

@@ -30,6 +30,11 @@ from repro.sim.process import Process
 if TYPE_CHECKING:  # pragma: no cover
     from repro.scheduling.base import LocalScheduler
 
+#: Interrupt cause used to cancel the losing attempt of a speculation
+#: race.  :meth:`Site._unwind` routes this cause to the dedicated
+#: ``SPECULATED`` terminal edge instead of the kill/retry path.
+_PREEMPT_CAUSE = "speculation loser"
+
 
 class _Attempt:
     """Cleanup bookkeeping for one fault-mode execution attempt.
@@ -92,12 +97,20 @@ class Site:
         #: a set: Process hashes by id, and interrupt order must not depend
         #: on memory layout or a run stops being reproducible.
         self._alive: Dict[Process, None] = {}
+        #: job id -> its live execution process, for targeted preemption
+        #: (speculation races).  Maintained alongside ``_alive``.
+        self._attempts_by_job: Dict[int, Process] = {}
         #: Overload policy + shared saturation counters, installed by the
         #: grid when an :class:`~repro.grid.overload.OverloadPolicy` is
         #: active.  ``None`` keeps execution on the exact pre-overload
         #: code paths (no deadlines, no aging, unpin-by-input-list).
         self.overload = None
         self.overload_stats = None
+        #: Observed-health monitor (``None`` = off; installed by the
+        #: grid when a :class:`~repro.grid.health.HealthPolicy` is
+        #: active).  Its only effect here is that attempts become
+        #: trackable/preemptable even without a fault plan.
+        self.health = None
         #: High-water mark of the waiting-job count (metrics; tracked
         #: unconditionally — max() never changes behaviour).
         self.peak_queue_depth = 0
@@ -158,12 +171,13 @@ class Site:
             request = self.compute.acquire()
         else:
             request = self.compute.acquire(priority=priority)
-        attempt = _Attempt() if self.faults is not None else None
+        attempt = (_Attempt() if (self.faults is not None
+                                  or self.health is not None) else None)
         process = self.sim.process(
             self._execute(job, request, prefetches, attempt),
             name=f"job{job.job_id}@{self.name}")
         if attempt is not None:
-            self._track(process)
+            self._track(process, job)
         self._note_queue_depth()
         return process
 
@@ -187,9 +201,31 @@ class Site:
         if self.overload_stats is not None:
             self.overload_stats.jobs_expired += 1
 
-    def _track(self, process: Process) -> None:
+    def _track(self, process: Process, job: Job) -> None:
         self._alive[process] = None
-        process.callbacks.append(lambda _ev: self._alive.pop(process, None))
+        self._attempts_by_job[job.job_id] = process
+
+        def _done(_ev) -> None:
+            self._alive.pop(process, None)
+            if self._attempts_by_job.get(job.job_id) is process:
+                del self._attempts_by_job[job.job_id]
+
+        process.callbacks.append(_done)
+
+    def preempt_attempt(self, job: Job) -> bool:
+        """Cancel the job's live attempt here (speculation race lost).
+
+        The interrupt is delivered at urgent priority, so the loser
+        unwinds (releasing its processor, pins, and fetch) before any
+        same-time normal event — in particular before a run-stop
+        triggered by the winner's completion.  Returns False when no
+        live attempt exists (already finished, or never tracked).
+        """
+        process = self._attempts_by_job.get(job.job_id)
+        if process is None or not process.is_alive:
+            return False
+        process.interrupt(_PREEMPT_CAUSE)
+        return True
 
     def fail_site(self) -> None:
         """Site outage: kill every queued and running job here.
@@ -215,12 +251,13 @@ class Site:
         self._pending.append((entry, grant))
         # A data arrival can unblock a better dispatch choice.
         ready.callbacks.append(lambda _ev: self._try_dispatch())
-        attempt = _Attempt() if self.faults is not None else None
+        attempt = (_Attempt() if (self.faults is not None
+                                  or self.health is not None) else None)
         process = self.sim.process(
             self._execute_dispatched(job, grant, ready, attempt, entry),
             name=f"job{job.job_id}@{self.name}")
         if attempt is not None:
-            self._track(process)
+            self._track(process, job)
         self._try_dispatch()
         return process
 
@@ -421,7 +458,11 @@ class Site:
             attempt.fetch = None
             attempt.fetch_name = None
         self.jobs_in_system -= 1
-        self.lifecycle.kill(job, str(err) or type(err).__name__)
+        if isinstance(err, Interrupt) and err.cause == _PREEMPT_CAUSE:
+            # Speculation loser: absorbing terminal edge, not a retry.
+            self.lifecycle.preempt(job, self.name, _PREEMPT_CAUSE)
+        else:
+            self.lifecycle.kill(job, str(err) or type(err).__name__)
 
     def _settle_orphan_fetch(self, fetch: Process, fname: str) -> None:
         """Tie off a pinned fetch whose job was killed mid-wait.

@@ -101,10 +101,48 @@ class RunMetrics:
     #: Largest reserved-MB any storage element ever promised.
     peak_storage_reserved_mb: float = 0.0
 
+    # Observed health & speculation (all zero without a health policy).
+    #: Failure-detector suspicions raised (phi threshold crossings).
+    suspicions: int = 0
+    #: Suspicions raised against a site that was actually reachable.
+    false_suspicions: int = 0
+    #: Mean silence-to-suspicion lag for genuine failures (seconds).
+    mean_detection_latency_s: float = 0.0
+    #: Circuit breakers opened (site + link).
+    breaker_trips: int = 0
+    #: Circuit breakers closed again.
+    breaker_restores: int = 0
+    #: Half-open probes attempted.
+    health_probes: int = 0
+    #: Speculative backup attempts dispatched for stragglers.
+    speculative_launched: int = 0
+    #: Attempts retired as speculation-race losers.
+    speculative_losers: int = 0
+    #: Attempt-seconds thrown away by preempted losers.
+    speculative_wasted_s: float = 0.0
+
     # Per-site detail (site name → value), for load-balance analysis.
     jobs_per_site: Dict[str, int] = field(default_factory=dict)
     idle_per_site: Dict[str, float] = field(default_factory=dict)
     downtime_per_site: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Fraction of detector suspicions that were wrong."""
+        return (self.false_suspicions / self.suspicions
+                if self.suspicions else 0.0)
+
+    @property
+    def goodput(self) -> float:
+        """Useful compute-seconds per processor-second of the horizon.
+
+        Wasted speculative work is excluded: only the winning attempt of
+        each logical job counts.
+        """
+        if self.makespan_s <= 0 or self.total_processors == 0:
+            return 0.0
+        useful = self.avg_compute_time_s * self.n_jobs
+        return useful / (self.total_processors * self.makespan_s)
 
     @property
     def idle_percent(self) -> float:
@@ -151,12 +189,14 @@ class RunMetrics:
         failed = grid.failed_jobs
         shed = grid.shed_jobs
         expired = grid.expired_jobs
-        # A job may legitimately end FAILED under fault injection, or
-        # SHED/EXPIRED under an overload policy; only *unaccounted* jobs
-        # (none of those and not completed) mean the run stopped
-        # mid-flight and the averages would be biased.
+        speculated = grid.speculated_jobs
+        # A job may legitimately end FAILED under fault injection,
+        # SHED/EXPIRED under an overload policy, or SPECULATED as a
+        # speculation-race loser; only *unaccounted* jobs (none of those
+        # and not completed) mean the run stopped mid-flight and the
+        # averages would be biased.
         incomplete = (len(grid.submitted_jobs) - len(jobs) - len(failed)
-                      - len(shed) - len(expired))
+                      - len(shed) - len(expired) - len(speculated))
         if incomplete:
             raise ValueError(
                 f"{incomplete} submitted jobs never completed; "
@@ -234,6 +274,24 @@ class RunMetrics:
                 s.peak_used_mb for s in grid.storages.values()),
             peak_storage_reserved_mb=max(
                 s.peak_reserved_mb for s in grid.storages.values()),
+            suspicions=(grid.health.stats.suspicions if grid.health else 0),
+            false_suspicions=(
+                grid.health.stats.false_suspicions if grid.health else 0),
+            mean_detection_latency_s=(
+                grid.health.stats.mean_detection_latency_s
+                if grid.health else 0.0),
+            breaker_trips=(
+                grid.health.stats.breaker_trips if grid.health else 0),
+            breaker_restores=(
+                grid.health.stats.breaker_restores if grid.health else 0),
+            health_probes=(grid.health.stats.probes if grid.health else 0),
+            speculative_launched=(
+                grid.health.stats.speculative_launched if grid.health else 0),
+            speculative_losers=(
+                grid.health.stats.speculative_losers if grid.health else 0),
+            speculative_wasted_s=(
+                grid.health.stats.speculative_wasted_s if grid.health
+                else 0.0),
             jobs_per_site=jobs_per_site,
             idle_per_site={
                 name: site.compute.idle_fraction(horizon)

@@ -106,6 +106,22 @@ def format_run(metrics: RunMetrics, label: str = "run") -> str:
             f"  peak storage reserved:   "
             f"{metrics.peak_storage_reserved_mb:,.0f} MB",
         ]
+    if (metrics.suspicions or metrics.breaker_trips
+            or metrics.health_probes or metrics.speculative_launched):
+        lines += [
+            "failure detection:",
+            f"  suspicions (false):      {metrics.suspicions}"
+            f" ({metrics.false_suspicions})",
+            f"  mean detection latency:  "
+            f"{metrics.mean_detection_latency_s:,.1f} s",
+            f"  breaker trips/restores:  {metrics.breaker_trips}"
+            f"/{metrics.breaker_restores}",
+            f"  half-open probes:        {metrics.health_probes}",
+            f"  speculative launched/lost: {metrics.speculative_launched}"
+            f"/{metrics.speculative_losers}",
+            f"  speculative wasted time: "
+            f"{metrics.speculative_wasted_s:,.0f} s",
+        ]
     return "\n".join(lines)
 
 

@@ -198,6 +198,10 @@ class TransferManager:
         #: Called with each network transfer the moment it starts (used by
         #: the fault injector's sabotage hook).  Empty unless faults are on.
         self.on_start: List[Any] = []
+        #: Called with each transfer killed by :meth:`abort`, before its
+        #: ``done`` event fires (used by the health layer's circuit
+        #: breakers as failure feedback).  Empty unless health is on.
+        self.on_abort: List[Any] = []
         #: Transfers killed by :meth:`abort` (fault injection).
         self.n_aborted = 0
         #: Domain-event tracer (None = tracing off; one attribute check).
@@ -267,6 +271,8 @@ class TransferManager:
             self._trace_transfer("transfer.abort", transfer,
                                  reason=reason or "aborted",
                                  carried_mb=carried)
+        for hook in self.on_abort:
+            hook(transfer)
         transfer.done.succeed(transfer)
         self._rebalance()
         return True

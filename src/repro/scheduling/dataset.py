@@ -247,4 +247,9 @@ class DataLeastLoaded(_ReplicatingDatasetScheduler):
         candidates = self._eligible(neighbors, dataset_name, site, grid)
         if not candidates:
             return None
-        return grid.info.least_loaded(candidates, rng=self.rng)
+        try:
+            return grid.info.least_loaded(candidates, rng=self.rng)
+        except ValueError:
+            # Every eligible neighbor is currently down or suspected by
+            # the health monitor; skip this round rather than die.
+            return None

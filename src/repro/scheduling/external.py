@@ -127,6 +127,46 @@ class JobLocal(ExternalScheduler):
         return job.origin_site
 
 
+class JobHealthFiltered(ExternalScheduler):
+    """Wrap any ES with circuit-breaker awareness (extension).
+
+    The information service already hides suspected sites from the
+    shared site list, so list-driven schedulers avoid tripped sites for
+    free.  This wrapper closes the remaining gap: choices made outside
+    that list (``JobLocal``'s origin site, a data-present hit on a
+    tripped replica holder) are vetoed when the site's breaker is open,
+    and the job is re-routed to the least-loaded site the health
+    monitor still allows.  With no health monitor installed the wrapper
+    is a transparent pass-through.
+    """
+
+    def __init__(self, inner: ExternalScheduler, rng: random.Random) -> None:
+        self.inner = inner
+        self.rng = rng
+        self.name = f"{inner.name}+Health"
+
+    def select_site(self, job: "Job", grid: "DataGrid") -> str:
+        site = self.inner.select_site(job, grid)
+        health = grid.health
+        if health is None or health.allows(site):
+            return site
+        allowed = sorted(
+            name for name in grid.info.site_names
+            if name != site and health.allows(name))
+        if not allowed:
+            # Every breaker is open; keep the original pick and let the
+            # dispatch/recovery machinery absorb the failure.
+            return site
+        try:
+            fallback = grid.info.least_loaded(allowed, rng=self.rng)
+        except ValueError:
+            return site
+        if grid.tracer is not None:
+            self._trace_decision(grid, job, fallback, vetoed=site,
+                                 reason="breaker-open")
+        return fallback
+
+
 class JobRoundRobin(ExternalScheduler):
     """Cycle through sites in order (extension).
 

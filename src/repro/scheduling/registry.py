@@ -24,6 +24,7 @@ from repro.scheduling.dataset import (
 )
 from repro.scheduling.external import (
     JobDataPresent,
+    JobHealthFiltered,
     JobLeastLoaded,
     JobLocal,
     JobRandom,
@@ -62,6 +63,19 @@ _ES_FACTORIES: Dict[str, Callable[..., ExternalScheduler]] = {
     "JobRoundRobin": lambda rng, **kw: JobRoundRobin(),
     "JobAdaptive": lambda rng, **kw: AdaptiveExternalScheduler(rng, **kw),
 }
+
+
+def _health_variant(base: str) -> Callable[..., ExternalScheduler]:
+    inner = _ES_FACTORIES[base]
+    return lambda rng, **kw: JobHealthFiltered(inner(rng, **kw), rng)
+
+
+# Circuit-breaker-aware variants of the paper's four algorithms: the
+# inner ES proposes, the wrapper vetoes picks whose site breaker is open
+# (see repro.grid.health).  Pass-throughs when no health monitor runs.
+for _base in ("JobRandom", "JobLeastLoaded", "JobDataPresent", "JobLocal"):
+    _ES_FACTORIES[f"{_base}+Health"] = _health_variant(_base)
+del _base
 
 _LS_FACTORIES: Dict[str, Callable[[], LocalScheduler]] = {
     "FIFO": FIFOLocalScheduler,

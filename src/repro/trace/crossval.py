@@ -37,6 +37,12 @@ class TraceCounters:
     jobs_shed: int
     jobs_deflected: int
     jobs_expired: int
+    suspicions: int
+    breaker_trips: int
+    breaker_restores: int
+    health_probes: int
+    speculative_launched: int
+    speculative_losers: int
 
 
 def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
@@ -51,6 +57,8 @@ def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
     replications_done = transfers_failed = failovers = outages = 0
     misdirected_jobs = bounced_jobs = 0
     jobs_shed = jobs_deflected = jobs_expired = 0
+    suspicions = breaker_trips = breaker_restores = health_probes = 0
+    speculative_launched = speculative_losers = 0
     for record in records:
         kind = record.kind
         if kind == schema.JOB_FINISH:
@@ -85,6 +93,18 @@ def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
             jobs_deflected += 1
         elif kind == schema.JOB_EXPIRED:
             jobs_expired += 1
+        elif kind == schema.HEALTH_SUSPECT:
+            suspicions += 1
+        elif kind == schema.HEALTH_TRIP:
+            breaker_trips += 1
+        elif kind == schema.HEALTH_RESTORE:
+            breaker_restores += 1
+        elif kind == schema.HEALTH_PROBE:
+            health_probes += 1
+        elif kind == schema.JOB_SPECULATED:
+            speculative_launched += 1
+        elif kind == schema.JOB_PREEMPTED_LOSER:
+            speculative_losers += 1
     return TraceCounters(
         jobs_completed=jobs_completed,
         jobs_failed=jobs_failed,
@@ -101,6 +121,12 @@ def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
         jobs_shed=jobs_shed,
         jobs_deflected=jobs_deflected,
         jobs_expired=jobs_expired,
+        suspicions=suspicions,
+        breaker_trips=breaker_trips,
+        breaker_restores=breaker_restores,
+        health_probes=health_probes,
+        speculative_launched=speculative_launched,
+        speculative_losers=speculative_losers,
     )
 
 
@@ -121,6 +147,12 @@ _FIELD_MAP = {
     "jobs_shed": "jobs_shed",
     "jobs_deflected": "jobs_deflected",
     "jobs_expired": "jobs_expired",
+    "suspicions": "suspicions",
+    "breaker_trips": "breaker_trips",
+    "breaker_restores": "breaker_restores",
+    "health_probes": "health_probes",
+    "speculative_launched": "speculative_launched",
+    "speculative_losers": "speculative_losers",
 }
 
 

@@ -36,6 +36,8 @@ JOB_BOUNCED = "job.bounced"        #: misdirected job re-dispatched by the ES
 JOB_SHED = "job.shed"              #: refused admission (queues saturated)
 JOB_DEFLECTED = "job.deflected"    #: aimed at a full queue; re-placed
 JOB_EXPIRED = "job.expired"        #: queue deadline passed before running
+JOB_SPECULATED = "job.speculated"  #: backup attempt launched for a straggler
+JOB_PREEMPTED_LOSER = "job.preempted_loser"  #: lost a speculation race
 
 # ---- scheduler decisions ---------------------------------------------------
 ES_DECISION = "es.decision"        #: site choice + per-candidate scores
@@ -65,6 +67,14 @@ FAULT_SITE_UP = "fault.site_up"
 FAULT_LINK_DEGRADE = "fault.link_degrade"
 FAULT_LINK_RESTORE = "fault.link_restore"
 FAULT_TRANSFER_KILL = "fault.transfer_kill"
+FAULT_PARTITION = "fault.partition"           #: site set cut off the network
+FAULT_PARTITION_HEAL = "fault.partition_heal"  #: partition window ended
+
+# ---- observed health (failure detector + circuit breakers) -----------------
+HEALTH_SUSPECT = "health.suspect"  #: detector raised suspicion (phi trip)
+HEALTH_TRIP = "health.trip"        #: a breaker opened (site or link)
+HEALTH_PROBE = "health.probe"      #: half-open probe attempt + outcome
+HEALTH_RESTORE = "health.restore"  #: breaker closed; target re-admitted
 
 # ---- stale information -----------------------------------------------------
 INFO_STALE_READ = "info.stale_read"  #: query answered differently from truth
@@ -79,7 +89,8 @@ KERNEL_EVENT = "kernel.event"
 KIND_GROUPS: Dict[str, Tuple[str, ...]] = {
     "job": (JOB_SUBMIT, JOB_DISPATCH, JOB_QUEUE, JOB_DATA_READY, JOB_START,
             JOB_FINISH, JOB_RETRY, JOB_REDIRECT, JOB_FAIL, JOB_MISDIRECTED,
-            JOB_BOUNCED, JOB_SHED, JOB_DEFLECTED, JOB_EXPIRED),
+            JOB_BOUNCED, JOB_SHED, JOB_DEFLECTED, JOB_EXPIRED,
+            JOB_SPECULATED, JOB_PREEMPTED_LOSER),
     "es": (ES_DECISION, ES_DEGRADED),
     "ls": (LS_PICK,),
     "ds": (DS_DECISION, DS_DELETE),
@@ -89,7 +100,9 @@ KIND_GROUPS: Dict[str, Tuple[str, ...]] = {
     "replicate": (REPLICATE_SKIP, REPLICATE_DONE),
     "catalog": (CATALOG_REGISTER, CATALOG_DEREGISTER),
     "fault": (FAULT_SITE_DOWN, FAULT_SITE_UP, FAULT_LINK_DEGRADE,
-              FAULT_LINK_RESTORE, FAULT_TRANSFER_KILL),
+              FAULT_LINK_RESTORE, FAULT_TRANSFER_KILL, FAULT_PARTITION,
+              FAULT_PARTITION_HEAL),
+    "health": (HEALTH_SUSPECT, HEALTH_TRIP, HEALTH_PROBE, HEALTH_RESTORE),
     "info": (INFO_STALE_READ,),
     "watchdog": (WATCHDOG_CHECK,),
     "kernel": (KERNEL_EVENT,),

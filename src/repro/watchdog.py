@@ -40,6 +40,13 @@ Invariants checked:
   capacity (trivially true without reservations).
 * **no-starvation** — with a queue deadline set, no job still waits in a
   queue beyond its deadline (the expiry machinery must have fired).
+* **no-double-completion** — with the health layer's speculation armed,
+  no primary/backup pair has both attempts DONE: the transition hook
+  must have preempted the loser into SPECULATED, and every loser's
+  logical job has exactly one DONE attempt.
+* **breaker-state-sane** — the health layer's site breakers and the
+  information service agree: every open/half-open breaker's site is
+  hidden (suspected) and every closed breaker's site is advertised.
 
 The watchdog is **off by default** (a watchdog-less run is bitwise
 identical to a pre-watchdog build) and *always on in tests*: the test
@@ -118,7 +125,8 @@ class Watchdog:
     INVARIANTS = ("jobs-conserved", "storage-accounting",
                   "transfers-consistent", "catalog-consistent",
                   "stale-view-bounded", "queue-bounded", "no-overcommit",
-                  "no-starvation")
+                  "no-starvation", "no-double-completion",
+                  "breaker-state-sane")
 
     def __init__(self, sim: "Simulator", grid: "DataGrid",
                  interval_s: float = 300.0) -> None:
@@ -154,6 +162,8 @@ class Watchdog:
         self._check_queue_bounds()
         self._check_overcommit()
         self._check_starvation()
+        self._check_double_completion()
+        self._check_breaker_state()
         self.checks_run += 1
         tracer = self.grid.tracer
         if tracer is not None:
@@ -341,6 +351,53 @@ class Watchdog:
                     "deadline",
                     job=job.job_id, waited_s=now - job.queued_at,
                     deadline_s=deadline)
+
+
+    def _check_double_completion(self) -> None:
+        health = self.grid.health
+        if health is None:
+            return
+        engine = self.grid.lifecycle
+        for job in self.grid.submitted_jobs:
+            if job.speculative_of is None:
+                continue
+            primary = engine.jobs.get(job.speculative_of)
+            if primary is None:
+                continue
+            if (job.state is JobState.DONE
+                    and primary.state is JobState.DONE):
+                self._fail(
+                    "no-double-completion",
+                    f"speculation pair ({primary.job_id}, {job.job_id}) "
+                    "has both attempts DONE",
+                    primary=primary.job_id, clone=job.job_id)
+            if (job.state is JobState.SPECULATED
+                    and primary.state is JobState.SPECULATED):
+                self._fail(
+                    "no-double-completion",
+                    f"speculation pair ({primary.job_id}, {job.job_id}) "
+                    "lost on both sides — nobody completed the logical job",
+                    primary=primary.job_id, clone=job.job_id)
+
+    def _check_breaker_state(self) -> None:
+        health = self.grid.health
+        if health is None:
+            return
+        info = self.grid.info
+        for site, breaker in health.site_breakers.items():
+            suspected = info.is_suspected(site)
+            if breaker.state == "closed" and suspected:
+                self._fail(
+                    "breaker-state-sane",
+                    f"site {site!r} breaker is closed but the information "
+                    "service still hides it",
+                    site=site, breaker=breaker.state)
+            if breaker.state != "closed" and not suspected:
+                self._fail(
+                    "breaker-state-sane",
+                    f"site {site!r} breaker is {breaker.state} but the "
+                    "information service still advertises it",
+                    site=site, breaker=breaker.state)
 
 
 def attach(grid: "DataGrid", interval_s: float = 300.0) -> Watchdog:

@@ -1,0 +1,87 @@
+"""The shared BackoffPolicy helper (satellite of the health layer).
+
+Pins the formula every recovery loop now shares — capped exponential
+with optional seeded jitter — and its compatibility guarantees: with
+jitter off it reproduces the data mover's historical schedule exactly,
+and with base == cap it degenerates to the supervisor's constant delay.
+"""
+
+import random
+
+import pytest
+
+from repro.faults.backoff import BackoffPolicy
+
+
+class TestSchedule:
+    def test_classic_doubling_capped(self):
+        policy = BackoffPolicy(10.0, 300.0)
+        assert policy.schedule(7) == [10.0, 20.0, 40.0, 80.0, 160.0,
+                                      300.0, 300.0]
+
+    def test_matches_historical_datamover_formula(self):
+        policy = BackoffPolicy(10.0, 300.0)
+        for attempt in range(1, 20):
+            assert policy.delay(attempt) == min(
+                10.0 * 2 ** (attempt - 1), 300.0)
+
+    def test_constant_delay_when_base_equals_cap(self):
+        policy = BackoffPolicy(5.0, 5.0)
+        assert policy.schedule(6) == [5.0] * 6
+
+    def test_custom_factor(self):
+        policy = BackoffPolicy(1.0, 100.0, factor=3.0)
+        assert policy.schedule(4) == [1.0, 3.0, 9.0, 27.0]
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            BackoffPolicy(1.0, 2.0).delay(0)
+
+
+class TestJitter:
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = BackoffPolicy(10.0, 300.0, jitter=0.2)
+        first = policy.schedule(8, rng=random.Random(42))
+        second = policy.schedule(8, rng=random.Random(42))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        policy = BackoffPolicy(10.0, 300.0, jitter=0.2)
+        assert (policy.schedule(8, rng=random.Random(1))
+                != policy.schedule(8, rng=random.Random(2)))
+
+    def test_jitter_bounded(self):
+        policy = BackoffPolicy(10.0, 300.0, jitter=0.25)
+        rng = random.Random(7)
+        for attempt in range(1, 30):
+            base = min(10.0 * 2 ** (attempt - 1), 300.0)
+            value = policy.delay(attempt, rng=rng)
+            assert 0.75 * base <= value <= 1.25 * base
+
+    def test_zero_jitter_never_touches_the_rng(self):
+        rng = random.Random(3)
+        before = rng.getstate()
+        BackoffPolicy(10.0, 300.0).schedule(10, rng=rng)
+        assert rng.getstate() == before
+
+    def test_jitter_without_rng_is_an_error(self):
+        with pytest.raises(ValueError, match="seeded rng"):
+            BackoffPolicy(10.0, 300.0, jitter=0.1).delay(1)
+
+
+class TestValidation:
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError, match="base"):
+            BackoffPolicy(-1.0, 10.0)
+
+    def test_cap_below_base_rejected(self):
+        with pytest.raises(ValueError, match="cap"):
+            BackoffPolicy(10.0, 5.0)
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            BackoffPolicy(1.0, 10.0, factor=0.5)
+
+    def test_jitter_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="jitter"):
+            BackoffPolicy(1.0, 10.0, jitter=1.0)

@@ -1,0 +1,136 @@
+"""Depletion order of the two dispatch budgets.
+
+A job owns two independent recovery budgets: *bounces* (stale-info
+misdirection re-dispatches, spent synchronously at hand-off time) and
+*retries* (killed execution attempts, spent across simulated time).
+These tests pin their ordering contract:
+
+* within one dispatch, the bounce budget is consulted (and spent)
+  before the attempt even starts — so every bounce of a job precedes
+  its first retry;
+* the pools never borrow from each other: exhausting retries leaves
+  unspent bounces unspent, and a zero bounce budget leaves the full
+  retry budget available.
+"""
+
+import random
+
+from repro.faults import FaultPlan, SiteOutage
+from repro.grid import DataGrid, Dataset, DatasetCollection, InfoPolicy, Job
+from repro.grid.lifecycle import JobState
+from repro.network import Topology
+from repro.scheduling import DataDoNothing, FIFOLocalScheduler
+from repro.scheduling.external import JobDataPresent
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+
+MAX_RETRIES = 3
+
+
+def make_grid(bounce_budget, tracer=None, outage_start=50.0):
+    """Stale catalog + a permanent outage of the real replica holder.
+
+    d0's only replica lives at site00, which dies at ``outage_start``
+    and never recovers — so every post-outage attempt starves on data
+    and burns one retry, until the retry budget is gone.
+    """
+    sim = Simulator()
+    topology = Topology.star(4, 10.0)
+    datasets = DatasetCollection([Dataset("d0", 500), Dataset("df", 1)])
+    plan = FaultPlan(
+        site_outages=[SiteOutage("site00", outage_start)],  # permanent
+        job_max_retries=MAX_RETRIES,
+        redispatch_delay_s=5.0,
+    )
+    grid = DataGrid.create(
+        sim=sim,
+        topology=topology,
+        datasets=datasets,
+        external_scheduler=JobDataPresent(random.Random(0)),
+        local_scheduler=FIFOLocalScheduler(),
+        dataset_scheduler=DataDoNothing(),
+        site_processors={name: 2 for name in topology.sites},
+        storage_capacity_mb=10_000,
+        datamover_rng=random.Random(0),
+        info_policy=InfoPolicy(catalog_delay_s=200.0,
+                               bounce_budget=bounce_budget),
+        fault_plan=plan,
+        fault_rng=random.Random(0),
+        tracer=tracer,
+    )
+    grid.place_initial_replicas({"d0": "site00", "df": "site00"})
+    return sim, grid
+
+
+def install_phantom(sim, grid, dataset="d0", site="site03"):
+    """Advertise a replica at ``site`` that the live catalog lost."""
+    ds = grid.datasets.get(dataset)
+    grid.storages[site].add(ds, sim.now)
+    grid.catalog.register(dataset, site, size_mb=ds.size_mb)
+    grid.info.replica_view.sync_all()
+    grid.storages[site].remove(dataset)
+    grid.catalog.deregister(dataset, site)
+
+
+def occupy(grid, site, n, start_id=1000):
+    for i in range(n):
+        # Fillers read a different dataset so they can't consume the
+        # phantom's bounce (reconciliation scrubs it after first use).
+        grid.submit(Job(job_id=start_id + i, user="filler",
+                        origin_site=site, input_files=["df"],
+                        runtime_s=100_000))
+
+
+class TestDepletionOrder:
+    def test_bounces_deplete_before_the_first_retry(self):
+        tracer = Tracer()
+        sim, grid = make_grid(bounce_budget=2, tracer=tracer)
+        occupy(grid, "site00", 3)
+        install_phantom(sim, grid)
+        job = Job(job_id=1, user="u", origin_site="site03",
+                  input_files=["d0"], runtime_s=100)
+        done = grid.submit(job)
+        sim.run(until=done)
+        # One phantom = one bounce, spent at dispatch; the outage then
+        # ate the whole retry budget.
+        assert job.bounces == 1
+        assert job.state is JobState.FAILED
+        assert job.retries == MAX_RETRIES
+        records = [r for r in tracer.records
+                   if r.detail.get("job") == job.job_id
+                   and r.kind in ("job.bounced", "job.retry")]
+        kinds = [r.kind for r in records]
+        assert "job.bounced" in kinds and "job.retry" in kinds
+        # Every bounce strictly precedes the first retry: the bounce
+        # budget is consulted at hand-off, before the attempt can fail.
+        first_retry = kinds.index("job.retry")
+        assert all(kind == "job.retry" for kind in kinds[first_retry:])
+        bounce_times = [r.time for r in records if r.kind == "job.bounced"]
+        retry_times = [r.time for r in records if r.kind == "job.retry"]
+        assert max(bounce_times) < min(retry_times)
+
+    def test_retry_exhaustion_leaves_bounce_budget_unspent(self):
+        sim, grid = make_grid(bounce_budget=5)
+        occupy(grid, "site00", 3)
+        install_phantom(sim, grid)
+        job = Job(job_id=1, user="u", origin_site="site03",
+                  input_files=["d0"], runtime_s=100)
+        done = grid.submit(job)
+        sim.run(until=done)
+        assert job.state is JobState.FAILED
+        assert job.retries == MAX_RETRIES
+        # One phantom = one bounce; burning every retry consumed no more
+        # of the bounce budget (the pools are independent).
+        assert job.bounces == 1
+
+    def test_zero_bounce_budget_keeps_full_retry_budget(self):
+        sim, grid = make_grid(bounce_budget=0, outage_start=20.0)
+        occupy(grid, "site00", 3)
+        install_phantom(sim, grid)
+        job = Job(job_id=1, user="u", origin_site="site03",
+                  input_files=["d0"], runtime_s=100)
+        done = grid.submit(job)
+        sim.run(until=done)
+        assert job.state is JobState.FAILED
+        assert job.retries == MAX_RETRIES
+        assert job.bounces == 0

@@ -29,7 +29,7 @@ def force_state(job, state):
 def test_matrix_is_total():
     assert len(ALL_PAIRS) == len(ALL_STATES) ** 2
     # Canonical members only — the legacy aliases must not inflate it.
-    assert len(ALL_STATES) == 10
+    assert len(ALL_STATES) == 11
 
 
 @pytest.mark.parametrize(
@@ -61,7 +61,7 @@ def test_illegal_transition_is_a_value_error():
 
 def test_terminal_states_are_absorbing_by_construction():
     terminal = {JobState.DONE, JobState.FAILED, JobState.SHED,
-                JobState.EXPIRED}
+                JobState.EXPIRED, JobState.SPECULATED}
     outgoing = {src for src, _ in TRANSITIONS}
     assert terminal.isdisjoint(outgoing)
     # And everything non-terminal has at least one way forward.
@@ -267,6 +267,50 @@ class TestTypedEdges:
         assert job.retries == 1
         assert job.execution_site is None
         assert job.queued_at is None
+
+    def test_preempt_retires_the_race_loser(self):
+        engine, tracer = traced_engine()
+        clone = make_job(job_id=9)
+        clone.speculative_of = 7
+        engine.submit(clone)
+        engine.dispatch(clone, "site02")
+        engine.enqueue(clone, "site02", waiting=0)
+        engine.start(clone, "site02")
+        engine.preempt(clone, "site02", "primary finished first")
+        assert clone.state is JobState.SPECULATED
+        assert clone.completed_at is None
+        assert tracer.records[-1].kind == "job.preempted_loser"
+        assert tracer.records[-1].detail["primary"] == 7
+
+    def test_preempt_works_mid_fetch(self):
+        engine, tracer = traced_engine()
+        job = make_job()
+        engine.submit(job)
+        engine.dispatch(job, "site01")
+        engine.enqueue(job, "site01", waiting=0)
+        engine.preempt(job, "site01", "backup finished first")
+        assert job.state is JobState.SPECULATED
+        assert tracer.records[-1].detail["primary"] == job.job_id
+
+    def test_concede_from_retry_backoff(self):
+        """A dead attempt whose partner carries the job concedes the
+        race instead of failing — from RETRYING (budget just ran out)
+        or READY (parked in backoff when the partner completed)."""
+        engine, tracer = traced_engine()
+        job = make_job()
+        engine.submit(job)
+        engine.dispatch(job, "site01")
+        engine.enqueue(job, "site01", waiting=0)
+        engine.kill(job, "site crashed")
+        engine.concede(job, "retry budget exhausted; partner carries")
+        assert job.state is JobState.SPECULATED
+        assert tracer.records[-1].kind == "job.preempted_loser"
+        assert "partner carries" in job.failure_reason
+
+        parked = make_job(job_id=8)
+        engine.submit(parked)
+        engine.concede(parked, "speculation race lost")
+        assert parked.state is JobState.SPECULATED
 
     def test_replacement_self_edges(self):
         engine, tracer = traced_engine()

@@ -1,0 +1,223 @@
+"""Speculative backup execution: the straggler race, both directions.
+
+Scenario engineering: five quick warm-up jobs build the completed-
+duration sample the straggler threshold needs; a deliberately slow job
+(long runtime, or a fetch stalled behind a dead link) then crosses the
+threshold and gets one backup clone.  First completion wins through the
+transition engine's SPECULATED edge, the loser is preempted at the same
+timestamp, and the no-double-completion watchdog invariant holds.
+"""
+
+import random
+
+import pytest
+
+from repro.faults import FaultPlan, LinkDegradation
+from repro.grid import DataGrid, Dataset, DatasetCollection, Job
+from repro.grid.health import SPECULATIVE_ID_BASE, HealthPolicy
+from repro.grid.lifecycle import JobState
+from repro.network import Topology
+from repro.scheduling import DataDoNothing, FIFOLocalScheduler, JobLocal
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+from repro.watchdog import attach
+
+SPEC = HealthPolicy(speculate_quantile=0.5, speculate_multiplier=2.0,
+                    speculate_min_samples=5,
+                    speculate_check_interval_s=10.0)
+
+
+def make_grid(policy=SPEC, plan=None, tracer=None):
+    """A 3-site star grid (site00 is the hub and holds d0)."""
+    sim = Simulator()
+    topology = Topology.star(3, 10.0)
+    datasets = DatasetCollection([Dataset("d0", 500)])
+    grid = DataGrid.create(
+        sim=sim,
+        topology=topology,
+        datasets=datasets,
+        external_scheduler=JobLocal(),
+        local_scheduler=FIFOLocalScheduler(),
+        dataset_scheduler=DataDoNothing(),
+        site_processors={name: 2 for name in topology.sites},
+        storage_capacity_mb=10_000,
+        datamover_rng=random.Random(0),
+        fault_plan=plan,
+        fault_rng=random.Random(0) if plan is not None else None,
+        health_policy=policy,
+        health_rng=random.Random(0),
+        tracer=tracer,
+    )
+    grid.place_initial_replicas({"d0": "site00"})
+    return sim, grid
+
+
+def warm_up(sim, grid, n=5, runtime=10.0, start_id=100):
+    """Complete ``n`` quick local jobs to seed the duration sample."""
+    jobs = [Job(job_id=start_id + i, user="w", origin_site="site00",
+                input_files=["d0"], runtime_s=runtime) for i in range(n)]
+    done = [grid.submit(job) for job in jobs]
+    sim.run(until=sim.all_of(done))
+    return jobs
+
+
+class TestPrimaryWins:
+    def run_race(self, tracer=None):
+        sim, grid = make_grid(tracer=tracer)
+        warm_up(sim, grid)
+        straggler = Job(job_id=1, user="u", origin_site="site00",
+                        input_files=["d0"], runtime_s=300)
+        done = grid.submit(straggler)
+        sim.run(until=done)
+        return sim, grid, straggler
+
+    def test_straggler_gets_one_backup(self):
+        sim, grid, straggler = self.run_race()
+        stats = grid.health.stats
+        assert stats.speculative_launched == 1
+        assert straggler.state is JobState.DONE
+
+    def test_loser_clone_is_speculated_not_failed(self):
+        sim, grid, straggler = self.run_race()
+        clones = [j for j in grid.submitted_jobs
+                  if j.speculative_of == straggler.job_id]
+        assert len(clones) == 1
+        clone = clones[0]
+        assert clone.job_id >= SPECULATIVE_ID_BASE
+        assert clone.state is JobState.SPECULATED
+        assert grid.health.stats.speculative_losers == 1
+        assert grid.health.stats.speculative_wasted_s > 0
+        assert clone in grid.speculated_jobs
+
+    def test_exactly_one_completion(self):
+        sim, grid, straggler = self.run_race()
+        family = [j for j in grid.submitted_jobs
+                  if j.job_id == straggler.job_id
+                  or j.speculative_of == straggler.job_id]
+        done = [j for j in family if j.state is JobState.DONE]
+        assert len(done) == 1
+
+    def test_watchdog_invariants_hold(self):
+        sim, grid, straggler = self.run_race()
+        dog = attach(grid)
+        dog.check_now()  # raises InvariantViolation on any breakage
+
+    def test_trace_records_the_race(self):
+        tracer = Tracer()
+        sim, grid, straggler = self.run_race(tracer=tracer)
+        kinds = [r.kind for r in tracer.records]
+        assert kinds.count("job.speculated") == 1
+        assert kinds.count("job.preempted_loser") == 1
+        speculated = next(r for r in tracer.records
+                          if r.kind == "job.speculated")
+        assert speculated.detail["job"] == straggler.job_id
+        assert speculated.detail["clone"] >= SPECULATIVE_ID_BASE
+
+
+class TestBackupWins:
+    #: site01's uplink is dead for the whole run: any fetch toward
+    #: site01 stalls until the transfer timeout, far beyond the race.
+    PLAN = FaultPlan(link_degradations=[
+        LinkDegradation("site01", "hub", 0.0, 100_000.0, 0.0)])
+
+    def run_race(self):
+        sim, grid = make_grid(plan=self.PLAN)
+        warm_up(sim, grid)
+        straggler = Job(job_id=1, user="u", origin_site="site01",
+                        input_files=["d0"], runtime_s=10)
+        done = grid.submit(straggler)
+        sim.run(until=done)
+        return sim, grid, straggler
+
+    def test_primary_loses_and_backup_completes(self):
+        sim, grid, straggler = self.run_race()
+        assert straggler.state is JobState.SPECULATED
+        clones = [j for j in grid.submitted_jobs
+                  if j.speculative_of == straggler.job_id]
+        assert len(clones) == 1
+        assert clones[0].state is JobState.DONE
+        # The backup ran where the data lives, not at the stalled site.
+        assert clones[0].execution_site != "site01"
+
+    def test_loser_accounting(self):
+        sim, grid, straggler = self.run_race()
+        stats = grid.health.stats
+        assert stats.speculative_launched == 1
+        assert stats.speculative_losers == 1
+        assert stats.speculative_wasted_s > 0
+        assert straggler in grid.speculated_jobs
+
+    def test_watchdog_invariants_hold(self):
+        sim, grid, straggler = self.run_race()
+        dog = attach(grid)
+        dog.check_now()
+
+
+class TestBoundedWaste:
+    def test_each_logical_job_speculated_at_most_once(self):
+        """Many scan ticks pass while the straggler is still running;
+        only the first launches a backup."""
+        sim, grid = make_grid()
+        warm_up(sim, grid)
+        straggler = Job(job_id=1, user="u", origin_site="site00",
+                        input_files=["d0"], runtime_s=1000)
+        done = grid.submit(straggler)
+        sim.run(until=done)
+        # ~100 scanner ticks happened during the straggler's runtime.
+        assert grid.health.stats.speculative_launched == 1
+
+    def test_clones_are_never_cloned(self):
+        sim, grid = make_grid(plan=TestBackupWins.PLAN)
+        warm_up(sim, grid)
+        straggler = Job(job_id=1, user="u", origin_site="site01",
+                        input_files=["d0"], runtime_s=10)
+        done = grid.submit(straggler)
+        sim.run(until=done)
+        assert all(j.speculative_of is None or j.job_id >=
+                   SPECULATIVE_ID_BASE for j in grid.submitted_jobs)
+        # No clone-of-a-clone: every speculative_of names a primary.
+        for job in grid.submitted_jobs:
+            if job.speculative_of is not None:
+                assert job.speculative_of < SPECULATIVE_ID_BASE
+
+
+class TestNoFalseSpeculation:
+    def test_quick_jobs_never_speculate(self):
+        sim, grid = make_grid()
+        warm_up(sim, grid, n=20)
+        assert grid.health.stats.speculative_launched == 0
+
+    def test_below_min_samples_never_speculates(self):
+        policy = HealthPolicy(speculate_quantile=0.5,
+                              speculate_min_samples=50,
+                              speculate_check_interval_s=10.0)
+        sim, grid = make_grid(policy=policy)
+        warm_up(sim, grid)
+        straggler = Job(job_id=1, user="u", origin_site="site00",
+                        input_files=["d0"], runtime_s=300)
+        done = grid.submit(straggler)
+        sim.run(until=done)
+        assert grid.health.stats.speculative_launched == 0
+
+
+class TestConfigGuards:
+    def test_speculation_rejected_with_dag_workloads(self):
+        from repro.experiments.config import SimulationConfig
+
+        with pytest.raises(ValueError, match="incompatible with DAG"):
+            SimulationConfig.paper().with_(speculate_quantile=0.9,
+                                           dag_shape="diamond")
+
+
+class TestCrossValidation:
+    def test_trace_agrees_with_metrics_under_speculation(self):
+        from repro.experiments.runner import run_single
+        from repro.trace.crossval import mismatches
+        from repro.trace.golden import golden_config
+
+        config = golden_config().with_(speculate_quantile=0.5,
+                                       speculate_multiplier=1.5)
+        tracer = Tracer()
+        metrics = run_single(config, "JobRandom", "DataDoNothing",
+                             tracer=tracer)
+        assert mismatches(tracer.records, metrics) == {}

@@ -29,14 +29,28 @@ LINKS = [("site00", "tier1-0"), ("site01", "tier1-0")]
 
 
 @st.composite
-def site_outages(draw):
-    site = draw(st.sampled_from(SITES))
-    start = draw(st.floats(0.0, 4000.0, allow_nan=False))
-    duration = draw(st.one_of(
-        st.none(),  # permanent
-        st.floats(50.0, 5000.0, allow_nan=False)))
-    end = None if duration is None else start + duration
-    return SiteOutage(site, start, end)
+def site_outage_lists(draw):
+    """Up to two outages per site, with disjoint windows.
+
+    Overlapping windows for one site are rejected by FaultPlan
+    validation (they are ambiguous), so the generator walks a cursor
+    forward per site instead of drawing independent windows.
+    """
+    outages = []
+    for site in SITES:
+        count = draw(st.integers(0, 2))
+        cursor = draw(st.floats(0.0, 2000.0, allow_nan=False))
+        for _ in range(count):
+            duration = draw(st.one_of(
+                st.none(),  # permanent
+                st.floats(50.0, 3000.0, allow_nan=False)))
+            if duration is None:
+                outages.append(SiteOutage(site, cursor, None))
+                break  # nothing may follow a permanent outage
+            outages.append(SiteOutage(site, cursor, cursor + duration))
+            cursor += duration + draw(
+                st.floats(1.0, 1000.0, allow_nan=False))
+    return tuple(outages)
 
 
 @st.composite
@@ -51,7 +65,7 @@ def link_degradations(draw):
 @st.composite
 def fault_plans(draw):
     return FaultPlan(
-        site_outages=tuple(draw(st.lists(site_outages(), max_size=3))),
+        site_outages=draw(site_outage_lists()),
         link_degradations=tuple(
             draw(st.lists(link_degradations(), max_size=2))),
         transfer_fail_prob=draw(st.sampled_from([0.0, 0.1, 0.4])),
