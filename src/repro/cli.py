@@ -116,6 +116,22 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     faults.add_argument("--flap-mttr", type=float, default=None,
                         metavar="SECONDS",
                         help="mean flap outage duration (default 60)")
+    faults.add_argument("--corrupt-replica", action="append", default=None,
+                        metavar="SITE:DATASET@TIME",
+                        help="silently corrupt one stored copy at the "
+                             "given time, e.g. site00:d3@1800 "
+                             "(repeatable)")
+    faults.add_argument("--lose-replica", action="append", default=None,
+                        metavar="SITE:DATASET@TIME",
+                        help="destroy one stored copy outright at the "
+                             "given time (repeatable)")
+    faults.add_argument("--corruption-mtbf", type=float, default=None,
+                        metavar="SECONDS",
+                        help="mean time between silent bit-rot events "
+                             "per site (0 = never)")
+    faults.add_argument("--corruption-sites", default=None, metavar="SITES",
+                        help="comma-separated sites subject to bit-rot "
+                             "(default: all sites)")
     overload = parser.add_argument_group(
         "overload protection (default: all off — unbounded queues, no "
         "deadlines, no reservations; the paper's model)")
@@ -195,6 +211,24 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="a job is a straggler once it runs this "
                              "multiple of the quantile duration "
                              "(default 2)")
+    durability = parser.add_argument_group(
+        "data durability (default: all off — no checksums, no scrubbing, "
+        "single unrepaired primaries; the paper's model)")
+    durability.add_argument("--replication-factor", type=int, default=None,
+                            metavar="N",
+                            help="target live replicas per dataset "
+                                 "(> 1 needs --repair on; default 1)")
+    durability.add_argument("--repair", default=None, choices=["on", "off"],
+                            help="re-replicate datasets that fall below "
+                                 "the target factor")
+    durability.add_argument("--scrub-interval", type=float, default=None,
+                            metavar="SECONDS",
+                            help="background checksum-scrubber period "
+                                 "(0 = detect on access only)")
+    durability.add_argument("--repair-placement", default=None,
+                            choices=["closest", "forecast"],
+                            help="repair source/destination policy "
+                                 "(default closest)")
 
 
 def _parse_window_spec(spec: str, flag: str):
@@ -211,14 +245,32 @@ def _parse_window_spec(spec: str, flag: str):
     return sites, float(start_part), end
 
 
+def _parse_replica_spec(spec: str, flag: str):
+    """Parse a SITE:DATASET@TIME spec into (site, dataset, time_s)."""
+    target, sep, time_part = spec.partition("@")
+    site, sep2, dataset = target.partition(":")
+    if not sep or not sep2 or not site or not dataset:
+        raise SystemExit(
+            f"bad {flag} spec {spec!r}; expected SITE:DATASET@TIME like "
+            f"site00:d3@1800")
+    return site, dataset, float(time_part)
+
+
 def _build_fault_plan(args: argparse.Namespace):
     """Compose the FaultPlan from --fault-plan plus scalar overrides."""
-    from repro.faults.plan import FaultPlan, NetworkPartition, OutageGroup
+    from repro.faults.plan import (
+        FaultPlan,
+        NetworkPartition,
+        OutageGroup,
+        ReplicaCorruption,
+        ReplicaLoss,
+    )
 
     relevant = (args.fault_plan, args.site_mtbf, args.site_mttr,
                 args.link_drop_rate, args.fault_seed, args.partition,
                 args.outage_group, args.flap_sites, args.flap_mtbf,
-                args.flap_mttr)
+                args.flap_mttr, args.corrupt_replica, args.lose_replica,
+                args.corruption_mtbf, args.corruption_sites)
     if all(value is None for value in relevant):
         return None
     plan = (FaultPlan.load(args.fault_plan)
@@ -252,6 +304,27 @@ def _build_fault_plan(args: argparse.Namespace):
         overrides["flap_mtbf_s"] = args.flap_mtbf
     if args.flap_mttr is not None:
         overrides["flap_mttr_s"] = args.flap_mttr
+    if args.corrupt_replica is not None:
+        extra = []
+        for spec in args.corrupt_replica:
+            site, dataset, time = _parse_replica_spec(
+                spec, "--corrupt-replica")
+            extra.append(ReplicaCorruption(site=site, dataset=dataset,
+                                           time_s=time))
+        overrides["replica_corruptions"] = (plan.replica_corruptions
+                                            + tuple(extra))
+    if args.lose_replica is not None:
+        extra = []
+        for spec in args.lose_replica:
+            site, dataset, time = _parse_replica_spec(spec, "--lose-replica")
+            extra.append(ReplicaLoss(site=site, dataset=dataset,
+                                     time_s=time))
+        overrides["replica_losses"] = plan.replica_losses + tuple(extra)
+    if args.corruption_mtbf is not None:
+        overrides["corruption_mtbf_s"] = args.corruption_mtbf
+    if args.corruption_sites is not None:
+        overrides["corruption_sites"] = tuple(
+            s for s in args.corruption_sites.split(",") if s)
     if overrides:
         plan = plan.with_(**overrides)
     return plan
@@ -294,6 +367,9 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
         "probe_interval": "health_probe_interval_s",
         "speculate_quantile": "speculate_quantile",
         "speculate_multiplier": "speculate_multiplier",
+        "replication_factor": "replication_factor",
+        "scrub_interval": "scrub_interval_s",
+        "repair_placement": "repair_placement",
     }
     for arg_name, field in mapping.items():
         value = getattr(args, arg_name)
@@ -305,6 +381,8 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
         overrides["health_observed_only"] = args.observed_only == "on"
     if args.storage_reservations is not None:
         overrides["storage_reservations"] = args.storage_reservations == "on"
+    if args.repair is not None:
+        overrides["durability_repair"] = args.repair == "on"
     if args.bulk is not None:
         overrides["bulk_submission"] = args.bulk == "on"
     if args.storage_gb is not None:
@@ -459,6 +537,7 @@ def _parse_pairs(specs) -> Optional[tuple]:
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from repro.experiments.sensitivity import (
+        durability_sweep,
         overload_sweep,
         recovery_sweep,
         staleness_sensitivity,
@@ -467,6 +546,23 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     config = _build_config(args)
     pairs = _parse_pairs(args.pairs)
     kwargs = {"pairs": pairs} if pairs else {}
+    if args.mode == "durability-sweep":
+        result = durability_sweep(
+            config, mtbfs=tuple(args.corruption_mtbfs),
+            rfs=tuple(args.rfs), scrubs=tuple(args.scrubs),
+            seeds=tuple(args.seeds), jobs=args.jobs,
+            cache_dir=_cache_dir(args), **kwargs)
+        print(result.table())
+        print()
+        for es_name, ds_name in result.pairs:
+            for mtbf in result.mtbfs:
+                for scrub in result.scrubs:
+                    rf = result.surviving_rf(es_name, ds_name, mtbf, scrub)
+                    label = (f"{es_name} + {ds_name}, corruption mtbf "
+                             f"{mtbf:g}, scrub {scrub:g}")
+                    print(f"lowest surviving RF for {label}: "
+                          + (f"{rf}" if rf is not None else "none swept"))
+        return 0
     if args.mode == "recovery-sweep":
         partitioned = {"both": (False, True), "on": (True,),
                        "off": (False,)}[args.partition_cells]
@@ -637,13 +733,16 @@ def build_parser() -> argparse.ArgumentParser:
              "or failure detection/recovery")
     p_sens.add_argument("mode", nargs="?",
                         choices=["staleness-sweep", "overload-sweep",
-                                 "recovery-sweep"],
+                                 "recovery-sweep", "durability-sweep"],
                         default="staleness-sweep",
                         help="staleness-sweep: response time vs catalog "
                              "delay (default); overload-sweep: arrival "
                              "rate x queue capacity degradation table; "
                              "recovery-sweep: detection threshold x MTBF "
-                             "x partition detector-quality table")
+                             "x partition detector-quality table; "
+                             "durability-sweep: corruption rate x "
+                             "replication factor x scrub period survival "
+                             "table")
     p_sens.add_argument("--delays", type=float, nargs="+",
                         default=[0.0, 60.0, 300.0, 900.0, 1800.0],
                         metavar="SECONDS",
@@ -666,6 +765,18 @@ def build_parser() -> argparse.ArgumentParser:
                         default=[0.0, 3600.0, 14400.0], metavar="SECONDS",
                         help="site MTBF values to sweep; 0 = no random "
                              "failures (recovery-sweep)")
+    p_sens.add_argument("--corruption-mtbfs", type=float, nargs="+",
+                        default=[0.0, 14400.0, 3600.0], metavar="SECONDS",
+                        help="per-site bit-rot MTBF values to sweep; 0 = "
+                             "no corruption (durability-sweep)")
+    p_sens.add_argument("--rfs", type=int, nargs="+", default=[1, 2],
+                        metavar="N",
+                        help="replication factors to sweep; factors > 1 "
+                             "arm the repair manager (durability-sweep)")
+    p_sens.add_argument("--scrubs", type=float, nargs="+",
+                        default=[0.0, 600.0], metavar="SECONDS",
+                        help="scrubber periods to sweep; 0 = on-access "
+                             "detection only (durability-sweep)")
     p_sens.add_argument("--partition-cells", default="both",
                         choices=["both", "on", "off"],
                         help="whether recovery-sweep cells include the "
@@ -721,12 +832,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Configuration and fault-plan mistakes are user errors, not crashes:
+    they print one structured line on stderr and exit 2 — never a
+    traceback.
+    """
+    from repro.faults.plan import FaultPlanError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ValueError, KeyError) as exc:
+    except FaultPlanError as exc:
+        print(f"error: invalid fault plan [{exc.field}]: "
+              f"{str(exc).partition(': ')[2] or exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

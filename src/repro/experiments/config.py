@@ -163,6 +163,22 @@ class SimulationConfig:
     #: Straggler threshold multiplier over the quantile duration.
     speculate_multiplier: float = 2.0
 
+    # ---- Data durability --------------------------------------------------------
+    #: Target live replicas per dataset (1 = the paper's single pinned
+    #: primary).  > 1 requires ``durability_repair``.
+    replication_factor: int = 1
+    #: Arm the RepairManager: under-replicated datasets are re-copied
+    #: through the data mover until the target factor holds (or the
+    #: dataset is marked lost).
+    durability_repair: bool = False
+    #: Background scrubber period in seconds (0 = off).  Each pass
+    #: checksum-verifies every resident replica and quarantines corrupt
+    #: ones; corruption is otherwise only found on access.
+    scrub_interval_s: float = 0.0
+    #: Repair placement policy: "closest" (hop count) or "forecast"
+    #: (NWS bandwidth prediction over observed transfers).
+    repair_placement: str = "closest"
+
     # ---- DAG workloads ---------------------------------------------------------
     #: Dependency motif wired over each user's job list ("none" = the
     #: paper's independent jobs; "chain", "diamond", "fanout",
@@ -257,6 +273,25 @@ class SimulationConfig:
                 "speculative execution is incompatible with DAG "
                 "workloads: dependency release keys on the primary "
                 "attempt reaching DONE")
+        # Durability knob sanity; cross-field validation lives in
+        # DurabilityPolicy.__post_init__ (constructed by build_grid).
+        if self.replication_factor < 1:
+            raise ValueError(
+                f"replication factor must be >= 1, "
+                f"got {self.replication_factor!r}")
+        if self.replication_factor > 1 and not self.durability_repair:
+            raise ValueError(
+                "replication_factor > 1 needs the RepairManager: set "
+                "durability_repair=True")
+        if self.scrub_interval_s < 0:
+            raise ValueError(
+                f"scrub interval must be >= 0, "
+                f"got {self.scrub_interval_s!r}")
+        from repro.grid.durability import PLACEMENTS
+        if self.repair_placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown repair placement {self.repair_placement!r}; "
+                f"expected one of {PLACEMENTS}")
 
     # -- factories -------------------------------------------------------------
 

@@ -56,7 +56,10 @@ from repro.metrics.collector import RunMetrics
 #: v6: observed-health metrics (suspicions/breakers/speculation) added
 #: to RunMetrics; configs gain health/speculation knobs and FaultPlan
 #: gains partitions/outage-groups/flapping.
-CACHE_VERSION = 6
+#: v7: durability metrics (corruption/quarantine/repair/loss) added to
+#: RunMetrics; configs gain replication-factor/repair/scrub knobs and
+#: FaultPlan gains replica corruption/loss and bit-rot.
+CACHE_VERSION = 7
 
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"

@@ -162,6 +162,22 @@ def build_grid(
     )
     if health_policy.is_null:
         health_policy = None
+    # Same contract for the "durability" stream: a null policy is
+    # dropped, and the stream is drawn only when the layer is armed —
+    # either by policy or by durability faults in the plan (the grid
+    # then auto-installs a detection-only manager).
+    from repro.grid.durability import DurabilityPolicy
+    durability_policy = DurabilityPolicy(
+        replication_factor=config.replication_factor,
+        repair=config.durability_repair,
+        scrub_interval_s=config.scrub_interval_s,
+        placement=config.repair_placement,
+    )
+    if durability_policy.is_null:
+        durability_policy = None
+    durability_armed = (
+        durability_policy is not None
+        or (fault_plan is not None and fault_plan.has_durability_faults))
     grid = DataGrid.create(
         sim=sim,
         topology=topology,
@@ -189,6 +205,9 @@ def build_grid(
         health_policy=health_policy,
         health_rng=(streams.stream("health")
                     if health_policy is not None else None),
+        durability_policy=durability_policy,
+        durability_rng=(streams.stream("durability")
+                        if durability_armed else None),
     )
     grid.place_initial_replicas(workload.initial_placement)
     if config.dag_shape != "none":

@@ -22,6 +22,12 @@ assumptions:
   false-positive rate, wasted speculative work, and goodput — locating
   the threshold below which the detector's false alarms cost more than
   its fast detections save.
+* :func:`durability_sweep` runs chosen pairs with the data-durability
+  layer (:mod:`repro.grid.durability`) across a bit-rot-rate ×
+  replication-factor × scrub-period grid and tabulates a survival
+  table (datasets lost, jobs abandoned, repair work) — locating the
+  cheapest (RF, scrub) combination that keeps every dataset alive at
+  each corruption pressure.
 
 Every cell is a full seed-replicated run through the
 :class:`~repro.experiments.parallel.ParallelRunner`, so results are
@@ -446,6 +452,158 @@ def recovery_sweep(
                 for threshold in result.thresholds:
                     result.runs[
                         (es_name, ds_name, threshold, mtbf, part)] = metrics[
+                        index:index + len(seeds)]
+                    index += len(seeds)
+    return result
+
+
+# ---- durability sweep -------------------------------------------------------
+
+#: Default per-site bit-rot MTBF grid (seconds).  0 = no corruption, the
+#: baseline control; the rest span occasional to aggressive rot at test
+#: scales.
+DEFAULT_CORRUPTION_MTBFS: Tuple[float, ...] = (0.0, 14400.0, 3600.0)
+
+#: Default replication-factor grid.  1 = the paper's single primary
+#: (repair off: the detection-only baseline); higher factors arm the
+#: RepairManager.
+DEFAULT_RFS: Tuple[int, ...] = (1, 2)
+
+#: Default scrubber periods (seconds).  0 = on-access detection only.
+DEFAULT_SCRUBS: Tuple[float, ...] = (0.0, 600.0)
+
+
+@dataclass
+class DurabilitySweepResult:
+    """Results of one durability sweep over
+    (pair × corruption-MTBF × RF × scrub × seed)."""
+
+    mtbfs: Tuple[float, ...]
+    rfs: Tuple[int, ...]
+    scrubs: Tuple[float, ...]
+    pairs: Tuple[Tuple[str, str], ...]
+    seeds: Tuple[int, ...]
+    #: (es, ds, mtbf, rf, scrub) → per-seed metrics.
+    runs: Dict[Tuple[str, str, float, int, float], List[RunMetrics]] = (
+        field(default_factory=dict))
+
+    def summary(self, es_name: str, ds_name: str, mtbf: float, rf: int,
+                scrub: float, metric: str) -> MetricSummary:
+        """Cross-seed summary of one metric at one sweep cell."""
+        return MetricSummary.of([
+            float(getattr(m, metric))
+            for m in self.runs[(es_name, ds_name, mtbf, rf, scrub)]])
+
+    def series(self, es_name: str, ds_name: str, rf: int, scrub: float,
+               metric: str) -> List[float]:
+        """Mean of ``metric`` for one pair/RF/scrub at each corruption
+        MTBF, in sweep order."""
+        return [
+            self.summary(es_name, ds_name, mtbf, rf, scrub, metric).mean
+            for mtbf in self.mtbfs]
+
+    def surviving_rf(self, es_name: str, ds_name: str, mtbf: float,
+                     scrub: float) -> Optional[int]:
+        """The lowest swept replication factor that lost zero datasets
+        across every seed at this corruption pressure.  ``None`` = every
+        swept factor lost data.
+        """
+        for rf in sorted(self.rfs):
+            lost = [m.datasets_lost
+                    for m in self.runs[(es_name, ds_name, mtbf, rf, scrub)]]
+            if max(lost) == 0:
+                return rf
+        return None
+
+    def table(self) -> str:
+        """ASCII survival table: one row per (pair, mtbf, rf, scrub)."""
+        lines = [
+            f"durability sweep ({len(self.seeds)} seed(s))",
+            f"{'pair':<34}{'mtbf (s)':>10}{'rf':>4}{'scrub':>7}"
+            f"{'corrupt':>9}{'repaired':>9}{'lost':>6}{'abandoned':>10}"
+            f"{'response (s)':>14}",
+        ]
+        for es_name, ds_name in self.pairs:
+            for mtbf in self.mtbfs:
+                for rf in self.rfs:
+                    for scrub in self.scrubs:
+                        cell = lambda m: self.summary(  # noqa: E731
+                            es_name, ds_name, mtbf, rf, scrub, m).mean
+                        label = f"{es_name} + {ds_name}"
+                        lines.append(
+                            f"{label:<34}{mtbf:>10g}{rf:>4d}{scrub:>7g}"
+                            f"{cell('replicas_corrupted'):>9.1f}"
+                            f"{cell('replicas_repaired'):>9.1f}"
+                            f"{cell('datasets_lost'):>6.1f}"
+                            f"{cell('jobs_abandoned_data_lost'):>10.1f}"
+                            f"{cell('avg_response_time_s'):>14.1f}")
+        return "\n".join(lines)
+
+
+def durability_sweep(
+    config: SimulationConfig,
+    mtbfs: Sequence[float] = DEFAULT_CORRUPTION_MTBFS,
+    rfs: Sequence[int] = DEFAULT_RFS,
+    scrubs: Sequence[float] = DEFAULT_SCRUBS,
+    pairs: Sequence[Tuple[str, str]] = DEFAULT_PAIRS,
+    seeds: Sequence[int] = (0,),
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> DurabilitySweepResult:
+    """Sweep bit-rot pressure × replication factor × scrub period for
+    each (ES, DS) pair.
+
+    Every cell overrides the config's fault plan with the swept per-site
+    ``corruption_mtbf_s`` and runs the durability layer at the swept
+    replication factor and scrub period; factors above 1 arm the
+    RepairManager, factor 1 is the detection-only baseline (the paper's
+    single-primary behavior plus checksums).  The workload depends only
+    on the seed, so cells along every axis are paired comparisons.
+    """
+    if not mtbfs:
+        raise ValueError("no corruption MTBF values given")
+    if not rfs:
+        raise ValueError("no replication factors given")
+    if not scrubs:
+        raise ValueError("no scrub periods given")
+    if not pairs:
+        raise ValueError("no algorithm pairs given")
+    result = DurabilitySweepResult(
+        mtbfs=tuple(float(m) for m in mtbfs),
+        rfs=tuple(int(r) for r in rfs),
+        scrubs=tuple(float(s) for s in scrubs),
+        pairs=tuple(pairs),
+        seeds=tuple(seeds),
+    )
+    seeds = tuple(seeds)
+    base_plan = config.fault_plan or FaultPlan()
+
+    def cell_config(mtbf: float, rf: int, scrub: float) -> SimulationConfig:
+        plan = dataclasses.replace(base_plan, corruption_mtbf_s=mtbf)
+        return config.with_(
+            fault_plan=(plan if not plan.is_null else None),
+            replication_factor=rf,
+            durability_repair=rf > 1,
+            scrub_interval_s=scrub,
+        )
+
+    specs = [
+        RunSpec(cell_config(mtbf, rf, scrub), es_name, ds_name, seed)
+        for es_name, ds_name in result.pairs
+        for mtbf in result.mtbfs
+        for rf in result.rfs
+        for scrub in result.scrubs
+        for seed in seeds
+    ]
+    runner = ParallelRunner(jobs=jobs, cache_dir=cache_dir)
+    metrics = runner.map(specs)
+    index = 0
+    for es_name, ds_name in result.pairs:
+        for mtbf in result.mtbfs:
+            for rf in result.rfs:
+                for scrub in result.scrubs:
+                    result.runs[
+                        (es_name, ds_name, mtbf, rf, scrub)] = metrics[
                         index:index + len(seeds)]
                     index += len(seeds)
     return result

@@ -2,7 +2,8 @@
 
 * :class:`~repro.faults.plan.FaultPlan` (+ :class:`SiteOutage`,
   :class:`LinkDegradation`, :class:`NetworkPartition`,
-  :class:`OutageGroup`) — the declarative, seed-driven description of
+  :class:`OutageGroup`, :class:`ReplicaCorruption`,
+  :class:`ReplicaLoss`) — the declarative, seed-driven description of
   what breaks during a run; :class:`FaultPlanError` rejects
   ill-formed plans at construction time.
 * :class:`~repro.faults.injector.FaultInjector` — replays a plan against
@@ -24,6 +25,8 @@ from repro.faults.plan import (
     LinkDegradation,
     NetworkPartition,
     OutageGroup,
+    ReplicaCorruption,
+    ReplicaLoss,
     SiteOutage,
 )
 
@@ -35,5 +38,7 @@ __all__ = [
     "LinkDegradation",
     "NetworkPartition",
     "OutageGroup",
+    "ReplicaCorruption",
+    "ReplicaLoss",
     "SiteOutage",
 ]

@@ -15,6 +15,9 @@ and all recovery accounting:
   (factor 0 ≈ dead link) and every active transfer is re-rated.
 * **Transfer sabotage** — with ``transfer_fail_prob``, a freshly started
   transfer is scheduled to be killed partway through.
+* **Durability faults** — scripted silent corruption / replica loss and
+  per-site stochastic bit-rot, forwarded to the grid's durability layer
+  (:mod:`repro.grid.durability`), which owns detection and repair.
 
 Determinism: all randomness comes from one injected
 :class:`random.Random` (derived from the run's named streams), per-site
@@ -162,6 +165,32 @@ class FaultInjector:
                     name=f"fault:flap:{name}")
         if self.plan.transfer_fail_prob > 0:
             grid.transfers.on_start.append(self._maybe_sabotage)
+        for corruption in self.plan.replica_corruptions:
+            self._validate_durability_target(corruption.site,
+                                             corruption.dataset,
+                                             "corruption")
+            self.sim.process(
+                self._scripted_corruption(corruption),
+                name=f"fault:corrupt:{corruption.dataset}@{corruption.site}")
+        for loss in self.plan.replica_losses:
+            self._validate_durability_target(loss.site, loss.dataset,
+                                             "replica loss")
+            self.sim.process(
+                self._scripted_loss(loss),
+                name=f"fault:lose:{loss.dataset}@{loss.site}")
+        if self.plan.corruption_mtbf_s > 0:
+            targets = self.plan.corruption_sites or tuple(sorted(grid.sites))
+            unknown = set(targets) - set(grid.sites)
+            if unknown:
+                raise ValueError(
+                    f"fault plan's bit-rot names unknown sites "
+                    f"{sorted(unknown)}")
+            # Sorted sub-streams, drawn after every other fault source so
+            # adding bit-rot to a plan leaves the other streams intact.
+            for name in sorted(targets):
+                site_rng = random.Random(self.rng.randrange(2 ** 62))
+                self.sim.process(self._bitrot_loop(name, site_rng),
+                                 name=f"fault:bitrot:{name}")
 
     # -- site availability --------------------------------------------------------
 
@@ -404,6 +433,53 @@ class FaultInjector:
         # The cut sites were never down, so no fault.site_up fires — wake
         # parked supervisors ourselves so work resumes promptly.
         self.wake_recovery_waiters(partition.sites[0])
+
+    # -- durability faults ----------------------------------------------------------
+
+    def _validate_durability_target(self, site: str, dataset: str,
+                                    what: str) -> None:
+        if site not in self.grid.sites:
+            raise ValueError(
+                f"fault plan's {what} names unknown site {site!r}")
+        if dataset not in self.grid.datasets:
+            raise ValueError(
+                f"fault plan's {what} names unknown dataset {dataset!r}")
+
+    def _scripted_corruption(self, event):
+        if event.time_s > 0:
+            yield self.sim.timeout(event.time_s)
+        if self.grid.durability is not None:
+            self.grid.durability.corrupt(event.site, event.dataset)
+
+    def _scripted_loss(self, event):
+        if event.time_s > 0:
+            yield self.sim.timeout(event.time_s)
+        if self.grid.durability is not None:
+            self.grid.durability.lose_replica(event.site, event.dataset)
+
+    def _bitrot_loop(self, site: str, rng: random.Random):
+        """Stochastic silent corruption of resident replicas at one site.
+
+        Poisson arrivals at ``corruption_mtbf_s`` within the plan's
+        ``[corruption_start_s, corruption_end_s)`` window; each event
+        flips one uniformly chosen resident file.  An empty storage
+        element simply skips the tick.
+        """
+        plan = self.plan
+        if plan.corruption_start_s > 0:
+            yield self.sim.timeout(plan.corruption_start_s)
+        while True:
+            wait = rng.expovariate(1.0 / plan.corruption_mtbf_s)
+            if self.sim.now + wait >= plan.corruption_end_s:
+                return
+            yield self.sim.timeout(wait)
+            durability = self.grid.durability
+            if durability is None:  # pragma: no cover - defensive
+                return
+            files = sorted(self.grid.storages[site].files)
+            if not files:
+                continue
+            durability.corrupt(site, rng.choice(files))
 
     # -- transfer sabotage ----------------------------------------------------------
 

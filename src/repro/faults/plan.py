@@ -22,6 +22,10 @@ Three kinds of faults can be described:
   and recover together), and *flapping* (named sites churning on a much
   faster MTBF/MTTR than the grid-wide loop) — the failure shapes a
   heartbeat-driven detector (:mod:`repro.grid.health`) has to tell apart.
+* **Durability** — scripted :class:`ReplicaCorruption` /
+  :class:`ReplicaLoss` events and per-site stochastic bit-rot
+  (``corruption_mtbf_s``), the fault shapes the durability layer
+  (:mod:`repro.grid.durability`) detects, quarantines, and repairs.
 
 Validation errors raise :class:`FaultPlanError` (a :class:`ValueError`
 subclass) carrying the offending field, so callers can distinguish a
@@ -209,6 +213,55 @@ class OutageGroup:
 
 
 @dataclass(frozen=True)
+class ReplicaCorruption:
+    """Scripted silent corruption of one stored replica.
+
+    At ``time_s`` the copy of ``dataset`` stored at ``site`` starts
+    returning bytes that no longer match the dataset's logical checksum.
+    Nothing is announced: the catalog still advertises the replica and
+    reads still succeed — the corruption is only *discovered* when the
+    durability layer verifies the copy (on access, on transfer, or by
+    the background scrubber).  If the replica is not resident when the
+    event fires, the event is a no-op.
+    """
+
+    site: str
+    dataset: str
+    time_s: float
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise FaultPlanError(
+                "replica_corruptions",
+                f"corruption of {self.dataset!r}@{self.site!r} is "
+                f"scheduled in the past ({self.time_s!r})")
+
+
+@dataclass(frozen=True)
+class ReplicaLoss:
+    """Scripted outright loss of one stored replica.
+
+    Unlike corruption, a loss is *loud*: at ``time_s`` the copy of
+    ``dataset`` at ``site`` is removed from storage and deregistered
+    from the catalog immediately (a failed disk, an operator ``rm``).
+    If it was the last copy, the dataset becomes unrecoverable unless a
+    repair re-created a replica first.  A no-op if the replica is not
+    resident when the event fires.
+    """
+
+    site: str
+    dataset: str
+    time_s: float
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise FaultPlanError(
+                "replica_losses",
+                f"loss of {self.dataset!r}@{self.site!r} is scheduled "
+                f"in the past ({self.time_s!r})")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything that goes wrong in one run, plus the recovery knobs.
 
@@ -260,6 +313,21 @@ class FaultPlan:
     flap_mtbf_s: float = 0.0
     flap_mttr_s: float = 60.0
 
+    # ---- durability faults -------------------------------------------------
+    #: Scripted silent-corruption events (see :class:`ReplicaCorruption`).
+    replica_corruptions: Tuple[ReplicaCorruption, ...] = ()
+    #: Scripted replica-loss events (see :class:`ReplicaLoss`).
+    replica_losses: Tuple[ReplicaLoss, ...] = ()
+    #: Per-site mean time between bit-rot events.  > 0 arms a stochastic
+    #: loop per affected site: at exponentially distributed intervals a
+    #: random resident replica is silently corrupted.  0 = off.
+    corruption_mtbf_s: float = 0.0
+    #: Sites the bit-rot loops run on.  Empty = every site.
+    corruption_sites: Tuple[str, ...] = ()
+    #: Window the bit-rot loops are active in ([start, end)).
+    corruption_start_s: float = 0.0
+    corruption_end_s: float = _INF
+
     # ---- recovery policy ---------------------------------------------------
     transfer_max_retries: int = 6
     transfer_backoff_base_s: float = 10.0
@@ -288,6 +356,19 @@ class FaultPlan:
             tuple(g if isinstance(g, OutageGroup) else OutageGroup(**g)
                   for g in self.outage_groups))
         object.__setattr__(self, "flap_sites", tuple(self.flap_sites))
+        object.__setattr__(
+            self, "replica_corruptions",
+            tuple(c if isinstance(c, ReplicaCorruption)
+                  else ReplicaCorruption(**c)
+                  for c in self.replica_corruptions))
+        object.__setattr__(
+            self, "replica_losses",
+            tuple(l if isinstance(l, ReplicaLoss) else ReplicaLoss(**l)
+                  for l in self.replica_losses))
+        object.__setattr__(
+            self, "corruption_sites", tuple(self.corruption_sites))
+        object.__setattr__(
+            self, "corruption_end_s", _coerce_end(self.corruption_end_s))
         if not 0.0 <= self.transfer_fail_prob <= 1.0:
             raise FaultPlanError(
                 "transfer_fail_prob",
@@ -314,6 +395,30 @@ class FaultPlan:
             raise FaultPlanError(
                 "flap_sites",
                 f"a site is listed twice: {sorted(self.flap_sites)}")
+        if self.corruption_mtbf_s < 0:
+            raise FaultPlanError(
+                "corruption_mtbf_s",
+                f"corruption MTBF must be >= 0, "
+                f"got {self.corruption_mtbf_s!r}")
+        if self.corruption_sites and self.corruption_mtbf_s == 0.0:
+            raise FaultPlanError(
+                "corruption_sites",
+                "corruption_sites named but corruption_mtbf_s is 0 "
+                "(bit-rot off)")
+        if len(set(self.corruption_sites)) != len(self.corruption_sites):
+            raise FaultPlanError(
+                "corruption_sites",
+                f"a site is listed twice: {sorted(self.corruption_sites)}")
+        if self.corruption_start_s < 0:
+            raise FaultPlanError(
+                "corruption_start_s",
+                f"corruption window starts in the past "
+                f"({self.corruption_start_s!r})")
+        if self.corruption_end_s <= self.corruption_start_s:
+            raise FaultPlanError(
+                "corruption_end_s",
+                f"corruption window ends ({self.corruption_end_s}) before "
+                f"it starts ({self.corruption_start_s})")
         if self.transfer_max_retries < 0 or self.job_max_retries < 0:
             raise FaultPlanError(
                 "transfer_max_retries", "retry limits must be >= 0")
@@ -367,7 +472,20 @@ class FaultPlan:
                 and self.site_mtbf_s == 0.0
                 and not self.partitions
                 and not self.outage_groups
-                and self.flap_mtbf_s == 0.0)
+                and self.flap_mtbf_s == 0.0
+                and not self.has_durability_faults)
+
+    @property
+    def has_durability_faults(self) -> bool:
+        """True when the plan can corrupt or destroy stored replicas.
+
+        :meth:`~repro.grid.grid.DataGrid.create` uses this to arm the
+        durability layer's detection machinery even when no explicit
+        :class:`~repro.grid.durability.DurabilityPolicy` was given.
+        """
+        return (bool(self.replica_corruptions)
+                or bool(self.replica_losses)
+                or self.corruption_mtbf_s > 0.0)
 
     @classmethod
     def none(cls) -> "FaultPlan":
@@ -390,6 +508,11 @@ class FaultPlan:
         for group in out["partitions"] + out["outage_groups"]:
             group["sites"] = list(group["sites"])
         out["flap_sites"] = list(out["flap_sites"])
+        out["replica_corruptions"] = list(out["replica_corruptions"])
+        out["replica_losses"] = list(out["replica_losses"])
+        out["corruption_sites"] = list(out["corruption_sites"])
+        if out["corruption_end_s"] == _INF:
+            out["corruption_end_s"] = None
         return out
 
     @classmethod

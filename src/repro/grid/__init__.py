@@ -11,6 +11,11 @@ is mechanism, not policy.
 from repro.grid.catalog import ReplicaCatalog
 from repro.grid.compute import ComputeElement
 from repro.grid.datamover import DataMover
+from repro.grid.durability import (
+    DurabilityManager,
+    DurabilityPolicy,
+    RepairManager,
+)
 from repro.grid.files import Dataset, DatasetCollection
 from repro.grid.grid import DataGrid
 from repro.grid.info import InformationService
@@ -32,6 +37,8 @@ __all__ = [
     "DataMover",
     "Dataset",
     "DatasetCollection",
+    "DurabilityManager",
+    "DurabilityPolicy",
     "IllegalTransition",
     "InfoPolicy",
     "InformationService",
@@ -41,6 +48,7 @@ __all__ = [
     "ReplicaCatalog",
     "TRANSITIONS",
     "TransitionEngine",
+    "RepairManager",
     "Site",
     "StaleReplicaView",
     "StorageElement",

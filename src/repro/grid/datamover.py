@@ -109,6 +109,11 @@ class DataMover:
         #: replication targets, and open link breakers deprioritize
         #: sources.
         self.health = None
+        #: Durability manager (``None`` = off).  When installed, local
+        #: hits and wire deliveries are checksum-verified: a corrupt
+        #: local copy falls through to a fresh remote fetch, a corrupt
+        #: delivery quarantines its source and fails over.
+        self.durability = None
         #: Lazily built shared-helper policy reproducing the plan's
         #: capped exponential transfer backoff bit for bit.
         self._transfer_backoff = None
@@ -117,12 +122,15 @@ class DataMover:
 
     def ensure_local(self, site: str, dataset_name: str, pin: bool = False,
                      purpose: str = "job-fetch",
-                     best_effort: bool = False) -> Process:
+                     best_effort: bool = False,
+                     preferred_source: Optional[str] = None) -> Process:
         """Make ``dataset_name`` present at ``site``.
 
         Returns a process whose value is the MB of *new* network traffic
         this call initiated (0 if the file was present or the call joined
-        an in-flight transfer).
+        an in-flight transfer).  ``preferred_source`` steers the fetch at
+        a specific replica when it is viable (repair placement uses
+        this); the ordinary closest-replica choice applies otherwise.
 
         If the site's storage is full of pinned files, a normal call waits
         (retrying periodically) until space frees — pins are bounded by the
@@ -132,7 +140,8 @@ class DataMover:
         """
         return self.sim.process(
             self._ensure(site, dataset_name, pin, purpose,
-                         preferred_source=None, best_effort=best_effort),
+                         preferred_source=preferred_source,
+                         best_effort=best_effort),
             name=f"fetch:{dataset_name}@{site}")
 
     def replicate(self, dataset_name: str, from_site: str,
@@ -219,14 +228,25 @@ class DataMover:
         retries = 0
         while True:
             if dataset_name in storage:
-                storage.touch(dataset_name, self.sim.now)
-                if pin:
-                    storage.pin(dataset_name)
-                if self.tracer is not None:
-                    self.tracer.emit(self.sim.now, "fetch.hit", site=site,
-                                     dataset=dataset_name, purpose=purpose,
-                                     pin=pin)
-                return 0.0
+                if (self.durability is None
+                        or self.durability.verify_local(site, dataset_name)):
+                    storage.touch(dataset_name, self.sim.now)
+                    if pin:
+                        storage.pin(dataset_name)
+                    if self.tracer is not None:
+                        self.tracer.emit(self.sim.now, "fetch.hit", site=site,
+                                         dataset=dataset_name,
+                                         purpose=purpose, pin=pin)
+                    return 0.0
+                # Checksum mismatch: the copy was quarantined — fall
+                # through to a fresh remote fetch of clean bytes.
+                if self.durability.is_lost(dataset_name):
+                    # No clean replica exists anywhere; fetching cannot
+                    # succeed, so fail fast instead of starving.
+                    if best_effort:
+                        return 0.0
+                    raise DataUnavailableError(
+                        f"dataset {dataset_name!r} is unrecoverably lost")
             key = (site, dataset_name)
             inflight = self._inflight.get(key)
             if inflight is not None:
@@ -314,6 +334,10 @@ class DataMover:
                             yield self.sim.timeout(self.RETRY_INTERVAL_S)
                 self.catalog.register(dataset_name, site,
                                       size_mb=dataset.size_mb)
+                if self.durability is not None:
+                    # The verified delivery overwrote whatever was at the
+                    # site before; any corruption marker is now stale.
+                    self.durability.on_landed(site, dataset_name)
             finally:
                 if reservations:
                     # No-op after commit; on abort/failover/kill paths it
@@ -389,33 +413,50 @@ class DataMover:
                 if best_effort:
                     return False
                 raise
+            # The checksum verdict judges the bytes as they were *read*:
+            # snapshot the source's integrity when the wire transfer
+            # starts, not when it lands (a scrub or fresh landing at the
+            # source mid-flight must not launder — or retroactively
+            # taint — the payload).
+            tainted = (self.durability is not None
+                       and self.durability.source_taint(source, dataset_name))
             transfer = self.transfers.start(
                 source, site, dataset.size_mb, purpose=purpose,
                 metadata={"dataset": dataset_name})
             if transfer.finished_at is not None and not transfer.failed:
-                if self.health is not None:
-                    self.health.record_transfer_success(source, site)
-                return True  # local / empty move completed instantly
-            # Guard against stalls (dead links, source dying silently):
-            # abort if the transfer exceeds a generous multiple of its
-            # nominal uncontended time.  The allowance doubles per attempt
-            # so contention alone cannot starve a fetch forever.
-            allowance = max(
-                plan.transfer_timeout_min_s,
-                plan.transfer_timeout_factor
-                * self.transfers.base_transfer_time(source, site,
-                                                    dataset.size_mb))
-            allowance *= 2 ** (attempt - 1)
-            deadline = self.sim.timeout(allowance)
-            yield self.sim.any_of([transfer.done, deadline])
-            if transfer.finished_at is None:
-                self.transfers.abort(transfer, reason="stalled")
-            if not transfer.failed:
-                if self.health is not None:
-                    self.health.record_transfer_success(source, site)
-                return True
+                # local / empty move completed instantly
+                if self._delivery_ok(source, site, dataset_name, tainted):
+                    return True
+            else:
+                # Guard against stalls (dead links, source dying
+                # silently): abort if the transfer exceeds a generous
+                # multiple of its nominal uncontended time.  The
+                # allowance doubles per attempt so contention alone
+                # cannot starve a fetch forever.
+                allowance = max(
+                    plan.transfer_timeout_min_s,
+                    plan.transfer_timeout_factor
+                    * self.transfers.base_transfer_time(source, site,
+                                                        dataset.size_mb))
+                allowance *= 2 ** (attempt - 1)
+                deadline = self.sim.timeout(allowance)
+                yield self.sim.any_of([transfer.done, deadline])
+                if transfer.finished_at is None:
+                    self.transfers.abort(transfer, reason="stalled")
+                if (not transfer.failed
+                        and self._delivery_ok(source, site, dataset_name,
+                                              tainted)):
+                    return True
             self.transfers_failed += 1
             avoid.add(source)
+            if (self.durability is not None
+                    and self.durability.is_lost(dataset_name)):
+                # The rejected delivery came from the last replica; no
+                # amount of failover can produce clean bytes now.
+                if best_effort:
+                    return False
+                raise DataUnavailableError(
+                    f"dataset {dataset_name!r} is unrecoverably lost")
             if self.tracer is not None:
                 self.tracer.emit(
                     self.sim.now, "transfer.retry", dataset=dataset_name,
@@ -435,6 +476,26 @@ class DataMover:
             backoff = self._transfer_backoff.delay(attempt)
             if backoff > 0:
                 yield self.sim.timeout(backoff)
+
+    def _delivery_ok(self, source: str, site: str, dataset_name: str,
+                     tainted: bool) -> bool:
+        """Post-delivery bookkeeping for one completed wire transfer.
+
+        Verifies the end-to-end checksum when durability is armed
+        (``tainted`` is the source-integrity snapshot taken at launch):
+        a clean delivery feeds the health layer's success channel; a
+        corrupt one quarantines its source (done inside
+        ``verify_transfer``) and counts as a failed attempt, so the
+        caller fails over exactly like a dropped transfer.
+        """
+        if (self.durability is not None
+                and not self.durability.verify_transfer(source, site,
+                                                        dataset_name,
+                                                        tainted)):
+            return False
+        if self.health is not None:
+            self.health.record_transfer_success(source, site)
+        return True
 
     def _pick_source(self, dest: str, dataset_name: str,
                      preferred: Optional[str],

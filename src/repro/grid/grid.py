@@ -105,6 +105,13 @@ class DataGrid:
         #: is gated on this staying ``None`` so a policy-less grid behaves
         #: bitwise-identically to a pre-health build.
         self.health = None
+        #: Data-durability layer (``None`` = off, the default; installed
+        #: by :meth:`create` for a non-null
+        #: :class:`~repro.grid.durability.DurabilityPolicy` or a fault
+        #: plan with durability faults).  Every durability branch is
+        #: gated on this staying ``None`` so an unarmed grid behaves
+        #: bitwise-identically to a pre-durability build.
+        self.durability = None
         #: Last-resort External Scheduler (degraded mode), or ``None``.
         self._degraded_es = None
         #: Open-loop arrival stream (``None`` = the paper's closed-loop
@@ -139,6 +146,8 @@ class DataGrid:
         overload_rng: Optional[random.Random] = None,
         health_policy=None,
         health_rng: Optional[random.Random] = None,
+        durability_policy=None,
+        durability_rng: Optional[random.Random] = None,
     ) -> "DataGrid":
         """Build and wire a grid over ``topology``.
 
@@ -158,7 +167,14 @@ class DataGrid:
         (:class:`~repro.grid.health.HealthPolicy`) installs the observed
         failure-detection layer — heartbeats, circuit breakers, and
         speculative backup execution; ``health_rng`` seeds its heartbeat
-        jitter and probe streams.
+        jitter and probe streams.  A non-null ``durability_policy``
+        (:class:`~repro.grid.durability.DurabilityPolicy`) installs the
+        data-durability layer — checksum verification, scrubbing, and
+        replication-factor repair; the layer is also auto-installed in
+        detection-only mode when the fault plan contains durability
+        faults (corruption or replica loss), so every armed run can at
+        least record what it lost.  ``durability_rng`` seeds repair
+        placement tie-breaking.
         """
         topology.validate()
         missing = set(topology.sites) - set(site_processors)
@@ -230,6 +246,19 @@ class DataGrid:
 
             HealthMonitor(sim, grid, health_policy,
                           rng=health_rng).install()
+        durability_armed = (
+            (durability_policy is not None and not durability_policy.is_null)
+            or (fault_plan is not None and not fault_plan.is_null
+                and fault_plan.has_durability_faults))
+        if durability_armed:
+            from repro.grid.durability import (
+                DurabilityManager,
+                DurabilityPolicy,
+            )
+
+            DurabilityManager(sim, grid,
+                              durability_policy or DurabilityPolicy(),
+                              rng=durability_rng).install()
         if watchdog_interval_s > 0:
             from repro.watchdog import Watchdog
 
@@ -534,6 +563,18 @@ class DataGrid:
                 # backoff or parked: the backup clone carried the
                 # logical job, and the health layer conceded this one.
                 return job
+            if self.durability is not None:
+                lost = [name for name in job.input_files
+                        if self.durability.is_lost(name)]
+                if lost:
+                    # An input's every replica is gone.  Retrying cannot
+                    # bring the bytes back, so the job takes its terminal
+                    # edge instead of burning the retry budget.
+                    self.lifecycle.abandon_data_lost(
+                        job, lost[0],
+                        f"input dataset {lost[0]!r} unrecoverably lost")
+                    self.durability.stats.jobs_abandoned += 1
+                    return job
             if not faults.any_site_up():
                 if faults.grid_lost:
                     # Every site is permanently dead: recovery can never
@@ -680,6 +721,13 @@ class DataGrid:
         job completed through the other attempt)."""
         return [j for j in self.submitted_jobs
                 if j.state is JobState.SPECULATED]
+
+    @property
+    def abandoned_jobs(self) -> List[Job]:
+        """Jobs retired because an input dataset was unrecoverably lost
+        (empty without the durability layer)."""
+        return [j for j in self.submitted_jobs
+                if j.state is JobState.ABANDONED_DATA_LOST]
 
     @property
     def total_processors(self) -> int:

@@ -34,10 +34,17 @@ state: ``fetching``/``running`` --preempt--> ``SPECULATED`` retires the
 losing attempt of a speculation race, so exactly one attempt per logical
 job ever reaches ``DONE``.
 
+The durability layer (:mod:`repro.grid.durability`) adds one more:
+``waiting``/``ready``/``retrying`` --abandon-data-lost-->
+``ABANDONED_DATA_LOST`` retires a job whose input dataset lost its last
+replica — there is nothing left to fetch, so retrying forever would be
+busy-work.
+
 Terminal states (``done``, ``failed``, ``shed``, ``expired``,
-``speculated``) are absorbing: no outgoing edges, enforced by the table
-itself.  An edge not in the table raises :class:`IllegalTransition` with
-the job id, the attempted edge, and the simulated time.
+``speculated``, ``abandoned_data_lost``) are absorbing: no outgoing
+edges, enforced by the table itself.  An edge not in the table raises
+:class:`IllegalTransition` with the job id, the attempted edge, and the
+simulated time.
 """
 
 from __future__ import annotations
@@ -80,6 +87,8 @@ class JobState(enum.Enum):
     SHED = "shed"              #: refused admission (terminal)
     EXPIRED = "expired"        #: queue deadline passed (terminal)
     SPECULATED = "speculated"  #: lost a speculative race (terminal)
+    #: Every replica of an input dataset is gone (terminal).
+    ABANDONED_DATA_LOST = "abandoned_data_lost"
 
     # -- legacy aliases (same members, old names) --------------------------
     CREATED = "waiting"
@@ -123,6 +132,13 @@ TRANSITIONS: Dict[Tuple[JobState, JobState], str] = {
     # failed, the other attempt's outcome is its outcome.
     (JobState.RETRYING, JobState.SPECULATED): "concede",
     (JobState.READY, JobState.SPECULATED): "concede",
+    # Unrecoverable data loss: the durability layer marked an input
+    # dataset lost (last replica destroyed, no repair possible), so the
+    # job is retired instead of retrying against data that no longer
+    # exists.  WAITING jobs take the edge through the DAG cascade.
+    (JobState.WAITING, JobState.ABANDONED_DATA_LOST): "abandon-data-lost",
+    (JobState.READY, JobState.ABANDONED_DATA_LOST): "abandon-data-lost",
+    (JobState.RETRYING, JobState.ABANDONED_DATA_LOST): "abandon-data-lost",
 }
 
 #: States with no outgoing edges (derived, so it can never go stale).
@@ -140,7 +156,7 @@ _ENTRY_TIMESTAMP = {
 }
 
 _FAILURE_STATES = (JobState.FAILED, JobState.SHED, JobState.EXPIRED,
-                   JobState.SPECULATED)
+                   JobState.SPECULATED, JobState.ABANDONED_DATA_LOST)
 
 #: Tolerance for float time comparisons in guards (matches the watchdog).
 _EPSILON = 1e-6
@@ -465,6 +481,19 @@ class TransitionEngine:
                    site=job.execution_site or "",
                    primary=job.speculative_of or job.job_id,
                    reason=reason)
+
+    def abandon_data_lost(self, job: "Job", dataset: str,
+                          reason: str) -> None:
+        """WAITING/READY/RETRYING -> ABANDONED_DATA_LOST.
+
+        The durability layer declared ``dataset`` (one of the job's
+        inputs) unrecoverably lost; the job is retired through its own
+        terminal edge so conservation counts, retries, and failure
+        accounting all stay honest.
+        """
+        self.transition(job, JobState.ABANDONED_DATA_LOST, reason=reason)
+        self._emit("job.abandoned_data_lost", job=job.job_id,
+                   dataset=dataset, reason=job.failure_reason)
 
     def retry(self, job: "Job") -> None:
         """RETRYING -> READY: rewind a killed attempt for re-dispatch."""

@@ -311,9 +311,13 @@ class Site:
 
             self.lifecycle.start(job, self.name)
             for fname in job.input_files:
-                # Under overload a remote-read input was never stored, so
-                # there is nothing to touch or count.
-                if self.overload is None or fname in self.storage:
+                # Under overload a remote-read input was never stored,
+                # and under durability a quarantine may have removed an
+                # input between its fetch and here — nothing to touch
+                # or count then.
+                if ((self.overload is None
+                        and self.datamover.durability is None)
+                        or fname in self.storage):
                     self.storage.record_access(fname, self.sim.now)
             if attempt is not None:
                 attempt.computing = True
@@ -379,9 +383,13 @@ class Site:
             # 3. Compute.
             self.lifecycle.start(job, self.name)
             for fname in job.input_files:
-                # Under overload a remote-read input was never stored, so
-                # there is nothing to touch or count.
-                if self.overload is None or fname in self.storage:
+                # Under overload a remote-read input was never stored,
+                # and under durability a quarantine may have removed an
+                # input between its fetch and here — nothing to touch
+                # or count then.
+                if ((self.overload is None
+                        and self.datamover.durability is None)
+                        or fname in self.storage):
                     self.storage.record_access(fname, self.sim.now)
             if attempt is not None:
                 attempt.computing = True

@@ -76,6 +76,11 @@ class StorageElement:
         #: max() never change behaviour).
         self.peak_used_mb = 0.0
         self.peak_reserved_mb = 0.0
+        #: Tolerate unpins of an unpinned entry.  Set by the durability
+        #: layer, whose quarantine removes pinned files: a refetch then
+        #: restarts the pin count, so jobs that pinned the *old* copy
+        #: legitimately unpin more times than the new entry was pinned.
+        self.forgive_unpins = False
 
     def __repr__(self) -> str:
         return (f"<StorageElement {self.site} {self._used_mb:.0f}"
@@ -186,6 +191,8 @@ class StorageElement:
             # The file may legitimately have been force-removed; ignore.
             return
         if entry.pins <= 0:
+            if self.forgive_unpins:
+                return
             raise ValueError(f"{name!r} at {self.site!r} is not pinned")
         entry.pins -= 1
 

@@ -121,6 +121,24 @@ class RunMetrics:
     #: Attempt-seconds thrown away by preempted losers.
     speculative_wasted_s: float = 0.0
 
+    # Data durability (all zero without the durability layer).
+    #: Silent corruptions injected into stored replicas.
+    replicas_corrupted: int = 0
+    #: Corrupt copies detected and removed (access/transfer/scrub).
+    replicas_quarantined: int = 0
+    #: Replicas re-created by the RepairManager.
+    replicas_repaired: int = 0
+    #: Datasets whose last replica was lost (final).
+    datasets_lost: int = 0
+    #: Jobs retired through the terminal abandon-data-lost edge.
+    jobs_abandoned_data_lost: int = 0
+    #: MB moved by completed repair transfers.
+    repair_bytes_mb: float = 0.0
+    #: Mean detection-to-repaired lag over repaired replicas (seconds).
+    mean_repair_latency_s: float = 0.0
+    #: Background scrubber sweeps completed.
+    scrub_passes: int = 0
+
     # Per-site detail (site name → value), for load-balance analysis.
     jobs_per_site: Dict[str, int] = field(default_factory=dict)
     idle_per_site: Dict[str, float] = field(default_factory=dict)
@@ -158,7 +176,8 @@ class RunMetrics:
     @property
     def total_traffic_mb(self) -> float:
         """All bytes that crossed the network."""
-        return self.fetch_traffic_mb + self.replication_traffic_mb
+        return (self.fetch_traffic_mb + self.replication_traffic_mb
+                + self.repair_bytes_mb)
 
     @property
     def load_imbalance(self) -> float:
@@ -190,13 +209,16 @@ class RunMetrics:
         shed = grid.shed_jobs
         expired = grid.expired_jobs
         speculated = grid.speculated_jobs
+        abandoned = grid.abandoned_jobs
         # A job may legitimately end FAILED under fault injection,
-        # SHED/EXPIRED under an overload policy, or SPECULATED as a
-        # speculation-race loser; only *unaccounted* jobs (none of those
-        # and not completed) mean the run stopped mid-flight and the
-        # averages would be biased.
+        # SHED/EXPIRED under an overload policy, SPECULATED as a
+        # speculation-race loser, or ABANDONED_DATA_LOST when an input
+        # dataset lost its last replica; only *unaccounted* jobs (none of
+        # those and not completed) mean the run stopped mid-flight and
+        # the averages would be biased.
         incomplete = (len(grid.submitted_jobs) - len(jobs) - len(failed)
-                      - len(shed) - len(expired) - len(speculated))
+                      - len(shed) - len(expired) - len(speculated)
+                      - len(abandoned))
         if incomplete:
             raise ValueError(
                 f"{incomplete} submitted jobs never completed; "
@@ -292,6 +314,28 @@ class RunMetrics:
             speculative_wasted_s=(
                 grid.health.stats.speculative_wasted_s if grid.health
                 else 0.0),
+            replicas_corrupted=(
+                grid.durability.stats.replicas_corrupted
+                if grid.durability else 0),
+            replicas_quarantined=(
+                grid.durability.stats.replicas_quarantined
+                if grid.durability else 0),
+            replicas_repaired=(
+                grid.durability.stats.replicas_repaired
+                if grid.durability else 0),
+            datasets_lost=(
+                grid.durability.stats.datasets_lost
+                if grid.durability else 0),
+            jobs_abandoned_data_lost=len(abandoned),
+            # From the transfer ledger, not the manager's own counter, so
+            # it cross-validates exactly against transfer.done records.
+            repair_bytes_mb=by_purpose.get("repair", 0.0),
+            mean_repair_latency_s=(
+                grid.durability.stats.mean_repair_latency_s
+                if grid.durability else 0.0),
+            scrub_passes=(
+                grid.durability.stats.scrub_passes
+                if grid.durability else 0),
             jobs_per_site=jobs_per_site,
             idle_per_site={
                 name: site.compute.idle_fraction(horizon)

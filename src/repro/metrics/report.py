@@ -106,6 +106,19 @@ def format_run(metrics: RunMetrics, label: str = "run") -> str:
             f"  peak storage reserved:   "
             f"{metrics.peak_storage_reserved_mb:,.0f} MB",
         ]
+    if (metrics.replicas_corrupted or metrics.replicas_repaired
+            or metrics.datasets_lost or metrics.jobs_abandoned_data_lost
+            or metrics.repair_bytes_mb):
+        lines += [
+            "data durability:",
+            f"  replicas corrupted:      {metrics.replicas_corrupted}",
+            f"  replicas repaired:       {metrics.replicas_repaired}",
+            f"  datasets lost for good:  {metrics.datasets_lost}",
+            f"  jobs abandoned (lost):   {metrics.jobs_abandoned_data_lost}",
+            f"  repair traffic:          {metrics.repair_bytes_mb:,.0f} MB",
+            f"  mean repair latency:     "
+            f"{metrics.mean_repair_latency_s:,.1f} s",
+        ]
     if (metrics.suspicions or metrics.breaker_trips
             or metrics.health_probes or metrics.speculative_launched):
         lines += [

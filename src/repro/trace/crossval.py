@@ -43,6 +43,12 @@ class TraceCounters:
     health_probes: int
     speculative_launched: int
     speculative_losers: int
+    replicas_corrupted: int
+    replicas_quarantined: int
+    replicas_repaired: int
+    datasets_lost: int
+    jobs_abandoned_data_lost: int
+    repair_traffic_mb: float
 
 
 def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
@@ -59,6 +65,9 @@ def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
     jobs_shed = jobs_deflected = jobs_expired = 0
     suspicions = breaker_trips = breaker_restores = health_probes = 0
     speculative_launched = speculative_losers = 0
+    replicas_corrupted = replicas_quarantined = replicas_repaired = 0
+    datasets_lost = jobs_abandoned = 0
+    repair_mb = 0.0
     for record in records:
         kind = record.kind
         if kind == schema.JOB_FINISH:
@@ -75,6 +84,8 @@ def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
                 fetch_mb += record.detail["size_mb"]
             elif purpose == "replication":
                 replication_mb += record.detail["size_mb"]
+            elif purpose == "repair":
+                repair_mb += record.detail["size_mb"]
         elif kind == schema.REPLICATE_DONE:
             replications_done += 1
         elif kind == schema.TRANSFER_RETRY:
@@ -105,6 +116,16 @@ def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
             speculative_launched += 1
         elif kind == schema.JOB_PREEMPTED_LOSER:
             speculative_losers += 1
+        elif kind == schema.REPLICA_CORRUPTED:
+            replicas_corrupted += 1
+        elif kind == schema.REPLICA_QUARANTINED:
+            replicas_quarantined += 1
+        elif kind == schema.REPAIR_DONE:
+            replicas_repaired += 1
+        elif kind == schema.DATASET_LOST:
+            datasets_lost += 1
+        elif kind == schema.JOB_ABANDONED_DATA_LOST:
+            jobs_abandoned += 1
     return TraceCounters(
         jobs_completed=jobs_completed,
         jobs_failed=jobs_failed,
@@ -127,6 +148,12 @@ def counters_from_trace(records: Sequence[TraceRecord]) -> TraceCounters:
         health_probes=health_probes,
         speculative_launched=speculative_launched,
         speculative_losers=speculative_losers,
+        replicas_corrupted=replicas_corrupted,
+        replicas_quarantined=replicas_quarantined,
+        replicas_repaired=replicas_repaired,
+        datasets_lost=datasets_lost,
+        jobs_abandoned_data_lost=jobs_abandoned,
+        repair_traffic_mb=repair_mb,
     )
 
 
@@ -153,6 +180,12 @@ _FIELD_MAP = {
     "health_probes": "health_probes",
     "speculative_launched": "speculative_launched",
     "speculative_losers": "speculative_losers",
+    "replicas_corrupted": "replicas_corrupted",
+    "replicas_quarantined": "replicas_quarantined",
+    "replicas_repaired": "replicas_repaired",
+    "datasets_lost": "datasets_lost",
+    "jobs_abandoned_data_lost": "jobs_abandoned_data_lost",
+    "repair_traffic_mb": "repair_bytes_mb",
 }
 
 

@@ -76,6 +76,16 @@ HEALTH_TRIP = "health.trip"        #: a breaker opened (site or link)
 HEALTH_PROBE = "health.probe"      #: half-open probe attempt + outcome
 HEALTH_RESTORE = "health.restore"  #: breaker closed; target re-admitted
 
+# ---- data durability (corruption, scrubbing, repair) -----------------------
+REPLICA_CORRUPTED = "replica.corrupted"    #: silent corruption injected
+REPLICA_LOST = "replica.lost"              #: explicit loss event applied
+REPLICA_QUARANTINED = "replica.quarantined"  #: corrupt copy detected+removed
+SCRUB_PASS = "scrub.pass"                  #: one background sweep completed
+REPAIR_START = "repair.start"              #: repair copy attempt launched
+REPAIR_DONE = "repair.done"                #: repair copy landed
+DATASET_LOST = "dataset.lost"              #: last replica gone (final)
+JOB_ABANDONED_DATA_LOST = "job.abandoned_data_lost"  #: terminal edge taken
+
 # ---- stale information -----------------------------------------------------
 INFO_STALE_READ = "info.stale_read"  #: query answered differently from truth
 
@@ -90,7 +100,7 @@ KIND_GROUPS: Dict[str, Tuple[str, ...]] = {
     "job": (JOB_SUBMIT, JOB_DISPATCH, JOB_QUEUE, JOB_DATA_READY, JOB_START,
             JOB_FINISH, JOB_RETRY, JOB_REDIRECT, JOB_FAIL, JOB_MISDIRECTED,
             JOB_BOUNCED, JOB_SHED, JOB_DEFLECTED, JOB_EXPIRED,
-            JOB_SPECULATED, JOB_PREEMPTED_LOSER),
+            JOB_SPECULATED, JOB_PREEMPTED_LOSER, JOB_ABANDONED_DATA_LOST),
     "es": (ES_DECISION, ES_DEGRADED),
     "ls": (LS_PICK,),
     "ds": (DS_DECISION, DS_DELETE),
@@ -103,6 +113,10 @@ KIND_GROUPS: Dict[str, Tuple[str, ...]] = {
               FAULT_LINK_RESTORE, FAULT_TRANSFER_KILL, FAULT_PARTITION,
               FAULT_PARTITION_HEAL),
     "health": (HEALTH_SUSPECT, HEALTH_TRIP, HEALTH_PROBE, HEALTH_RESTORE),
+    "replica": (REPLICA_CORRUPTED, REPLICA_LOST, REPLICA_QUARANTINED),
+    "scrub": (SCRUB_PASS,),
+    "repair": (REPAIR_START, REPAIR_DONE),
+    "dataset": (DATASET_LOST,),
     "info": (INFO_STALE_READ,),
     "watchdog": (WATCHDOG_CHECK,),
     "kernel": (KERNEL_EVENT,),

@@ -47,6 +47,12 @@ Invariants checked:
 * **breaker-state-sane** — the health layer's site breakers and the
   information service agree: every open/half-open breaker's site is
   hidden (suspected) and every closed breaker's site is advertised.
+* **catalog-durability** — with the durability layer installed, no
+  managed dataset is in limbo: every dataset either has at least one
+  live cataloged replica (quarantined copies are deregistered, so the
+  count is integrity-filtered by construction) or is formally recorded
+  as lost.  One transient is legal mid-run: zero replicas with a live
+  repair campaign, whose in-flight copy settles the verdict either way.
 
 The watchdog is **off by default** (a watchdog-less run is bitwise
 identical to a pre-watchdog build) and *always on in tests*: the test
@@ -81,7 +87,8 @@ class InvariantViolation(AssertionError):
         Which check failed (``jobs-conserved``, ``storage-accounting``,
         ``transfers-consistent``, ``catalog-consistent``,
         ``stale-view-bounded``, ``queue-bounded``, ``no-overcommit``,
-        ``no-starvation``).
+        ``no-starvation``, ``no-double-completion``,
+        ``breaker-state-sane``, ``catalog-durability``).
     time:
         Simulated time of the failed check.
     details:
@@ -126,7 +133,7 @@ class Watchdog:
                   "transfers-consistent", "catalog-consistent",
                   "stale-view-bounded", "queue-bounded", "no-overcommit",
                   "no-starvation", "no-double-completion",
-                  "breaker-state-sane")
+                  "breaker-state-sane", "catalog-durability")
 
     def __init__(self, sim: "Simulator", grid: "DataGrid",
                  interval_s: float = 300.0) -> None:
@@ -164,6 +171,7 @@ class Watchdog:
         self._check_starvation()
         self._check_double_completion()
         self._check_breaker_state()
+        self._check_catalog_durability()
         self.checks_run += 1
         tracer = self.grid.tracer
         if tracer is not None:
@@ -398,6 +406,27 @@ class Watchdog:
                     f"site {site!r} breaker is {breaker.state} but the "
                     "information service still advertises it",
                     site=site, breaker=breaker.state)
+
+    def _check_catalog_durability(self) -> None:
+        durability = self.grid.durability
+        if durability is None:
+            return
+        catalog = self.grid.catalog
+        for dataset in self.grid.datasets:
+            name = dataset.name
+            count = catalog.replica_count(name)
+            if count == 0 and not durability.is_lost(name):
+                if (durability.repair is not None
+                        and durability.repair.is_active(name)):
+                    # Legal transient: a repair campaign owns the loss
+                    # verdict — a copy may be mid-wire right now.
+                    continue
+                self._fail(
+                    "catalog-durability",
+                    f"dataset {name!r} has no cataloged replica yet is "
+                    "not recorded as lost — the durability layer missed "
+                    "a deregistration",
+                    dataset=name, replicas=count)
 
 
 def attach(grid: "DataGrid", interval_s: float = 300.0) -> Watchdog:

@@ -275,3 +275,69 @@ class TestDagCommand:
         assert main(["run", *TINY_DAG, "--dag-shape", "diamond",
                      "--arrival-rate", "0.5"]) == 2
         assert "incompatible" in capsys.readouterr().err
+
+
+class TestDurabilityKnobs:
+    def test_armed_run_prints_durability_block(self, capsys):
+        assert main(["run", *SMALL, "--corruption-mtbf", "2000",
+                     "--replication-factor", "2", "--repair", "on",
+                     "--scrub-interval", "600", "--watchdog", "on"]) == 0
+        out = capsys.readouterr().out
+        assert "data durability:" in out
+        assert "replicas repaired:" in out
+        assert "datasets lost for good:" in out
+
+    def test_default_run_prints_no_durability_block(self, capsys):
+        assert main(["run", *SMALL]) == 0
+        assert "data durability" not in capsys.readouterr().out
+
+    def test_scripted_events_are_accepted(self, capsys):
+        assert main(["run", *SMALL,
+                     "--corrupt-replica", "site00:dataset0000@1800",
+                     "--lose-replica", "site01:dataset0001@2400"]) == 0
+
+    def test_bad_replica_spec_is_one_line_exit_2(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", *SMALL, "--corrupt-replica", "nonsense"])
+
+    def test_invalid_fault_plan_is_structured_exit_2(self, capsys):
+        code = main(["run", *SMALL, "--corruption-mtbf", "-5"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: invalid fault plan [corruption_mtbf_s]")
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_rf_without_repair_is_config_error(self, capsys):
+        code = main(["run", *SMALL, "--replication-factor", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "repair" in err
+
+    def test_negative_scrub_interval_is_config_error(self, capsys):
+        assert main(["run", *SMALL, "--scrub-interval", "-1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corruption_sites_without_mtbf_is_plan_error(self, capsys):
+        code = main(["run", *SMALL, "--corruption-sites", "site00"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: invalid fault plan [corruption_sites]")
+
+
+class TestDurabilitySweep:
+    def test_sweep_prints_table_and_surviving_rf(self, capsys):
+        assert main(["sensitivity", "durability-sweep", *SMALL,
+                     "--corruption-mtbfs", "0", "3000",
+                     "--rfs", "1", "2", "--scrubs", "600",
+                     "--pairs", "JobDataPresent+DataRandom"]) == 0
+        out = capsys.readouterr().out
+        assert "corruption" in out
+        assert "lowest surviving RF" in out
+
+    def test_parallel_workers_accepted(self, capsys):
+        assert main(["sensitivity", "durability-sweep", *SMALL,
+                     "--corruption-mtbfs", "0", "--rfs", "1",
+                     "--scrubs", "0",
+                     "--pairs", "JobLocal+DataDoNothing", "-j", "2"]) == 0
+        assert "lowest surviving RF" in capsys.readouterr().out

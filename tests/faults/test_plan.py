@@ -140,3 +140,102 @@ class TestFaultPlanSerialization:
     def test_unknown_keys_rejected(self):
         with pytest.raises(ValueError, match="unknown fault-plan fields"):
             FaultPlan.from_json_dict({"site_mtbf": 100.0})
+
+
+from repro.faults.plan import (  # noqa: E402
+    FaultPlanError,
+    OutageGroup,
+    ReplicaCorruption,
+    ReplicaLoss,
+)
+
+
+class TestDurabilityFaultValidation:
+    def test_valid_events(self):
+        assert ReplicaCorruption("site00", "d0", 100.0).time_s == 100.0
+        assert ReplicaLoss("site01", "d1", 0.0).dataset == "d1"
+
+    def test_rejects_corruption_in_the_past(self):
+        with pytest.raises(FaultPlanError, match="replica_corruptions"):
+            ReplicaCorruption("site00", "d0", -1.0)
+
+    def test_rejects_loss_in_the_past(self):
+        with pytest.raises(FaultPlanError, match="replica_losses"):
+            ReplicaLoss("site00", "d0", -1.0)
+
+    def test_rejects_negative_corruption_mtbf(self):
+        with pytest.raises(FaultPlanError, match="corruption_mtbf_s"):
+            FaultPlan(corruption_mtbf_s=-5.0)
+
+    def test_rejects_sites_without_mtbf(self):
+        with pytest.raises(FaultPlanError, match="corruption_sites"):
+            FaultPlan(corruption_sites=("site00",))
+
+    def test_rejects_duplicate_corruption_sites(self):
+        with pytest.raises(FaultPlanError, match="twice"):
+            FaultPlan(corruption_mtbf_s=100.0,
+                      corruption_sites=("site00", "site00"))
+
+    def test_rejects_inverted_corruption_window(self):
+        with pytest.raises(FaultPlanError, match="corruption_end_s"):
+            FaultPlan(corruption_mtbf_s=100.0,
+                      corruption_start_s=500.0, corruption_end_s=100.0)
+
+    def test_fault_plan_error_is_structured(self):
+        with pytest.raises(FaultPlanError) as excinfo:
+            FaultPlan(corruption_mtbf_s=-5.0)
+        assert excinfo.value.field == "corruption_mtbf_s"
+        assert isinstance(excinfo.value, ValueError)
+
+
+class TestDurabilityFaultNullness:
+    def test_each_durability_source_breaks_nullness(self):
+        assert not FaultPlan(
+            replica_corruptions=(ReplicaCorruption("s", "d", 1.0),)).is_null
+        assert not FaultPlan(
+            replica_losses=(ReplicaLoss("s", "d", 1.0),)).is_null
+        assert not FaultPlan(corruption_mtbf_s=3600.0).is_null
+
+    def test_has_durability_faults(self):
+        assert not FaultPlan().has_durability_faults
+        assert not FaultPlan(site_mtbf_s=100.0).has_durability_faults
+        assert FaultPlan(corruption_mtbf_s=1.0).has_durability_faults
+        assert FaultPlan(
+            replica_losses=(ReplicaLoss("s", "d", 1.0),)
+        ).has_durability_faults
+
+
+class TestDurabilityFaultSerialization:
+    def plan(self):
+        return FaultPlan(
+            replica_corruptions=(ReplicaCorruption("site00", "d0", 600.0),
+                                 ReplicaCorruption("site01", "d1", 900.0)),
+            replica_losses=(ReplicaLoss("site02", "d2", 1200.0),),
+            outage_groups=(OutageGroup(("site00", "site01"), 3000.0),),
+            corruption_mtbf_s=7200.0,
+            corruption_sites=("site00", "site03"),
+            corruption_start_s=100.0,
+            seed=11,
+        )
+
+    def test_json_round_trip(self):
+        plan = self.plan()
+        assert FaultPlan.from_json_dict(plan.to_json_dict()) == plan
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "durable.json"
+        self.plan().save(path)
+        assert FaultPlan.load(path) == self.plan()
+
+    def test_dict_coercion(self):
+        plan = FaultPlan(
+            replica_corruptions=[
+                {"site": "site00", "dataset": "d0", "time_s": 10.0}],
+            replica_losses=[
+                {"site": "site01", "dataset": "d1", "time_s": 20.0}],
+        )
+        assert isinstance(plan.replica_corruptions[0], ReplicaCorruption)
+        assert isinstance(plan.replica_losses[0], ReplicaLoss)
+
+    def test_hashable(self):
+        assert hash(self.plan()) == hash(self.plan())

@@ -1,0 +1,393 @@
+"""Unit tests for the data-durability layer.
+
+Policy validation, corruption/quarantine mechanics, explicit replica
+loss, the background scrubber, repair placement, RF re-establishment,
+loss finality, the forgiven-unpin safety net, and the watchdog's
+``catalog-durability`` invariant — all on the small 4-site star grid.
+"""
+
+import random
+
+import pytest
+
+from repro.grid import (
+    DataGrid,
+    Dataset,
+    DatasetCollection,
+    DurabilityManager,
+    DurabilityPolicy,
+)
+from repro.grid.durability import make_placement
+from repro.network import Topology
+from repro.scheduling import DataDoNothing, FIFOLocalScheduler, JobLocal
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+from repro.watchdog import InvariantViolation, Watchdog
+
+
+def durable_grid(policy=None, tracer=None):
+    """The conftest small grid, plus a manually installed manager."""
+    sim = Simulator()
+    topology = Topology.star(4, 10.0)
+    datasets = DatasetCollection([
+        Dataset("d0", 500),
+        Dataset("d1", 1000),
+        Dataset("d2", 1500),
+    ])
+    grid = DataGrid.create(
+        sim=sim,
+        topology=topology,
+        datasets=datasets,
+        external_scheduler=JobLocal(),
+        local_scheduler=FIFOLocalScheduler(),
+        dataset_scheduler=DataDoNothing(),
+        site_processors={name: 2 for name in topology.sites},
+        storage_capacity_mb=10_000,
+        datamover_rng=random.Random(0),
+        tracer=tracer,
+    )
+    grid.place_initial_replicas(
+        {"d0": "site00", "d1": "site01", "d2": "site02"})
+    manager = DurabilityManager(sim, grid, policy or DurabilityPolicy())
+    manager.install()
+    return sim, grid, manager
+
+
+def kinds(tracer):
+    return [r.kind for r in tracer.records]
+
+
+class TestPolicyValidation:
+    def test_defaults_are_null(self):
+        assert DurabilityPolicy().is_null
+
+    def test_any_knob_breaks_nullness(self):
+        assert not DurabilityPolicy(repair=True).is_null
+        assert not DurabilityPolicy(scrub_interval_s=60.0).is_null
+        assert not DurabilityPolicy(
+            replication_factor=2, repair=True).is_null
+
+    def test_rejects_zero_replication_factor(self):
+        with pytest.raises(ValueError, match="replication factor"):
+            DurabilityPolicy(replication_factor=0)
+
+    def test_rejects_negative_scrub_interval(self):
+        with pytest.raises(ValueError, match="scrub interval"):
+            DurabilityPolicy(scrub_interval_s=-1.0)
+
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(ValueError, match="placement"):
+            DurabilityPolicy(placement="psychic")
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="retries"):
+            DurabilityPolicy(repair_max_retries=-1)
+
+    def test_rejects_backoff_cap_below_base(self):
+        with pytest.raises(ValueError, match="backoff"):
+            DurabilityPolicy(repair_backoff_base_s=100.0,
+                             repair_backoff_cap_s=10.0)
+
+    def test_rf_above_one_requires_repair(self):
+        with pytest.raises(ValueError, match="repair=True"):
+            DurabilityPolicy(replication_factor=2)
+
+    def test_make_placement_rejects_unknown(self):
+        with pytest.raises(ValueError, match="placement"):
+            make_placement("psychic")
+
+
+class TestCorruption:
+    def test_corrupt_is_silent(self):
+        tracer = Tracer()
+        _, grid, manager = durable_grid(tracer=tracer)
+        assert manager.corrupt("site00", "d0")
+        # Catalog and storage still advertise the copy untouched.
+        assert grid.catalog.has_replica("d0", "site00")
+        assert "d0" in grid.storages["site00"]
+        assert manager.is_corrupt("site00", "d0")
+        assert kinds(tracer)[-1] == "replica.corrupted"
+        assert manager.stats.replicas_corrupted == 1
+
+    def test_corrupt_nonresident_is_noop(self):
+        _, _, manager = durable_grid()
+        assert not manager.corrupt("site03", "d0")
+        assert manager.stats.replicas_corrupted == 0
+
+    def test_double_corrupt_counts_once(self):
+        _, _, manager = durable_grid()
+        assert manager.corrupt("site00", "d0")
+        assert not manager.corrupt("site00", "d0")
+        assert manager.stats.replicas_corrupted == 1
+
+    def test_verify_local_clean_copy_passes(self):
+        _, grid, manager = durable_grid()
+        assert manager.verify_local("site00", "d0")
+        assert grid.catalog.has_replica("d0", "site00")
+        assert manager.stats.verifications == 1
+        assert manager.stats.replicas_quarantined == 0
+
+    def test_verify_local_quarantines_corrupt_copy(self):
+        tracer = Tracer()
+        _, grid, manager = durable_grid(tracer=tracer)
+        manager.corrupt("site00", "d0")
+        assert not manager.verify_local("site00", "d0")
+        # Quarantine = storage removal + catalog deregistration at once.
+        assert "d0" not in grid.storages["site00"]
+        assert not grid.catalog.has_replica("d0", "site00")
+        assert not manager.is_corrupt("site00", "d0")
+        assert manager.stats.replicas_quarantined == 1
+        record = next(r for r in tracer.records
+                      if r.kind == "replica.quarantined")
+        assert record.detail["via"] == "access"
+
+    def test_quarantine_removes_pinned_primary(self):
+        # Pins protect from LRU eviction, not from the durability layer.
+        _, grid, manager = durable_grid()
+        assert grid.storages["site00"].is_pinned("d0")
+        manager.corrupt("site00", "d0")
+        assert not manager.verify_local("site00", "d0")
+        assert "d0" not in grid.storages["site00"]
+
+    def test_fresh_landing_clears_marker(self):
+        _, _, manager = durable_grid()
+        manager.corrupt("site00", "d0")
+        manager.on_landed("site00", "d0")
+        assert not manager.is_corrupt("site00", "d0")
+        assert manager.verify_local("site00", "d0")
+
+
+class TestTransferTaint:
+    def test_untainted_snapshot_passes_even_if_marker_set_later(self):
+        # The source rotted *after* the bytes left: the payload is clean.
+        _, grid, manager = durable_grid()
+        tainted = manager.source_taint("site00", "d0")
+        manager.corrupt("site00", "d0")
+        assert manager.verify_transfer("site00", "site03", "d0", tainted)
+        assert "d0" in grid.storages["site00"]  # nothing quarantined
+
+    def test_tainted_snapshot_quarantines_source(self):
+        _, grid, manager = durable_grid()
+        manager.corrupt("site00", "d0")
+        tainted = manager.source_taint("site00", "d0")
+        assert not manager.verify_transfer("site00", "site03", "d0",
+                                           tainted)
+        assert "d0" not in grid.storages["site00"]
+        assert manager.stats.replicas_quarantined == 1
+
+    def test_stale_taint_never_removes_healed_copy(self):
+        # Marker cleared (fresh landing) between snapshot and verdict:
+        # the delayed rejection must not touch the now-clean replica.
+        _, grid, manager = durable_grid()
+        manager.corrupt("site00", "d0")
+        tainted = manager.source_taint("site00", "d0")
+        manager.on_landed("site00", "d0")  # healed mid-flight
+        assert not manager.verify_transfer("site00", "site03", "d0",
+                                           tainted)
+        assert "d0" in grid.storages["site00"]
+        assert grid.catalog.has_replica("d0", "site00")
+        assert manager.stats.replicas_quarantined == 0
+
+
+class TestReplicaLoss:
+    def test_lose_replica_is_loud(self):
+        tracer = Tracer()
+        _, grid, manager = durable_grid(tracer=tracer)
+        assert manager.lose_replica("site01", "d1")
+        assert "d1" not in grid.storages["site01"]
+        assert not grid.catalog.has_replica("d1", "site01")
+        assert manager.stats.replicas_lost == 1
+        assert "replica.lost" in kinds(tracer)
+
+    def test_lose_nonresident_is_noop(self):
+        _, _, manager = durable_grid()
+        assert not manager.lose_replica("site03", "d1")
+        assert manager.stats.replicas_lost == 0
+
+    def test_losing_last_replica_marks_dataset_lost(self):
+        tracer = Tracer()
+        _, _, manager = durable_grid(tracer=tracer)
+        manager.lose_replica("site00", "d0")
+        assert manager.is_lost("d0")
+        assert manager.lost_datasets() == ["d0"]
+        assert manager.stats.datasets_lost == 1
+        assert kinds(tracer)[-3:] == [
+            "replica.lost", "catalog.deregister", "dataset.lost"]
+
+    def test_mark_lost_is_idempotent_and_final(self):
+        _, _, manager = durable_grid()
+        manager.mark_lost("d2")
+        manager.mark_lost("d2")
+        assert manager.stats.datasets_lost == 1
+        assert manager.is_lost("d2")
+
+    def test_quarantining_sole_copy_loses_dataset(self):
+        _, _, manager = durable_grid()
+        manager.corrupt("site02", "d2")
+        assert not manager.verify_local("site02", "d2")
+        assert manager.is_lost("d2")
+
+    def test_job_outputs_are_not_managed(self):
+        # Deregistering a name outside grid.datasets (a job output)
+        # must never mark anything lost.
+        _, grid, manager = durable_grid()
+        grid.catalog.register("out-42", "site03", 10.0)
+        grid.catalog.deregister("out-42", "site03")
+        assert manager.stats.datasets_lost == 0
+        assert manager.lost_datasets() == []
+
+
+class TestScrubber:
+    def test_scrub_finds_and_quarantines(self):
+        tracer = Tracer()
+        sim, grid, manager = durable_grid(
+            policy=DurabilityPolicy(scrub_interval_s=600.0),
+            tracer=tracer)
+        manager.corrupt("site01", "d1")
+        sim.run(until=601.0)
+        assert manager.stats.scrub_passes == 1
+        assert manager.stats.scrub_files_checked == 3
+        assert "d1" not in grid.storages["site01"]
+        record = next(r for r in tracer.records if r.kind == "scrub.pass")
+        assert record.detail == {"checked": 3, "corrupt": 1}
+        quarantine = next(r for r in tracer.records
+                          if r.kind == "replica.quarantined")
+        assert quarantine.detail["via"] == "scrub"
+
+    def test_clean_scrub_counts_all_replicas(self):
+        sim, _, manager = durable_grid(
+            policy=DurabilityPolicy(scrub_interval_s=100.0))
+        sim.run(until=350.0)
+        assert manager.stats.scrub_passes == 3
+        assert manager.stats.scrub_files_checked == 9
+        assert manager.stats.replicas_quarantined == 0
+
+
+class TestRepair:
+    RF2 = DurabilityPolicy(replication_factor=2, repair=True)
+
+    def test_initial_audit_reaches_target_factor(self):
+        tracer = Tracer()
+        sim, grid, manager = durable_grid(policy=self.RF2, tracer=tracer)
+        sim.run(until=50_000.0)
+        for name in ("d0", "d1", "d2"):
+            assert grid.catalog.replica_count(name) == 2, name
+        assert manager.stats.replicas_repaired == 3
+        assert manager.stats.repairs_started == 3
+        assert manager.stats.repairs_failed == 0
+        assert kinds(tracer).count("repair.done") == 3
+
+    def test_repaired_copies_are_pinned(self):
+        sim, grid, _ = durable_grid(policy=self.RF2)
+        sim.run(until=50_000.0)
+        for name in ("d0", "d1", "d2"):
+            for site in grid.catalog.locations(name):
+                assert grid.storages[site].is_pinned(name), (name, site)
+
+    def test_repair_traffic_accounted_separately(self):
+        sim, grid, manager = durable_grid(policy=self.RF2)
+        sim.run(until=50_000.0)
+        moved = grid.transfers.mb_moved_by_purpose()
+        assert moved.get("repair", 0.0) == 3000.0  # 500 + 1000 + 1500
+        assert manager.stats.repair_bytes_mb == 3000.0
+        assert manager.stats.mean_repair_latency_s > 0.0
+
+    def test_loss_triggers_re_replication(self):
+        sim, grid, manager = durable_grid(policy=self.RF2)
+        sim.run(until=50_000.0)
+        manager.lose_replica("site00", "d0")
+        assert grid.catalog.replica_count("d0") == 1
+        sim.run(until=100_000.0)
+        assert grid.catalog.replica_count("d0") == 2
+        assert not manager.is_lost("d0")
+
+    def test_detection_only_mode_never_repairs(self):
+        sim, grid, manager = durable_grid()  # repair off (default)
+        manager.lose_replica("site01", "d1")
+        sim.run(until=50_000.0)
+        assert grid.catalog.replica_count("d1") == 0
+        assert manager.stats.repairs_started == 0
+
+    def test_no_repair_for_lost_dataset(self):
+        sim, grid, manager = durable_grid(policy=self.RF2)
+        sim.run(until=50_000.0)
+        manager.lose_replica("site00", "d0")
+        for site in list(grid.catalog.locations("d0")):
+            manager.lose_replica(site, "d0")
+        # The loss verdict belongs to the running repair campaign (a
+        # copy could have been mid-wire); let it settle.
+        sim.run(until=51_000.0)
+        assert manager.is_lost("d0")
+        before = manager.stats.repairs_started
+        sim.run(until=100_000.0)
+        assert manager.stats.repairs_started == before
+        assert grid.catalog.replica_count("d0") == 0
+
+    def test_candidate_pairs_exclude_holders_and_tight_storage(self):
+        _, grid, manager = durable_grid()
+        pairs = manager.candidate_pairs("d0")
+        assert all(src == "site00" for src, _ in pairs)
+        assert all(dst != "site00" for _, dst in pairs)
+        # Shrink site03 below d0's size: it drops out of the pool.
+        grid.storages["site03"].capacity_mb = 100.0
+        assert all(dst != "site03"
+                   for _, dst in manager.candidate_pairs("d0"))
+
+    def test_corrupt_source_is_not_filtered(self):
+        # No oracle leak: placement may pick a corrupt source; the
+        # delivery checksum is what catches it.
+        _, _, manager = durable_grid()
+        manager.corrupt("site00", "d0")
+        assert manager.candidate_pairs("d0")
+
+    def test_forecast_placement_repairs_too(self):
+        sim, grid, manager = durable_grid(
+            policy=DurabilityPolicy(replication_factor=2, repair=True,
+                                    placement="forecast"))
+        sim.run(until=50_000.0)
+        for name in ("d0", "d1", "d2"):
+            assert grid.catalog.replica_count(name) == 2, name
+        assert manager.repair.placement.name == "forecast"
+
+
+class TestForgivenUnpins:
+    def test_install_arms_every_storage(self):
+        _, grid, _ = durable_grid()
+        assert all(s.forgive_unpins for s in grid.storages.values())
+
+    def test_unmatched_unpin_is_forgiven_when_armed(self):
+        _, grid, _ = durable_grid()
+        storage = grid.storages["site00"]
+        storage.unpin("d0")  # the placement pin
+        storage.unpin("d0")  # unmatched — forgiven, no error
+        assert not storage.is_pinned("d0")
+
+    def test_unmatched_unpin_raises_without_durability(self, small_grid):
+        _, grid = small_grid
+        storage = grid.storages["site00"]
+        storage.unpin("d0")
+        with pytest.raises(ValueError, match="not pinned"):
+            storage.unpin("d0")
+
+
+class TestWatchdogInvariant:
+    def test_consistent_state_passes(self):
+        sim, grid, manager = durable_grid()
+        manager.lose_replica("site00", "d0")  # marked lost: consistent
+        Watchdog(sim, grid).check_now()
+
+    def test_missed_loss_is_flagged(self):
+        sim, grid, manager = durable_grid()
+        manager.lose_replica("site00", "d0")
+        manager._lost.discard("d0")  # simulate a missed deregistration
+        with pytest.raises(InvariantViolation,
+                           match="catalog-durability") as excinfo:
+            Watchdog(sim, grid).check_now()
+        assert excinfo.value.invariant == "catalog-durability"
+
+    def test_no_durability_no_check(self, small_grid):
+        # Without the layer, zero replicas with no loss record is legal.
+        sim, grid = small_grid
+        grid.storages["site00"].remove("d0")
+        grid.catalog.deregister("d0", "site00")
+        Watchdog(sim, grid).check_now()

@@ -29,7 +29,7 @@ def force_state(job, state):
 def test_matrix_is_total():
     assert len(ALL_PAIRS) == len(ALL_STATES) ** 2
     # Canonical members only — the legacy aliases must not inflate it.
-    assert len(ALL_STATES) == 11
+    assert len(ALL_STATES) == 12
 
 
 @pytest.mark.parametrize(
@@ -61,7 +61,8 @@ def test_illegal_transition_is_a_value_error():
 
 def test_terminal_states_are_absorbing_by_construction():
     terminal = {JobState.DONE, JobState.FAILED, JobState.SHED,
-                JobState.EXPIRED, JobState.SPECULATED}
+                JobState.EXPIRED, JobState.SPECULATED,
+                JobState.ABANDONED_DATA_LOST}
     outgoing = {src for src, _ in TRANSITIONS}
     assert terminal.isdisjoint(outgoing)
     # And everything non-terminal has at least one way forward.
@@ -251,6 +252,35 @@ class TestTypedEdges:
         kinds = [r.kind for r in tracer.records]
         assert kinds == ["job.submit", "job.shed", "job.submit",
                          "job.fail", "job.fail"]
+
+    def test_abandon_data_lost_takes_its_own_terminal_edge(self):
+        engine, tracer = traced_engine()
+        waiting = make_job(job_id=1)
+        engine.submit(waiting)  # READY
+        engine.abandon_data_lost(waiting, "f", "input dataset 'f' lost")
+        assert waiting.state is JobState.ABANDONED_DATA_LOST
+        assert waiting.failure_reason == "input dataset 'f' lost"
+        record = tracer.records[-1]
+        assert record.kind == "job.abandoned_data_lost"
+        assert record.detail["dataset"] == "f"
+        assert record.detail["reason"] == waiting.failure_reason
+
+        parked = make_job(job_id=2)  # WAITING: never dispatched
+        engine.register(parked)
+        engine.abandon_data_lost(parked, "f", "lost before dispatch")
+        assert parked.state is JobState.ABANDONED_DATA_LOST
+
+        retrying = make_job(job_id=3)
+        engine.submit(retrying)
+        engine.dispatch(retrying, "site01")
+        engine.enqueue(retrying, "site01", waiting=0)
+        engine.kill(retrying, "site crashed")  # RETRYING
+        engine.abandon_data_lost(retrying, "f", "lost mid-retry")
+        assert retrying.state is JobState.ABANDONED_DATA_LOST
+
+        # Terminal: no edge leads out, so a re-dispatch must be refused.
+        with pytest.raises(IllegalTransition):
+            engine.transition(waiting, JobState.READY)
 
     def test_kill_is_silent_then_retry_rewinds(self):
         engine, tracer = traced_engine()
